@@ -1,0 +1,525 @@
+//! Object Dependence Graph (ODG) construction.
+//!
+//! Nodes are allocation sites (plus one root node per static class part that performs
+//! allocations, standing for the class's static context such as `main`). Edges are:
+//!
+//! * **create** — the allocating context created the object;
+//! * **reference** — the source may hold a reference to the target. References start at
+//!   creators and are propagated against the CRG's export/import relations until a
+//!   fixed point is reached (Spiegel-style propagation over object triples);
+//! * **use** — the source actually operates on the target (calls methods / accesses
+//!   fields). Only use edges matter for partitioning: a cross-partition use edge means
+//!   communication will be generated.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use autodist_ir::program::{ClassId, Program};
+
+use crate::crg::{ClassPart, ClassRelationGraph, CrgEdgeKind, CrgNode};
+use crate::objects::{AllocSiteId, Multiplicity, ObjectSet};
+use crate::weights::{ResourceVector, WeightModel};
+
+/// Identifier of a node in the ODG (index into [`ObjectDependenceGraph::nodes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OdgNodeId(pub u32);
+
+/// A node of the object dependence graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OdgNode {
+    /// A runtime object approximated by its allocation site.
+    Object {
+        /// The allocation site.
+        site: AllocSiteId,
+        /// Class of the object.
+        class: ClassId,
+        /// Single or summary instance.
+        multiplicity: Multiplicity,
+    },
+    /// The static context of a class (e.g. the class holding `main`).
+    StaticRoot {
+        /// The class whose static part this node stands for.
+        class: ClassId,
+    },
+}
+
+impl OdgNode {
+    /// The class of this node.
+    pub fn class(&self) -> ClassId {
+        match self {
+            OdgNode::Object { class, .. } => *class,
+            OdgNode::StaticRoot { class } => *class,
+        }
+    }
+
+    /// The CRG part this node corresponds to.
+    pub fn part(&self) -> ClassPart {
+        match self {
+            OdgNode::Object { .. } => ClassPart::Dynamic,
+            OdgNode::StaticRoot { .. } => ClassPart::Static,
+        }
+    }
+}
+
+/// Edge kinds of the ODG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OdgEdgeKind {
+    /// The source created the target.
+    Create,
+    /// The source may hold a reference to the target (intermediate relation).
+    Reference,
+    /// The source uses (calls / accesses) the target — drives communication.
+    Use,
+}
+
+/// An edge of the ODG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OdgEdge {
+    /// Source node.
+    pub from: OdgNodeId,
+    /// Target node.
+    pub to: OdgNodeId,
+    /// Relation kind.
+    pub kind: OdgEdgeKind,
+    /// Estimated communication volume in bytes if the endpoints are separated.
+    pub weight: u64,
+}
+
+/// The object dependence graph.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectDependenceGraph {
+    /// Nodes.
+    pub nodes: Vec<OdgNode>,
+    /// Edges (all kinds).
+    pub edges: Vec<OdgEdge>,
+    /// Per-node resource weight vectors (memory, CPU, battery).
+    pub node_weights: Vec<ResourceVector>,
+    /// Human-readable node labels (`1 Account@Bank.initializeAccounts` style).
+    pub labels: Vec<String>,
+}
+
+impl ObjectDependenceGraph {
+    /// Number of nodes (the ODG `#N` column of Table 1).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges of every kind (the ODG `#E` column of Table 1).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges of one kind.
+    pub fn edges_of_kind(&self, kind: OdgEdgeKind) -> impl Iterator<Item = &OdgEdge> {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The node standing for an allocation site.
+    pub fn node_of_site(&self, site: AllocSiteId) -> Option<OdgNodeId> {
+        self.nodes.iter().position(|n| matches!(n, OdgNode::Object { site: s, .. } if *s == site))
+            .map(|i| OdgNodeId(i as u32))
+    }
+
+    /// The node standing for the static root of `class`.
+    pub fn static_root_of(&self, class: ClassId) -> Option<OdgNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, OdgNode::StaticRoot { class: c } if *c == class))
+            .map(|i| OdgNodeId(i as u32))
+    }
+
+    /// Returns `true` if a use edge connects the two nodes (either direction).
+    pub fn has_use_between(&self, a: OdgNodeId, b: OdgNodeId) -> bool {
+        self.edges.iter().any(|e| {
+            e.kind == OdgEdgeKind::Use
+                && ((e.from == a && e.to == b) || (e.from == b && e.to == a))
+        })
+    }
+
+    /// The undirected adjacency restricted to use edges, for handing to the partitioner.
+    /// Returns `(node_weights, edges)` where each edge is `(from, to, weight)`.
+    pub fn partition_input(&self) -> (Vec<ResourceVector>, Vec<(usize, usize, u64)>) {
+        let edges = self
+            .edges_of_kind(OdgEdgeKind::Use)
+            .map(|e| (e.from.0 as usize, e.to.0 as usize, e.weight.max(1)))
+            .collect();
+        (self.node_weights.clone(), edges)
+    }
+
+    fn add_edge(&mut self, from: OdgNodeId, to: OdgNodeId, kind: OdgEdgeKind, weight: u64) -> bool {
+        if from == to {
+            return false;
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.kind == kind)
+        {
+            return false;
+        }
+        self.edges.push(OdgEdge {
+            from,
+            to,
+            kind,
+            weight,
+        });
+        true
+    }
+}
+
+/// Builds the object dependence graph.
+///
+/// `crg` must have been built from the same call graph that produced `objects`.
+pub fn build_odg(
+    program: &Program,
+    crg: &ClassRelationGraph,
+    objects: &ObjectSet,
+    weights: &WeightModel,
+) -> ObjectDependenceGraph {
+    let mut odg = ObjectDependenceGraph::default();
+
+    // 1. Nodes: static roots for every class that allocates from static code, then one
+    //    node per allocation site.
+    let static_allocators: BTreeSet<ClassId> = objects
+        .sites
+        .iter()
+        .filter(|s| s.allocator_static)
+        .map(|s| s.allocator_class)
+        .collect();
+    let mut static_root_ids: BTreeMap<ClassId, OdgNodeId> = BTreeMap::new();
+    for class in &static_allocators {
+        let id = OdgNodeId(odg.nodes.len() as u32);
+        odg.nodes.push(OdgNode::StaticRoot { class: *class });
+        odg.labels
+            .push(format!("ST {}", program.class(*class).name));
+        static_root_ids.insert(*class, id);
+    }
+    let mut site_ids: BTreeMap<AllocSiteId, OdgNodeId> = BTreeMap::new();
+    for site in &objects.sites {
+        let id = OdgNodeId(odg.nodes.len() as u32);
+        odg.nodes.push(OdgNode::Object {
+            site: site.id,
+            class: site.class,
+            multiplicity: site.multiplicity,
+        });
+        let prefix = match site.multiplicity {
+            Multiplicity::Single => "1",
+            Multiplicity::Summary => "*",
+        };
+        let m = program.method(site.method);
+        odg.labels.push(format!(
+            "{prefix} {} @{}.{}:{}",
+            program.class(site.class).name,
+            program.class(m.class).name,
+            m.name,
+            site.pc
+        ));
+        site_ids.insert(site.id, id);
+    }
+
+    // 2. Create + initial reference edges: allocator context -> allocated object.
+    for site in &objects.sites {
+        let target = site_ids[&site.id];
+        let creators: Vec<OdgNodeId> = if site.allocator_static {
+            static_root_ids
+                .get(&site.allocator_class)
+                .copied()
+                .into_iter()
+                .collect()
+        } else {
+            // Every object of the allocating class may be the creator.
+            objects
+                .sites
+                .iter()
+                .filter(|s| program.is_subclass_of(s.class, site.allocator_class))
+                .map(|s| site_ids[&s.id])
+                .collect()
+        };
+        for c in creators {
+            odg.add_edge(c, target, OdgEdgeKind::Create, 1);
+            odg.add_edge(c, target, OdgEdgeKind::Reference, 1);
+        }
+    }
+
+    // 3. Reference propagation against the CRG export/import relations, to fixpoint.
+    let class_of = |odg: &ObjectDependenceGraph, n: OdgNodeId| odg.nodes[n.0 as usize].class();
+    let part_of = |odg: &ObjectDependenceGraph, n: OdgNodeId| odg.nodes[n.0 as usize].part();
+    loop {
+        let mut changed = false;
+        let refs: Vec<(OdgNodeId, OdgNodeId)> = odg
+            .edges_of_kind(OdgEdgeKind::Reference)
+            .map(|e| (e.from, e.to))
+            .collect();
+        // Export rule: a references b, a references c, and class(a) exports T to
+        // class(b) with class(c) <= T   =>   b references c.
+        for &(a, b) in &refs {
+            for &(a2, c) in &refs {
+                if a2 != a || b == c {
+                    continue;
+                }
+                let from_node = CrgNode {
+                    class: class_of(&odg, a),
+                    part: part_of(&odg, a),
+                };
+                let to_class = class_of(&odg, b);
+                let carried: Vec<ClassId> = crg
+                    .edges
+                    .iter()
+                    .filter(|e| {
+                        e.kind == CrgEdgeKind::Export
+                            && e.from == from_node
+                            && e.to.class == to_class
+                    })
+                    .filter_map(|e| e.carried)
+                    .collect();
+                let c_class = class_of(&odg, c);
+                for t in carried {
+                    if program.is_subclass_of(c_class, t)
+                        && odg.add_edge(b, c, OdgEdgeKind::Reference, 1)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Import rule: a references b, class(a) imports T from class(b), b references c
+        // with class(c) <= T   =>   a references c.
+        let refs: Vec<(OdgNodeId, OdgNodeId)> = odg
+            .edges_of_kind(OdgEdgeKind::Reference)
+            .map(|e| (e.from, e.to))
+            .collect();
+        for &(a, b) in &refs {
+            let imports: Vec<ClassId> = crg
+                .edges
+                .iter()
+                .filter(|e| {
+                    e.kind == CrgEdgeKind::Import
+                        && e.from
+                            == CrgNode {
+                                class: class_of(&odg, a),
+                                part: part_of(&odg, a),
+                            }
+                        && e.to.class == class_of(&odg, b)
+                })
+                .filter_map(|e| e.carried)
+                .collect();
+            if imports.is_empty() {
+                continue;
+            }
+            for &(b2, c) in &refs {
+                if b2 != b || c == a {
+                    continue;
+                }
+                for &t in &imports {
+                    if program.is_subclass_of(class_of(&odg, c), t)
+                        && odg.add_edge(a, c, OdgEdgeKind::Reference, 1)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 4. Use edges: a referenced object whose class is used by the referrer's class.
+    let refs: Vec<(OdgNodeId, OdgNodeId)> = odg
+        .edges_of_kind(OdgEdgeKind::Reference)
+        .map(|e| (e.from, e.to))
+        .collect();
+    for (a, b) in refs {
+        let ca = odg.nodes[a.0 as usize].class();
+        let cb = odg.nodes[b.0 as usize].class();
+        let w = crg.use_weight_between(ca, cb);
+        if w > 0 {
+            let bytes = weights.communication_bytes(program, ca, cb, w);
+            odg.add_edge(a, b, OdgEdgeKind::Use, bytes);
+        }
+    }
+
+    // 5. Node weights.
+    odg.node_weights = odg
+        .nodes
+        .iter()
+        .map(|n| weights.node_weight(program, n))
+        .collect();
+
+    odg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crg::build_crg;
+    use crate::objects::collect_objects;
+    use crate::rta::rapid_type_analysis;
+    use autodist_ir::frontend::compile_source;
+
+    const BANK_SRC: &str = r#"
+        class Account {
+            int id;
+            int savings;
+            Account(int id, int savings) { this.id = id; this.savings = savings; }
+            int getSavings() { return this.savings; }
+            void setBalance(int b) { this.savings = b; }
+        }
+        class Bank {
+            Account[] accounts;
+            int count;
+            int numCustomers;
+            Bank(int n) {
+                this.accounts = new Account[100];
+                this.numCustomers = n;
+                this.count = 0;
+                this.initializeAccounts(1000);
+            }
+            void initializeAccounts(int initialBalance) {
+                int i = 0;
+                while (i < this.numCustomers) {
+                    Account a = new Account(i, initialBalance);
+                    this.openAccount(a);
+                    i = i + 1;
+                }
+            }
+            void openAccount(Account a) {
+                this.accounts[this.count] = a;
+                this.count = this.count + 1;
+            }
+            Account getCustomer(int id) { return this.accounts[id]; }
+        }
+        class Main {
+            static void main() {
+                Bank merchants = new Bank(10);
+                Account a4 = new Account(1, 1000000);
+                Account a5 = new Account(2, 5000000);
+                merchants.openAccount(a4);
+                merchants.openAccount(a5);
+                Account a = merchants.getCustomer(2);
+                Main.withdrawHelper(a);
+            }
+            static void withdrawHelper(Account a) {
+                a.setBalance(a.getSavings() - 900);
+            }
+        }
+    "#;
+
+    fn bank_odg() -> (autodist_ir::Program, ObjectDependenceGraph) {
+        let p = compile_source(BANK_SRC).unwrap();
+        let cg = rapid_type_analysis(&p);
+        let crg = build_crg(&p, &cg);
+        let objects = collect_objects(&p, &cg);
+        let odg = build_odg(&p, &crg, &objects, &WeightModel::default());
+        (p, odg)
+    }
+
+    #[test]
+    fn nodes_include_static_root_and_all_sites() {
+        let (p, odg) = bank_odg();
+        let main = p.class_by_name("Main").unwrap();
+        assert!(odg.static_root_of(main).is_some());
+        // Sites: Bank, Account a4, Account a5 in main; Account in initializeAccounts.
+        let account = p.class_by_name("Account").unwrap();
+        let account_nodes = odg
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, OdgNode::Object { class, .. } if *class == account))
+            .count();
+        assert_eq!(account_nodes, 3);
+        assert_eq!(odg.node_count(), odg.labels.len());
+        assert_eq!(odg.node_count(), odg.node_weights.len());
+    }
+
+    #[test]
+    fn create_edges_follow_allocating_context() {
+        let (p, odg) = bank_odg();
+        let main = p.class_by_name("Main").unwrap();
+        let bank = p.class_by_name("Bank").unwrap();
+        let root = odg.static_root_of(main).unwrap();
+        // Main's static root creates the Bank object.
+        let bank_node = odg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, OdgNode::Object { class, .. } if *class == bank))
+            .map(|i| OdgNodeId(i as u32))
+            .unwrap();
+        assert!(odg
+            .edges_of_kind(OdgEdgeKind::Create)
+            .any(|e| e.from == root && e.to == bank_node));
+        // The Bank object creates the summary Account allocated in its loop.
+        let summary_account = odg
+            .nodes
+            .iter()
+            .position(|n| {
+                matches!(n, OdgNode::Object { multiplicity: Multiplicity::Summary, .. })
+            })
+            .map(|i| OdgNodeId(i as u32))
+            .expect("summary account exists");
+        assert!(odg
+            .edges_of_kind(OdgEdgeKind::Create)
+            .any(|e| e.from == bank_node && e.to == summary_account));
+    }
+
+    #[test]
+    fn export_propagation_adds_bank_to_account_reference() {
+        let (p, odg) = bank_odg();
+        let bank = p.class_by_name("Bank").unwrap();
+        let account = p.class_by_name("Account").unwrap();
+        let bank_node = odg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, OdgNode::Object { class, .. } if *class == bank))
+            .map(|i| OdgNodeId(i as u32))
+            .unwrap();
+        // main creates a4/a5 and exports them to the Bank via openAccount; after
+        // propagation the Bank must reference Account objects created in main.
+        let main_created_accounts: Vec<OdgNodeId> = odg
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                matches!(n, OdgNode::Object { class, multiplicity: Multiplicity::Single, .. } if *class == account)
+            })
+            .map(|(i, _)| OdgNodeId(i as u32))
+            .collect();
+        assert!(!main_created_accounts.is_empty());
+        let bank_refs_one = main_created_accounts.iter().any(|&a| {
+            odg.edges_of_kind(OdgEdgeKind::Reference)
+                .any(|e| e.from == bank_node && e.to == a)
+        });
+        assert!(bank_refs_one, "export propagation reached the Bank object");
+    }
+
+    #[test]
+    fn use_edges_exist_and_only_between_related_classes() {
+        let (p, odg) = bank_odg();
+        assert!(odg.edges_of_kind(OdgEdgeKind::Use).count() > 0);
+        for e in odg.edges_of_kind(OdgEdgeKind::Use) {
+            let ca = odg.nodes[e.from.0 as usize].class();
+            let cb = odg.nodes[e.to.0 as usize].class();
+            assert_ne!(ca, cb, "self-class uses are not cross-partition candidates");
+            assert!(e.weight > 0);
+        }
+        let _ = p;
+    }
+
+    #[test]
+    fn partition_input_matches_use_edges() {
+        let (_p, odg) = bank_odg();
+        let (weights, edges) = odg.partition_input();
+        assert_eq!(weights.len(), odg.node_count());
+        assert_eq!(edges.len(), odg.edges_of_kind(OdgEdgeKind::Use).count());
+        for (a, b, w) in edges {
+            assert!(a < odg.node_count() && b < odg.node_count());
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn labels_use_paper_prefixes() {
+        let (_p, odg) = bank_odg();
+        assert!(odg.labels.iter().any(|l| l.starts_with("1 ")));
+        assert!(odg.labels.iter().any(|l| l.starts_with("* ")));
+        assert!(odg.labels.iter().any(|l| l.starts_with("ST ")));
+    }
+}

@@ -1,0 +1,270 @@
+//! Resource weight models.
+//!
+//! The paper models each ODG node with a weight *vector* — memory, CPU and battery
+//! usage — and each edge with the amount of data that would have to be transferred if
+//! the endpoints lived in different address spaces. The default static approximation
+//! gives all objects equal weights; the `StaticHeuristic` model implements the paper's
+//! suggested refinement ("objects created inside loops can be considered heavier"); the
+//! `ProfileGuided` model consumes measurements from the profiler crate.
+
+use std::collections::BTreeMap;
+
+use autodist_ir::program::{ClassId, Program};
+
+use crate::odg::OdgNode;
+
+/// A (memory, CPU, battery) weight vector, the multi-constraint node weight used by the
+/// partitioner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceVector {
+    /// Estimated resident bytes attributable to the node.
+    pub memory: u64,
+    /// Estimated abstract CPU cost (instruction count).
+    pub cpu: u64,
+    /// Estimated battery cost (we model it as proportional to CPU + communication).
+    pub battery: u64,
+}
+
+impl ResourceVector {
+    /// A uniform unit vector.
+    pub fn unit() -> Self {
+        ResourceVector {
+            memory: 1,
+            cpu: 1,
+            battery: 1,
+        }
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            memory: self.memory + other.memory,
+            cpu: self.cpu + other.cpu,
+            battery: self.battery + other.battery,
+        }
+    }
+
+    /// The vector as a fixed-order slice `[memory, cpu, battery]`.
+    pub fn as_array(&self) -> [u64; 3] {
+        [self.memory, self.cpu, self.battery]
+    }
+}
+
+/// Profile data fed back from the runtime profiler (Section 6) for profile-guided
+/// weighting — one of the paper's planned refinements over the static approximation.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Bytes allocated per class.
+    pub alloc_bytes: BTreeMap<ClassId, u64>,
+    /// Invocation counts per class (all methods of the class combined).
+    pub invocation_counts: BTreeMap<ClassId, u64>,
+}
+
+/// The resource model used to weight ODG nodes and edges.
+#[derive(Clone, Debug, Default)]
+pub enum WeightModel {
+    /// All objects weigh the same; edge weight is the relation count.
+    #[default]
+    Uniform,
+    /// Static approximation: memory from declared field sizes, CPU from method body
+    /// sizes, summary (loop-allocated) objects multiplied by `loop_factor`.
+    StaticHeuristic {
+        /// Multiplier applied to summary allocation sites.
+        loop_factor: u64,
+    },
+    /// Weights taken from a previous profiled run.
+    ProfileGuided(ProfileData),
+}
+
+impl WeightModel {
+    /// A reasonable default for the static heuristic (summary sites weigh 10x).
+    pub fn static_heuristic() -> Self {
+        WeightModel::StaticHeuristic { loop_factor: 10 }
+    }
+
+    /// The weight vector for an ODG node.
+    pub fn node_weight(&self, program: &Program, node: &OdgNode) -> ResourceVector {
+        match self {
+            WeightModel::Uniform => ResourceVector::unit(),
+            WeightModel::StaticHeuristic { loop_factor } => {
+                let class = node.class();
+                let mem = program.class(class).instance_size_bytes();
+                let cpu: u64 = program
+                    .class(class)
+                    .methods
+                    .iter()
+                    .map(|&m| program.method(m).body.len() as u64)
+                    .sum::<u64>()
+                    .max(1);
+                let factor = match node {
+                    OdgNode::Object {
+                        multiplicity: crate::objects::Multiplicity::Summary,
+                        ..
+                    } => *loop_factor,
+                    _ => 1,
+                };
+                ResourceVector {
+                    memory: mem * factor,
+                    cpu: cpu * factor,
+                    battery: (cpu * factor).div_ceil(2),
+                }
+            }
+            WeightModel::ProfileGuided(data) => {
+                let class = node.class();
+                let mem = data
+                    .alloc_bytes
+                    .get(&class)
+                    .copied()
+                    .unwrap_or_else(|| program.class(class).instance_size_bytes());
+                let cpu = data.invocation_counts.get(&class).copied().unwrap_or(1).max(1);
+                ResourceVector {
+                    memory: mem.max(1),
+                    cpu,
+                    battery: cpu.div_ceil(2).max(1),
+                }
+            }
+        }
+    }
+
+    /// The number of bytes estimated to cross the network per unit of time if objects
+    /// of `a` and `b` end up in different partitions, given the accumulated CRG use
+    /// weight between the classes.
+    pub fn communication_bytes(
+        &self,
+        program: &Program,
+        a: ClassId,
+        b: ClassId,
+        use_weight: u64,
+    ) -> u64 {
+        match self {
+            WeightModel::Uniform => use_weight.max(1),
+            _ => {
+                // Dependence data = fields, arguments, results; approximate with the
+                // average field size of the two classes plus a fixed message header.
+                let avg = (program.class(a).instance_size_bytes()
+                    + program.class(b).instance_size_bytes())
+                    / 2;
+                use_weight.max(1) * (16 + avg.min(256))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{AllocSiteId, Multiplicity};
+    use autodist_ir::program::Type;
+
+    fn tiny_program() -> (Program, ClassId, ClassId) {
+        let mut p = Program::new();
+        let small = p.add_class("Small", None);
+        p.add_field(small, "x", Type::Int, false);
+        let big = p.add_class("Big", None);
+        for i in 0..10 {
+            p.add_field(big, &format!("f{i}"), Type::Int, false);
+        }
+        (p, small, big)
+    }
+
+    #[test]
+    fn uniform_weights_are_unit() {
+        let (p, small, _big) = tiny_program();
+        let m = WeightModel::Uniform;
+        let n = OdgNode::Object {
+            site: AllocSiteId(0),
+            class: small,
+            multiplicity: Multiplicity::Single,
+        };
+        assert_eq!(m.node_weight(&p, &n), ResourceVector::unit());
+        assert_eq!(m.communication_bytes(&p, small, small, 3), 3);
+    }
+
+    #[test]
+    fn static_heuristic_weights_scale_with_class_size_and_loops() {
+        let (p, small, big) = tiny_program();
+        let m = WeightModel::static_heuristic();
+        let small_single = OdgNode::Object {
+            site: AllocSiteId(0),
+            class: small,
+            multiplicity: Multiplicity::Single,
+        };
+        let big_single = OdgNode::Object {
+            site: AllocSiteId(1),
+            class: big,
+            multiplicity: Multiplicity::Single,
+        };
+        let small_summary = OdgNode::Object {
+            site: AllocSiteId(2),
+            class: small,
+            multiplicity: Multiplicity::Summary,
+        };
+        let ws = m.node_weight(&p, &small_single);
+        let wb = m.node_weight(&p, &big_single);
+        let wsum = m.node_weight(&p, &small_summary);
+        assert!(wb.memory > ws.memory, "bigger class has more memory weight");
+        assert!(wsum.memory > ws.memory, "summary sites are heavier");
+        assert_eq!(wsum.memory, ws.memory * 10);
+    }
+
+    #[test]
+    fn profile_guided_uses_measurements_when_available() {
+        let (p, small, big) = tiny_program();
+        let mut data = ProfileData::default();
+        data.alloc_bytes.insert(small, 4096);
+        data.invocation_counts.insert(small, 500);
+        let m = WeightModel::ProfileGuided(data);
+        let n_small = OdgNode::Object {
+            site: AllocSiteId(0),
+            class: small,
+            multiplicity: Multiplicity::Single,
+        };
+        let n_big = OdgNode::Object {
+            site: AllocSiteId(1),
+            class: big,
+            multiplicity: Multiplicity::Single,
+        };
+        let ws = m.node_weight(&p, &n_small);
+        let wb = m.node_weight(&p, &n_big);
+        assert_eq!(ws.memory, 4096);
+        assert_eq!(ws.cpu, 500);
+        // Big falls back to the static estimate.
+        assert_eq!(wb.memory, p.class(big).instance_size_bytes());
+    }
+
+    #[test]
+    fn resource_vector_arithmetic() {
+        let a = ResourceVector {
+            memory: 1,
+            cpu: 2,
+            battery: 3,
+        };
+        let b = ResourceVector {
+            memory: 10,
+            cpu: 20,
+            battery: 30,
+        };
+        assert_eq!(
+            a.add(&b),
+            ResourceVector {
+                memory: 11,
+                cpu: 22,
+                battery: 33
+            }
+        );
+        assert_eq!(a.as_array(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn communication_bytes_never_zero() {
+        let (p, small, big) = tiny_program();
+        for m in [
+            WeightModel::Uniform,
+            WeightModel::static_heuristic(),
+            WeightModel::ProfileGuided(ProfileData::default()),
+        ] {
+            assert!(m.communication_bytes(&p, small, big, 0) >= 1);
+            assert!(m.communication_bytes(&p, small, big, 5) > 0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion benchmark: the dependence-analysis phases (RTA + CRG, ODG construction)
+//! that dominate Table 2's "construct" column.
+
+use autodist_analysis::crg::build_crg;
+use autodist_analysis::objects::collect_objects;
+use autodist_analysis::odg::build_odg;
+use autodist_analysis::rta::rapid_type_analysis;
+use autodist_analysis::weights::WeightModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    for w in autodist_workloads::table1_workloads(1) {
+        group.bench_with_input(BenchmarkId::new("crg", &w.name), &w, |b, w| {
+            b.iter(|| {
+                let cg = rapid_type_analysis(&w.program);
+                build_crg(&w.program, &cg)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("odg", &w.name), &w, |b, w| {
+            let cg = rapid_type_analysis(&w.program);
+            let crg = build_crg(&w.program, &cg);
+            let objects = collect_objects(&w.program, &cg);
+            b.iter(|| build_odg(&w.program, &crg, &objects, &WeightModel::Uniform))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmark: multilevel vs naive partitioning of ODG-shaped graphs
+//! (the ablation DESIGN.md calls out — the paper used naive partitioning and defers
+//! smarter partitioning to future work).
+
+use autodist_partition::{partition, GraphBuilder, Method, PartitionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A clustered graph shaped like a large ODG: `clusters` dense groups of `size`
+/// objects with sparse inter-cluster use edges.
+fn clustered_graph(clusters: usize, size: usize) -> autodist_partition::Graph {
+    let n = clusters * size;
+    let mut b = GraphBuilder::new(n, 3);
+    for v in 0..n {
+        b.set_weight(v, &[16, 4, 2]);
+    }
+    for c in 0..clusters {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size.min(i + 4) {
+                b.add_edge(base + i, base + j, 8);
+            }
+        }
+        // light bridge to the next cluster
+        b.add_edge(base, ((c + 1) % clusters) * size, 1);
+    }
+    b.build()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(20);
+    for &n in &[8usize, 32, 64] {
+        let g = clustered_graph(n, 16);
+        group.bench_with_input(BenchmarkId::new("multilevel", n * 16), &g, |b, g| {
+            b.iter(|| partition(g, &PartitionConfig::kway(4)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n * 16), &g, |b, g| {
+            b.iter(|| {
+                partition(
+                    g,
+                    &PartitionConfig {
+                        nparts: 4,
+                        method: Method::RoundRobin,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark: communication generation (bytecode rewriting, Table 2's
+//! "rewrite" column) and BURS code generation for both targets.
+
+use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement};
+use autodist_codegen::{generate_method, Target};
+use autodist_ir::lower::lower_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+
+fn two_way_placement(p: &autodist_ir::Program) -> ClassPlacement {
+    let mut home = BTreeMap::new();
+    for (i, class) in p.classes.iter().enumerate() {
+        home.insert(class.id, i % 2);
+    }
+    if let Some(entry) = p.entry {
+        home.insert(p.method(entry).class, 0);
+    }
+    ClassPlacement { home, nparts: 2 }
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(20);
+    for w in autodist_workloads::table1_workloads(1) {
+        let placement = two_way_placement(&w.program);
+        group.bench_with_input(BenchmarkId::new("rewrite_node0", &w.name), &w, |b, w| {
+            b.iter(|| rewrite_for_node(&w.program, &placement, 0))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(20);
+    let w = autodist_workloads::crypt(100);
+    let quads = lower_program(&w.program).unwrap();
+    group.bench_function("burs_x86", |b| {
+        b.iter(|| {
+            quads
+                .iter()
+                .map(|qm| generate_method(&w.program, qm, Target::X86).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("burs_strongarm", |b| {
+        b.iter(|| {
+            quads
+                .iter()
+                .map(|qm| generate_method(&w.program, qm, Target::StrongArm).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark: interpreter throughput, message-exchange round trips and the
+//! end-to-end centralized vs distributed execution of the Bank example.
+
+use autodist::{Distributor, DistributorConfig};
+use autodist_runtime::cluster::{run_centralized, run_distributed, ClusterConfig};
+use autodist_runtime::wire::{Request, WireValue};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(15);
+
+    let crypt = autodist_workloads::crypt(400);
+    group.bench_function("interpreter_crypt", |b| {
+        b.iter(|| run_centralized(&crypt.program, 1.0))
+    });
+
+    group.bench_function("wire_encode_decode", |b| {
+        let req = Request::Dependence {
+            target: 7,
+            kind: autodist_runtime::wire::AccessKind::InvokeRet,
+            member: "getSavings".into(),
+            args: vec![WireValue::Int(1), WireValue::Str("x".into())],
+        };
+        b.iter(|| Request::decode(req.encode()))
+    });
+
+    let bank = autodist_workloads::bank(20);
+    let plan = Distributor::new(DistributorConfig::default()).distribute(&bank.program);
+    let programs = plan.programs();
+    group.bench_function("distributed_bank", |b| {
+        b.iter(|| run_distributed(&programs, &ClusterConfig::paper_testbed()))
+    });
+    group.bench_function("centralized_bank", |b| {
+        b.iter(|| run_centralized(&bank.program, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

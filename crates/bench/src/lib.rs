@@ -1,0 +1,113 @@
+//! # autodist-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's evaluation
+//! (Section 7) plus criterion micro-benchmarks for the individual pipeline phases.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1`    | Table 1 — benchmark sizes, CRG/ODG sizes and edge cuts |
+//! | `table2`    | Table 2 — execution-time breakdown of the distribution transformation |
+//! | `table3`    | Table 3 — profiler overhead per metric |
+//! | `figure3_4` | Figures 3 & 4 — CRG and ODG of the Bank example (VCG + DOT files) |
+//! | `figure5_7` | Figures 5–7 — quads, AST and x86/StrongARM code for `Example.ex` |
+//! | `figure8_9` | Figures 8 & 9 — bytecode transformations for remote calls and `new` |
+//! | `figure11`  | Figure 11 — centralized vs distributed execution speedup |
+//!
+//! Run any of them with `cargo run -p autodist-bench --bin <name> [-- scale]`.
+
+use autodist::{Distributor, DistributorConfig, Table1Row};
+use autodist_runtime::cluster::ClusterConfig;
+use autodist_workloads::Workload;
+
+/// One row of the Figure 11 experiment.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Sequential execution time on the slow node, virtual microseconds.
+    pub centralized_us: f64,
+    /// Distributed execution time, virtual microseconds.
+    pub distributed_us: f64,
+    /// Messages exchanged by the distributed run.
+    pub messages: u64,
+    /// Bytes exchanged by the distributed run.
+    pub bytes: u64,
+    /// `true` if the distributed run produced the same `Main.checksum` as the baseline.
+    pub checksum_matches: bool,
+}
+
+impl SpeedupRow {
+    /// The speedup percentage the paper plots (100 % = parity, >100 % = faster).
+    pub fn speedup_pct(&self) -> f64 {
+        if self.distributed_us <= 0.0 {
+            0.0
+        } else {
+            self.centralized_us / self.distributed_us * 100.0
+        }
+    }
+}
+
+/// Runs the Figure 11 experiment for one workload: centralized baseline on the slow
+/// node vs automatic distribution over the paper's two-node testbed.
+pub fn measure_speedup(workload: &Workload, config: &DistributorConfig) -> SpeedupRow {
+    let distributor = Distributor::new(config.clone());
+    let baseline = distributor.run_baseline(&workload.program);
+    let plan = distributor.distribute(&workload.program);
+    let report = plan.execute(&ClusterConfig::paper_testbed());
+    let checksum_matches = report.is_ok()
+        && baseline.is_ok()
+        && report.final_statics.get("Main::checksum")
+            == baseline.final_statics.get("Main::checksum");
+    SpeedupRow {
+        benchmark: workload.name.clone(),
+        centralized_us: baseline.virtual_time_us,
+        distributed_us: report.virtual_time_us,
+        messages: report.total_messages(),
+        bytes: report.total_bytes(),
+        checksum_matches,
+    }
+}
+
+/// Builds the Table 1 row for one workload.
+pub fn table1_row(workload: &Workload, config: &DistributorConfig) -> Table1Row {
+    let distributor = Distributor::new(config.clone());
+    let plan = distributor.distribute(&workload.program);
+    Table1Row::build(
+        &workload.name,
+        &workload.program,
+        &plan.analysis,
+        &plan.partitioning,
+        &plan.placement,
+    )
+}
+
+/// Parses the optional `scale` argument used by the table/figure binaries.
+pub fn scale_from_args() -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_row_for_bank_is_consistent() {
+        let w = autodist_workloads::bank(10);
+        let row = measure_speedup(&w, &DistributorConfig::default());
+        assert!(row.checksum_matches);
+        assert!(row.centralized_us > 0.0);
+        assert!(row.distributed_us > 0.0);
+        assert!(row.speedup_pct() > 0.0);
+    }
+
+    #[test]
+    fn table1_row_matches_workload_name() {
+        let w = autodist_workloads::crypt(100);
+        let row = table1_row(&w, &DistributorConfig::default());
+        assert_eq!(row.benchmark, "crypt");
+        assert!(row.crg.nodes > 0 && row.odg.nodes > 0);
+    }
+}

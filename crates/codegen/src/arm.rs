@@ -1,0 +1,507 @@
+//! StrongARM-flavoured BURS rule table (Figure 7, right column).
+//!
+//! The ARM target demonstrates the retargetability of the BURS back-end: the same AST
+//! reduces to three-operand RISC instructions (`add R1, R1, #4`), immediates carry the
+//! `#` prefix, conditional branches use `b<cc>`, and returns are `mov PC, R14`.
+
+use crate::ast::TreeOp;
+use crate::burs::{Burs, EmitCtx, Nonterminal, Rule};
+use autodist_ir::quad::Reg;
+
+/// Maps a virtual register onto an ARM register name.
+pub fn arm_reg_name(r: Reg) -> String {
+    format!("R{}", r.0.min(12))
+}
+
+fn dst_name(n: &crate::ast::TreeNode, ctx: &mut EmitCtx) -> String {
+    match n.dst {
+        Some(r) => ctx.reg_name(r, arm_reg_name),
+        None => ctx.result_reg.clone(),
+    }
+}
+
+fn bin_mnemonic(m: &str) -> &'static str {
+    match m {
+        "ADD" => "add",
+        "SUB" => "sub",
+        "MUL" => "mul",
+        "DIV" => "sdiv",
+        "REM" => "srem",
+        "AND" => "and",
+        "OR" => "orr",
+        "XOR" => "eor",
+        "SHL" => "lsl",
+        "SHR" => "asr",
+        _ => "op",
+    }
+}
+
+fn cond_branch(m: &str) -> &'static str {
+    match m {
+        "EQ" => "beq",
+        "NE" => "bne",
+        "LT" => "blt",
+        "LE" => "ble",
+        "GT" => "bgt",
+        "GE" => "bge",
+        _ => "b",
+    }
+}
+
+/// Builds the StrongARM rule table.
+pub fn arm_rules() -> Burs {
+    let rules = vec![
+        Rule {
+            name: "arm.reg",
+            produces: Nonterminal::Reg,
+            matches: Box::new(|op| matches!(op, TreeOp::RegLeaf(_))),
+            child_nts: vec![],
+            variadic: false,
+            cost: 0,
+            emit: Box::new(|n, _, ctx| {
+                let r = match n.op {
+                    TreeOp::RegLeaf(r) => r,
+                    _ => unreachable!(),
+                };
+                (vec![], ctx.reg_name(r, arm_reg_name))
+            }),
+        },
+        Rule {
+            name: "arm.imm",
+            produces: Nonterminal::Imm,
+            matches: Box::new(|op| {
+                matches!(
+                    op,
+                    TreeOp::IConstLeaf(_) | TreeOp::SConstLeaf(_) | TreeOp::NullLeaf | TreeOp::FConstLeaf(_)
+                )
+            }),
+            child_nts: vec![],
+            variadic: false,
+            cost: 0,
+            emit: Box::new(|n, _, _| {
+                let text = match &n.op {
+                    TreeOp::IConstLeaf(v) => format!("#{v}"),
+                    TreeOp::FConstLeaf(v) => format!("#{v}"),
+                    TreeOp::SConstLeaf(s) => format!("=str_{}", s.len()),
+                    TreeOp::NullLeaf => "#0".to_string(),
+                    _ => unreachable!(),
+                };
+                (vec![], text)
+            }),
+        },
+        Rule {
+            name: "arm.move",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Move)),
+            child_nts: vec![Nonterminal::Imm],
+            variadic: false,
+            cost: 1,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                (vec![format!("mov {dst}, {}", ops[0])], String::new())
+            }),
+        },
+        Rule {
+            name: "arm.move_r",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Move)),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: false,
+            cost: 1,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                if dst == ops[0] {
+                    (vec![], String::new())
+                } else {
+                    (vec![format!("mov {dst}, {}", ops[0])], String::new())
+                }
+            }),
+        },
+        // Three-operand ALU: add Rd, Rn, Op2 (the second operand may be an immediate,
+        // which is what makes the ARM encoding cheaper than two-instruction x86 here).
+        Rule {
+            name: "arm.bin_ri",
+            produces: Nonterminal::Reg,
+            matches: Box::new(|op| matches!(op, TreeOp::Bin(_))),
+            child_nts: vec![Nonterminal::Reg, Nonterminal::Imm],
+            variadic: false,
+            cost: 1,
+            emit: Box::new(|n, ops, ctx| {
+                let m = match n.op {
+                    TreeOp::Bin(m) => m,
+                    _ => unreachable!(),
+                };
+                let dst = dst_name(n, ctx);
+                (
+                    vec![format!("{} {dst}, {}, {}", bin_mnemonic(m), ops[0], ops[1])],
+                    dst,
+                )
+            }),
+        },
+        Rule {
+            name: "arm.bin_rr",
+            produces: Nonterminal::Reg,
+            matches: Box::new(|op| matches!(op, TreeOp::Bin(_))),
+            child_nts: vec![Nonterminal::Reg, Nonterminal::Reg],
+            variadic: false,
+            cost: 2,
+            emit: Box::new(|n, ops, ctx| {
+                let m = match n.op {
+                    TreeOp::Bin(m) => m,
+                    _ => unreachable!(),
+                };
+                let dst = dst_name(n, ctx);
+                (
+                    vec![format!("{} {dst}, {}, {}", bin_mnemonic(m), ops[0], ops[1])],
+                    dst,
+                )
+            }),
+        },
+        Rule {
+            name: "arm.bin_stmt",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Bin(_) | TreeOp::Un(_))),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 2,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                let line = match &n.op {
+                    TreeOp::Bin(m) => format!(
+                        "{} {dst}, {}, {}",
+                        bin_mnemonic(m),
+                        ops.first().cloned().unwrap_or_default(),
+                        ops.get(1).cloned().unwrap_or_default()
+                    ),
+                    TreeOp::Un(_) => format!("rsb {dst}, {}, #0", ops.first().cloned().unwrap_or_default()),
+                    _ => unreachable!(),
+                };
+                (vec![line], String::new())
+            }),
+        },
+        Rule {
+            name: "arm.un",
+            produces: Nonterminal::Reg,
+            matches: Box::new(|op| matches!(op, TreeOp::Un(_))),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: false,
+            cost: 1,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                (vec![format!("rsb {dst}, {}, #0", ops[0])], dst)
+            }),
+        },
+        Rule {
+            name: "arm.ifcmp",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::IfCmp { .. })),
+            child_nts: vec![Nonterminal::Imm],
+            variadic: true,
+            cost: 2,
+            emit: Box::new(|n, ops, _| {
+                let (cond, target) = match &n.op {
+                    TreeOp::IfCmp { cond, target } => (*cond, *target),
+                    _ => unreachable!(),
+                };
+                (
+                    vec![
+                        format!("cmp {}, {}", ops[0], ops[1]),
+                        format!("{} BB{}", cond_branch(cond), target.0),
+                    ],
+                    String::new(),
+                )
+            }),
+        },
+        // Mixed-operand compare: the first operand must be a register on ARM.
+        Rule {
+            name: "arm.ifcmp_r",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::IfCmp { .. })),
+            child_nts: vec![Nonterminal::Reg, Nonterminal::Imm],
+            variadic: false,
+            cost: 2,
+            emit: Box::new(|n, ops, _| {
+                let (cond, target) = match &n.op {
+                    TreeOp::IfCmp { cond, target } => (*cond, *target),
+                    _ => unreachable!(),
+                };
+                (
+                    vec![
+                        format!("cmp {}, {}", ops[0], ops[1]),
+                        format!("{} BB{}", cond_branch(cond), target.0),
+                    ],
+                    String::new(),
+                )
+            }),
+        },
+        Rule {
+            name: "arm.ifcmp_rr",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::IfCmp { .. })),
+            child_nts: vec![Nonterminal::Reg, Nonterminal::Reg],
+            variadic: false,
+            cost: 3,
+            emit: Box::new(|n, ops, _| {
+                let (cond, target) = match &n.op {
+                    TreeOp::IfCmp { cond, target } => (*cond, *target),
+                    _ => unreachable!(),
+                };
+                (
+                    vec![
+                        format!("cmp {}, {}", ops[0], ops[1]),
+                        format!("{} BB{}", cond_branch(cond), target.0),
+                    ],
+                    String::new(),
+                )
+            }),
+        },
+        Rule {
+            name: "arm.goto",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Goto(_))),
+            child_nts: vec![],
+            variadic: false,
+            cost: 1,
+            emit: Box::new(|n, _, _| {
+                let t = match &n.op {
+                    TreeOp::Goto(t) => *t,
+                    _ => unreachable!(),
+                };
+                (vec![format!("b BB{}", t.0)], String::new())
+            }),
+        },
+        Rule {
+            name: "arm.ret",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Return)),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 1,
+            emit: Box::new(|_, ops, ctx| {
+                let mut lines = Vec::new();
+                if let Some(v) = ops.first() {
+                    if *v != ctx.result_reg {
+                        lines.push(format!("mov {}, {v}", ctx.result_reg));
+                    }
+                }
+                lines.push("mov PC, R14".to_string());
+                (lines, String::new())
+            }),
+        },
+        Rule {
+            name: "arm.call",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::Invoke(_))),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 3,
+            emit: Box::new(|n, ops, ctx| {
+                let name = match &n.op {
+                    TreeOp::Invoke(m) => m.clone(),
+                    _ => unreachable!(),
+                };
+                let mut lines = Vec::new();
+                for (i, a) in ops.iter().enumerate().take(4) {
+                    if *a != format!("R{i}") {
+                        lines.push(format!("mov R{i}, {a}"));
+                    }
+                }
+                lines.push(format!("bl {name}"));
+                if let Some(d) = n.dst {
+                    let dst = ctx.reg_name(d, arm_reg_name);
+                    if dst != "R0" {
+                        lines.push(format!("mov {dst}, R0"));
+                    }
+                }
+                (lines, String::new())
+            }),
+        },
+        Rule {
+            name: "arm.mem_read",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| {
+                matches!(op, TreeOp::GetField(_) | TreeOp::GetStatic(_) | TreeOp::ALoad | TreeOp::ALen)
+            }),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 2,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                let line = match &n.op {
+                    TreeOp::GetField(f) => {
+                        format!("ldr {dst}, [{}, #{f}]", ops.first().cloned().unwrap_or_default())
+                    }
+                    TreeOp::GetStatic(f) => format!("ldr {dst}, ={f}"),
+                    TreeOp::ALoad => format!(
+                        "ldr {dst}, [{}, {}, lsl #3]",
+                        ops.first().cloned().unwrap_or_default(),
+                        ops.get(1).cloned().unwrap_or_default()
+                    ),
+                    TreeOp::ALen => {
+                        format!("ldr {dst}, [{}, #-8]", ops.first().cloned().unwrap_or_default())
+                    }
+                    _ => unreachable!(),
+                };
+                (vec![line], String::new())
+            }),
+        },
+        Rule {
+            name: "arm.mem_write",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| {
+                matches!(op, TreeOp::PutField(_) | TreeOp::PutStatic(_) | TreeOp::AStore)
+            }),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 2,
+            emit: Box::new(|n, ops, _| {
+                let line = match &n.op {
+                    TreeOp::PutField(f) => format!(
+                        "str {}, [{}, #{f}]",
+                        ops.get(1).cloned().unwrap_or_default(),
+                        ops.first().cloned().unwrap_or_default()
+                    ),
+                    TreeOp::PutStatic(f) => {
+                        format!("str {}, ={f}", ops.first().cloned().unwrap_or_default())
+                    }
+                    TreeOp::AStore => format!(
+                        "str {}, [{}, {}, lsl #3]",
+                        ops.get(2).cloned().unwrap_or_default(),
+                        ops.first().cloned().unwrap_or_default(),
+                        ops.get(1).cloned().unwrap_or_default()
+                    ),
+                    _ => unreachable!(),
+                };
+                (vec![line], String::new())
+            }),
+        },
+        Rule {
+            name: "arm.new",
+            produces: Nonterminal::Stmt,
+            matches: Box::new(|op| matches!(op, TreeOp::New(_) | TreeOp::NewArray)),
+            child_nts: vec![Nonterminal::Reg],
+            variadic: true,
+            cost: 3,
+            emit: Box::new(|n, ops, ctx| {
+                let dst = dst_name(n, ctx);
+                let mut lines = Vec::new();
+                match &n.op {
+                    TreeOp::New(c) => lines.push(format!("bl rt_new_{c}")),
+                    TreeOp::NewArray => {
+                        if let Some(len) = ops.first() {
+                            lines.push(format!("mov R0, {len}"));
+                        }
+                        lines.push("bl rt_new_array".to_string());
+                    }
+                    _ => unreachable!(),
+                }
+                if dst != "R0" {
+                    lines.push(format!("mov {dst}, R0"));
+                }
+                (lines, String::new())
+            }),
+        },
+    ];
+    Burs {
+        rules,
+        imm_to_reg_cost: 1,
+        imm_to_reg: Box::new(|imm, ctx| {
+            let t = ctx.fresh_temp("R");
+            (vec![format!("mov {t}, {imm}")], t)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TreeNode;
+    use autodist_ir::quad::BlockId;
+
+    #[test]
+    fn move_constant_uses_immediate_syntax() {
+        let burs = arm_rules();
+        let tree = TreeNode {
+            op: TreeOp::Move,
+            dst: Some(Reg(1)),
+            children: vec![TreeNode {
+                op: TreeOp::IConstLeaf(4),
+                dst: None,
+                children: vec![],
+            }],
+        };
+        let mut ctx = EmitCtx::new("R0");
+        assert_eq!(burs.reduce(&tree, &mut ctx), vec!["mov R1, #4"]);
+    }
+
+    #[test]
+    fn compare_and_branch_matches_figure7() {
+        let burs = arm_rules();
+        let tree = TreeNode {
+            op: TreeOp::IfCmp {
+                cond: "LE",
+                target: BlockId(4),
+            },
+            dst: None,
+            children: vec![
+                TreeNode {
+                    op: TreeOp::IConstLeaf(4),
+                    dst: None,
+                    children: vec![],
+                },
+                TreeNode {
+                    op: TreeOp::IConstLeaf(2),
+                    dst: None,
+                    children: vec![],
+                },
+            ],
+        };
+        let mut ctx = EmitCtx::new("R0");
+        assert_eq!(burs.reduce(&tree, &mut ctx), vec!["cmp #4, #2", "ble BB4"]);
+    }
+
+    #[test]
+    fn three_operand_add_with_immediate_is_a_single_instruction() {
+        // Figure 7: `add R1, 4, 4` — one instruction where x86 needs mov + add.
+        let burs = arm_rules();
+        let tree = TreeNode {
+            op: TreeOp::Bin("ADD"),
+            dst: Some(Reg(1)),
+            children: vec![
+                TreeNode {
+                    op: TreeOp::RegLeaf(Reg(1)),
+                    dst: None,
+                    children: vec![],
+                },
+                TreeNode {
+                    op: TreeOp::IConstLeaf(1),
+                    dst: None,
+                    children: vec![],
+                },
+            ],
+        };
+        // Cost through the reg,imm rule should be lower than reg,reg + materialisation.
+        assert_eq!(burs.derivation_cost(&tree, Nonterminal::Reg), Some(1));
+        let x86 = crate::x86::x86_rules();
+        let arm_cost = burs.derivation_cost(&tree, Nonterminal::Reg).unwrap();
+        let x86_cost = x86.derivation_cost(&tree, Nonterminal::Reg).unwrap();
+        assert!(arm_cost <= x86_cost);
+    }
+
+    #[test]
+    fn return_restores_pc_from_link_register() {
+        let burs = arm_rules();
+        let tree = TreeNode {
+            op: TreeOp::Return,
+            dst: None,
+            children: vec![TreeNode {
+                op: TreeOp::RegLeaf(Reg(1)),
+                dst: None,
+                children: vec![],
+            }],
+        };
+        let mut ctx = EmitCtx::new("R0");
+        let lines = burs.reduce(&tree, &mut ctx);
+        assert_eq!(lines.last().unwrap(), "mov PC, R14");
+    }
+}

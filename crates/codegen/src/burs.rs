@@ -1,0 +1,428 @@
+//! A small bottom-up rewrite system (BURS) engine.
+//!
+//! This plays the role of JBurg in the paper: a code-generator generator. A target is a
+//! table of [`Rule`]s; each rule matches a tree operator, requires its children to be
+//! derivable as particular [`Nonterminal`]s, has a cost, and knows how to emit target
+//! code. Generation is two passes over each AST (exactly as the paper describes):
+//!
+//! 1. **Labelling** — dynamic programming bottom-up over the tree computing, for every
+//!    node and every nonterminal, the cheapest way to derive that nonterminal at that
+//!    node (including chain derivations such as "materialise an immediate in a
+//!    register").
+//! 2. **Reduction** — top-down walk that follows the recorded cheapest rules and emits
+//!    instructions.
+
+use std::collections::HashMap;
+
+use crate::ast::{TreeNode, TreeOp};
+use autodist_ir::quad::Reg;
+
+/// The grammar nonterminals of the code-generation grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Nonterminal {
+    /// A completed statement (no result value).
+    Stmt,
+    /// A value available in a register.
+    Reg,
+    /// A value available as an immediate operand.
+    Imm,
+}
+
+const NT_COUNT: usize = 3;
+
+fn nt_index(nt: Nonterminal) -> usize {
+    match nt {
+        Nonterminal::Stmt => 0,
+        Nonterminal::Reg => 1,
+        Nonterminal::Imm => 2,
+    }
+}
+
+/// Emission context shared across a method: allocates scratch registers and names
+/// virtual registers for the target.
+pub struct EmitCtx {
+    /// The register used to return values / accumulate results (e.g. `eax`).
+    pub result_reg: String,
+    /// Counter for temporaries.
+    next_temp: u32,
+    /// Virtual-register to target-register name cache.
+    reg_names: HashMap<Reg, String>,
+}
+
+impl EmitCtx {
+    /// Creates a context whose canonical result register is `result_reg`.
+    pub fn new(result_reg: &str) -> Self {
+        EmitCtx {
+            result_reg: result_reg.to_string(),
+            next_temp: 0,
+            reg_names: HashMap::new(),
+        }
+    }
+
+    /// Returns a fresh scratch register name with the given prefix.
+    pub fn fresh_temp(&mut self, prefix: &str) -> String {
+        let t = format!("{prefix}{}", self.next_temp + 8);
+        self.next_temp += 1;
+        t
+    }
+
+    /// Names a virtual register on this target, memoised so the same virtual register
+    /// always maps to the same name.
+    pub fn reg_name(&mut self, reg: Reg, namer: impl Fn(Reg) -> String) -> String {
+        self.reg_names
+            .entry(reg)
+            .or_insert_with(|| namer(reg))
+            .clone()
+    }
+}
+
+/// The emit callback: receives the node, the already-reduced child operand strings and
+/// the context; returns emitted lines plus the operand string holding this node's
+/// result (empty for statements).
+pub type EmitFn = Box<dyn Fn(&TreeNode, &[String], &mut EmitCtx) -> (Vec<String>, String)>;
+
+/// A single BURS rule.
+pub struct Rule {
+    /// Human-readable rule name (useful in tests and debugging).
+    pub name: &'static str,
+    /// The nonterminal this rule derives.
+    pub produces: Nonterminal,
+    /// Root pattern: does the node operator match?
+    pub matches: Box<dyn Fn(&TreeOp) -> bool>,
+    /// Required nonterminals of the children. If `variadic` is set, every child must
+    /// derive `child_nts[0]` regardless of arity.
+    pub child_nts: Vec<Nonterminal>,
+    /// Accept any number of children, all deriving `child_nts[0]`.
+    pub variadic: bool,
+    /// Rule cost (target instruction count / latency estimate).
+    pub cost: u32,
+    /// Code emitter.
+    pub emit: EmitFn,
+}
+
+/// A target: a rule table plus the chain rule that materialises an immediate into a
+/// register.
+pub struct Burs {
+    /// The rule table.
+    pub rules: Vec<Rule>,
+    /// Cost of the `reg <- imm` chain derivation.
+    pub imm_to_reg_cost: u32,
+    /// Emitter for the `reg <- imm` chain derivation.
+    pub imm_to_reg: Box<dyn Fn(&str, &mut EmitCtx) -> (Vec<String>, String)>,
+}
+
+/// Per-node labelling result: for each nonterminal, the cheapest derivation.
+#[derive(Clone, Debug, Default)]
+struct Label {
+    /// `cost[nt]` = (total cost, rule index) — `None` if not derivable.
+    best: [Option<(u32, usize)>; NT_COUNT],
+    /// Whether the Reg derivation goes through the imm chain rule.
+    reg_via_imm: bool,
+}
+
+impl Burs {
+    /// Labels a tree: computes the cheapest derivation of every nonterminal at every
+    /// node. Returns one label per node in post-order (children before parents), along
+    /// with the matching post-order node list.
+    fn label(&self, node: &TreeNode, labels: &mut Vec<Label>) -> usize {
+        let child_indices: Vec<usize> = node
+            .children
+            .iter()
+            .map(|c| self.label(c, labels))
+            .collect();
+
+        let mut label = Label::default();
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if !(rule.matches)(&node.op) {
+                continue;
+            }
+            if !rule.variadic && rule.child_nts.len() != node.children.len() {
+                continue;
+            }
+            // Sum child costs for the required nonterminals.
+            let mut total = rule.cost;
+            let mut ok = true;
+            for (i, &ci) in child_indices.iter().enumerate() {
+                let need = if rule.variadic {
+                    rule.child_nts[0]
+                } else {
+                    rule.child_nts[i]
+                };
+                match labels[ci].best[nt_index(need)] {
+                    Some((c, _)) => total += c,
+                    None => {
+                        // The child may still be derivable via the imm->reg chain.
+                        if need == Nonterminal::Reg {
+                            if let Some((c, _)) = labels[ci].best[nt_index(Nonterminal::Imm)] {
+                                total += c + self.imm_to_reg_cost;
+                                continue;
+                            }
+                        }
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let slot = &mut label.best[nt_index(rule.produces)];
+            if slot.map(|(c, _)| total < c).unwrap_or(true) {
+                *slot = Some((total, ri));
+            }
+        }
+        // Chain closure: Reg from Imm.
+        if let Some((ic, _)) = label.best[nt_index(Nonterminal::Imm)] {
+            let via = ic + self.imm_to_reg_cost;
+            let slot = &mut label.best[nt_index(Nonterminal::Reg)];
+            if slot.map(|(c, _)| via < c).unwrap_or(true) {
+                *slot = Some((via, usize::MAX));
+                label.reg_via_imm = true;
+            }
+        }
+        labels.push(label);
+        labels.len() - 1
+    }
+
+    /// Reduces `node` to the given `goal` nonterminal, emitting instructions into
+    /// `out`. Returns the operand string holding the result.
+    fn reduce_to(
+        &self,
+        node: &TreeNode,
+        goal: Nonterminal,
+        ctx: &mut EmitCtx,
+        out: &mut Vec<String>,
+    ) -> String {
+        // Re-label locally (trees are tiny, so the repeated labelling cost is noise).
+        let mut labels = Vec::new();
+        self.label(node, &mut labels);
+        let root_label = labels.last().unwrap().clone();
+
+        let chosen = root_label.best[nt_index(goal)];
+        match chosen {
+            Some((_, usize::MAX)) => {
+                // Chain: derive Imm first, then materialise.
+                let imm = self.reduce_to(node, Nonterminal::Imm, ctx, out);
+                let (lines, operand) = (self.imm_to_reg)(&imm, ctx);
+                out.extend(lines);
+                operand
+            }
+            Some((_, ri)) => {
+                let rule = &self.rules[ri];
+                let mut child_ops = Vec::new();
+                for (i, c) in node.children.iter().enumerate() {
+                    let need = if rule.variadic {
+                        rule.child_nts[0]
+                    } else {
+                        rule.child_nts[i]
+                    };
+                    child_ops.push(self.reduce_to(c, need, ctx, out));
+                }
+                let (lines, operand) = (rule.emit)(node, &child_ops, ctx);
+                out.extend(lines);
+                operand
+            }
+            None => {
+                // No derivation: fall back to a comment so the output stays inspectable
+                // rather than panicking on exotic trees.
+                out.push(format!("; unsupported tree op {:?}", node.op));
+                String::new()
+            }
+        }
+    }
+
+    /// Reduces a statement tree (a quad root) to target code.
+    pub fn reduce(&self, tree: &TreeNode, ctx: &mut EmitCtx) -> Vec<String> {
+        let mut out = Vec::new();
+        self.reduce_to(tree, Nonterminal::Stmt, ctx, &mut out);
+        out
+    }
+
+    /// The minimum derivation cost of `goal` for the tree, if derivable. Exposed for
+    /// tests and for the ablation bench comparing rule tables.
+    pub fn derivation_cost(&self, tree: &TreeNode, goal: Nonterminal) -> Option<u32> {
+        let mut labels = Vec::new();
+        self.label(tree, &mut labels);
+        labels.last().unwrap().best[nt_index(goal)].map(|(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{TreeNode, TreeOp};
+
+    /// A toy target with: imm leaves, reg leaves, add(reg, imm) cheap, add(reg, reg)
+    /// expensive — the labeler must pick the cheap form when the rhs is an immediate.
+    fn toy_target() -> Burs {
+        let rules = vec![
+            Rule {
+                name: "imm",
+                produces: Nonterminal::Imm,
+                matches: Box::new(|op| matches!(op, TreeOp::IConstLeaf(_))),
+                child_nts: vec![],
+                variadic: false,
+                cost: 0,
+                emit: Box::new(|n, _, _| {
+                    let v = match n.op {
+                        TreeOp::IConstLeaf(v) => v,
+                        _ => unreachable!(),
+                    };
+                    (vec![], format!("{v}"))
+                }),
+            },
+            Rule {
+                name: "reg",
+                produces: Nonterminal::Reg,
+                matches: Box::new(|op| matches!(op, TreeOp::RegLeaf(_))),
+                child_nts: vec![],
+                variadic: false,
+                cost: 0,
+                emit: Box::new(|n, _, ctx| {
+                    let r = match n.op {
+                        TreeOp::RegLeaf(r) => r,
+                        _ => unreachable!(),
+                    };
+                    (vec![], ctx.reg_name(r, |r| format!("r{}", r.0)))
+                }),
+            },
+            Rule {
+                name: "add_ri",
+                produces: Nonterminal::Reg,
+                matches: Box::new(|op| matches!(op, TreeOp::Bin("ADD"))),
+                child_nts: vec![Nonterminal::Reg, Nonterminal::Imm],
+                variadic: false,
+                cost: 1,
+                emit: Box::new(|_, ops, _| {
+                    (vec![format!("addi {}, {}", ops[0], ops[1])], ops[0].clone())
+                }),
+            },
+            Rule {
+                name: "add_rr",
+                produces: Nonterminal::Reg,
+                matches: Box::new(|op| matches!(op, TreeOp::Bin("ADD"))),
+                child_nts: vec![Nonterminal::Reg, Nonterminal::Reg],
+                variadic: false,
+                cost: 3,
+                emit: Box::new(|_, ops, _| {
+                    (vec![format!("add {}, {}", ops[0], ops[1])], ops[0].clone())
+                }),
+            },
+            Rule {
+                name: "move",
+                produces: Nonterminal::Stmt,
+                matches: Box::new(|op| matches!(op, TreeOp::Move)),
+                child_nts: vec![Nonterminal::Reg],
+                variadic: false,
+                cost: 1,
+                emit: Box::new(|n, ops, ctx| {
+                    let dst = ctx.reg_name(n.dst.unwrap(), |r| format!("r{}", r.0));
+                    (vec![format!("mov {dst}, {}", ops[0])], String::new())
+                }),
+            },
+        ];
+        Burs {
+            rules,
+            imm_to_reg_cost: 1,
+            imm_to_reg: Box::new(|imm, ctx| {
+                let t = ctx.fresh_temp("t");
+                (vec![format!("li {t}, {imm}")], t)
+            }),
+        }
+    }
+
+    fn add_tree(rhs_imm: bool) -> TreeNode {
+        let rhs = if rhs_imm {
+            TreeNode {
+                op: TreeOp::IConstLeaf(4),
+                dst: None,
+                children: vec![],
+            }
+        } else {
+            TreeNode {
+                op: TreeOp::RegLeaf(autodist_ir::Reg(2)),
+                dst: None,
+                children: vec![],
+            }
+        };
+        TreeNode {
+            op: TreeOp::Move,
+            dst: Some(autodist_ir::Reg(1)),
+            children: vec![TreeNode {
+                op: TreeOp::Bin("ADD"),
+                dst: Some(autodist_ir::Reg(1)),
+                children: vec![
+                    TreeNode {
+                        op: TreeOp::RegLeaf(autodist_ir::Reg(1)),
+                        dst: None,
+                        children: vec![],
+                    },
+                    rhs,
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn labeler_prefers_the_cheaper_rule() {
+        let t = toy_target();
+        // add reg, imm: move(1) + add_ri(1) = 2
+        assert_eq!(t.derivation_cost(&add_tree(true), Nonterminal::Stmt), Some(2));
+        // add reg, reg: move(1) + add_rr(3) = 4
+        assert_eq!(t.derivation_cost(&add_tree(false), Nonterminal::Stmt), Some(4));
+    }
+
+    #[test]
+    fn reduction_emits_the_chosen_instructions() {
+        let t = toy_target();
+        let mut ctx = EmitCtx::new("r0");
+        let lines = t.reduce(&add_tree(true), &mut ctx);
+        assert_eq!(lines, vec!["addi r1, 4", "mov r1, r1"]);
+    }
+
+    #[test]
+    fn chain_rule_materialises_immediates_when_needed() {
+        // A Move whose operand is an immediate: the move rule wants a Reg child, so the
+        // imm must go through the chain rule.
+        let t = toy_target();
+        let tree = TreeNode {
+            op: TreeOp::Move,
+            dst: Some(autodist_ir::Reg(3)),
+            children: vec![TreeNode {
+                op: TreeOp::IConstLeaf(7),
+                dst: None,
+                children: vec![],
+            }],
+        };
+        let mut ctx = EmitCtx::new("r0");
+        let lines = t.reduce(&tree, &mut ctx);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("li "), "{lines:?}");
+        assert!(lines[1].starts_with("mov r3"), "{lines:?}");
+    }
+
+    #[test]
+    fn unsupported_ops_degrade_to_comments() {
+        let t = toy_target();
+        let tree = TreeNode {
+            op: TreeOp::Return,
+            dst: None,
+            children: vec![],
+        };
+        let mut ctx = EmitCtx::new("r0");
+        let lines = t.reduce(&tree, &mut ctx);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with(';'));
+    }
+
+    #[test]
+    fn emit_ctx_temp_names_are_unique_and_reg_names_memoised() {
+        let mut ctx = EmitCtx::new("eax");
+        let a = ctx.fresh_temp("t");
+        let b = ctx.fresh_temp("t");
+        assert_ne!(a, b);
+        let r1 = ctx.reg_name(autodist_ir::Reg(5), |r| format!("r{}", r.0));
+        let r2 = ctx.reg_name(autodist_ir::Reg(5), |_| "something-else".to_string());
+        assert_eq!(r1, r2, "memoised");
+    }
+}

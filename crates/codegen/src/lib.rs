@@ -1,0 +1,123 @@
+//! # autodist-codegen
+//!
+//! Code and communication generation (Section 4 of the paper).
+//!
+//! * [`ast`] — turns quad methods into abstract syntax trees: every quad becomes the
+//!   root of a small tree whose leaves are its operands (Figure 6).
+//! * [`burs`] — a bottom-up rewrite system (BURS) code-generator generator: rules map
+//!   tree patterns to target instructions with costs; a first dynamic-programming pass
+//!   labels every node with its cheapest derivation per nonterminal, and a second pass
+//!   reduces the tree emitting code (the JBurg role).
+//! * [`x86`] / [`arm`] — rule tables and emitters for an x86-like and a StrongARM-like
+//!   target (Figure 7).
+//! * [`rewrite`] — **communication generation**: given a placement of classes onto
+//!   nodes, produces the per-node program copies in which accesses to remote objects
+//!   are replaced by operations on `rt/DependentObject` proxies that exchange `NEW` and
+//!   `DEPENDENCE` messages at run time (Figures 8 and 9).
+
+pub mod arm;
+pub mod ast;
+pub mod burs;
+pub mod rewrite;
+pub mod x86;
+
+pub use ast::{build_method_forest, TreeNode, TreeOp};
+pub use burs::{Burs, EmitCtx, Nonterminal, Rule};
+pub use rewrite::{
+    rewrite_for_node, ClassPlacement, RewriteStats, RewrittenProgram, ACCESS_GET_FIELD,
+    ACCESS_INVOKE_HASRETURN, ACCESS_INVOKE_VOID, ACCESS_PUT_FIELD, DEPENDENT_OBJECT_CLASS,
+};
+
+/// The targets supported by the retargetable back-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// 32/64-bit x86 flavoured assembly (Figure 7 left column).
+    X86,
+    /// StrongARM flavoured assembly (Figure 7 right column).
+    StrongArm,
+}
+
+/// Generates assembly text for one quad method on the chosen target.
+pub fn generate_method(
+    program: &autodist_ir::Program,
+    qm: &autodist_ir::QuadMethod,
+    target: Target,
+) -> Vec<String> {
+    let burs = match target {
+        Target::X86 => x86::x86_rules(),
+        Target::StrongArm => arm::arm_rules(),
+    };
+    let forest = ast::build_method_forest(program, qm);
+    let mut out = Vec::new();
+    let mut ctx = burs::EmitCtx::new(match target {
+        Target::X86 => "eax",
+        Target::StrongArm => "R1",
+    });
+    for (block, trees) in forest {
+        if !trees.is_empty() && block.0 >= 2 {
+            out.push(format!("BB{}:", block.0));
+        }
+        for tree in trees {
+            let lines = burs.reduce(&tree, &mut ctx);
+            out.extend(lines);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_ir::bytecode::CmpOp;
+    use autodist_ir::lower::lower_method;
+    use autodist_ir::{ProgramBuilder, Type};
+
+    fn example() -> (autodist_ir::Program, autodist_ir::QuadMethod) {
+        let mut pb = ProgramBuilder::new();
+        let example = pb.class("Example");
+        let mut m = pb.method(example, "ex", vec![Type::Int], Type::Int);
+        m.iconst(4).store(1);
+        let skip = m.label();
+        m.load(1).iconst(2).if_cmp(CmpOp::Le, skip);
+        m.load(1).iconst(1).add().store(1);
+        m.place(skip);
+        m.load(1).ret_val();
+        let id = m.finish();
+        let p = pb.build();
+        let qm = lower_method(&p, p.method(id)).unwrap();
+        (p, qm)
+    }
+
+    #[test]
+    fn x86_output_resembles_figure7() {
+        let (p, qm) = example();
+        let asm = generate_method(&p, &qm, Target::X86);
+        let text = asm.join("\n");
+        assert!(text.contains("mov"), "{text}");
+        assert!(text.contains("cmp"), "{text}");
+        assert!(text.contains("jle") || text.contains("jg"), "{text}");
+        assert!(text.contains("add"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn arm_output_resembles_figure7() {
+        let (p, qm) = example();
+        let asm = generate_method(&p, &qm, Target::StrongArm);
+        let text = asm.join("\n");
+        assert!(text.contains("mov"), "{text}");
+        assert!(text.contains("cmp"), "{text}");
+        assert!(text.contains("ble") || text.contains("bgt"), "{text}");
+        assert!(text.contains("add"), "{text}");
+        assert!(text.contains("mov PC, R14") || text.contains("mov pc"), "{text}");
+    }
+
+    #[test]
+    fn both_targets_emit_labels_for_branch_blocks() {
+        let (p, qm) = example();
+        for t in [Target::X86, Target::StrongArm] {
+            let asm = generate_method(&p, &qm, t);
+            assert!(asm.iter().any(|l| l.starts_with("BB") && l.ends_with(':')));
+        }
+    }
+}

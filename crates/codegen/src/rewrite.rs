@@ -1,0 +1,537 @@
+//! Communication generation: bytecode rewriting for distributed execution.
+//!
+//! Once every object has a virtual-processor number, each node receives its own copy of
+//! the program in which accesses to *dependent* (remote) objects are replaced by
+//! operations on `rt/DependentObject` proxies (paper Section 4.2, Figures 8 and 9):
+//!
+//! * `new Account(i, n, s, c)` on a node that does not host `Account` becomes
+//!   `new DependentObject` + `DependentObject.<init>(location, "Account", argsList)` —
+//!   at run time this sends a `NEW` message to the home node, which creates the object;
+//! * `account.getSavings()` becomes
+//!   `DependentObject.access(INVOKE_METHOD_HASRETURN, "getSavings", argsList)` — a
+//!   `DEPENDENCE` message round-trip;
+//! * field reads/writes become `access(GET_FIELD / PUT_FIELD, name, argsList)`.
+//!
+//! The placement is type based (classes are mapped to nodes), mirroring the paper's
+//! "our analysis is type-based and thus, not very precise"; the runtime transparently
+//! forwards accesses that reach an object which nevertheless lives remotely, so the
+//! imprecision affects performance, never correctness. Static methods and static fields
+//! are replicated on every node rather than proxied (a documented simplification).
+
+use std::collections::BTreeMap;
+
+use autodist_analysis::odg::{ObjectDependenceGraph, OdgNode};
+use autodist_ir::bytecode::{Const, Insn, InvokeKind};
+use autodist_ir::program::{ClassId, MethodId, Program, Type};
+use autodist_partition::Partitioning;
+
+/// Name of the synthetic proxy class injected into every rewritten program.
+pub const DEPENDENT_OBJECT_CLASS: &str = "rt/DependentObject";
+
+/// `access` kind: invoke a void method on the remote object.
+pub const ACCESS_INVOKE_VOID: i64 = 1;
+/// `access` kind: invoke a value-returning method on the remote object.
+pub const ACCESS_INVOKE_HASRETURN: i64 = 2;
+/// `access` kind: read a field of the remote object.
+pub const ACCESS_GET_FIELD: i64 = 3;
+/// `access` kind: write a field of the remote object.
+pub const ACCESS_PUT_FIELD: i64 = 4;
+
+/// A mapping from classes to the node (virtual processor) that hosts their instances.
+#[derive(Clone, Debug, Default)]
+pub struct ClassPlacement {
+    /// Home node per class. Classes not present default to node 0.
+    pub home: BTreeMap<ClassId, usize>,
+    /// Number of nodes.
+    pub nparts: usize,
+}
+
+impl ClassPlacement {
+    /// The home node of `class` (0 if unassigned).
+    pub fn home_of(&self, class: ClassId) -> usize {
+        self.home.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Places every class on node 0 (the centralized baseline).
+    pub fn centralized(nparts: usize) -> Self {
+        ClassPlacement {
+            home: BTreeMap::new(),
+            nparts: nparts.max(1),
+        }
+    }
+
+    /// Derives a class-level placement from an ODG partitioning by majority vote of the
+    /// partition assignments of each class's object nodes. The entry class (the class
+    /// whose static part runs `main`) is pinned to node 0, matching the paper's
+    /// Execution Starter which launches the application on the user's node.
+    pub fn from_odg_partition(
+        program: &Program,
+        odg: &ObjectDependenceGraph,
+        partitioning: &Partitioning,
+    ) -> Self {
+        let mut votes: BTreeMap<ClassId, Vec<usize>> = BTreeMap::new();
+        for (i, node) in odg.nodes.iter().enumerate() {
+            let part = partitioning.assignment.get(i).copied().unwrap_or(0);
+            let class = match node {
+                OdgNode::Object { class, .. } => *class,
+                OdgNode::StaticRoot { class } => *class,
+            };
+            votes.entry(class).or_default().push(part);
+        }
+        let mut home = BTreeMap::new();
+        for (class, parts) in votes {
+            let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+            for p in parts {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+            let best = counts
+                .into_iter()
+                .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
+                .map(|(p, _)| p)
+                .unwrap_or(0);
+            home.insert(class, best);
+        }
+        // The Execution Starter runs `main` on node 0, so the entry class must live
+        // there. Rather than overriding its assignment (which would merge it with
+        // whatever else is on node 0 and distort the cut), renumber the parts so the
+        // entry class's part *becomes* node 0.
+        if let Some(entry) = program.entry {
+            let entry_class = program.method(entry).class;
+            let entry_part = home.get(&entry_class).copied().unwrap_or(0);
+            if entry_part != 0 {
+                for part in home.values_mut() {
+                    if *part == entry_part {
+                        *part = 0;
+                    } else if *part == 0 {
+                        *part = entry_part;
+                    }
+                }
+            }
+            home.insert(entry_class, 0);
+        }
+        ClassPlacement {
+            home,
+            nparts: partitioning.nparts.max(1),
+        }
+    }
+
+    /// Number of classes assigned to each node.
+    pub fn classes_per_node(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nparts.max(1)];
+        for &p in self.home.values() {
+            if p < counts.len() {
+                counts[p] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Counters describing how much rewriting happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Remote `new` sites transformed (Figure 9 transformations).
+    pub rewritten_allocations: usize,
+    /// Remote method invocations transformed (Figure 8 transformations).
+    pub rewritten_invocations: usize,
+    /// Remote field reads/writes transformed.
+    pub rewritten_field_accesses: usize,
+    /// Methods whose body changed.
+    pub methods_transformed: usize,
+}
+
+impl RewriteStats {
+    /// Total number of rewritten program points.
+    pub fn total_sites(&self) -> usize {
+        self.rewritten_allocations + self.rewritten_invocations + self.rewritten_field_accesses
+    }
+}
+
+/// The per-node program copy produced by communication generation.
+#[derive(Clone, Debug)]
+pub struct RewrittenProgram {
+    /// The transformed program (includes the synthetic `rt/DependentObject` class).
+    pub program: Program,
+    /// The node this copy is for.
+    pub node: usize,
+    /// Rewrite counters.
+    pub stats: RewriteStats,
+    /// Id of the injected `rt/DependentObject` class.
+    pub dependent_object: ClassId,
+    /// Id of `DependentObject.access`.
+    pub access_method: MethodId,
+    /// Id of `DependentObject.<init>`.
+    pub init_method: MethodId,
+}
+
+/// Ensures the synthetic `rt/DependentObject` class exists in `program`, returning
+/// `(class, init, access)` ids.
+pub fn ensure_dependent_object(program: &mut Program) -> (ClassId, MethodId, MethodId) {
+    if let Some(c) = program.class_by_name(DEPENDENT_OBJECT_CLASS) {
+        let init = program.find_method(c, "<init>").expect("init exists");
+        let access = program.find_method(c, "access").expect("access exists");
+        return (c, init, access);
+    }
+    let c = program.add_class(DEPENDENT_OBJECT_CLASS, None);
+    program.class_mut(c).is_synthetic = true;
+    program.add_field(c, "home", Type::Int, false);
+    program.add_field(c, "className", Type::Str, false);
+    program.add_field(c, "remoteId", Type::Int, false);
+    // Bodies stay empty: the runtime intercepts calls on this class and performs the
+    // MPI message exchange instead of interpreting bytecode.
+    let init = program.add_method(
+        c,
+        "<init>",
+        vec![Type::Int, Type::Str, Type::Array(Box::new(Type::Int))],
+        Type::Void,
+        false,
+    );
+    let access = program.add_method(
+        c,
+        "access",
+        vec![Type::Int, Type::Str, Type::Array(Box::new(Type::Int))],
+        Type::Int,
+        false,
+    );
+    (c, init, access)
+}
+
+/// Produces the rewritten program copy for `node`.
+pub fn rewrite_for_node(
+    program: &Program,
+    placement: &ClassPlacement,
+    node: usize,
+) -> RewrittenProgram {
+    let mut out = program.clone();
+    out.rebuild_index();
+    let (dep_class, init_method, access_method) = ensure_dependent_object(&mut out);
+    let mut stats = RewriteStats::default();
+
+    let method_ids: Vec<MethodId> = out.methods.iter().map(|m| m.id).collect();
+    for mid in method_ids {
+        if out.class(out.method(mid).class).is_synthetic {
+            continue;
+        }
+        if out.method(mid).body.is_empty() {
+            continue;
+        }
+        let (new_body, new_locals, mstats) = rewrite_body(
+            &out,
+            mid,
+            placement,
+            node,
+            dep_class,
+            init_method,
+            access_method,
+        );
+        if mstats.total_sites() > 0 {
+            stats.rewritten_allocations += mstats.rewritten_allocations;
+            stats.rewritten_invocations += mstats.rewritten_invocations;
+            stats.rewritten_field_accesses += mstats.rewritten_field_accesses;
+            stats.methods_transformed += 1;
+            let m = out.method_mut(mid);
+            m.body = new_body;
+            m.locals = new_locals;
+        }
+    }
+
+    RewrittenProgram {
+        program: out,
+        node,
+        stats,
+        dependent_object: dep_class,
+        access_method,
+        init_method,
+    }
+}
+
+/// Rewrites one method body. Returns the new body, the new local count and per-method
+/// rewrite counters.
+#[allow(clippy::too_many_arguments)]
+fn rewrite_body(
+    program: &Program,
+    mid: MethodId,
+    placement: &ClassPlacement,
+    node: usize,
+    _dep_class: ClassId,
+    init_method: MethodId,
+    access_method: MethodId,
+) -> (Vec<Insn>, u16, RewriteStats) {
+    let method = program.method(mid);
+    let mut stats = RewriteStats::default();
+    let mut new_body: Vec<Insn> = Vec::with_capacity(method.body.len() * 2);
+    let mut new_pos: Vec<usize> = Vec::with_capacity(method.body.len() + 1);
+    let mut next_temp = method.locals.max(method.entry_locals());
+    let dep_class_id = program
+        .class_by_name(DEPENDENT_OBJECT_CLASS)
+        .expect("DependentObject injected before rewriting");
+
+    let is_remote_class =
+        |c: ClassId| !program.class(c).is_synthetic && placement.home_of(c) != node;
+
+    for insn in &method.body {
+        new_pos.push(new_body.len());
+        match insn {
+            Insn::New(c) if is_remote_class(*c) => {
+                // Figure 9, line 35: `new Account` -> `new DependentObject`.
+                new_body.push(Insn::New(dep_class_id));
+                if program.find_method(*c, "<init>").is_none() {
+                    // The class has no constructor, so no later `invokespecial` will
+                    // initialise the proxy: bind it to its remote object right away.
+                    new_body.push(Insn::Dup);
+                    new_body.push(Insn::Const(Const::Int(placement.home_of(*c) as i64)));
+                    new_body.push(Insn::Const(Const::Str(program.class(*c).name.clone())));
+                    push_args_array(&mut new_body, &[]);
+                    new_body.push(Insn::Invoke(InvokeKind::Special, init_method));
+                }
+                stats.rewritten_allocations += 1;
+            }
+            Insn::Invoke(InvokeKind::Special, ctor)
+                if program.method(*ctor).is_constructor()
+                    && is_remote_class(program.method(*ctor).class) =>
+            {
+                // Figure 9: pack constructor arguments, pass the home node and the
+                // class name, call DependentObject.<init>.
+                let callee = program.method(*ctor);
+                let k = callee.params.len();
+                let class = callee.class;
+                let temps: Vec<u16> = (0..k).map(|i| next_temp + i as u16).collect();
+                next_temp += k as u16;
+                for &t in temps.iter().rev() {
+                    new_body.push(Insn::Store(t));
+                }
+                new_body.push(Insn::Const(Const::Int(placement.home_of(class) as i64)));
+                new_body.push(Insn::Const(Const::Str(program.class(class).name.clone())));
+                push_args_array(&mut new_body, &temps);
+                new_body.push(Insn::Invoke(InvokeKind::Special, init_method));
+                stats.rewritten_allocations += 1;
+            }
+            Insn::Invoke(InvokeKind::Virtual, target)
+                if is_remote_class(program.method(*target).class) =>
+            {
+                // Figure 8: invoke through DependentObject.access.
+                let callee = program.method(*target);
+                let k = callee.params.len();
+                let has_ret = callee.ret != Type::Void;
+                let temps: Vec<u16> = (0..k).map(|i| next_temp + i as u16).collect();
+                next_temp += k as u16;
+                for &t in temps.iter().rev() {
+                    new_body.push(Insn::Store(t));
+                }
+                new_body.push(Insn::Const(Const::Int(if has_ret {
+                    ACCESS_INVOKE_HASRETURN
+                } else {
+                    ACCESS_INVOKE_VOID
+                })));
+                new_body.push(Insn::Const(Const::Str(callee.name.clone())));
+                push_args_array(&mut new_body, &temps);
+                new_body.push(Insn::Invoke(InvokeKind::Virtual, access_method));
+                if !has_ret {
+                    new_body.push(Insn::Pop);
+                }
+                stats.rewritten_invocations += 1;
+            }
+            Insn::GetField(f) if is_remote_class(f.class) => {
+                new_body.push(Insn::Const(Const::Int(ACCESS_GET_FIELD)));
+                new_body.push(Insn::Const(Const::Str(program.field(*f).name.clone())));
+                push_args_array(&mut new_body, &[]);
+                new_body.push(Insn::Invoke(InvokeKind::Virtual, access_method));
+                stats.rewritten_field_accesses += 1;
+            }
+            Insn::PutField(f) if is_remote_class(f.class) => {
+                let t = next_temp;
+                next_temp += 1;
+                new_body.push(Insn::Store(t));
+                new_body.push(Insn::Const(Const::Int(ACCESS_PUT_FIELD)));
+                new_body.push(Insn::Const(Const::Str(program.field(*f).name.clone())));
+                push_args_array(&mut new_body, &[t]);
+                new_body.push(Insn::Invoke(InvokeKind::Virtual, access_method));
+                new_body.push(Insn::Pop);
+                stats.rewritten_field_accesses += 1;
+            }
+            other => new_body.push(other.clone()),
+        }
+    }
+    new_pos.push(new_body.len());
+
+    // Fix branch targets for the shifted instruction positions.
+    for insn in &mut new_body {
+        insn.remap_targets(|t| new_pos[t.min(new_pos.len() - 1)]);
+    }
+
+    (new_body, next_temp, stats)
+}
+
+/// Emits the "arguments in a list" sequence: a fresh array of length `temps.len()`
+/// filled from the given temporary locals, left on the stack.
+fn push_args_array(body: &mut Vec<Insn>, temps: &[u16]) {
+    body.push(Insn::Const(Const::Int(temps.len() as i64)));
+    body.push(Insn::NewArray(Type::Int));
+    for (i, &t) in temps.iter().enumerate() {
+        body.push(Insn::Dup);
+        body.push(Insn::Const(Const::Int(i as i64)));
+        body.push(Insn::Load(t));
+        body.push(Insn::ArrayStore);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_analysis::crg::build_crg;
+    use autodist_analysis::objects::collect_objects;
+    use autodist_analysis::odg::build_odg;
+    use autodist_analysis::rta::rapid_type_analysis;
+    use autodist_analysis::weights::WeightModel;
+    use autodist_ir::frontend::compile_source;
+    use autodist_ir::printer::print_bytecode;
+    use autodist_ir::verify::verify_program;
+    use autodist_partition::{partition, PartitionConfig};
+
+    const BANK_SRC: &str = r#"
+        class Account {
+            int id;
+            int savings;
+            Account(int id, int savings) { this.id = id; this.savings = savings; }
+            int getSavings() { return this.savings; }
+            void setBalance(int b) { this.savings = b; }
+        }
+        class Bank {
+            Account[] accounts;
+            int count;
+            Bank(int n) {
+                this.accounts = new Account[100];
+                this.count = 0;
+                int i = 0;
+                while (i < n) {
+                    this.openAccount(new Account(i, 1000));
+                    i = i + 1;
+                }
+            }
+            void openAccount(Account a) {
+                this.accounts[this.count] = a;
+                this.count = this.count + 1;
+            }
+            Account getCustomer(int id) { return this.accounts[id]; }
+        }
+        class Main {
+            static void main() {
+                Bank merchants = new Bank(10);
+                Account a4 = new Account(1, 1000000);
+                merchants.openAccount(a4);
+                Account a = merchants.getCustomer(2);
+                int s = a.getSavings();
+                a.setBalance(s - 900);
+            }
+        }
+    "#;
+
+    /// Placement that puts Bank and Account on node 1 while Main stays on node 0.
+    fn split_placement(p: &Program) -> ClassPlacement {
+        let mut home = BTreeMap::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Bank").unwrap(), 1);
+        home.insert(p.class_by_name("Account").unwrap(), 1);
+        ClassPlacement { home, nparts: 2 }
+    }
+
+    #[test]
+    fn dependent_object_class_is_injected_once() {
+        let mut p = compile_source(BANK_SRC).unwrap();
+        let a = ensure_dependent_object(&mut p);
+        let b = ensure_dependent_object(&mut p);
+        assert_eq!(a, b);
+        assert!(p.class(a.0).is_synthetic);
+    }
+
+    #[test]
+    fn node0_copy_rewrites_remote_news_and_invokes() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = split_placement(&p);
+        let rw = rewrite_for_node(&p, &placement, 0);
+        assert!(rw.stats.rewritten_allocations >= 2, "{:?}", rw.stats);
+        assert!(rw.stats.rewritten_invocations >= 3, "{:?}", rw.stats);
+        // The rewritten program must still verify structurally.
+        verify_program(&rw.program).expect("rewritten program verifies");
+        // Main must now allocate DependentObject, not Bank.
+        let main = rw.program.entry.unwrap();
+        let listing = print_bytecode(&rw.program, main);
+        assert!(listing.contains("new rt/DependentObject"), "{listing}");
+        assert!(listing.contains("invokevirtual rt/DependentObject.access"), "{listing}");
+        assert!(listing.contains("invokespecial rt/DependentObject.<init>"), "{listing}");
+        assert!(!listing.contains("new Bank"), "{listing}");
+    }
+
+    #[test]
+    fn node1_copy_keeps_bank_local_but_not_main_side_code() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = split_placement(&p);
+        let rw = rewrite_for_node(&p, &placement, 1);
+        // Bank's own methods are local on node 1: openAccount must not be rewritten.
+        let bank = rw.program.class_by_name("Bank").unwrap();
+        let open = rw.program.find_method(bank, "openAccount").unwrap();
+        let listing = print_bytecode(&rw.program, open);
+        assert!(!listing.contains("DependentObject"), "{listing}");
+        verify_program(&rw.program).expect("verifies");
+    }
+
+    #[test]
+    fn centralized_placement_rewrites_nothing() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = ClassPlacement::centralized(1);
+        let rw = rewrite_for_node(&p, &placement, 0);
+        assert_eq!(rw.stats.total_sites(), 0);
+        assert_eq!(rw.stats.methods_transformed, 0);
+    }
+
+    #[test]
+    fn placement_from_odg_partition_pins_entry_class_to_node0() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let cg = rapid_type_analysis(&p);
+        let crg = build_crg(&p, &cg);
+        let objects = collect_objects(&p, &cg);
+        let odg = build_odg(&p, &crg, &objects, &WeightModel::default());
+        let (weights, edges) = odg.partition_input();
+        let mut gb = autodist_partition::GraphBuilder::new(odg.node_count(), 3);
+        for (i, w) in weights.iter().enumerate() {
+            gb.set_weight(i, &w.as_array());
+        }
+        for (a, b, w) in edges {
+            gb.add_edge(a, b, w);
+        }
+        let part = partition(&gb.build(), &PartitionConfig::kway(2));
+        let placement = ClassPlacement::from_odg_partition(&p, &odg, &part);
+        let main = p.class_by_name("Main").unwrap();
+        assert_eq!(placement.home_of(main), 0);
+        assert_eq!(placement.nparts, 2);
+        let counts = placement.classes_per_node();
+        assert_eq!(counts.iter().sum::<usize>(), placement.home.len());
+    }
+
+    #[test]
+    fn rewritten_bodies_keep_branch_targets_valid() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = split_placement(&p);
+        for node in 0..2 {
+            let rw = rewrite_for_node(&p, &placement, node);
+            for m in &rw.program.methods {
+                for insn in &m.body {
+                    if let Some(t) = insn.branch_target() {
+                        assert!(t < m.body.len(), "target {t} out of range in {}", m.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_total_adds_up() {
+        let s = RewriteStats {
+            rewritten_allocations: 2,
+            rewritten_invocations: 3,
+            rewritten_field_accesses: 4,
+            methods_transformed: 2,
+        };
+        assert_eq!(s.total_sites(), 9);
+    }
+}

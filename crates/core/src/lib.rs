@@ -1,0 +1,338 @@
+//! # autodist
+//!
+//! The paper's primary contribution assembled into one pipeline: a compiler and runtime
+//! infrastructure for **automatic program distribution**. Given a monolithic program,
+//! the [`Distributor`]:
+//!
+//! 1. runs rapid type analysis and builds the class relation graph and the object
+//!    dependence graph (`autodist-analysis`),
+//! 2. weights the ODG with a resource model and partitions it with the multilevel
+//!    multi-constraint partitioner or a naive baseline (`autodist-partition`),
+//! 3. derives a class-level placement and generates the per-node program copies with
+//!    communication inserted for remote dependences (`autodist-codegen`),
+//! 4. hands the copies to the distributed runtime for execution on the simulated
+//!    cluster, or to the centralized runtime for the baseline (`autodist-runtime`).
+//!
+//! Phase timings are recorded (the paper's Table 2), graph statistics are exposed (the
+//! paper's Table 1) and both graphs can be exported in VCG or DOT form (Figures 3/4).
+
+pub mod stats;
+pub mod viz;
+
+use std::time::Instant;
+
+use autodist_analysis::crg::{build_crg, ClassRelationGraph};
+use autodist_analysis::objects::{collect_objects, ObjectSet};
+use autodist_analysis::odg::{build_odg, ObjectDependenceGraph};
+use autodist_analysis::rta::{rapid_type_analysis, CallGraph};
+use autodist_analysis::weights::WeightModel;
+use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement, RewrittenProgram};
+use autodist_ir::program::Program;
+use autodist_ir::verify::verify_program;
+use autodist_partition::{partition, Graph, GraphBuilder, Method, PartitionConfig, Partitioning};
+use autodist_runtime::cluster::{run_centralized, run_distributed, ClusterConfig, ExecutionReport};
+
+pub use stats::{GraphStats, PhaseTimings, Table1Row};
+
+/// Configuration of the distribution pipeline.
+#[derive(Clone, Debug)]
+pub struct DistributorConfig {
+    /// Number of nodes (virtual processors) to distribute over.
+    pub nodes: usize,
+    /// Partitioning algorithm.
+    pub method: Method,
+    /// Resource weight model for ODG nodes and edges.
+    pub weights: WeightModel,
+    /// Allowed partition imbalance.
+    pub balance_tolerance: f64,
+    /// Verify every rewritten program copy before execution.
+    pub verify: bool,
+    /// Seed for the partitioner's randomised choices.
+    pub seed: u64,
+}
+
+impl Default for DistributorConfig {
+    fn default() -> Self {
+        DistributorConfig {
+            nodes: 2,
+            method: Method::Multilevel,
+            weights: WeightModel::Uniform,
+            balance_tolerance: 0.25,
+            verify: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl DistributorConfig {
+    /// The paper's configuration: two nodes, the naive partitioning it reports using.
+    pub fn paper_defaults() -> Self {
+        DistributorConfig {
+            method: Method::RoundRobin,
+            ..Default::default()
+        }
+    }
+
+    /// A `nodes`-way multilevel configuration.
+    pub fn multilevel(nodes: usize) -> Self {
+        DistributorConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+}
+
+/// The static analysis products for one program.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// RTA call graph.
+    pub call_graph: CallGraph,
+    /// Class relation graph (Figure 3).
+    pub crg: ClassRelationGraph,
+    /// Allocation-site object set.
+    pub objects: ObjectSet,
+    /// Object dependence graph (Figure 4).
+    pub odg: ObjectDependenceGraph,
+}
+
+/// Everything produced by [`Distributor::distribute`].
+#[derive(Debug)]
+pub struct DistributionPlan {
+    /// The analysis products.
+    pub analysis: Analysis,
+    /// The graph handed to the partitioner (built from ODG use edges).
+    pub graph: Graph,
+    /// The partitioning of the ODG.
+    pub partitioning: Partitioning,
+    /// The derived class-level placement.
+    pub placement: ClassPlacement,
+    /// One rewritten program copy per node.
+    pub node_programs: Vec<RewrittenProgram>,
+    /// Phase timings in milliseconds (Table 2).
+    pub timings: PhaseTimings,
+}
+
+impl DistributionPlan {
+    /// The per-node programs as plain [`Program`]s (what the runtime consumes).
+    pub fn programs(&self) -> Vec<Program> {
+        self.node_programs.iter().map(|r| r.program.clone()).collect()
+    }
+
+    /// Executes the plan on the simulated cluster.
+    pub fn execute(&self, cluster: &ClusterConfig) -> ExecutionReport {
+        let programs = self.programs();
+        run_distributed(&programs, cluster)
+    }
+
+    /// Total number of program points rewritten across all node copies.
+    pub fn total_rewritten_sites(&self) -> usize {
+        self.node_programs
+            .iter()
+            .map(|r| r.stats.total_sites())
+            .sum()
+    }
+}
+
+/// The automatic distribution pipeline.
+pub struct Distributor {
+    /// Configuration.
+    pub config: DistributorConfig,
+}
+
+impl Distributor {
+    /// Creates a distributor with the given configuration.
+    pub fn new(config: DistributorConfig) -> Self {
+        Distributor { config }
+    }
+
+    /// Runs only the dependence analyses (Section 2).
+    pub fn analyze(&self, program: &Program) -> Analysis {
+        let call_graph = rapid_type_analysis(program);
+        let crg = build_crg(program, &call_graph);
+        let objects = collect_objects(program, &call_graph);
+        let odg = build_odg(program, &crg, &objects, &self.config.weights);
+        Analysis {
+            call_graph,
+            crg,
+            objects,
+            odg,
+        }
+    }
+
+    /// Builds the partitioner input graph from an ODG.
+    pub fn odg_graph(&self, odg: &ObjectDependenceGraph) -> Graph {
+        let (weights, edges) = odg.partition_input();
+        let mut gb = GraphBuilder::new(odg.node_count(), 3);
+        for (i, w) in weights.iter().enumerate() {
+            gb.set_weight(i, &w.as_array().map(|x| x.max(1)));
+        }
+        for (a, b, w) in edges {
+            gb.add_edge(a, b, w);
+        }
+        gb.build()
+    }
+
+    /// Runs the full pipeline: analyse, partition, place, rewrite.
+    pub fn distribute(&self, program: &Program) -> DistributionPlan {
+        // Phase 1: CRG construction (includes RTA, mirroring the paper's breakdown).
+        let t0 = Instant::now();
+        let call_graph = rapid_type_analysis(program);
+        let crg = build_crg(program, &call_graph);
+        let crg_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 2: ODG construction.
+        let t1 = Instant::now();
+        let objects = collect_objects(program, &call_graph);
+        let odg = build_odg(program, &crg, &objects, &self.config.weights);
+        let odg_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let analysis = Analysis {
+            call_graph,
+            crg,
+            objects,
+            odg,
+        };
+
+        // Phase 3: graph partitioning.
+        let t2 = Instant::now();
+        let graph = self.odg_graph(&analysis.odg);
+        let part_cfg = PartitionConfig {
+            nparts: self.config.nodes,
+            method: self.config.method,
+            balance_tolerance: self.config.balance_tolerance,
+            seed: self.config.seed,
+            ..Default::default()
+        };
+        let partitioning = partition(&graph, &part_cfg);
+        let partition_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 4: code and communication generation.
+        let t3 = Instant::now();
+        let placement =
+            ClassPlacement::from_odg_partition(program, &analysis.odg, &partitioning);
+        let node_programs: Vec<RewrittenProgram> = (0..self.config.nodes)
+            .map(|n| rewrite_for_node(program, &placement, n))
+            .collect();
+        if self.config.verify {
+            for rp in &node_programs {
+                verify_program(&rp.program).expect("rewritten program verifies");
+            }
+        }
+        let rewrite_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+        DistributionPlan {
+            analysis,
+            graph,
+            partitioning,
+            placement,
+            node_programs,
+            timings: PhaseTimings {
+                crg_ms,
+                odg_ms,
+                partition_ms,
+                rewrite_ms,
+            },
+        }
+    }
+
+    /// Runs the sequential baseline (everything on the slow node), as the paper does
+    /// for its Figure 11 comparison.
+    pub fn run_baseline(&self, program: &Program) -> ExecutionReport {
+        run_centralized(program, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_runtime::NetworkConfig;
+    use autodist_workloads as workloads;
+
+    #[test]
+    fn pipeline_produces_a_complete_plan_for_the_bank_example() {
+        let w = workloads::bank(20);
+        let distributor = Distributor::new(DistributorConfig::default());
+        let plan = distributor.distribute(&w.program);
+        assert!(plan.analysis.crg.node_count() >= 3);
+        assert!(plan.analysis.odg.node_count() >= 4);
+        assert_eq!(plan.node_programs.len(), 2);
+        assert_eq!(plan.partitioning.assignment.len(), plan.analysis.odg.node_count());
+        assert!(plan.timings.total_ms() > 0.0);
+        // Node 0 must host the entry class.
+        let main = w.program.class_by_name("Main").unwrap();
+        assert_eq!(plan.placement.home_of(main), 0);
+    }
+
+    #[test]
+    fn distributed_execution_of_plan_matches_baseline_checksum() {
+        let w = workloads::bank(15);
+        let distributor = Distributor::new(DistributorConfig::default());
+        let baseline = distributor.run_baseline(&w.program);
+        let plan = distributor.distribute(&w.program);
+        let report = plan.execute(&ClusterConfig::paper_testbed());
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(
+            report.final_statics.get("Main::checksum"),
+            baseline.final_statics.get("Main::checksum"),
+            "distribution preserves program behaviour"
+        );
+    }
+
+    #[test]
+    fn naive_and_multilevel_partitioning_both_work_end_to_end() {
+        let w = workloads::db_bench(30, 60);
+        for method in [Method::RoundRobin, Method::Multilevel] {
+            let cfg = DistributorConfig {
+                method,
+                ..Default::default()
+            };
+            let distributor = Distributor::new(cfg);
+            let plan = distributor.distribute(&w.program);
+            let report = plan.execute(&ClusterConfig::paper_testbed());
+            assert!(report.is_ok(), "{method:?}: {:?}", report.error);
+        }
+    }
+
+    #[test]
+    fn multilevel_cut_is_no_worse_than_naive_on_every_table1_workload() {
+        for w in workloads::table1_workloads(1) {
+            let ml = Distributor::new(DistributorConfig::default()).distribute(&w.program);
+            let rr = Distributor::new(DistributorConfig {
+                method: Method::RoundRobin,
+                ..Default::default()
+            })
+            .distribute(&w.program);
+            assert!(
+                ml.partitioning.edgecut <= rr.partitioning.edgecut,
+                "{}: multilevel {} vs naive {}",
+                w.name,
+                ml.partitioning.edgecut,
+                rr.partitioning.edgecut
+            );
+        }
+    }
+
+    #[test]
+    fn four_node_distribution_still_correct() {
+        let w = workloads::bank(12);
+        let cfg = DistributorConfig {
+            nodes: 4,
+            ..Default::default()
+        };
+        let distributor = Distributor::new(cfg);
+        let baseline = distributor.run_baseline(&w.program);
+        let plan = distributor.distribute(&w.program);
+        let cluster = ClusterConfig {
+            network: NetworkConfig {
+                node_speeds: vec![1.0, 2.1, 1.5, 1.5],
+                ..NetworkConfig::paper_testbed()
+            },
+        };
+        let report = plan.execute(&cluster);
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(
+            report.final_statics.get("Main::checksum"),
+            baseline.final_statics.get("Main::checksum")
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Assembler-style builders for constructing programs.
+//!
+//! [`ProgramBuilder`] plays the role of `javac` output in the paper's toolchain: the
+//! workload crate uses it to express the Java Grande / SPEC-shaped benchmarks directly
+//! in bytecode, and the MiniJava front-end lowers its AST through it as well.
+//!
+//! The [`MethodBuilder`] supports forward branches through [`Label`]s that are patched
+//! when the method is finished.
+
+use crate::bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
+use crate::program::{ClassId, FieldRef, MethodId, Program, Type};
+
+/// A forward-referencable jump target inside a [`MethodBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a whole [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a class with no superclass.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        self.program.add_class(name, None)
+    }
+
+    /// Declares a class extending `super_class`.
+    pub fn class_extends(&mut self, name: &str, super_class: ClassId) -> ClassId {
+        self.program.add_class(name, Some(super_class))
+    }
+
+    /// Declares an instance field.
+    pub fn field(&mut self, class: ClassId, name: &str, ty: Type) -> FieldRef {
+        self.program.add_field(class, name, ty, false)
+    }
+
+    /// Declares a static field.
+    pub fn static_field(&mut self, class: ClassId, name: &str, ty: Type) -> FieldRef {
+        self.program.add_field(class, name, ty, true)
+    }
+
+    /// Starts building an instance method.
+    pub fn method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> MethodBuilder<'_> {
+        let id = self.program.add_method(class, name, params, ret, false);
+        MethodBuilder::new(&mut self.program, id)
+    }
+
+    /// Starts building a static method.
+    pub fn static_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+    ) -> MethodBuilder<'_> {
+        let id = self.program.add_method(class, name, params, ret, true);
+        MethodBuilder::new(&mut self.program, id)
+    }
+
+    /// Starts building a constructor (`<init>`).
+    pub fn constructor(&mut self, class: ClassId, params: Vec<Type>) -> MethodBuilder<'_> {
+        let id = self.program.add_method(class, "<init>", params, Type::Void, false);
+        MethodBuilder::new(&mut self.program, id)
+    }
+
+    /// Marks `main` (a previously built static method) as the program entry point.
+    pub fn entry(&mut self, m: MethodId) {
+        self.program.set_entry(m);
+    }
+
+    /// Read access to the program under construction (for id lookups).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Finishes and returns the program.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+/// Builds the body of a single method. Dropping the builder commits the body.
+pub struct MethodBuilder<'p> {
+    program: &'p mut Program,
+    method: MethodId,
+    insns: Vec<Insn>,
+    labels: Vec<Option<usize>>,
+    pending: Vec<(usize, Label)>,
+    max_local: u16,
+}
+
+impl<'p> MethodBuilder<'p> {
+    fn new(program: &'p mut Program, method: MethodId) -> Self {
+        let max_local = program.method(method).entry_locals();
+        Self {
+            program,
+            method,
+            insns: Vec::new(),
+            labels: Vec::new(),
+            pending: Vec::new(),
+            max_local,
+        }
+    }
+
+    /// The id of the method being built.
+    pub fn id(&self) -> MethodId {
+        self.method
+    }
+
+    /// Current instruction index (useful for manual backward branches).
+    pub fn pc(&self) -> usize {
+        self.insns.len()
+    }
+
+    fn push(&mut self, i: Insn) -> &mut Self {
+        self.insns.push(i);
+        self
+    }
+
+    /// Creates a fresh, not-yet-placed label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places `label` at the current pc.
+    pub fn place(&mut self, label: Label) -> &mut Self {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.insns.len());
+        self
+    }
+
+    // --- constants & locals -------------------------------------------------------
+
+    /// Push an integer constant.
+    pub fn iconst(&mut self, v: i64) -> &mut Self {
+        self.push(Insn::Const(Const::Int(v)))
+    }
+    /// Push a float constant.
+    pub fn fconst(&mut self, v: f64) -> &mut Self {
+        self.push(Insn::Const(Const::Float(v)))
+    }
+    /// Push a boolean constant.
+    pub fn bconst(&mut self, v: bool) -> &mut Self {
+        self.push(Insn::Const(Const::Bool(v)))
+    }
+    /// Push a string constant.
+    pub fn sconst(&mut self, v: &str) -> &mut Self {
+        self.push(Insn::Const(Const::Str(v.to_string())))
+    }
+    /// Push the null reference.
+    pub fn null(&mut self) -> &mut Self {
+        self.push(Insn::Const(Const::Null))
+    }
+    /// Load local slot `n`.
+    pub fn load(&mut self, n: u16) -> &mut Self {
+        self.max_local = self.max_local.max(n + 1);
+        self.push(Insn::Load(n))
+    }
+    /// Store into local slot `n`.
+    pub fn store(&mut self, n: u16) -> &mut Self {
+        self.max_local = self.max_local.max(n + 1);
+        self.push(Insn::Store(n))
+    }
+    /// Duplicate top of stack.
+    pub fn dup(&mut self) -> &mut Self {
+        self.push(Insn::Dup)
+    }
+    /// Pop top of stack.
+    pub fn pop(&mut self) -> &mut Self {
+        self.push(Insn::Pop)
+    }
+    /// Swap the top two stack values.
+    pub fn swap(&mut self) -> &mut Self {
+        self.push(Insn::Swap)
+    }
+
+    // --- arithmetic ---------------------------------------------------------------
+
+    /// Binary operation on the top two stack values.
+    pub fn bin(&mut self, op: BinOp) -> &mut Self {
+        self.push(Insn::Bin(op))
+    }
+    /// Addition.
+    pub fn add(&mut self) -> &mut Self {
+        self.bin(BinOp::Add)
+    }
+    /// Subtraction.
+    pub fn sub(&mut self) -> &mut Self {
+        self.bin(BinOp::Sub)
+    }
+    /// Multiplication.
+    pub fn mul(&mut self) -> &mut Self {
+        self.bin(BinOp::Mul)
+    }
+    /// Division.
+    pub fn div(&mut self) -> &mut Self {
+        self.bin(BinOp::Div)
+    }
+    /// Remainder.
+    pub fn rem(&mut self) -> &mut Self {
+        self.bin(BinOp::Rem)
+    }
+    /// Unary operation.
+    pub fn un(&mut self, op: UnOp) -> &mut Self {
+        self.push(Insn::Un(op))
+    }
+
+    // --- control flow -------------------------------------------------------------
+
+    /// Unconditional jump to `label`.
+    pub fn goto(&mut self, label: Label) -> &mut Self {
+        self.pending.push((self.insns.len(), label));
+        self.push(Insn::Goto(usize::MAX))
+    }
+    /// Pop two values and branch to `label` if `lhs op rhs`.
+    pub fn if_cmp(&mut self, op: CmpOp, label: Label) -> &mut Self {
+        self.pending.push((self.insns.len(), label));
+        self.push(Insn::IfCmp(op, usize::MAX))
+    }
+    /// Pop one value and branch to `label` if `v op 0`.
+    pub fn if_zero(&mut self, op: CmpOp, label: Label) -> &mut Self {
+        self.pending.push((self.insns.len(), label));
+        self.push(Insn::If(op, usize::MAX))
+    }
+
+    // --- objects, fields, arrays, calls --------------------------------------------
+
+    /// Allocate an instance of `class` (uninitialised; follow with a `Special` invoke
+    /// of the constructor, as javac does).
+    pub fn new_object(&mut self, class: ClassId) -> &mut Self {
+        self.push(Insn::New(class))
+    }
+    /// Allocate an array; the length is popped from the stack.
+    pub fn new_array(&mut self, elem: Type) -> &mut Self {
+        self.push(Insn::NewArray(elem))
+    }
+    /// Array element load.
+    pub fn array_load(&mut self) -> &mut Self {
+        self.push(Insn::ArrayLoad)
+    }
+    /// Array element store.
+    pub fn array_store(&mut self) -> &mut Self {
+        self.push(Insn::ArrayStore)
+    }
+    /// Array length.
+    pub fn array_length(&mut self) -> &mut Self {
+        self.push(Insn::ArrayLength)
+    }
+    /// Instance field read.
+    pub fn get_field(&mut self, f: FieldRef) -> &mut Self {
+        self.push(Insn::GetField(f))
+    }
+    /// Instance field write.
+    pub fn put_field(&mut self, f: FieldRef) -> &mut Self {
+        self.push(Insn::PutField(f))
+    }
+    /// Static field read.
+    pub fn get_static(&mut self, f: FieldRef) -> &mut Self {
+        self.push(Insn::GetStatic(f))
+    }
+    /// Static field write.
+    pub fn put_static(&mut self, f: FieldRef) -> &mut Self {
+        self.push(Insn::PutStatic(f))
+    }
+    /// Virtual method invocation.
+    pub fn invoke_virtual(&mut self, m: MethodId) -> &mut Self {
+        self.push(Insn::Invoke(InvokeKind::Virtual, m))
+    }
+    /// Static method invocation.
+    pub fn invoke_static(&mut self, m: MethodId) -> &mut Self {
+        self.push(Insn::Invoke(InvokeKind::Static, m))
+    }
+    /// Constructor / super invocation.
+    pub fn invoke_special(&mut self, m: MethodId) -> &mut Self {
+        self.push(Insn::Invoke(InvokeKind::Special, m))
+    }
+    /// Return with no value.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Insn::Return)
+    }
+    /// Return the value on top of the stack.
+    pub fn ret_val(&mut self) -> &mut Self {
+        self.push(Insn::ReturnValue)
+    }
+
+    /// Convenience: allocate an object, push `args` via the closure, call the
+    /// constructor and leave the initialised reference on the stack.
+    pub fn new_with(
+        &mut self,
+        class: ClassId,
+        ctor: MethodId,
+        push_args: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.new_object(class);
+        self.dup();
+        push_args(self);
+        self.invoke_special(ctor);
+        self
+    }
+
+    /// Finishes the method: patches labels, records the local count and commits the
+    /// body into the program.
+    pub fn finish(mut self) -> MethodId {
+        for (pc, label) in std::mem::take(&mut self.pending) {
+            let target = self.labels[label.0].expect("branch to unplaced label");
+            self.insns[pc].remap_targets(|_| target);
+        }
+        // Ensure the body terminates.
+        let terminated = self.insns.last().map(|i| i.is_terminator()).unwrap_or(false);
+        if !terminated {
+            let ret = self.program.method(self.method).ret.clone();
+            if ret == Type::Void {
+                self.insns.push(Insn::Return);
+            }
+        }
+        let m = self.program.method_mut(self.method);
+        m.locals = self.max_local;
+        m.body = std::mem::take(&mut self.insns);
+        self.method
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 5 `Example.ex(int b)` method.
+    fn example_program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let example = pb.class("Example");
+        let mut m = pb.method(example, "ex", vec![Type::Int], Type::Int);
+        // b = 4
+        m.iconst(4).store(1);
+        // if (b > 2) b++
+        let skip = m.label();
+        m.load(1).iconst(2).if_cmp(CmpOp::Le, skip);
+        m.load(1).iconst(1).add().store(1);
+        m.place(skip);
+        m.load(1).ret_val();
+        let id = m.finish();
+        (pb.build(), id)
+    }
+
+    #[test]
+    fn labels_are_patched() {
+        let (p, id) = example_program();
+        let body = &p.method(id).body;
+        let target = body
+            .iter()
+            .find_map(|i| i.branch_target())
+            .expect("has a branch");
+        assert!(target < body.len());
+        assert!(!body.iter().any(|i| i.branch_target() == Some(usize::MAX)));
+    }
+
+    #[test]
+    fn locals_are_counted() {
+        let (p, id) = example_program();
+        assert_eq!(p.method(id).locals, 2); // this + b
+    }
+
+    #[test]
+    fn void_methods_get_implicit_return() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let m = pb.method(c, "nop", vec![], Type::Void).finish();
+        let p = pb.build();
+        assert_eq!(p.method(m).body.last(), Some(&Insn::Return));
+    }
+
+    #[test]
+    fn new_with_emits_ctor_call() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let ctor = pb.constructor(c, vec![Type::Int]).finish();
+        let mut m = pb.static_method(c, "main", vec![], Type::Void);
+        m.new_with(c, ctor, |m| {
+            m.iconst(5);
+        });
+        m.pop();
+        let main = m.finish();
+        let p = pb.build();
+        let body = &p.method(main).body;
+        assert!(matches!(body[0], Insn::New(_)));
+        assert!(matches!(body[1], Insn::Dup));
+        assert!(matches!(body[3], Insn::Invoke(InvokeKind::Special, _)));
+    }
+
+    #[test]
+    #[should_panic(expected = "branch to unplaced label")]
+    fn unplaced_label_panics() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C");
+        let mut m = pb.method(c, "bad", vec![], Type::Void);
+        let l = m.label();
+        m.goto(l);
+        m.finish();
+    }
+}

@@ -1,0 +1,280 @@
+//! Control-flow utilities over bytecode bodies.
+//!
+//! The dependence analyses need two things from control flow: basic-block boundaries
+//! (shared with the bytecode→quad lowering) and a conservative "is this program point
+//! inside a loop" predicate, which drives the paper's distinction between single-instance
+//! allocation sites and `*`-prefixed summary sites ("created inside a control structure").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::bytecode::Insn;
+
+/// Basic-block structure of a bytecode method body.
+#[derive(Clone, Debug)]
+pub struct BytecodeCfg {
+    /// Sorted start pcs of each block.
+    pub leaders: Vec<usize>,
+    /// For each block (indexed as in `leaders`), the pcs `[start, end)` it covers.
+    pub ranges: Vec<(usize, usize)>,
+    /// Successor block indices of each block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices of each block.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl BytecodeCfg {
+    /// Builds the CFG of a bytecode body.
+    pub fn build(body: &[Insn]) -> Self {
+        let mut leader_set: BTreeSet<usize> = BTreeSet::new();
+        if !body.is_empty() {
+            leader_set.insert(0);
+        }
+        for (pc, insn) in body.iter().enumerate() {
+            if let Some(t) = insn.branch_target() {
+                leader_set.insert(t);
+                if pc + 1 < body.len() {
+                    leader_set.insert(pc + 1);
+                }
+            } else if insn.is_terminator() && pc + 1 < body.len() {
+                leader_set.insert(pc + 1);
+            }
+        }
+        let leaders: Vec<usize> = leader_set.into_iter().collect();
+        let block_of: BTreeMap<usize, usize> =
+            leaders.iter().enumerate().map(|(i, &pc)| (pc, i)).collect();
+        let mut ranges = Vec::with_capacity(leaders.len());
+        for (i, &start) in leaders.iter().enumerate() {
+            let end = leaders.get(i + 1).copied().unwrap_or(body.len());
+            ranges.push((start, end));
+        }
+        let mut succs = vec![Vec::new(); leaders.len()];
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if start == end {
+                continue;
+            }
+            let last = &body[end - 1];
+            if let Some(t) = last.branch_target() {
+                succs[i].push(block_of[&t]);
+            }
+            if !last.is_terminator() && end < body.len() {
+                succs[i].push(block_of[&end]);
+            }
+            let _ = start;
+        }
+        let mut preds = vec![Vec::new(); leaders.len()];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(i);
+            }
+        }
+        BytecodeCfg {
+            leaders,
+            ranges,
+            succs,
+            preds,
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// The block index containing `pc`.
+    pub fn block_of_pc(&self, pc: usize) -> usize {
+        match self.leaders.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// Blocks reachable from the entry block (index 0).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.block_count()];
+        if self.block_count() == 0 {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.succs[b] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Set of blocks that belong to at least one natural loop.
+    ///
+    /// Back edges are detected via a DFS from the entry block; for each back edge
+    /// `n -> h` the natural loop body is collected by walking predecessors from `n`
+    /// until `h` is reached.
+    pub fn loop_blocks(&self) -> Vec<bool> {
+        let n = self.block_count();
+        let mut in_loop = vec![false; n];
+        if n == 0 {
+            return in_loop;
+        }
+        // DFS to find back edges (edge to an ancestor on the DFS stack).
+        let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+        let mut back_edges = Vec::new();
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = 1;
+        while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+            if *idx < self.succs[b].len() {
+                let s = self.succs[b][*idx];
+                *idx += 1;
+                match color[s] {
+                    0 => {
+                        color[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => back_edges.push((b, s)),
+                    _ => {}
+                }
+            } else {
+                color[b] = 2;
+                stack.pop();
+            }
+        }
+        for (tail, head) in back_edges {
+            // Natural loop of back edge tail -> head.
+            let mut body = vec![false; n];
+            body[head] = true;
+            let mut work = vec![tail];
+            while let Some(b) = work.pop() {
+                if body[b] {
+                    continue;
+                }
+                body[b] = true;
+                for &p in &self.preds[b] {
+                    if !body[p] {
+                        work.push(p);
+                    }
+                }
+            }
+            for (i, &inb) in body.iter().enumerate() {
+                if inb {
+                    in_loop[i] = true;
+                }
+            }
+        }
+        in_loop
+    }
+
+    /// Returns `true` if the instruction at `pc` sits inside a loop.
+    pub fn pc_in_loop(&self, pc: usize) -> bool {
+        let loops = self.loop_blocks();
+        loops
+            .get(self.block_of_pc(pc))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Convenience: the set of pcs of a body that are inside loops (used to classify
+/// allocation sites as summary `*` sites).
+pub fn loop_pcs(body: &[Insn]) -> Vec<bool> {
+    let cfg = BytecodeCfg::build(body);
+    let loops = cfg.loop_blocks();
+    let mut out = vec![false; body.len()];
+    for (b, &(start, end)) in cfg.ranges.iter().enumerate() {
+        if loops[b] {
+            for slot in out.iter_mut().take(end).skip(start) {
+                *slot = true;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{CmpOp, Const};
+
+    /// while (i < 10) { i = i + 1 }  — a single natural loop.
+    fn loop_body() -> Vec<Insn> {
+        vec![
+            Insn::Const(Const::Int(0)),  // 0
+            Insn::Store(0),              // 1
+            Insn::Load(0),               // 2  <- loop header
+            Insn::Const(Const::Int(10)), // 3
+            Insn::IfCmp(CmpOp::Ge, 9),   // 4
+            Insn::Load(0),               // 5
+            Insn::Const(Const::Int(1)),  // 6
+            Insn::Bin(crate::bytecode::BinOp::Add), // 7
+            Insn::Store(0),              // 8 ... falls to 9? no: loop back
+            Insn::Return,                // 9
+        ]
+    }
+
+    /// Same loop but with an explicit back edge.
+    fn real_loop_body() -> Vec<Insn> {
+        vec![
+            Insn::Const(Const::Int(0)),  // 0
+            Insn::Store(0),              // 1
+            Insn::Load(0),               // 2  header
+            Insn::Const(Const::Int(10)), // 3
+            Insn::IfCmp(CmpOp::Ge, 10),  // 4
+            Insn::Load(0),               // 5
+            Insn::Const(Const::Int(1)),  // 6
+            Insn::Bin(crate::bytecode::BinOp::Add), // 7
+            Insn::Store(0),              // 8
+            Insn::Goto(2),               // 9  back edge
+            Insn::Return,                // 10
+        ]
+    }
+
+    #[test]
+    fn straight_line_has_one_block() {
+        let body = vec![Insn::Const(Const::Int(1)), Insn::Store(0), Insn::Return];
+        let cfg = BytecodeCfg::build(&body);
+        assert_eq!(cfg.block_count(), 1);
+        assert!(cfg.succs[0].is_empty());
+        assert!(!cfg.loop_blocks().iter().any(|&b| b));
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let cfg = BytecodeCfg::build(&loop_body());
+        assert!(cfg.block_count() >= 3);
+        let reach = cfg.reachable();
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn back_edge_forms_loop() {
+        let body = real_loop_body();
+        let cfg = BytecodeCfg::build(&body);
+        let loops = cfg.loop_blocks();
+        assert!(loops.iter().any(|&b| b), "loop detected");
+        // the increment at pc 7 is inside the loop, the return at pc 10 is not.
+        assert!(cfg.pc_in_loop(7));
+        assert!(!cfg.pc_in_loop(10));
+        let pcs = loop_pcs(&body);
+        assert!(pcs[5] && pcs[9]);
+        assert!(!pcs[10]);
+    }
+
+    #[test]
+    fn block_of_pc_matches_ranges() {
+        let body = real_loop_body();
+        let cfg = BytecodeCfg::build(&body);
+        for (b, &(s, e)) in cfg.ranges.iter().enumerate() {
+            for pc in s..e {
+                assert_eq!(cfg.block_of_pc(pc), b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_body() {
+        let cfg = BytecodeCfg::build(&[]);
+        assert_eq!(cfg.block_count(), 0);
+        assert!(cfg.reachable().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # autodist-ir
+//!
+//! The program representation substrate for the automatic-distribution pipeline.
+//!
+//! The paper (Diaconescu et al., IPPS 2005) consumes Java bytecode through the Joeq
+//! front-end and works on two intermediate representations: a stack-machine *bytecode*
+//! IR and a register-style *quad* IR. This crate provides the equivalent substrate,
+//! built from scratch:
+//!
+//! * [`program`] — the class-file-like program model: classes, fields, methods, types.
+//! * [`bytecode`] — a JVM-flavoured stack instruction set ([`bytecode::Insn`]).
+//! * [`quad`] — the register-based quadruple IR organised into basic blocks.
+//! * [`lower`] — translation from bytecode to quads by abstract interpretation of the
+//!   operand stack (the paper's "Bytecode to Quad" box in Figure 1).
+//! * [`builder`] — an assembler-style API for constructing programs (used by the
+//!   workload crate, playing the role of `javac` output).
+//! * [`frontend`] — a small MiniJava-like source language front-end so that programs
+//!   such as the paper's Bank/Account example (Figure 2) can be written as source text.
+//! * [`cfg`] — control-flow graph utilities over bytecode (leaders, back edges, loops).
+//! * [`printer`] — human-readable listings of bytecode and quads (Figure 5 style).
+//! * [`verify`] — a structural verifier for methods (stack discipline, branch targets).
+
+pub mod bytecode;
+pub mod builder;
+pub mod cfg;
+pub mod frontend;
+pub mod lower;
+pub mod printer;
+pub mod program;
+pub mod quad;
+pub mod verify;
+
+pub use builder::{MethodBuilder, ProgramBuilder};
+pub use bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
+pub use program::{Class, ClassId, Field, FieldRef, Method, MethodId, Program, Type};
+pub use quad::{BlockId, Operand, Quad, QuadMethod, Reg};

@@ -1,0 +1,265 @@
+//! Human-readable listings of bytecode and quads.
+//!
+//! [`print_quads`] reproduces the layout of the paper's Figure 5:
+//!
+//! ```text
+//! BB0 (ENTRY) (in: <none>, out: BB2)
+//! BB2 (in: BB0 (ENTRY), out: BB3, BB4)
+//! 1    MOVE_I R1 int, IConst: 4
+//! 2    IFCMP_I IConst: 4, IConst: 2, LE, BB4
+//! ...
+//! ```
+//!
+//! [`print_bytecode`] produces a `javap`-style listing used by the Figure 8/9
+//! transformation demonstrations.
+
+use std::fmt::Write as _;
+
+use crate::bytecode::{Insn, InvokeKind};
+use crate::program::{MethodId, Program};
+use crate::quad::{BlockId, Quad, QuadMethod};
+
+/// Formats a block id the way the paper does, tagging entry/exit.
+fn block_name(id: BlockId) -> String {
+    match id {
+        QuadMethod::ENTRY => "BB0 (ENTRY)".to_string(),
+        QuadMethod::EXIT => "BB1 (EXIT)".to_string(),
+        b => format!("{b}"),
+    }
+}
+
+fn block_list(ids: &[BlockId]) -> String {
+    if ids.is_empty() {
+        "<none>".to_string()
+    } else {
+        ids.iter()
+            .map(|&b| block_name(b))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Renders a quad to a single line in the Figure 5 style.
+pub fn format_quad(program: &Program, q: &Quad) -> String {
+    match q {
+        Quad::Move { dst, src } => format!("MOVE_I {dst} int, {src}"),
+        Quad::Bin { op, dst, lhs, rhs } => {
+            format!("{}_I {dst} int, {lhs}, {rhs}", op.mnemonic())
+        }
+        Quad::Un { op, dst, src } => format!("{}_I {dst} int, {src}", op.mnemonic()),
+        Quad::IfCmp {
+            op,
+            lhs,
+            rhs,
+            target,
+        } => format!("IFCMP_I {lhs}, {rhs}, {}, {}", op.mnemonic(), block_name(*target)),
+        Quad::Goto { target } => format!("GOTO {}", block_name(*target)),
+        Quad::New { dst, class } => format!("NEW {dst}, {}", program.class(*class).name),
+        Quad::NewArray { dst, elem, len } => format!("NEWARRAY {dst}, {elem}, {len}"),
+        Quad::ALoad { dst, arr, idx } => format!("ALOAD {dst}, {arr}[{idx}]"),
+        Quad::AStore { arr, idx, val } => format!("ASTORE {arr}[{idx}], {val}"),
+        Quad::ALen { dst, arr } => format!("ARRAYLENGTH {dst}, {arr}"),
+        Quad::GetField { dst, obj, field } => format!(
+            "GETFIELD {dst}, {obj}.{}",
+            program.field(*field).name
+        ),
+        Quad::PutField { obj, field, val } => format!(
+            "PUTFIELD {obj}.{}, {val}",
+            program.field(*field).name
+        ),
+        Quad::GetStatic { dst, field } => format!(
+            "GETSTATIC {dst}, {}.{}",
+            program.class(field.class).name,
+            program.field(*field).name
+        ),
+        Quad::PutStatic { field, val } => format!(
+            "PUTSTATIC {}.{}, {val}",
+            program.class(field.class).name,
+            program.field(*field).name
+        ),
+        Quad::Invoke {
+            kind,
+            dst,
+            method,
+            args,
+        } => {
+            let m = program.method(*method);
+            let cname = &program.class(m.class).name;
+            let argstr = args
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let kindstr = match kind {
+                InvokeKind::Virtual => "INVOKEVIRTUAL",
+                InvokeKind::Static => "INVOKESTATIC",
+                InvokeKind::Special => "INVOKESPECIAL",
+            };
+            match dst {
+                Some(d) => format!("{kindstr} {d}, {cname}.{}({argstr})", m.name),
+                None => format!("{kindstr} {cname}.{}({argstr})", m.name),
+            }
+        }
+        Quad::Return { val: Some(v) } => format!("RETURN_I {v}"),
+        Quad::Return { val: None } => "RETURN_V".to_string(),
+    }
+}
+
+/// Renders a whole quad method in the Figure 5 listing format.
+pub fn print_quads(program: &Program, qm: &QuadMethod) -> String {
+    let mut out = String::new();
+    let mut counter = 1usize;
+    for block in &qm.blocks {
+        // Skip unreachable empty helper blocks except entry/exit.
+        if block.quads.is_empty()
+            && block.preds.is_empty()
+            && block.id != QuadMethod::ENTRY
+            && block.id != QuadMethod::EXIT
+        {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{} (in: {}, out: {})",
+            block_name(block.id),
+            block_list(&block.preds),
+            block_list(&block.succs)
+        );
+        for q in &block.quads {
+            let _ = writeln!(out, "{counter:>4}    {}", format_quad(program, q));
+            counter += 1;
+        }
+    }
+    out
+}
+
+/// Renders a bytecode body as a numbered, `javap`-style listing (Figures 8 and 9).
+pub fn print_bytecode(program: &Program, method: MethodId) -> String {
+    let m = program.method(method);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {}.{}({}) : {}",
+        program.class(m.class).name,
+        m.name,
+        m.params
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        m.ret
+    );
+    for (pc, insn) in m.body.iter().enumerate() {
+        let _ = writeln!(out, "{pc:>4}: {}", format_insn(program, insn));
+    }
+    out
+}
+
+/// Renders a single bytecode instruction.
+pub fn format_insn(program: &Program, insn: &Insn) -> String {
+    match insn {
+        Insn::Const(c) => format!("ldc {c}"),
+        Insn::Load(n) => format!("load {n}"),
+        Insn::Store(n) => format!("store {n}"),
+        Insn::Dup => "dup".to_string(),
+        Insn::Pop => "pop".to_string(),
+        Insn::Swap => "swap".to_string(),
+        Insn::Bin(op) => op.mnemonic().to_lowercase(),
+        Insn::Un(op) => op.mnemonic().to_lowercase(),
+        Insn::IfCmp(op, t) => format!("if_cmp{} {t}", op.mnemonic().to_lowercase()),
+        Insn::If(op, t) => format!("if{} {t}", op.mnemonic().to_lowercase()),
+        Insn::Goto(t) => format!("goto {t}"),
+        Insn::New(c) => format!("new {}", program.class(*c).name),
+        Insn::NewArray(t) => format!("newarray {t}"),
+        Insn::ArrayLoad => "aaload".to_string(),
+        Insn::ArrayStore => "aastore".to_string(),
+        Insn::ArrayLength => "arraylength".to_string(),
+        Insn::GetField(f) => format!(
+            "getfield {}.{}",
+            program.class(f.class).name,
+            program.field(*f).name
+        ),
+        Insn::PutField(f) => format!(
+            "putfield {}.{}",
+            program.class(f.class).name,
+            program.field(*f).name
+        ),
+        Insn::GetStatic(f) => format!(
+            "getstatic {}.{}",
+            program.class(f.class).name,
+            program.field(*f).name
+        ),
+        Insn::PutStatic(f) => format!(
+            "putstatic {}.{}",
+            program.class(f.class).name,
+            program.field(*f).name
+        ),
+        Insn::Invoke(kind, m) => {
+            let callee = program.method(*m);
+            let cname = &program.class(callee.class).name;
+            let k = match kind {
+                InvokeKind::Virtual => "invokevirtual",
+                InvokeKind::Static => "invokestatic",
+                InvokeKind::Special => "invokespecial",
+            };
+            format!("{k} {cname}.{}:({})", callee.name, callee.params.len())
+        }
+        Insn::Return => "return".to_string(),
+        Insn::ReturnValue => "vreturn".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::bytecode::CmpOp;
+    use crate::lower::lower_method;
+    use crate::program::Type;
+
+    fn example() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let example = pb.class("Example");
+        let mut m = pb.method(example, "ex", vec![Type::Int], Type::Int);
+        m.iconst(4).store(1);
+        let skip = m.label();
+        m.load(1).iconst(2).if_cmp(CmpOp::Le, skip);
+        m.load(1).iconst(1).add().store(1);
+        m.place(skip);
+        m.load(1).ret_val();
+        let id = m.finish();
+        (pb.build(), id)
+    }
+
+    #[test]
+    fn quad_listing_mentions_entry_exit_and_opcodes() {
+        let (p, id) = example();
+        let qm = lower_method(&p, p.method(id)).unwrap();
+        let listing = print_quads(&p, &qm);
+        assert!(listing.contains("BB0 (ENTRY)"));
+        assert!(listing.contains("BB1 (EXIT)"));
+        assert!(listing.contains("MOVE_I"));
+        assert!(listing.contains("IFCMP_I"));
+        assert!(listing.contains("RETURN_I"));
+        assert!(listing.contains("LE"));
+    }
+
+    #[test]
+    fn bytecode_listing_is_numbered() {
+        let (p, id) = example();
+        let listing = print_bytecode(&p, id);
+        assert!(listing.contains("0: ldc IConst: 4"));
+        assert!(listing.contains("Example.ex"));
+        assert!(listing.lines().count() > 5);
+    }
+
+    #[test]
+    fn every_quad_formats_without_panic() {
+        let (p, id) = example();
+        let qm = lower_method(&p, p.method(id)).unwrap();
+        for (_, q) in qm.iter_quads() {
+            let s = format_quad(&p, q);
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The multilevel k-way driver: recursive bisection.
+//!
+//! Each bisection runs the full multilevel pipeline — coarsen with heavy-edge matching,
+//! compute an initial split on the coarsest graph with greedy graph growing (GGGP),
+//! then project the split back up the hierarchy refining with FM at every level. k-way
+//! partitions are obtained by recursively bisecting the induced subgraphs, splitting the
+//! requested part count proportionally (this is how pmetis operates).
+
+use crate::coarsen::coarsen_hierarchy;
+use crate::graph::{Graph, GraphBuilder};
+use crate::refine::{fm_refine_bisection, BisectionTargets};
+use crate::PartitionConfig;
+
+/// Partitions `graph` into `config.nparts` parts with multilevel recursive bisection.
+pub fn multilevel_kway(graph: &Graph, config: &PartitionConfig) -> Vec<usize> {
+    let n = graph.vertex_count();
+    let mut assignment = vec![0usize; n];
+    let vertices: Vec<usize> = (0..n).collect();
+    recurse(graph, &vertices, config.nparts, 0, config, &mut assignment);
+    assignment
+}
+
+/// Recursively bisects the subgraph induced by `vertices`, writing part ids in
+/// `[first_part, first_part + nparts)` into `assignment`.
+fn recurse(
+    graph: &Graph,
+    vertices: &[usize],
+    nparts: usize,
+    first_part: usize,
+    config: &PartitionConfig,
+    assignment: &mut [usize],
+) {
+    if nparts <= 1 || vertices.is_empty() {
+        for &v in vertices {
+            assignment[v] = first_part;
+        }
+        return;
+    }
+    let left_parts = nparts.div_ceil(2);
+    let right_parts = nparts - left_parts;
+    let frac = left_parts as f64 / nparts as f64;
+
+    let (sub, _back) = induce(graph, vertices);
+    let split = multilevel_bisect(&sub, frac, config);
+
+    let left: Vec<usize> = vertices
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| split[*i] == 0)
+        .map(|(_, &v)| v)
+        .collect();
+    let right: Vec<usize> = vertices
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| split[*i] == 1)
+        .map(|(_, &v)| v)
+        .collect();
+
+    recurse(graph, &left, left_parts, first_part, config, assignment);
+    recurse(
+        graph,
+        &right,
+        right_parts,
+        first_part + left_parts,
+        config,
+        assignment,
+    );
+}
+
+/// Builds the subgraph induced by `vertices`. Returns the subgraph and the map from
+/// subgraph vertex index back to the original vertex id.
+pub fn induce(graph: &Graph, vertices: &[usize]) -> (Graph, Vec<usize>) {
+    let mut to_sub = vec![usize::MAX; graph.vertex_count()];
+    for (i, &v) in vertices.iter().enumerate() {
+        to_sub[v] = i;
+    }
+    let mut b = GraphBuilder::new(vertices.len(), graph.ncon);
+    for (i, &v) in vertices.iter().enumerate() {
+        b.set_weight(i, graph.vertex_weight(v));
+        for (u, w) in graph.neighbours(v) {
+            if u > v && to_sub[u] != usize::MAX {
+                b.add_edge(i, to_sub[u], w);
+            }
+        }
+    }
+    (b.build(), vertices.to_vec())
+}
+
+/// Multilevel bisection: coarsen, GGGP initial split, uncoarsen + refine.
+/// Side 0 targets `frac` of the total weight.
+pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &PartitionConfig) -> Vec<usize> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    let levels = coarsen_hierarchy(graph, config.coarsen_to, config.seed);
+    let coarsest: &Graph = levels.last().map(|l| &l.graph).unwrap_or(graph);
+
+    // Initial split on the coarsest graph: try several GGGP seeds, keep the best.
+    let targets_coarsest = BisectionTargets::from_fraction(coarsest, frac, config.balance_tolerance);
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    for attempt in 0..4u64 {
+        let mut split = greedy_graph_growing(coarsest, frac, config.seed.wrapping_add(attempt));
+        let cut = fm_refine_bisection(coarsest, &mut split, &targets_coarsest, config.refine_passes);
+        match &best {
+            Some((bc, _)) if *bc <= cut => {}
+            _ => best = Some((cut, split)),
+        }
+    }
+    let mut split = best.expect("at least one attempt").1;
+
+    // Project the split back through the hierarchy, refining at every level.
+    for level_idx in (0..levels.len()).rev() {
+        let fine_graph = if level_idx == 0 {
+            graph
+        } else {
+            &levels[level_idx - 1].graph
+        };
+        let map = &levels[level_idx].map;
+        let mut fine_split = vec![0usize; fine_graph.vertex_count()];
+        for (v, part) in fine_split.iter_mut().enumerate() {
+            *part = split[map[v]];
+        }
+        let targets = BisectionTargets::from_fraction(fine_graph, frac, config.balance_tolerance);
+        fm_refine_bisection(fine_graph, &mut fine_split, &targets, config.refine_passes);
+        split = fine_split;
+    }
+
+    if levels.is_empty() {
+        // No coarsening happened: `split` is already for the original graph, but run a
+        // final refinement for good measure on graphs small enough to skip coarsening.
+        let targets = BisectionTargets::from_fraction(graph, frac, config.balance_tolerance);
+        fm_refine_bisection(graph, &mut split, &targets, config.refine_passes);
+    }
+    split
+}
+
+/// Greedy graph growing: grow side 0 from a seed vertex, always absorbing the frontier
+/// vertex most strongly connected to the grown region, until side 0 reaches its target
+/// weight (primary constraint 0). Unreached vertices (disconnected components) are
+/// pulled in arbitrarily if the target is not met.
+pub fn greedy_graph_growing(graph: &Graph, frac: f64, seed: u64) -> Vec<usize> {
+    let n = graph.vertex_count();
+    let totals = graph.total_weight();
+    let target0 = (totals[0] as f64 * frac).round() as u64;
+
+    let start = (seed % n as u64) as usize;
+    let mut side = vec![1usize; n];
+    let mut in_region = vec![false; n];
+    let mut connectivity = vec![0i64; n];
+    let mut grown_weight = 0u64;
+
+    let mut current = Some(start);
+    while grown_weight < target0 {
+        let v = match current.take() {
+            Some(v) => v,
+            None => {
+                // Best frontier vertex, or any remaining vertex if the frontier is empty.
+                let cand = (0..n)
+                    .filter(|&u| !in_region[u])
+                    .max_by_key(|&u| (connectivity[u], std::cmp::Reverse(u)));
+                match cand {
+                    Some(u) => u,
+                    None => break,
+                }
+            }
+        };
+        if in_region[v] {
+            continue;
+        }
+        in_region[v] = true;
+        side[v] = 0;
+        grown_weight += graph.vertex_weight(v)[0];
+        for (u, w) in graph.neighbours(v) {
+            connectivity[u] += w as i64;
+        }
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n * n, 1);
+        for i in 0..n {
+            for j in 0..n {
+                let v = i * n + j;
+                if j + 1 < n {
+                    b.add_edge(v, v + 1, 1);
+                }
+                if i + 1 < n {
+                    b.add_edge(v, v + n, 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisecting_a_grid_gives_a_thin_cut() {
+        let g = grid(8); // 64 vertices, optimal bisection cut = 8
+        let cfg = PartitionConfig::kway(2);
+        let split = multilevel_bisect(&g, 0.5, &cfg);
+        let cut = g.edge_cut(&split);
+        assert!(cut <= 16, "cut {cut} should be near the optimal 8");
+        let pw = g.part_weights(&split, 2);
+        assert!(pw[0][0] >= 24 && pw[1][0] >= 24, "roughly balanced: {pw:?}");
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_weights_and_internal_edges() {
+        let g = grid(4);
+        let vertices: Vec<usize> = (0..8).collect(); // top two rows
+        let (sub, back) = induce(&g, &vertices);
+        assert_eq!(sub.vertex_count(), 8);
+        assert_eq!(back, vertices);
+        // Edges inside the top two rows: 4+4 horizontal? (3 per row * 2) + 4 vertical = 10.
+        assert_eq!(sub.edge_count(), 10);
+    }
+
+    #[test]
+    fn greedy_growing_hits_the_target_fraction() {
+        let g = grid(6);
+        let side = greedy_graph_growing(&g, 0.5, 11);
+        let pw = g.part_weights(&side, 2);
+        let total = 36;
+        assert!(pw[0][0] >= total / 2, "side 0 grew to at least half");
+        assert!(pw[0][0] <= total / 2 + 6, "side 0 did not swallow everything");
+        // The grown region should be connected-ish: its internal cut is small.
+        assert!(g.edge_cut(&side) <= 14);
+    }
+
+    #[test]
+    fn kway_respects_part_count_and_covers_all_parts() {
+        let g = grid(8);
+        let cfg = PartitionConfig::kway(5);
+        let a = multilevel_kway(&g, &cfg);
+        assert_eq!(a.len(), 64);
+        for p in 0..5 {
+            assert!(a.contains(&p), "part {p} is non-empty");
+        }
+        assert!(a.iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn disconnected_graphs_are_handled() {
+        // Two disjoint triangles.
+        let mut b = GraphBuilder::new(6, 1);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(3, 4, 1);
+        b.add_edge(4, 5, 1);
+        b.add_edge(3, 5, 1);
+        let g = b.build();
+        let cfg = PartitionConfig::kway(2);
+        let a = multilevel_kway(&g, &cfg);
+        assert_eq!(g.edge_cut(&a), 0, "disjoint components need no cut");
+        assert!(a.contains(&0) && a.contains(&1));
+    }
+
+    #[test]
+    fn nparts_larger_than_vertices_still_valid() {
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let cfg = PartitionConfig::kway(8);
+        let a = multilevel_kway(&g, &cfg);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|&p| p < 8));
+    }
+}

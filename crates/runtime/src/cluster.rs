@@ -1,0 +1,438 @@
+//! The cluster driver: runs a program centralized or distributed and reports timings.
+//!
+//! Distributed runs spawn one OS thread per node; node 0 plays the paper's launch node
+//! (the 800 MHz machine where the user starts the program), runs the Execution Starter
+//! and finally broadcasts a shutdown; every other node runs the Message Exchange serve
+//! loop. Each node keeps a virtual clock fed by the instruction and network cost model,
+//! so the reported *virtual time* reproduces the shape of the paper's Figure 11 even
+//! though everything actually executes on one machine; wall-clock time is reported as
+//! well.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use autodist_ir::program::Program;
+
+use crate::interp::{DistState, Interp, ProfilerSink};
+use crate::net::NetworkConfig;
+use crate::services::{ExecutionStarter, MessageExchange, MpiService};
+use crate::value::Value;
+
+/// Configuration of a distributed run.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterConfig {
+    /// The network / CPU cost model. The number of nodes is `network.nodes()`.
+    pub network: NetworkConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's two-node testbed.
+    pub fn paper_testbed() -> Self {
+        ClusterConfig {
+            network: NetworkConfig::paper_testbed(),
+        }
+    }
+}
+
+/// Per-node execution statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeStats {
+    /// Node rank.
+    pub node: usize,
+    /// Instructions interpreted.
+    pub instructions: u64,
+    /// Objects/arrays allocated.
+    pub allocations: u64,
+    /// Bytes allocated.
+    pub allocated_bytes: u64,
+    /// Method invocations.
+    pub method_invocations: u64,
+    /// Remote requests issued by this node.
+    pub remote_requests: u64,
+    /// Requests served for other nodes.
+    pub requests_served: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Final virtual clock of the node in microseconds.
+    pub clock_us: f64,
+}
+
+/// The result of a (centralized or distributed) execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionReport {
+    /// Virtual execution time in microseconds (the launch node's final clock).
+    pub virtual_time_us: f64,
+    /// Wall-clock time of the simulation in milliseconds.
+    pub wall_time_ms: f64,
+    /// Per-node statistics (a single entry for centralized runs).
+    pub per_node: Vec<NodeStats>,
+    /// Final values of static fields on the launch node (used to check that the
+    /// distributed execution computes the same answers as the centralized one).
+    pub final_statics: BTreeMap<String, Value>,
+    /// The error message if execution failed.
+    pub error: Option<String>,
+}
+
+impl ExecutionReport {
+    /// Total messages exchanged.
+    pub fn total_messages(&self) -> u64 {
+        self.per_node.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total bytes exchanged.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Speedup of `self` relative to `baseline` in virtual time (values above 1.0 mean
+    /// `self` is faster). This is the quantity plotted in Figure 11 (as a percentage).
+    pub fn speedup_over(&self, baseline: &ExecutionReport) -> f64 {
+        if self.virtual_time_us <= 0.0 {
+            return 0.0;
+        }
+        baseline.virtual_time_us / self.virtual_time_us
+    }
+
+    /// `true` if execution completed without an error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+fn stats_of(interp: &Interp<'_>, node: usize) -> NodeStats {
+    let (messages_sent, bytes_sent) = interp
+        .dist
+        .as_ref()
+        .map(|d| (d.endpoint.messages_sent, d.endpoint.bytes_sent))
+        .unwrap_or((0, 0));
+    NodeStats {
+        node,
+        instructions: interp.counters.instructions,
+        allocations: interp.counters.allocations,
+        allocated_bytes: interp.counters.allocated_bytes,
+        method_invocations: interp.counters.method_invocations,
+        remote_requests: interp.counters.remote_requests,
+        requests_served: interp.counters.requests_served,
+        messages_sent,
+        bytes_sent,
+        clock_us: interp.clock_us,
+    }
+}
+
+/// Runs `program` on a single node with the given relative CPU speed (1.0 = the paper's
+/// 800 MHz computation node). This is the sequential baseline of Figure 11.
+pub fn run_centralized(program: &Program, speed: f64) -> ExecutionReport {
+    run_centralized_profiled(program, speed, None, 0)
+}
+
+/// Centralized run with an optional profiler sink attached (used by the Table 3
+/// harness). `sample_interval` is in interpreted instructions; 0 disables sampling.
+pub fn run_centralized_profiled(
+    program: &Program,
+    speed: f64,
+    profiler: Option<Box<dyn ProfilerSink>>,
+    sample_interval: u64,
+) -> ExecutionReport {
+    let start = Instant::now();
+    let mut interp = Interp::new(program).with_speed(speed);
+    interp.instr_cost_us = NetworkConfig::paper_testbed().instr_cost_us;
+    if let Some(p) = profiler {
+        interp = interp.with_profiler(p, sample_interval);
+    }
+    let result = ExecutionStarter::start(&mut interp);
+    let wall = start.elapsed();
+    ExecutionReport {
+        virtual_time_us: interp.clock_us,
+        wall_time_ms: wall.as_secs_f64() * 1e3,
+        per_node: vec![stats_of(&interp, 0)],
+        final_statics: interp.statics_snapshot(),
+        error: result.err().map(|e| e.to_string()),
+    }
+}
+
+/// Runs the per-node program copies distributed over `config.network.nodes()` nodes.
+///
+/// `programs[r]` is the (rewritten) program copy executed by rank `r`; `programs.len()`
+/// must equal the node count of the network configuration.
+pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
+    let nodes = programs.len();
+    assert!(nodes >= 1, "at least one node required");
+    assert_eq!(
+        nodes,
+        config.network.nodes(),
+        "one program copy per configured node"
+    );
+    let start = Instant::now();
+    let mut mpi = MpiService::init(nodes, config.network.clone());
+
+    let mut endpoints: Vec<_> = (0..nodes).map(|r| Some(mpi.endpoint(r))).collect();
+
+    let results: Vec<(NodeStats, BTreeMap<String, Value>, Option<String>)> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rank, program) in programs.iter().enumerate() {
+                let endpoint = endpoints[rank].take().expect("endpoint");
+                let builder = std::thread::Builder::new()
+                    .name(format!("node-{rank}"))
+                    .stack_size(32 * 1024 * 1024);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut interp =
+                            Interp::new(program).with_dist(DistState::new(endpoint));
+                        let mut error = None;
+                        let stats;
+                        if rank == 0 {
+                            if let Err(e) = ExecutionStarter::start(&mut interp) {
+                                error = Some(e.to_string());
+                            }
+                            // Execution ends when main returns on the launch node; the
+                            // shutdown broadcast is bookkeeping and not part of the
+                            // measured execution.
+                            stats = stats_of(&interp, rank);
+                            MessageExchange::broadcast_shutdown(&mut interp);
+                        } else {
+                            MessageExchange::serve(&mut interp);
+                            stats = stats_of(&interp, rank);
+                        }
+                        (stats, interp.statics_snapshot(), error)
+                    })
+                    .expect("spawn node thread");
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        });
+
+    let wall = start.elapsed();
+    let error = results.iter().find_map(|(_, _, e)| e.clone());
+    let final_statics = results
+        .first()
+        .map(|(_, s, _)| s.clone())
+        .unwrap_or_default();
+    // The distributed execution ends when the launch node finishes `main`; its clock
+    // has already absorbed every synchronous round trip (the communication style is
+    // request/response), so it is the execution time the paper measures.
+    let virtual_time_us = results
+        .first()
+        .map(|(s, _, _)| s.clock_us)
+        .unwrap_or(0.0);
+    ExecutionReport {
+        virtual_time_us,
+        wall_time_ms: wall.as_secs_f64() * 1e3,
+        per_node: results.into_iter().map(|(s, _, _)| s).collect(),
+        final_statics,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement};
+    use autodist_ir::frontend::compile_source;
+    use std::collections::BTreeMap as Map;
+
+    const BANK_SRC: &str = r#"
+        class Account {
+            int id;
+            int savings;
+            Account(int id, int savings) { this.id = id; this.savings = savings; }
+            int getSavings() { return this.savings; }
+            void setBalance(int b) { this.savings = b; }
+        }
+        class Bank {
+            Account[] accounts;
+            int count;
+            Bank(int n) {
+                this.accounts = new Account[100];
+                this.count = 0;
+                int i = 0;
+                while (i < n) {
+                    this.openAccount(new Account(i, 1000));
+                    i = i + 1;
+                }
+            }
+            void openAccount(Account a) {
+                this.accounts[this.count] = a;
+                this.count = this.count + 1;
+            }
+            Account getCustomer(int id) { return this.accounts[id]; }
+            int totalSavings() {
+                int t = 0;
+                int i = 0;
+                while (i < this.count) {
+                    t = t + this.accounts[i].getSavings();
+                    i = i + 1;
+                }
+                return t;
+            }
+        }
+        class Main {
+            static int result;
+            static void main() {
+                Bank merchants = new Bank(10);
+                Account a4 = new Account(100, 50000);
+                merchants.openAccount(a4);
+                Account a = merchants.getCustomer(2);
+                a.setBalance(a.getSavings() - 900);
+                result = merchants.totalSavings();
+            }
+        }
+    "#;
+
+    fn split_placement(p: &autodist_ir::Program) -> ClassPlacement {
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Bank").unwrap(), 1);
+        home.insert(p.class_by_name("Account").unwrap(), 1);
+        ClassPlacement { home, nparts: 2 }
+    }
+
+    #[test]
+    fn centralized_bank_run_produces_expected_total() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let report = run_centralized(&p, 1.0);
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            Some(&Value::Int(10 * 1000 + 50000 - 900))
+        );
+        assert!(report.virtual_time_us > 0.0);
+        assert_eq!(report.total_messages(), 0);
+    }
+
+    #[test]
+    fn distributed_bank_run_matches_centralized_result() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let centralized = run_centralized(&p, 1.0);
+
+        let placement = split_placement(&p);
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let report = run_distributed(&copies, &ClusterConfig::paper_testbed());
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            centralized.final_statics.get("Main::result"),
+            "distributed execution computes the same answer"
+        );
+        assert!(report.total_messages() > 0, "communication happened");
+        assert!(report.total_bytes() > 0);
+        assert!(report.per_node[1].requests_served > 0);
+        assert!(report.virtual_time_us > 0.0);
+    }
+
+    #[test]
+    fn single_node_distributed_run_behaves_like_centralized() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = ClassPlacement::centralized(1);
+        let copy = rewrite_for_node(&p, &placement, 0).program;
+        let config = ClusterConfig {
+            network: NetworkConfig::uniform(1),
+        };
+        let report = run_distributed(std::slice::from_ref(&copy), &config);
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(report.total_messages(), 0);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            Some(&Value::Int(10 * 1000 + 50000 - 900))
+        );
+    }
+
+    #[test]
+    fn offloading_work_to_a_faster_node_can_give_speedup() {
+        // A compute-heavy class placed on the fast node: distribution should beat the
+        // slow-node-only baseline in virtual time (this is the Figure 11 effect).
+        let src = r#"
+            class Worker {
+                int crunch(int n) {
+                    int acc = 0;
+                    int i = 0;
+                    while (i < n) {
+                        acc = acc + (i * i) % 1000;
+                        i = i + 1;
+                    }
+                    return acc;
+                }
+            }
+            class Main {
+                static int result;
+                static void main() {
+                    Worker w = new Worker();
+                    result = w.crunch(20000);
+                }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let baseline = run_centralized(&p, 1.0);
+
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Worker").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let dist = run_distributed(&copies, &ClusterConfig::paper_testbed());
+        assert!(dist.is_ok(), "{:?}", dist.error);
+        assert_eq!(
+            dist.final_statics.get("Main::result"),
+            baseline.final_statics.get("Main::result")
+        );
+        let speedup = dist.speedup_over(&baseline);
+        assert!(
+            speedup > 1.2,
+            "offloading the hot loop to the 2.1x node should win (speedup {speedup:.2})"
+        );
+    }
+
+    #[test]
+    fn communication_heavy_distribution_shows_overhead() {
+        // Fine-grained remote field access with almost no compute: distribution should
+        // be slower than the baseline (the sub-100% cases of Figure 11).
+        let src = r#"
+            class Cell {
+                int v;
+                int get() { return this.v; }
+                void set(int x) { this.v = x; }
+            }
+            class Main {
+                static int result;
+                static void main() {
+                    Cell c = new Cell();
+                    int i = 0;
+                    while (i < 200) {
+                        c.set(c.get() + 1);
+                        i = i + 1;
+                    }
+                    result = c.get();
+                }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let baseline = run_centralized(&p, 1.0);
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Cell").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let dist = run_distributed(&copies, &ClusterConfig::paper_testbed());
+        assert!(dist.is_ok(), "{:?}", dist.error);
+        assert_eq!(
+            dist.final_statics.get("Main::result"),
+            baseline.final_statics.get("Main::result")
+        );
+        assert!(
+            dist.speedup_over(&baseline) < 1.0,
+            "chatty fine-grained access should pay communication overhead"
+        );
+        assert!(dist.total_messages() >= 400, "two messages per round trip");
+    }
+}

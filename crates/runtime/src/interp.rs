@@ -1,0 +1,1493 @@
+//! The bytecode interpreter.
+//!
+//! The paper executes its rewritten bytecode on a JVM ("it was easier to use normal JVM
+//! since our current experiments are conducted on resource-rich x86 platforms"); this
+//! interpreter plays that JVM's role. It executes the stack bytecode directly, maintains
+//! a virtual clock (instructions cost `instr_cost / node speed` microseconds, messages
+//! cost latency + bytes/bandwidth), exposes profiler hooks (Section 6), and — when a
+//! [`DistState`] is attached — intercepts operations on `rt/DependentObject` proxies and
+//! turns them into `NEW` / `DEPENDENCE` message exchanges (Section 5).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use autodist_ir::bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
+use autodist_ir::program::{ClassId, MethodId, Program, Type};
+
+use crate::net::{MpiEndpoint, PacketKind};
+use crate::value::{HeapObject, ObjRef, Value};
+use crate::wire::{AccessKind, Request, Response, WireValue};
+
+/// Name of the proxy class injected by the communication rewriter.
+pub const DEPENDENT_OBJECT_CLASS: &str = "rt/DependentObject";
+
+/// Execution statistics collected by the interpreter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Objects and arrays allocated.
+    pub allocations: u64,
+    /// Bytes allocated (approximate resident sizes).
+    pub allocated_bytes: u64,
+    /// Method invocations (all kinds).
+    pub method_invocations: u64,
+    /// Remote requests issued (NEW + DEPENDENCE).
+    pub remote_requests: u64,
+    /// Remote requests served for other nodes.
+    pub requests_served: u64,
+}
+
+/// Profiler hook surface (implemented by `autodist-profiler`).
+///
+/// `method_enter` / `method_exit` implement the instrumentation-based metrics;
+/// `sample` is called every sampling quantum with the current call stack (top last);
+/// `allocation` feeds the memory metric.
+pub trait ProfilerSink: Send {
+    /// A method frame was pushed.
+    fn method_enter(&mut self, method: MethodId, clock_us: f64);
+    /// A method frame was popped.
+    fn method_exit(&mut self, method: MethodId, clock_us: f64);
+    /// An object or array of `bytes` bytes was allocated (`class` is `None` for arrays).
+    fn allocation(&mut self, class: Option<ClassId>, bytes: u64);
+    /// A sampling tick fired; `stack` is the current call stack, innermost frame last.
+    fn sample(&mut self, stack: &[MethodId]);
+    /// Whether the expensive per-call instrumentation callbacks should be invoked.
+    /// Sampling-only profilers return `false` to emulate "compiled in but not enabled".
+    fn wants_instrumentation(&self) -> bool {
+        true
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program has no entry point.
+    NoEntry,
+    /// Dereferenced a null value.
+    NullPointer(String),
+    /// Integer division by zero.
+    DivisionByZero,
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// No such field on the receiver.
+    UnknownField(String),
+    /// No such method on the receiver class.
+    UnknownMethod(String),
+    /// Call depth limit exceeded.
+    StackOverflow,
+    /// A remote operation failed on the other node.
+    RemoteFailure(String),
+    /// A remote operation was attempted without a distributed runtime attached.
+    NotDistributed,
+    /// Anything else.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoEntry => write!(f, "program has no entry point"),
+            ExecError::NullPointer(w) => write!(f, "null pointer: {w}"),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            ExecError::UnknownField(n) => write!(f, "unknown field {n}"),
+            ExecError::UnknownMethod(n) => write!(f, "unknown method {n}"),
+            ExecError::StackOverflow => write!(f, "call depth limit exceeded"),
+            ExecError::RemoteFailure(e) => write!(f, "remote failure: {e}"),
+            ExecError::NotDistributed => write!(f, "remote access without a distributed runtime"),
+            ExecError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Distributed-execution state attached to an interpreter running as one node of the
+/// simulated cluster.
+pub struct DistState {
+    /// This node's endpoint into the simulated MPI world.
+    pub endpoint: MpiEndpoint,
+    /// Export table: export id -> heap index.
+    pub exports: Vec<u32>,
+    /// Reverse export table: heap index -> export id.
+    pub export_ids: HashMap<u32, u64>,
+    /// Set once a `Shutdown` request is received.
+    pub shutdown: bool,
+}
+
+impl DistState {
+    /// Wraps an endpoint.
+    pub fn new(endpoint: MpiEndpoint) -> Self {
+        DistState {
+            endpoint,
+            exports: Vec::new(),
+            export_ids: HashMap::new(),
+            shutdown: false,
+        }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.endpoint.rank
+    }
+}
+
+/// The bytecode interpreter for one node (or for a centralized run).
+pub struct Interp<'p> {
+    /// The program being executed (a per-node rewritten copy in distributed runs).
+    pub program: &'p Program,
+    /// The heap.
+    pub heap: Vec<HeapObject>,
+    /// Execution statistics.
+    pub counters: ExecCounters,
+    /// Virtual clock in microseconds.
+    pub clock_us: f64,
+    /// Relative CPU speed of this node (1.0 = the paper's 800 MHz node).
+    pub speed: f64,
+    /// Virtual microseconds charged per instruction at speed 1.0.
+    pub instr_cost_us: f64,
+    /// Optional profiler.
+    pub profiler: Option<Box<dyn ProfilerSink>>,
+    /// Sampling quantum in instructions (0 disables sampling).
+    pub sample_interval: u64,
+    /// Distributed runtime state (None for centralized execution).
+    pub dist: Option<DistState>,
+    call_stack: Vec<MethodId>,
+    instructions_since_sample: u64,
+    max_depth: usize,
+    dep_class: Option<ClassId>,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for a centralized run at speed 1.0.
+    pub fn new(program: &'p Program) -> Self {
+        let dep_class = program.class_by_name(DEPENDENT_OBJECT_CLASS);
+        Interp {
+            program,
+            heap: Vec::new(),
+            counters: ExecCounters::default(),
+            clock_us: 0.0,
+            speed: 1.0,
+            instr_cost_us: 0.02,
+            profiler: None,
+            sample_interval: 0,
+            dist: None,
+            call_stack: Vec::new(),
+            instructions_since_sample: 0,
+            max_depth: 100,
+            dep_class,
+        }
+    }
+
+    /// Sets the node speed factor.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Attaches the distributed runtime state.
+    pub fn with_dist(mut self, dist: DistState) -> Self {
+        self.instr_cost_us = dist.endpoint.config.instr_cost_us;
+        self.speed = dist.endpoint.config.speed_of(dist.endpoint.rank);
+        self.dist = Some(dist);
+        self
+    }
+
+    /// Attaches a profiler sink.
+    pub fn with_profiler(mut self, sink: Box<dyn ProfilerSink>, sample_interval: u64) -> Self {
+        self.profiler = Some(sink);
+        self.sample_interval = sample_interval;
+        self
+    }
+
+    /// Consumes the interpreter and returns the profiler sink, if any.
+    pub fn take_profiler(&mut self) -> Option<Box<dyn ProfilerSink>> {
+        self.profiler.take()
+    }
+
+    /// Runs the program entry point.
+    pub fn run_entry(&mut self) -> Result<Value, ExecError> {
+        let entry = self.program.entry.ok_or(ExecError::NoEntry)?;
+        self.invoke(entry, Vec::new())
+    }
+
+    fn charge(&mut self, n: u64) {
+        self.counters.instructions += n;
+        self.clock_us += n as f64 * self.instr_cost_us / self.speed;
+        if self.sample_interval > 0 {
+            self.instructions_since_sample += n;
+            if self.instructions_since_sample >= self.sample_interval {
+                self.instructions_since_sample = 0;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.sample(&self.call_stack);
+                }
+            }
+        }
+    }
+
+    fn alloc(&mut self, obj: HeapObject) -> ObjRef {
+        let bytes = obj.size_bytes();
+        let class = obj.class();
+        self.counters.allocations += 1;
+        self.counters.allocated_bytes += bytes;
+        if let Some(p) = self.profiler.as_mut() {
+            p.allocation(class, bytes);
+        }
+        self.heap.push(obj);
+        ObjRef::Local((self.heap.len() - 1) as u32)
+    }
+
+    fn new_instance(&mut self, class: ClassId) -> ObjRef {
+        // Initialise instance fields to their Java-style default values, walking the
+        // superclass chain.
+        let mut fields = BTreeMap::new();
+        let mut cur = Some(class);
+        while let Some(cid) = cur {
+            let c = self.program.class(cid);
+            for f in c.fields.iter().filter(|f| !f.is_static) {
+                fields
+                    .entry(f.name.clone())
+                    .or_insert_with(|| match f.ty {
+                        Type::Int => Value::Int(0),
+                        Type::Float => Value::Float(0.0),
+                        Type::Bool => Value::Bool(false),
+                        _ => Value::Null,
+                    });
+            }
+            cur = c.super_class;
+        }
+        self.alloc(HeapObject::Object { class, fields })
+    }
+
+    /// Invokes `method` with `args` (receiver first for instance methods).
+    pub fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Value, ExecError> {
+        if self.call_stack.len() >= self.max_depth {
+            return Err(ExecError::StackOverflow);
+        }
+        let m = self.program.method(method);
+        if m.body.is_empty() {
+            // Abstract / intrinsic methods that were not intercepted: behave as no-ops.
+            return Ok(Value::Null);
+        }
+        self.counters.method_invocations += 1;
+        self.call_stack.push(method);
+        let wants_instr = self
+            .profiler
+            .as_ref()
+            .map(|p| p.wants_instrumentation())
+            .unwrap_or(false);
+        if wants_instr {
+            let clock = self.clock_us;
+            if let Some(p) = self.profiler.as_mut() {
+                p.method_enter(method, clock);
+            }
+        }
+        let result = self.execute_body(method, args);
+        if wants_instr {
+            let clock = self.clock_us;
+            if let Some(p) = self.profiler.as_mut() {
+                p.method_exit(method, clock);
+            }
+        }
+        self.call_stack.pop();
+        result
+    }
+
+    fn execute_body(&mut self, method: MethodId, args: Vec<Value>) -> Result<Value, ExecError> {
+        let m = self.program.method(method);
+        let mut locals: Vec<Value> = vec![Value::Null; (m.locals as usize).max(args.len()) + 4];
+        for (i, a) in args.into_iter().enumerate() {
+            locals[i] = a;
+        }
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+        let body = &m.body;
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or_else(|| {
+                    ExecError::Unsupported(format!("operand stack underflow at pc {pc}"))
+                })?
+            };
+        }
+
+        while pc < body.len() {
+            self.charge(1);
+            match &body[pc] {
+                Insn::Const(c) => stack.push(match c {
+                    Const::Int(v) => Value::Int(*v),
+                    Const::Float(v) => Value::Float(*v),
+                    Const::Bool(v) => Value::Bool(*v),
+                    Const::Str(s) => Value::str(s),
+                    Const::Null => Value::Null,
+                }),
+                Insn::Load(n) => {
+                    let idx = *n as usize;
+                    if idx >= locals.len() {
+                        locals.resize(idx + 1, Value::Null);
+                    }
+                    stack.push(locals[idx].clone());
+                }
+                Insn::Store(n) => {
+                    let idx = *n as usize;
+                    if idx >= locals.len() {
+                        locals.resize(idx + 1, Value::Null);
+                    }
+                    locals[idx] = pop!();
+                }
+                Insn::Dup => {
+                    let v = stack
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| ExecError::Unsupported("dup on empty stack".into()))?;
+                    stack.push(v);
+                }
+                Insn::Pop => {
+                    pop!();
+                }
+                Insn::Swap => {
+                    let len = stack.len();
+                    if len < 2 {
+                        return Err(ExecError::Unsupported("swap on short stack".into()));
+                    }
+                    stack.swap(len - 1, len - 2);
+                }
+                Insn::Bin(op) => {
+                    let rhs = pop!();
+                    let lhs = pop!();
+                    stack.push(self.binop(*op, lhs, rhs)?);
+                }
+                Insn::Un(op) => {
+                    let v = pop!();
+                    stack.push(self.unop(*op, v)?);
+                }
+                Insn::IfCmp(op, target) => {
+                    let rhs = pop!();
+                    let lhs = pop!();
+                    if compare(*op, &lhs, &rhs) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Insn::If(op, target) => {
+                    let v = pop!();
+                    let taken = match v {
+                        Value::Null => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+                        Value::Ref(_) => matches!(op, CmpOp::Ne),
+                        other => {
+                            let i = other.as_int().unwrap_or(0);
+                            op.eval_ord(i.cmp(&0))
+                        }
+                    };
+                    if taken {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Insn::Goto(target) => {
+                    pc = *target;
+                    continue;
+                }
+                Insn::New(class) => {
+                    let r = self.new_instance(*class);
+                    stack.push(Value::Ref(r));
+                }
+                Insn::NewArray(elem) => {
+                    let len = pop!()
+                        .as_int()
+                        .ok_or_else(|| ExecError::Unsupported("array length not an int".into()))?;
+                    if len < 0 {
+                        return Err(ExecError::IndexOutOfBounds {
+                            index: len,
+                            len: 0,
+                        });
+                    }
+                    // Java-style zero initialisation according to the element type.
+                    let default = match elem {
+                        Type::Int => Value::Int(0),
+                        Type::Float => Value::Float(0.0),
+                        Type::Bool => Value::Bool(false),
+                        _ => Value::Null,
+                    };
+                    let r = self.alloc(HeapObject::Array {
+                        data: vec![default; len as usize],
+                    });
+                    stack.push(Value::Ref(r));
+                }
+                Insn::ArrayLoad => {
+                    let idx = pop!();
+                    let arr = pop!();
+                    stack.push(self.array_load(arr, idx)?);
+                }
+                Insn::ArrayStore => {
+                    let val = pop!();
+                    let idx = pop!();
+                    let arr = pop!();
+                    self.array_store(arr, idx, val)?;
+                }
+                Insn::ArrayLength => {
+                    let arr = pop!();
+                    stack.push(self.array_length(arr)?);
+                }
+                Insn::GetField(fr) => {
+                    let obj = pop!();
+                    let name = self.program.field(*fr).name.clone();
+                    stack.push(self.get_field(obj, &name)?);
+                }
+                Insn::PutField(fr) => {
+                    let val = pop!();
+                    let obj = pop!();
+                    let name = self.program.field(*fr).name.clone();
+                    self.put_field(obj, &name, val)?;
+                }
+                Insn::GetStatic(fr) => {
+                    let key = static_key(self.program, *fr);
+                    stack.push(self.static_field(&key));
+                }
+                Insn::PutStatic(fr) => {
+                    let val = pop!();
+                    let key = static_key(self.program, *fr);
+                    self.set_static_field(&key, val);
+                }
+                Insn::Invoke(kind, target) => {
+                    let callee = self.program.method(*target);
+                    let nargs =
+                        callee.params.len() + if *kind == InvokeKind::Static { 0 } else { 1 };
+                    if stack.len() < nargs {
+                        return Err(ExecError::Unsupported(format!(
+                            "invoke underflow at pc {pc}"
+                        )));
+                    }
+                    let args: Vec<Value> = stack.split_off(stack.len() - nargs);
+                    let has_ret = callee.ret != Type::Void;
+                    let result = self.dispatch(*kind, *target, args)?;
+                    if has_ret {
+                        stack.push(result);
+                    }
+                }
+                Insn::Return => return Ok(Value::Null),
+                Insn::ReturnValue => return Ok(pop!()),
+            }
+            pc += 1;
+        }
+        Ok(Value::Null)
+    }
+
+    fn binop(&self, op: BinOp, lhs: Value, rhs: Value) -> Result<Value, ExecError> {
+        // String concatenation on Add keeps the Bank example's name handling working.
+        if op == BinOp::Add {
+            if let (Value::Str(a), Value::Str(b)) = (&lhs, &rhs) {
+                return Ok(Value::str(&format!("{a}{b}")));
+            }
+        }
+        if let (Value::Float(_), _) | (_, Value::Float(_)) = (&lhs, &rhs) {
+            let a = lhs
+                .as_float()
+                .ok_or_else(|| ExecError::Unsupported("float op on non-number".into()))?;
+            let b = rhs
+                .as_float()
+                .ok_or_else(|| ExecError::Unsupported("float op on non-number".into()))?;
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(ExecError::DivisionByZero);
+                    }
+                    a / b
+                }
+                BinOp::Rem => a % b,
+                _ => {
+                    return Err(ExecError::Unsupported(format!(
+                        "bitwise {op:?} on floats"
+                    )))
+                }
+            };
+            return Ok(Value::Float(r));
+        }
+        let a = lhs
+            .as_int()
+            .ok_or_else(|| ExecError::Unsupported(format!("{op:?} on non-number {lhs:?}")))?;
+        let b = rhs
+            .as_int()
+            .ok_or_else(|| ExecError::Unsupported(format!("{op:?} on non-number {rhs:?}")))?;
+        let r = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32),
+            BinOp::Shr => a.wrapping_shr(b as u32),
+        };
+        Ok(Value::Int(r))
+    }
+
+    fn unop(&self, op: UnOp, v: Value) -> Result<Value, ExecError> {
+        Ok(match op {
+            UnOp::Neg => match v {
+                Value::Float(f) => Value::Float(-f),
+                other => Value::Int(-other.as_int().unwrap_or(0)),
+            },
+            UnOp::Not => Value::Bool(!v.is_truthy()),
+            UnOp::IntToFloat => Value::Float(v.as_float().unwrap_or(0.0)),
+            UnOp::FloatToInt => Value::Int(v.as_int().unwrap_or(0)),
+        })
+    }
+
+    // --- arrays -------------------------------------------------------------------
+
+    fn array_load(&mut self, arr: Value, idx: Value) -> Result<Value, ExecError> {
+        let i = idx
+            .as_int()
+            .ok_or_else(|| ExecError::Unsupported("array index not an int".into()))?;
+        match arr {
+            Value::Ref(ObjRef::Local(h)) => match &self.heap[h as usize] {
+                HeapObject::Array { data } => data
+                    .get(i as usize)
+                    .cloned()
+                    .ok_or(ExecError::IndexOutOfBounds {
+                        index: i,
+                        len: self.array_len(h),
+                    }),
+                _ => Err(ExecError::Unsupported("array load on object".into())),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                self.remote_access(r, AccessKind::GetElement, "", vec![Value::Int(i)])
+            }
+            Value::Null => Err(ExecError::NullPointer("array load".into())),
+            _ => Err(ExecError::Unsupported("array load on non-reference".into())),
+        }
+    }
+
+    fn array_len(&self, h: u32) -> usize {
+        match &self.heap[h as usize] {
+            HeapObject::Array { data } => data.len(),
+            _ => 0,
+        }
+    }
+
+    fn array_store(&mut self, arr: Value, idx: Value, val: Value) -> Result<(), ExecError> {
+        let i = idx
+            .as_int()
+            .ok_or_else(|| ExecError::Unsupported("array index not an int".into()))?;
+        match arr {
+            Value::Ref(ObjRef::Local(h)) => {
+                let len = self.array_len(h);
+                match &mut self.heap[h as usize] {
+                    HeapObject::Array { data } => {
+                        if i < 0 || i as usize >= data.len() {
+                            return Err(ExecError::IndexOutOfBounds { index: i, len });
+                        }
+                        data[i as usize] = val;
+                        Ok(())
+                    }
+                    _ => Err(ExecError::Unsupported("array store on object".into())),
+                }
+            }
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                self.remote_access(r, AccessKind::PutElement, "", vec![Value::Int(i), val])?;
+                Ok(())
+            }
+            Value::Null => Err(ExecError::NullPointer("array store".into())),
+            _ => Err(ExecError::Unsupported("array store on non-reference".into())),
+        }
+    }
+
+    fn array_length(&mut self, arr: Value) -> Result<Value, ExecError> {
+        match arr {
+            Value::Ref(ObjRef::Local(h)) => Ok(Value::Int(self.array_len(h) as i64)),
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                self.remote_access(r, AccessKind::ArrayLength, "", vec![])
+            }
+            Value::Null => Err(ExecError::NullPointer("array length".into())),
+            _ => Err(ExecError::Unsupported("length of non-reference".into())),
+        }
+    }
+
+    // --- fields -------------------------------------------------------------------
+
+    fn get_field(&mut self, obj: Value, name: &str) -> Result<Value, ExecError> {
+        match obj {
+            Value::Ref(ObjRef::Local(h)) => match &self.heap[h as usize] {
+                HeapObject::Object { fields, .. } => {
+                    Ok(fields.get(name).cloned().unwrap_or(Value::Null))
+                }
+                _ => Err(ExecError::Unsupported("field read on array".into())),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                self.remote_access(r, AccessKind::GetField, name, vec![])
+            }
+            Value::Null => Err(ExecError::NullPointer(format!("read of field {name}"))),
+            _ => Err(ExecError::Unsupported("field read on non-reference".into())),
+        }
+    }
+
+    fn put_field(&mut self, obj: Value, name: &str, val: Value) -> Result<(), ExecError> {
+        match obj {
+            Value::Ref(ObjRef::Local(h)) => match &mut self.heap[h as usize] {
+                HeapObject::Object { fields, .. } => {
+                    fields.insert(name.to_string(), val);
+                    Ok(())
+                }
+                _ => Err(ExecError::Unsupported("field write on array".into())),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                self.remote_access(r, AccessKind::PutField, name, vec![val])?;
+                Ok(())
+            }
+            Value::Null => Err(ExecError::NullPointer(format!("write of field {name}"))),
+            _ => Err(ExecError::Unsupported("field write on non-reference".into())),
+        }
+    }
+
+    // Statics are replicated per node and stored in a hidden heap object per class.
+    fn static_field(&mut self, key: &str) -> Value {
+        for obj in &self.heap {
+            if let HeapObject::Object { class: _, fields } = obj {
+                if let Some(v) = fields.get(key) {
+                    return v.clone();
+                }
+            }
+        }
+        Value::Null
+    }
+
+    fn set_static_field(&mut self, key: &str, val: Value) {
+        // Store statics in heap slot 0 by convention (created lazily).
+        if self.heap.is_empty() {
+            self.heap.push(HeapObject::Object {
+                class: ClassId(u32::MAX),
+                fields: BTreeMap::new(),
+            });
+        }
+        // Slot 0 might be a user object if allocation happened first; scan for an
+        // existing holder, else use a dedicated appended object.
+        for obj in self.heap.iter_mut() {
+            if let HeapObject::Object { class, fields } = obj {
+                if *class == ClassId(u32::MAX) {
+                    fields.insert(key.to_string(), val);
+                    return;
+                }
+            }
+        }
+        let mut fields = BTreeMap::new();
+        fields.insert(key.to_string(), val);
+        self.heap.push(HeapObject::Object {
+            class: ClassId(u32::MAX),
+            fields,
+        });
+    }
+
+    // --- dispatch -----------------------------------------------------------------
+
+    fn dispatch(
+        &mut self,
+        kind: InvokeKind,
+        target: MethodId,
+        mut args: Vec<Value>,
+    ) -> Result<Value, ExecError> {
+        let callee = self.program.method(target);
+        let callee_class = callee.class;
+        let callee_name = callee.name.clone();
+
+        if kind == InvokeKind::Static {
+            return self.invoke(target, args);
+        }
+
+        // Instance call: args[0] is the receiver.
+        let receiver = args
+            .first()
+            .cloned()
+            .ok_or_else(|| ExecError::Unsupported("instance call without receiver".into()))?;
+
+        // Interception of the DependentObject proxy protocol.
+        if Some(callee_class) == self.dep_class {
+            return self.dependent_object_call(&callee_name, receiver, args);
+        }
+
+        match receiver {
+            Value::Null => Err(ExecError::NullPointer(format!("call to {callee_name}"))),
+            Value::Ref(ObjRef::Local(h)) => {
+                let runtime_class = self.heap[h as usize].class();
+                match runtime_class {
+                    Some(c) if Some(c) == self.dep_class => {
+                        // A proxy object reached a normal (non-rewritten) call site:
+                        // forward transparently to its home node.
+                        let remote = self.proxy_target(h)?;
+                        args.remove(0);
+                        let k = if self.program.method(target).ret == Type::Void {
+                            AccessKind::InvokeVoid
+                        } else {
+                            AccessKind::InvokeRet
+                        };
+                        self.remote_access(remote, k, &callee_name, args)
+                    }
+                    Some(c) => {
+                        let resolved = match kind {
+                            InvokeKind::Special => target,
+                            _ => self
+                                .program
+                                .resolve_method(c, &callee_name)
+                                .ok_or_else(|| ExecError::UnknownMethod(callee_name.clone()))?,
+                        };
+                        self.invoke(resolved, args)
+                    }
+                    None => Err(ExecError::Unsupported(
+                        "method call on an array reference".into(),
+                    )),
+                }
+            }
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                // Transparent forwarding: type-based rewriting missed this receiver, but
+                // the object actually lives remotely.
+                args.remove(0);
+                let k = if self.program.method(target).ret == Type::Void {
+                    AccessKind::InvokeVoid
+                } else {
+                    AccessKind::InvokeRet
+                };
+                self.remote_access(r, k, &callee_name, args)
+            }
+            other => Err(ExecError::Unsupported(format!(
+                "method call on non-reference {other:?}"
+            ))),
+        }
+    }
+
+    /// Handles `DependentObject.<init>` and `DependentObject.access`.
+    fn dependent_object_call(
+        &mut self,
+        name: &str,
+        receiver: Value,
+        args: Vec<Value>,
+    ) -> Result<Value, ExecError> {
+        match name {
+            "<init>" => {
+                // args = [proxy, location, className, argsArray]
+                let proxy = receiver;
+                let location = args
+                    .get(1)
+                    .and_then(|v| v.as_int())
+                    .ok_or_else(|| ExecError::Unsupported("DependentObject.<init>: location".into()))?
+                    as usize;
+                let class_name = match args.get(2) {
+                    Some(Value::Str(s)) => s.to_string(),
+                    _ => {
+                        return Err(ExecError::Unsupported(
+                            "DependentObject.<init>: class name".into(),
+                        ))
+                    }
+                };
+                let ctor_args = self.unpack_args_array(args.get(3).cloned())?;
+                let remote = self.remote_new(location, &class_name, ctor_args)?;
+                // Record the remote identity in the proxy so later accesses route there.
+                if let Value::Ref(ObjRef::Local(h)) = proxy {
+                    if let (ObjRef::Remote { node, id }, HeapObject::Object { fields, .. }) =
+                        (remote, &mut self.heap[h as usize])
+                    {
+                        fields.insert("home".to_string(), Value::Int(node as i64));
+                        fields.insert("remoteId".to_string(), Value::Int(id as i64));
+                        fields.insert("className".to_string(), Value::str(&class_name));
+                    }
+                }
+                Ok(Value::Null)
+            }
+            "access" => {
+                // args = [proxy-or-remote, kind, member, argsArray]
+                let kind_tag = args
+                    .get(1)
+                    .and_then(|v| v.as_int())
+                    .ok_or_else(|| ExecError::Unsupported("access: kind".into()))?;
+                let kind = AccessKind::from_tag(kind_tag)
+                    .ok_or_else(|| ExecError::Unsupported(format!("access: bad kind {kind_tag}")))?;
+                let member = match args.get(2) {
+                    Some(Value::Str(s)) => s.to_string(),
+                    _ => return Err(ExecError::Unsupported("access: member name".into())),
+                };
+                let call_args = self.unpack_args_array(args.get(3).cloned())?;
+                let target = match receiver {
+                    Value::Ref(ObjRef::Local(h)) => self.proxy_target(h)?,
+                    Value::Ref(r @ ObjRef::Remote { .. }) => r,
+                    _ => {
+                        return Err(ExecError::NullPointer(
+                            "DependentObject.access on null".into(),
+                        ))
+                    }
+                };
+                self.remote_access(target, kind, &member, call_args)
+            }
+            other => Err(ExecError::UnknownMethod(format!("rt/DependentObject.{other}"))),
+        }
+    }
+
+    /// Extracts the remote identity recorded in a proxy object.
+    fn proxy_target(&self, heap_idx: u32) -> Result<ObjRef, ExecError> {
+        match &self.heap[heap_idx as usize] {
+            HeapObject::Object { fields, .. } => {
+                let node = fields.get("home").and_then(|v| v.as_int());
+                let id = fields.get("remoteId").and_then(|v| v.as_int());
+                match (node, id) {
+                    (Some(n), Some(i)) => Ok(ObjRef::Remote {
+                        node: n as usize,
+                        id: i as u64,
+                    }),
+                    _ => Err(ExecError::Unsupported(
+                        "DependentObject used before initialisation".into(),
+                    )),
+                }
+            }
+            _ => Err(ExecError::Unsupported("proxy is not an object".into())),
+        }
+    }
+
+    fn unpack_args_array(&self, v: Option<Value>) -> Result<Vec<Value>, ExecError> {
+        match v {
+            Some(Value::Ref(ObjRef::Local(h))) => match &self.heap[h as usize] {
+                HeapObject::Array { data } => Ok(data.clone()),
+                _ => Err(ExecError::Unsupported("argument list is not an array".into())),
+            },
+            Some(Value::Null) | None => Ok(Vec::new()),
+            Some(other) => Err(ExecError::Unsupported(format!(
+                "argument list is {other:?}"
+            ))),
+        }
+    }
+
+    // --- remote operations ----------------------------------------------------------
+
+    /// Exports a local heap object and returns its export id.
+    fn export(&mut self, heap_idx: u32) -> u64 {
+        let dist = self.dist.as_mut().expect("export requires dist state");
+        if let Some(&id) = dist.export_ids.get(&heap_idx) {
+            return id;
+        }
+        let id = dist.exports.len() as u64;
+        dist.exports.push(heap_idx);
+        dist.export_ids.insert(heap_idx, id);
+        id
+    }
+
+    /// Converts a runtime value into its wire representation, exporting local objects.
+    fn marshal(&mut self, v: &Value) -> WireValue {
+        match v {
+            Value::Null => WireValue::Null,
+            Value::Int(i) => WireValue::Int(*i),
+            Value::Float(f) => WireValue::Float(*f),
+            Value::Bool(b) => WireValue::Bool(*b),
+            Value::Str(s) => WireValue::Str(s.to_string()),
+            Value::Ref(ObjRef::Remote { node, id }) => WireValue::Remote {
+                node: *node as u32,
+                id: *id,
+            },
+            Value::Ref(ObjRef::Local(h)) => {
+                // A proxy marshals as the identity of the object it stands for.
+                if self.heap[*h as usize].class() == self.dep_class {
+                    if let Ok(ObjRef::Remote { node, id }) = self.proxy_target(*h) {
+                        return WireValue::Remote {
+                            node: node as u32,
+                            id,
+                        };
+                    }
+                }
+                let my_rank = self.dist.as_ref().map(|d| d.rank()).unwrap_or(0);
+                let id = self.export(*h);
+                WireValue::Remote {
+                    node: my_rank as u32,
+                    id,
+                }
+            }
+        }
+    }
+
+    /// Converts a wire value back into a runtime value, resolving references that point
+    /// at this node back to local heap objects.
+    fn unmarshal(&mut self, v: WireValue) -> Value {
+        match v {
+            WireValue::Null => Value::Null,
+            WireValue::Int(i) => Value::Int(i),
+            WireValue::Float(f) => Value::Float(f),
+            WireValue::Bool(b) => Value::Bool(b),
+            WireValue::Str(s) => Value::str(&s),
+            WireValue::Remote { node, id } => {
+                let my_rank = self.dist.as_ref().map(|d| d.rank()).unwrap_or(usize::MAX);
+                if node as usize == my_rank {
+                    let h = self.dist.as_ref().expect("dist").exports[id as usize];
+                    Value::Ref(ObjRef::Local(h))
+                } else {
+                    Value::Ref(ObjRef::Remote {
+                        node: node as usize,
+                        id,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Sends a `NEW` message to `home` and returns the remote reference.
+    pub fn remote_new(
+        &mut self,
+        home: usize,
+        class_name: &str,
+        args: Vec<Value>,
+    ) -> Result<ObjRef, ExecError> {
+        if self.dist.is_none() {
+            return Err(ExecError::NotDistributed);
+        }
+        if home == self.dist.as_ref().unwrap().rank() {
+            // The "remote" class is actually local (placement on this node): create it
+            // directly rather than messaging ourselves.
+            let class = self
+                .program
+                .class_by_name(class_name)
+                .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
+            let r = self.new_instance(class);
+            if let Some(ctor) = self.program.find_method(class, "<init>") {
+                let mut full = vec![Value::Ref(r)];
+                full.extend(args);
+                self.invoke(ctor, full)?;
+            }
+            return Ok(r);
+        }
+        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
+        let req = Request::New {
+            class_name: class_name.to_string(),
+            args: wire_args,
+        };
+        self.counters.remote_requests += 1;
+        let resp = self.round_trip(home, req)?;
+        match self.unmarshal(resp) {
+            Value::Ref(r) => Ok(r),
+            other => Err(ExecError::RemoteFailure(format!(
+                "NEW returned a non-reference {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends a `DEPENDENCE` message for an access on a remote object.
+    pub fn remote_access(
+        &mut self,
+        target: ObjRef,
+        kind: AccessKind,
+        member: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, ExecError> {
+        let (node, id) = match target {
+            ObjRef::Remote { node, id } => (node, id),
+            ObjRef::Local(_) => {
+                return Err(ExecError::Unsupported(
+                    "remote access on a local reference".into(),
+                ))
+            }
+        };
+        if self.dist.is_none() {
+            return Err(ExecError::NotDistributed);
+        }
+        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
+        let req = Request::Dependence {
+            target: id,
+            kind,
+            member: member.to_string(),
+            args: wire_args,
+        };
+        self.counters.remote_requests += 1;
+        let resp = self.round_trip(node, req)?;
+        Ok(self.unmarshal(resp))
+    }
+
+    /// Sends a request and waits for its response, serving any nested requests that
+    /// arrive in the meantime (the re-entrant Message Exchange behaviour).
+    fn round_trip(&mut self, to: usize, req: Request) -> Result<WireValue, ExecError> {
+        let data = req.encode();
+        {
+            let clock = self.clock_us;
+            let dist = self.dist.as_mut().unwrap();
+            self.clock_us = dist.endpoint.send(to, PacketKind::Request, data, clock);
+        }
+        loop {
+            let pkt = self.dist.as_mut().unwrap().endpoint.recv();
+            self.clock_us = self.clock_us.max(pkt.arrival_time_us);
+            match pkt.kind {
+                PacketKind::Response => {
+                    return match Response::decode(pkt.data) {
+                        Response::Value(v) => Ok(v),
+                        Response::Error(e) => Err(ExecError::RemoteFailure(e)),
+                    }
+                }
+                PacketKind::Request => {
+                    let req = Request::decode(pkt.data);
+                    if matches!(req, Request::Shutdown) {
+                        if let Some(d) = self.dist.as_mut() {
+                            d.shutdown = true;
+                        }
+                        continue;
+                    }
+                    let resp = self.handle_request(req);
+                    let clock = self.clock_us;
+                    let dist = self.dist.as_mut().unwrap();
+                    self.clock_us =
+                        dist.endpoint
+                            .send(pkt.from, PacketKind::Response, resp.encode(), clock);
+                }
+            }
+        }
+    }
+
+    /// Handles one incoming request (the body of the Message Exchange service).
+    pub fn handle_request(&mut self, req: Request) -> Response {
+        self.counters.requests_served += 1;
+        match self.try_handle(req) {
+            Ok(v) => {
+                let w = self.marshal(&v);
+                Response::Value(w)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    fn try_handle(&mut self, req: Request) -> Result<Value, ExecError> {
+        match req {
+            Request::Shutdown => Ok(Value::Null),
+            Request::New { class_name, args } => {
+                let class = self
+                    .program
+                    .class_by_name(&class_name)
+                    .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
+                let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
+                let r = self.new_instance(class);
+                if let Some(ctor) = self.program.find_method(class, "<init>") {
+                    let mut full = vec![Value::Ref(r)];
+                    full.extend(args);
+                    self.invoke(ctor, full)?;
+                }
+                Ok(Value::Ref(r))
+            }
+            Request::Dependence {
+                target,
+                kind,
+                member,
+                args,
+            } => {
+                let heap_idx = {
+                    let dist = self.dist.as_ref().ok_or(ExecError::NotDistributed)?;
+                    *dist
+                        .exports
+                        .get(target as usize)
+                        .ok_or_else(|| ExecError::RemoteFailure(format!("bad export id {target}")))?
+                };
+                let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
+                let receiver = Value::Ref(ObjRef::Local(heap_idx));
+                match kind {
+                    AccessKind::GetField => self.get_field(receiver, &member),
+                    AccessKind::PutField => {
+                        let v = args.into_iter().next().unwrap_or(Value::Null);
+                        self.put_field(receiver, &member, v)?;
+                        Ok(Value::Null)
+                    }
+                    AccessKind::GetElement => {
+                        let idx = args.into_iter().next().unwrap_or(Value::Int(0));
+                        self.array_load(receiver, idx)
+                    }
+                    AccessKind::PutElement => {
+                        let mut it = args.into_iter();
+                        let idx = it.next().unwrap_or(Value::Int(0));
+                        let val = it.next().unwrap_or(Value::Null);
+                        self.array_store(receiver, idx, val)?;
+                        Ok(Value::Null)
+                    }
+                    AccessKind::ArrayLength => self.array_length(receiver),
+                    AccessKind::InvokeVoid | AccessKind::InvokeRet => {
+                        let class = self.heap[heap_idx as usize]
+                            .class()
+                            .ok_or_else(|| ExecError::Unsupported("invoke on array".into()))?;
+                        let m = self
+                            .program
+                            .resolve_method(class, &member)
+                            .ok_or_else(|| ExecError::UnknownMethod(member.clone()))?;
+                        let mut full = vec![receiver];
+                        full.extend(args);
+                        self.invoke(m, full)
+                    }
+                }
+            }
+        }
+    }
+
+    /// A snapshot of all static fields (replicated per node), keyed `Class::field`.
+    /// Used by tests and by the cluster driver to compare centralized and distributed
+    /// final states.
+    pub fn statics_snapshot(&self) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        for obj in &self.heap {
+            if let HeapObject::Object { class, fields } = obj {
+                if *class == ClassId(u32::MAX) {
+                    for (k, v) in fields {
+                        out.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the Message Exchange serve loop until a `Shutdown` request arrives.
+    pub fn serve_loop(&mut self) {
+        loop {
+            if self.dist.as_ref().map(|d| d.shutdown).unwrap_or(true) {
+                return;
+            }
+            let pkt = match self
+                .dist
+                .as_mut()
+                .unwrap()
+                .endpoint
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Some(p) => p,
+                None => continue,
+            };
+            self.clock_us = self.clock_us.max(pkt.arrival_time_us);
+            match pkt.kind {
+                PacketKind::Request => {
+                    let req = Request::decode(pkt.data);
+                    if matches!(req, Request::Shutdown) {
+                        if let Some(d) = self.dist.as_mut() {
+                            d.shutdown = true;
+                        }
+                        return;
+                    }
+                    let resp = self.handle_request(req);
+                    let clock = self.clock_us;
+                    let dist = self.dist.as_mut().unwrap();
+                    self.clock_us =
+                        dist.endpoint
+                            .send(pkt.from, PacketKind::Response, resp.encode(), clock);
+                }
+                PacketKind::Response => {
+                    // Stray response (should not happen): ignore.
+                }
+            }
+        }
+    }
+}
+
+/// Key used to store a static field in the replicated statics area.
+fn static_key(program: &Program, fr: autodist_ir::program::FieldRef) -> String {
+    format!(
+        "{}::{}",
+        program.class(fr.class).name,
+        program.field(fr).name
+    )
+}
+
+/// Evaluates a comparison between two values.
+fn compare(op: CmpOp, lhs: &Value, rhs: &Value) -> bool {
+    match (lhs, rhs) {
+        (Value::Str(a), Value::Str(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            _ => a.cmp(b).is_lt() == matches!(op, CmpOp::Lt | CmpOp::Le),
+        },
+        (Value::Null, Value::Null) => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+        (Value::Null, _) | (_, Value::Null) => matches!(op, CmpOp::Ne),
+        (Value::Ref(a), Value::Ref(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            _ => false,
+        },
+        _ => {
+            if let (Some(a), Some(b)) = (lhs.as_float(), rhs.as_float()) {
+                match a.partial_cmp(&b) {
+                    Some(ord) => op.eval_ord(ord),
+                    None => false,
+                }
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_ir::frontend::compile_source;
+
+    fn run(src: &str) -> (Value, ExecCounters) {
+        let p = compile_source(src).expect("compiles");
+        let mut interp = Interp::new(&p);
+        let v = interp.run_entry().expect("runs");
+        (v, interp.counters)
+    }
+
+    /// Programs return values by storing into a static field read back by tests; since
+    /// `main` is void we instead expose a helper that runs a named static method.
+    fn run_static(src: &str, class: &str, method: &str) -> Value {
+        let p = compile_source(src).expect("compiles");
+        let c = p.class_by_name(class).unwrap();
+        let m = p.find_method(c, method).unwrap();
+        let mut interp = Interp::new(&p);
+        interp.invoke(m, vec![]).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = r#"
+            class Calc {
+                static int compute() {
+                    int total = 0;
+                    int i = 1;
+                    while (i <= 10) {
+                        if (i % 2 == 0) { total = total + i; }
+                        i = i + 1;
+                    }
+                    return total;
+                }
+                static void main() { int x = Calc.compute(); }
+            }
+        "#;
+        assert_eq!(run_static(src, "Calc", "compute"), Value::Int(30));
+    }
+
+    #[test]
+    fn objects_fields_and_virtual_dispatch() {
+        let src = r#"
+            class Shape { int area() { return 0; } }
+            class Square extends Shape {
+                int side;
+                Square(int s) { this.side = s; }
+                int area() { return this.side * this.side; }
+            }
+            class Main {
+                static int run() {
+                    Shape s = new Square(6);
+                    return s.area();
+                }
+                static void main() { int x = Main.run(); }
+            }
+        "#;
+        assert_eq!(run_static(src, "Main", "run"), Value::Int(36));
+    }
+
+    #[test]
+    fn arrays_and_loops() {
+        let src = r#"
+            class A {
+                static int sum() {
+                    int[] xs = new int[20];
+                    int i = 0;
+                    while (i < xs.length) { xs[i] = i; i = i + 1; }
+                    int t = 0;
+                    i = 0;
+                    while (i < xs.length) { t = t + xs[i]; i = i + 1; }
+                    return t;
+                }
+                static void main() { int x = A.sum(); }
+            }
+        "#;
+        assert_eq!(run_static(src, "A", "sum"), Value::Int(190));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let src = r#"
+            class F {
+                static int fib(int n) {
+                    if (n < 2) { return n; }
+                    return F.fib(n - 1) + F.fib(n - 2);
+                }
+                static int fib10() { return F.fib(10); }
+                static void main() { int x = F.fib(10); }
+            }
+        "#;
+        assert_eq!(run_static(src, "F", "fib10"), Value::Int(55));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let src = r#"
+            class C {
+                static void main() {
+                    int i = 0;
+                    while (i < 100) { i = i + 1; }
+                }
+            }
+        "#;
+        let (_, counters) = run(src);
+        assert!(counters.instructions > 300);
+        assert_eq!(counters.allocations, 0);
+        assert!(counters.method_invocations >= 1);
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_speed() {
+        let src = r#"
+            class C { static void main() { int i = 0; while (i < 1000) { i = i + 1; } } }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut slow = Interp::new(&p);
+        slow.run_entry().unwrap();
+        let mut fast = Interp::new(&p).with_speed(2.0);
+        fast.run_entry().unwrap();
+        assert!(slow.clock_us > fast.clock_us * 1.9);
+        assert!(slow.clock_us > 0.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let src = r#"
+            class C {
+                static int bad() { int x = 0; return 10 / x; }
+                static void main() { int y = C.bad(); }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        assert_eq!(interp.run_entry(), Err(ExecError::DivisionByZero));
+    }
+
+    #[test]
+    fn null_pointer_is_an_error() {
+        let src = r#"
+            class A { int x; }
+            class C {
+                static int bad() { A a = null; return a.x; }
+                static void main() { int y = C.bad(); }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        assert!(matches!(
+            interp.run_entry(),
+            Err(ExecError::NullPointer(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let src = r#"
+            class C {
+                static void main() {
+                    int[] xs = new int[3];
+                    xs[5] = 1;
+                }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        assert!(matches!(
+            interp.run_entry(),
+            Err(ExecError::IndexOutOfBounds { index: 5, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn remote_access_without_runtime_is_rejected() {
+        let src = r#"
+            class C { static void main() { } }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        let err = interp
+            .remote_access(
+                ObjRef::Remote { node: 1, id: 0 },
+                AccessKind::GetField,
+                "x",
+                vec![],
+            )
+            .unwrap_err();
+        assert_eq!(err, ExecError::NotDistributed);
+    }
+
+    #[test]
+    fn bank_example_runs_centralized() {
+        let src = r#"
+            class Account {
+                int id;
+                int savings;
+                Account(int id, int savings) { this.id = id; this.savings = savings; }
+                int getSavings() { return this.savings; }
+                void setBalance(int b) { this.savings = b; }
+            }
+            class Bank {
+                Account[] accounts;
+                int count;
+                Bank(int n) {
+                    this.accounts = new Account[100];
+                    this.count = 0;
+                    int i = 0;
+                    while (i < n) {
+                        this.openAccount(new Account(i, 1000));
+                        i = i + 1;
+                    }
+                }
+                void openAccount(Account a) {
+                    this.accounts[this.count] = a;
+                    this.count = this.count + 1;
+                }
+                Account getCustomer(int id) { return this.accounts[id]; }
+                static int run() {
+                    Bank b = new Bank(10);
+                    Account a = b.getCustomer(2);
+                    a.setBalance(a.getSavings() - 900);
+                    return b.getCustomer(2).getSavings();
+                }
+            }
+            class Main { static void main() { int x = Bank.run(); } }
+        "#;
+        assert_eq!(run_static(src, "Bank", "run"), Value::Int(100));
+        let (_, counters) = run(src);
+        assert!(counters.allocations >= 12, "bank, array, 10 accounts");
+        assert!(counters.allocated_bytes > 0);
+    }
+
+    #[test]
+    fn string_concatenation_and_comparison() {
+        let src = r#"
+            class S {
+                static boolean check() {
+                    String a = "foo";
+                    String b = a + "bar";
+                    return b == "foobar";
+                }
+                static void main() { boolean x = S.check(); }
+            }
+        "#;
+        assert_eq!(run_static(src, "S", "check"), Value::Bool(true));
+    }
+
+    #[test]
+    fn stack_overflow_is_detected() {
+        let src = r#"
+            class R {
+                static int forever(int n) { return R.forever(n + 1); }
+                static void main() { int x = R.forever(0); }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        assert_eq!(interp.run_entry(), Err(ExecError::StackOverflow));
+    }
+}

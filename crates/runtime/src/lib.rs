@@ -1,0 +1,31 @@
+//! # autodist-runtime
+//!
+//! The distributed execution runtime (Section 5 of the paper), built as an in-process
+//! simulated cluster:
+//!
+//! * [`value`] — runtime values, the heap, objects and arrays.
+//! * [`wire`] — the streamed message format exchanged between nodes (`NEW` and
+//!   `DEPENDENCE` messages, marshalled values).
+//! * [`net`] — the simulated MPI transport: one endpoint per node over crossbeam
+//!   channels, with a configurable latency / bandwidth / CPU-speed cost model standing
+//!   in for the paper's two-machine 100 Mb Ethernet testbed.
+//! * [`interp`] — the bytecode interpreter (the JVM's role in the paper's experiments),
+//!   including the interception of `rt/DependentObject` operations that turns rewritten
+//!   call sites into message exchanges, and the profiler hook surface.
+//! * [`services`] — the three per-node services of Figure 10: the MPI service, the
+//!   Execution Starter and the Message Exchange service.
+//! * [`cluster`] — the driver that spawns one thread per node, runs a distributed (or
+//!   centralized) execution and reports virtual time, wall time and traffic statistics.
+
+pub mod cluster;
+pub mod interp;
+pub mod net;
+pub mod services;
+pub mod value;
+pub mod wire;
+
+pub use cluster::{run_centralized, run_distributed, ClusterConfig, ExecutionReport, NodeStats};
+pub use interp::{ExecCounters, ExecError, Interp, ProfilerSink};
+pub use net::{MpiEndpoint, MpiWorld, NetworkConfig};
+pub use value::{HeapObject, ObjRef, Value};
+pub use wire::{AccessKind, Request, Response, WireValue};

@@ -1,0 +1,266 @@
+//! The simulated MPI transport.
+//!
+//! The paper runs on two Pentium III machines connected by 100 Mb Ethernet and talks
+//! MPI between them. We have one machine, so the "network" is a set of crossbeam
+//! channels between node threads plus an explicit cost model: each node has a relative
+//! CPU speed, and every message pays `latency + bytes / bandwidth` of virtual time.
+//! Virtual clocks are carried on the packets so causality is preserved (a receiver can
+//! never observe a message before it was sent).
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// The cost model for the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// One-way message latency in microseconds (100 Mb Ethernet + MPI stack ≈ 150 µs).
+    pub latency_us: f64,
+    /// Link bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Relative CPU speed of each node (1.0 = the paper's 800 MHz computation node).
+    pub node_speeds: Vec<f64>,
+    /// Virtual microseconds charged per interpreted bytecode instruction at speed 1.0.
+    pub instr_cost_us: f64,
+}
+
+impl NetworkConfig {
+    /// The paper's evaluation platform: node 0 is the 800 MHz Pentium III where the
+    /// user starts the program, node 1 the 1.7 GHz service node, joined by 100 Mb
+    /// Ethernet.
+    pub fn paper_testbed() -> Self {
+        NetworkConfig {
+            latency_us: 150.0,
+            bandwidth_mbps: 100.0,
+            node_speeds: vec![1.0, 2.1],
+            instr_cost_us: 0.02,
+        }
+    }
+
+    /// A uniform cluster of `n` nodes with identical speeds.
+    pub fn uniform(n: usize) -> Self {
+        NetworkConfig {
+            latency_us: 150.0,
+            bandwidth_mbps: 100.0,
+            node_speeds: vec![1.0; n.max(1)],
+            instr_cost_us: 0.02,
+        }
+    }
+
+    /// Number of nodes described by the configuration.
+    pub fn nodes(&self) -> usize {
+        self.node_speeds.len()
+    }
+
+    /// The speed factor of `node` (defaults to 1.0 when out of range).
+    pub fn speed_of(&self, node: usize) -> f64 {
+        self.node_speeds.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// Virtual time for a message of `bytes` bytes to traverse the link.
+    pub fn transfer_time_us(&self, bytes: usize) -> f64 {
+        self.latency_us + (bytes as f64 * 8.0) / self.bandwidth_mbps
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::paper_testbed()
+    }
+}
+
+/// Whether a packet carries a request or a response (nested requests are served while
+/// waiting for a response, so receivers must be able to tell them apart).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A [`crate::wire::Request`].
+    Request,
+    /// A [`crate::wire::Response`].
+    Response,
+}
+
+/// One message on the simulated wire.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Sender rank.
+    pub from: usize,
+    /// Receiver rank.
+    pub to: usize,
+    /// Request or response.
+    pub kind: PacketKind,
+    /// Encoded payload.
+    pub data: Bytes,
+    /// The sender's virtual clock (µs) *after* accounting for the transfer, i.e. the
+    /// earliest virtual time at which the receiver may observe the packet.
+    pub arrival_time_us: f64,
+}
+
+/// The whole simulated cluster interconnect: create once, then [`MpiWorld::take_endpoint`]
+/// per node thread.
+pub struct MpiWorld {
+    senders: Vec<Sender<Packet>>,
+    receivers: Vec<Option<Receiver<Packet>>>,
+    config: NetworkConfig,
+}
+
+impl MpiWorld {
+    /// Creates the interconnect for `n` nodes.
+    pub fn new(n: usize, config: NetworkConfig) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        MpiWorld {
+            senders,
+            receivers,
+            config,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Hands out the endpoint for `rank`. Panics if taken twice.
+    pub fn take_endpoint(&mut self, rank: usize) -> MpiEndpoint {
+        let rx = self.receivers[rank]
+            .take()
+            .expect("endpoint already taken for this rank");
+        MpiEndpoint {
+            rank,
+            size: self.senders.len(),
+            senders: self.senders.clone(),
+            receiver: rx,
+            config: self.config.clone(),
+            messages_sent: 0,
+            bytes_sent: 0,
+            messages_received: 0,
+            bytes_received: 0,
+        }
+    }
+}
+
+/// Per-node communication endpoint (the paper's "MPI service" sets this up).
+pub struct MpiEndpoint {
+    /// This node's rank.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    /// The shared cost model.
+    pub config: NetworkConfig,
+    /// Number of messages sent by this endpoint.
+    pub messages_sent: u64,
+    /// Bytes sent by this endpoint.
+    pub bytes_sent: u64,
+    /// Number of messages received.
+    pub messages_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+impl MpiEndpoint {
+    /// Sends `data` to `to`. `clock_us` is the sender's current virtual time; the
+    /// returned value is the sender's clock after the (modelled) send overhead.
+    pub fn send(&mut self, to: usize, kind: PacketKind, data: Bytes, clock_us: f64) -> f64 {
+        let transfer = self.config.transfer_time_us(data.len());
+        let arrival = clock_us + transfer;
+        self.messages_sent += 1;
+        self.bytes_sent += data.len() as u64;
+        let pkt = Packet {
+            from: self.rank,
+            to,
+            kind,
+            data,
+            arrival_time_us: arrival,
+        };
+        // Sending is cheap for the sender itself (asynchronous message exchange):
+        // charge only a fixed software overhead.
+        let _ = self.senders[to].send(pkt);
+        clock_us + self.config.latency_us * 0.1
+    }
+
+    /// Blocking receive. Returns the packet; the caller is responsible for advancing
+    /// its clock to at least `arrival_time_us`.
+    pub fn recv(&mut self) -> Packet {
+        let pkt = self.receiver.recv().expect("cluster channel closed");
+        self.messages_received += 1;
+        self.bytes_received += pkt.data.len() as u64;
+        pkt
+    }
+
+    /// Receive with a timeout, used by serve loops to notice shutdown.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Packet> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(pkt) => {
+                self.messages_received += 1;
+                self.bytes_received += pkt.data.len() as u64;
+                Some(pkt)
+            }
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size_and_latency() {
+        let cfg = NetworkConfig::paper_testbed();
+        let small = cfg.transfer_time_us(10);
+        let large = cfg.transfer_time_us(10_000);
+        assert!(large > small);
+        assert!(small >= cfg.latency_us);
+        // 10 KB over 100 Mb/s = 800 µs of serialization on top of latency.
+        assert!((large - cfg.latency_us - 800.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn endpoints_exchange_packets_and_count_traffic() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2));
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        let clock_after = a.send(1, PacketKind::Request, Bytes::from_static(b"hello"), 100.0);
+        assert!(clock_after >= 100.0);
+        let pkt = b.recv();
+        assert_eq!(pkt.from, 0);
+        assert_eq!(pkt.to, 1);
+        assert_eq!(&pkt.data[..], b"hello");
+        assert!(pkt.arrival_time_us > 100.0, "arrival accounts for the link");
+        assert_eq!(a.messages_sent, 1);
+        assert_eq!(a.bytes_sent, 5);
+        assert_eq!(b.messages_received, 1);
+        assert_eq!(b.bytes_received, 5);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let mut world = MpiWorld::new(1, NetworkConfig::uniform(1));
+        let mut a = world.take_endpoint(0);
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn endpoints_cannot_be_taken_twice() {
+        let mut world = MpiWorld::new(1, NetworkConfig::uniform(1));
+        let _a = world.take_endpoint(0);
+        let _b = world.take_endpoint(0);
+    }
+
+    #[test]
+    fn paper_testbed_has_a_fast_and_a_slow_node() {
+        let cfg = NetworkConfig::paper_testbed();
+        assert_eq!(cfg.nodes(), 2);
+        assert!(cfg.speed_of(1) > cfg.speed_of(0));
+        assert_eq!(cfg.speed_of(99), 1.0);
+    }
+}

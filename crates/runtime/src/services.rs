@@ -1,0 +1,118 @@
+//! The per-node runtime services of Figure 10.
+//!
+//! Each node of the distributed execution environment runs three supporting services:
+//!
+//! * the **MPI service** sets up the communication world (groups, communicators and the
+//!   communication context — here: the [`MpiWorld`] and its per-rank endpoints);
+//! * the **Execution Starter** invokes the `main()` method of the application class on
+//!   the one node where the user launches the program;
+//! * the **Message Exchange** service processes all the send/receive communication
+//!   generated from the object dependence information (`NEW` and `DEPENDENCE`
+//!   messages), using the `DependentObject` and `Message` structures.
+//!
+//! These types are thin, named façades over [`MpiWorld`] / [`Interp`] so that the
+//! runtime's structure matches the paper's; the heavy lifting lives in
+//! [`crate::interp`] and [`crate::net`].
+
+use crate::interp::{ExecError, Interp};
+use crate::net::{MpiWorld, NetworkConfig, PacketKind};
+use crate::value::Value;
+use crate::wire::Request;
+
+/// The MPI service: owns the simulated communication world.
+pub struct MpiService {
+    world: MpiWorld,
+}
+
+impl MpiService {
+    /// Initialises the MPI working environment for `nodes` ranks.
+    pub fn init(nodes: usize, config: NetworkConfig) -> Self {
+        MpiService {
+            world: MpiWorld::new(nodes, config),
+        }
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// Hands the endpoint for `rank` to that node's thread.
+    pub fn endpoint(&mut self, rank: usize) -> crate::net::MpiEndpoint {
+        self.world.take_endpoint(rank)
+    }
+}
+
+/// The Execution Starter: invokes the application entry point on the launch node.
+pub struct ExecutionStarter;
+
+impl ExecutionStarter {
+    /// Starts the application by invoking `main()` through the given interpreter.
+    pub fn start(interp: &mut Interp<'_>) -> Result<Value, ExecError> {
+        interp.run_entry()
+    }
+}
+
+/// The Message Exchange service: serves incoming `NEW` / `DEPENDENCE` requests until a
+/// shutdown message arrives.
+pub struct MessageExchange;
+
+impl MessageExchange {
+    /// Runs the serve loop on this node.
+    pub fn serve(interp: &mut Interp<'_>) {
+        interp.serve_loop();
+    }
+
+    /// Broadcasts an orderly shutdown to every other rank (called by the launch node
+    /// once `main` returns).
+    pub fn broadcast_shutdown(interp: &mut Interp<'_>) {
+        let clock = interp.clock_us;
+        if let Some(dist) = interp.dist.as_mut() {
+            let me = dist.endpoint.rank;
+            let size = dist.endpoint.size;
+            for rank in 0..size {
+                if rank != me {
+                    dist.endpoint
+                        .send(rank, PacketKind::Request, Request::Shutdown.encode(), clock);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodist_ir::frontend::compile_source;
+
+    #[test]
+    fn mpi_service_hands_out_each_rank_once() {
+        let mut svc = MpiService::init(3, NetworkConfig::uniform(3));
+        assert_eq!(svc.size(), 3);
+        let e0 = svc.endpoint(0);
+        let e2 = svc.endpoint(2);
+        assert_eq!(e0.rank, 0);
+        assert_eq!(e2.rank, 2);
+        assert_eq!(e0.size, 3);
+    }
+
+    #[test]
+    fn execution_starter_runs_main() {
+        let p = compile_source(
+            r#"class C { static void main() { int i = 0; while (i < 5) { i = i + 1; } } }"#,
+        )
+        .unwrap();
+        let mut interp = Interp::new(&p);
+        let v = ExecutionStarter::start(&mut interp).unwrap();
+        assert_eq!(v, Value::Null);
+        assert!(interp.counters.instructions > 10);
+    }
+
+    #[test]
+    fn broadcast_shutdown_without_dist_is_a_noop() {
+        let p = compile_source(r#"class C { static void main() { } }"#).unwrap();
+        let mut interp = Interp::new(&p);
+        MessageExchange::broadcast_shutdown(&mut interp);
+        assert_eq!(interp.counters.remote_requests, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Runtime values and the per-node heap.
+//!
+//! Values are dynamically typed (the interpreter plays the JVM's role). Object
+//! references are either *local* (an index into the node's heap) or *remote* (a node id
+//! plus the export id the home node handed out); remote references are what a
+//! `DependentObject` stands for at run time.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use autodist_ir::program::ClassId;
+
+/// An object reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjRef {
+    /// Index into the local heap.
+    Local(u32),
+    /// An object living on another node, identified by its export id there.
+    Remote {
+        /// Home node rank.
+        node: usize,
+        /// Export id assigned by the home node.
+        id: u64,
+    },
+}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Null reference.
+    Null,
+    /// Object or array reference.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Interprets the value as an integer (booleans coerce to 0/1).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by `if` on non-comparison values: false, 0, 0.0 and null are
+    /// false, everything else is true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Null => false,
+            _ => true,
+        }
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// An approximate marshalled size in bytes (used by the network cost model).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Bool(_) | Value::Null => 1,
+            Value::Str(s) => 5 + s.len() as u64,
+            Value::Ref(_) => 13,
+        }
+    }
+}
+
+/// A heap cell: an object with named fields, or an array.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HeapObject {
+    /// An instance of `class` with its fields (keyed by field name; superclass fields
+    /// share the map).
+    Object {
+        /// Runtime class of the instance.
+        class: ClassId,
+        /// Field values.
+        fields: BTreeMap<String, Value>,
+    },
+    /// An array of values.
+    Array {
+        /// Element values.
+        data: Vec<Value>,
+    },
+}
+
+impl HeapObject {
+    /// The class of an object (None for arrays).
+    pub fn class(&self) -> Option<ClassId> {
+        match self {
+            HeapObject::Object { class, .. } => Some(*class),
+            HeapObject::Array { .. } => None,
+        }
+    }
+
+    /// Approximate resident size in bytes (for the memory-allocation profiler metric).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            HeapObject::Object { fields, .. } => 16 + fields.len() as u64 * 16,
+            HeapObject::Array { data } => 16 + data.len() as u64 * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_coercions() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Float(2.9).as_int(), Some(2));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(5).is_truthy());
+        assert!(Value::Ref(ObjRef::Local(0)).is_truthy());
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        assert!(Value::str("hello").wire_size() > Value::str("").wire_size());
+        assert_eq!(Value::Int(1).wire_size(), 9);
+        assert_eq!(Value::Null.wire_size(), 1);
+    }
+
+    #[test]
+    fn heap_object_sizes() {
+        let mut fields = BTreeMap::new();
+        fields.insert("x".to_string(), Value::Int(1));
+        let o = HeapObject::Object {
+            class: ClassId(0),
+            fields,
+        };
+        let a = HeapObject::Array {
+            data: vec![Value::Int(0); 10],
+        };
+        assert_eq!(o.class(), Some(ClassId(0)));
+        assert_eq!(a.class(), None);
+        assert!(a.size_bytes() > o.size_bytes());
+    }
+}

@@ -1,0 +1,335 @@
+//! The streamed wire format for inter-node messages.
+//!
+//! The paper's Message Exchange service "passes objects between nodes using a streamed
+//! format" and distinguishes two message types, `NEW` (remote instantiation) and
+//! `DEPENDENCE` (data/method dependences). This module defines exactly those requests,
+//! the responses, and a compact hand-rolled binary encoding built on the `bytes` crate
+//! so that the byte counts fed into the network cost model are real.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// The kind of access carried by a `DEPENDENCE` message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Invoke a void method on the target object.
+    InvokeVoid,
+    /// Invoke a value-returning method on the target object.
+    InvokeRet,
+    /// Read an instance field.
+    GetField,
+    /// Write an instance field.
+    PutField,
+    /// Read an array element (internal; arrays referenced remotely).
+    GetElement,
+    /// Write an array element (internal).
+    PutElement,
+    /// Read an array length (internal).
+    ArrayLength,
+}
+
+impl AccessKind {
+    /// Encoding tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            AccessKind::InvokeVoid => 1,
+            AccessKind::InvokeRet => 2,
+            AccessKind::GetField => 3,
+            AccessKind::PutField => 4,
+            AccessKind::GetElement => 5,
+            AccessKind::PutElement => 6,
+            AccessKind::ArrayLength => 7,
+        }
+    }
+
+    /// Decodes a tag (also accepts the integer constants the bytecode rewriter embeds).
+    pub fn from_tag(t: i64) -> Option<AccessKind> {
+        Some(match t {
+            1 => AccessKind::InvokeVoid,
+            2 => AccessKind::InvokeRet,
+            3 => AccessKind::GetField,
+            4 => AccessKind::PutField,
+            5 => AccessKind::GetElement,
+            6 => AccessKind::PutElement,
+            7 => AccessKind::ArrayLength,
+            _ => return None,
+        })
+    }
+}
+
+/// A marshalled value. Local references are converted to `Remote` before encoding (the
+/// sender exports the object and sends its id), so the wire never carries heap indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireValue {
+    /// Null.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (copied by value).
+    Str(String),
+    /// Reference to an object hosted by `node` with export id `id`.
+    Remote {
+        /// Home node.
+        node: u32,
+        /// Export id on the home node.
+        id: u64,
+    },
+}
+
+/// A request sent to a node's Message Exchange service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `NEW`: instantiate `class_name` on the receiving node with the given constructor
+    /// arguments; the response carries the remote reference.
+    New {
+        /// Class to instantiate.
+        class_name: String,
+        /// Constructor arguments.
+        args: Vec<WireValue>,
+    },
+    /// `DEPENDENCE`: perform an access on a previously exported object.
+    Dependence {
+        /// Export id of the target object on the receiving node.
+        target: u64,
+        /// What to do.
+        kind: AccessKind,
+        /// Method or field name (element index for array accesses travels in `args`).
+        member: String,
+        /// Arguments / the value to store.
+        args: Vec<WireValue>,
+    },
+    /// Orderly shutdown of the Message Exchange service.
+    Shutdown,
+}
+
+/// A response to a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The result value (or an acknowledgement encoded as `Null`).
+    Value(WireValue),
+    /// The remote operation failed.
+    Error(String),
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> String {
+    let len = buf.get_u32() as usize;
+    let b = buf.split_to(len);
+    String::from_utf8_lossy(&b).into_owned()
+}
+
+fn put_value(buf: &mut BytesMut, v: &WireValue) {
+    match v {
+        WireValue::Null => buf.put_u8(0),
+        WireValue::Int(x) => {
+            buf.put_u8(1);
+            buf.put_i64(*x);
+        }
+        WireValue::Float(x) => {
+            buf.put_u8(2);
+            buf.put_f64(*x);
+        }
+        WireValue::Bool(x) => {
+            buf.put_u8(3);
+            buf.put_u8(*x as u8);
+        }
+        WireValue::Str(s) => {
+            buf.put_u8(4);
+            put_string(buf, s);
+        }
+        WireValue::Remote { node, id } => {
+            buf.put_u8(5);
+            buf.put_u32(*node);
+            buf.put_u64(*id);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> WireValue {
+    match buf.get_u8() {
+        0 => WireValue::Null,
+        1 => WireValue::Int(buf.get_i64()),
+        2 => WireValue::Float(buf.get_f64()),
+        3 => WireValue::Bool(buf.get_u8() != 0),
+        4 => WireValue::Str(get_string(buf)),
+        5 => WireValue::Remote {
+            node: buf.get_u32(),
+            id: buf.get_u64(),
+        },
+        t => panic!("corrupt wire value tag {t}"),
+    }
+}
+
+fn put_values(buf: &mut BytesMut, vs: &[WireValue]) {
+    buf.put_u32(vs.len() as u32);
+    for v in vs {
+        put_value(buf, v);
+    }
+}
+
+fn get_values(buf: &mut Bytes) -> Vec<WireValue> {
+    let n = buf.get_u32() as usize;
+    (0..n).map(|_| get_value(buf)).collect()
+}
+
+impl Request {
+    /// Encodes the request into the streamed format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::New { class_name, args } => {
+                buf.put_u8(0);
+                put_string(&mut buf, class_name);
+                put_values(&mut buf, args);
+            }
+            Request::Dependence {
+                target,
+                kind,
+                member,
+                args,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64(*target);
+                buf.put_u8(kind.tag());
+                put_string(&mut buf, member);
+                put_values(&mut buf, args);
+            }
+            Request::Shutdown => buf.put_u8(2),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request from bytes.
+    pub fn decode(mut bytes: Bytes) -> Request {
+        match bytes.get_u8() {
+            0 => Request::New {
+                class_name: get_string(&mut bytes),
+                args: get_values(&mut bytes),
+            },
+            1 => Request::Dependence {
+                target: bytes.get_u64(),
+                kind: AccessKind::from_tag(bytes.get_u8() as i64).expect("valid kind"),
+                member: get_string(&mut bytes),
+                args: get_values(&mut bytes),
+            },
+            2 => Request::Shutdown,
+            t => panic!("corrupt request tag {t}"),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Value(v) => {
+                buf.put_u8(0);
+                put_value(&mut buf, v);
+            }
+            Response::Error(e) => {
+                buf.put_u8(1);
+                put_string(&mut buf, e);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response.
+    pub fn decode(mut bytes: Bytes) -> Response {
+        match bytes.get_u8() {
+            0 => Response::Value(get_value(&mut bytes)),
+            1 => Response::Error(get_string(&mut bytes)),
+            t => panic!("corrupt response tag {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request::New {
+                class_name: "Account".to_string(),
+                args: vec![
+                    WireValue::Int(1),
+                    WireValue::Str("ABC Market".to_string()),
+                    WireValue::Float(2.5),
+                    WireValue::Bool(true),
+                    WireValue::Null,
+                    WireValue::Remote { node: 1, id: 42 },
+                ],
+            },
+            Request::Dependence {
+                target: 7,
+                kind: AccessKind::InvokeRet,
+                member: "getSavings".to_string(),
+                args: vec![],
+            },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let enc = r.encode();
+            assert_eq!(Request::decode(enc), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for r in [
+            Response::Value(WireValue::Int(900)),
+            Response::Value(WireValue::Null),
+            Response::Error("no such method".to_string()),
+        ] {
+            assert_eq!(Response::decode(r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn access_kind_tags_round_trip() {
+        for k in [
+            AccessKind::InvokeVoid,
+            AccessKind::InvokeRet,
+            AccessKind::GetField,
+            AccessKind::PutField,
+            AccessKind::GetElement,
+            AccessKind::PutElement,
+            AccessKind::ArrayLength,
+        ] {
+            assert_eq!(AccessKind::from_tag(k.tag() as i64), Some(k));
+        }
+        assert_eq!(AccessKind::from_tag(0), None);
+        assert_eq!(AccessKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let r = Request::Dependence {
+            target: 1,
+            kind: AccessKind::GetField,
+            member: "savings".to_string(),
+            args: vec![],
+        };
+        // tag(1) + target(8) + kind(1) + len(4) + 7 + argc(4) = 25 bytes.
+        assert_eq!(r.encode().len(), 25);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let r = Request::New {
+            class_name: "Bank".to_string(),
+            args: vec![WireValue::Str("Mérchants € 銀行".to_string())],
+        };
+        assert_eq!(Request::decode(r.encode()), r);
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: compare the multilevel partitioner against the naive baselines the paper
+//! actually used, across partition counts, on every Table 1 workload.
+//!
+//! Run with: `cargo run --example partition_sweep`
+
+use autodist::{Distributor, DistributorConfig};
+use autodist_partition::{partition, Method, PartitionConfig};
+
+fn main() {
+    println!(
+        "{:<12} {:>6} {:>18} {:>18} {:>18}",
+        "benchmark", "k", "multilevel cut", "round-robin cut", "random cut"
+    );
+    for w in autodist_workloads::table1_workloads(1) {
+        let distributor = Distributor::new(DistributorConfig::default());
+        let analysis = distributor.analyze(&w.program);
+        let graph = distributor.odg_graph(&analysis.odg);
+        for k in [2usize, 4] {
+            let ml = partition(&graph, &PartitionConfig::kway(k));
+            let rr = partition(&graph, &PartitionConfig::naive(k));
+            let rnd = partition(
+                &graph,
+                &PartitionConfig {
+                    nparts: k,
+                    method: Method::Random,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "{:<12} {:>6} {:>18} {:>18} {:>18}",
+                w.name, k, ml.edgecut, rr.edgecut, rnd.edgecut
+            );
+        }
+    }
+}

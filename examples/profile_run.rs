@@ -1,0 +1,36 @@
+//! Run a workload under each of the six profiler metrics (Section 6) and print the
+//! collected data plus the overhead of each metric relative to the disabled baseline.
+//!
+//! Run with: `cargo run --example profile_run`
+
+use autodist_profiler::overhead::measure_overheads;
+use autodist_profiler::{Metric, Profiler};
+use autodist_runtime::cluster::run_centralized_profiled;
+
+fn main() {
+    let workload = autodist_workloads::montecarlo(3000);
+
+    for metric in Metric::all() {
+        let (profiler, handle) = Profiler::new(Some(metric));
+        let report = run_centralized_profiled(
+            &workload.program,
+            1.0,
+            Some(Box::new(profiler)),
+            Profiler::sample_interval(Some(metric)),
+        );
+        assert!(report.is_ok(), "{:?}", report.error);
+        println!("==== {} ====", metric.name());
+        let text = handle.lock().render(&workload.program);
+        if text.is_empty() {
+            println!("(no per-item data for this metric)");
+        } else {
+            print!("{text}");
+        }
+        println!();
+    }
+
+    println!("==== overhead comparison (Table 3 methodology) ====");
+    let workloads = vec![(workload.name.clone(), workload.program.clone())];
+    let table = measure_overheads(&workloads, &Metric::all(), 2);
+    print!("{}", table.render());
+}

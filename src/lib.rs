@@ -1,0 +1,14 @@
+//! Top-level convenience re-exports for the `autodist` reproduction workspace.
+//!
+//! This crate exists to host the repository-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). Library users should depend on the
+//! individual crates (`autodist`, `autodist-ir`, ...) directly.
+
+pub use autodist as pipeline;
+pub use autodist_analysis as analysis;
+pub use autodist_codegen as codegen;
+pub use autodist_ir as ir;
+pub use autodist_partition as partition;
+pub use autodist_profiler as profiler;
+pub use autodist_runtime as runtime;
+pub use autodist_workloads as workloads;

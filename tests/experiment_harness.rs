@@ -1,0 +1,51 @@
+//! Integration tests over the experiment harness itself: the table/figure generators
+//! must produce sane numbers for the shipped workloads.
+
+use autodist::{DistributorConfig, Table1Row};
+use autodist_bench::{measure_speedup, table1_row};
+
+#[test]
+fn table1_rows_are_internally_consistent() {
+    for w in autodist_workloads::table1_workloads(1) {
+        let row: Table1Row = table1_row(&w, &DistributorConfig::default());
+        assert!(row.classes >= 2, "{}", w.name);
+        assert!(row.methods >= 2, "{}", w.name);
+        assert!(row.kb >= 1, "{}", w.name);
+        assert!(row.crg.edgecut <= row.crg.edges, "{}", w.name);
+        assert!(row.odg.edgecut <= row.odg.edges, "{}", w.name);
+    }
+}
+
+#[test]
+fn figure11_compute_kernels_benefit_from_the_fast_node() {
+    // The compute-bound kernels must show the paper's headline effect: offloading to
+    // the 2.1x-faster service node beats the slow-node-only baseline.
+    let config = DistributorConfig::default();
+    let crypt = measure_speedup(&autodist_workloads::crypt(3000), &config);
+    assert!(crypt.checksum_matches);
+    assert!(
+        crypt.speedup_pct() > 110.0,
+        "crypt speedup {:.1}%",
+        crypt.speedup_pct()
+    );
+    let heapsort = measure_speedup(&autodist_workloads::heapsort(2000), &config);
+    assert!(heapsort.checksum_matches);
+    assert!(
+        heapsort.speedup_pct() > 110.0,
+        "heapsort speedup {:.1}%",
+        heapsort.speedup_pct()
+    );
+}
+
+#[test]
+fn figure11_chatty_programs_pay_communication_overhead() {
+    let config = DistributorConfig::paper_defaults();
+    let row = measure_speedup(&autodist_workloads::bank(40), &config);
+    assert!(row.checksum_matches);
+    assert!(
+        row.speedup_pct() < 100.0,
+        "fine-grained remote access should cost something ({:.1}%)",
+        row.speedup_pct()
+    );
+    assert!(row.messages > 0);
+}

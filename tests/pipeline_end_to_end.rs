@@ -1,0 +1,51 @@
+//! Cross-crate integration tests: the full pipeline (front-end -> analysis ->
+//! partitioning -> communication generation -> distributed execution) must preserve
+//! program behaviour for every bundled workload.
+
+use autodist::{Distributor, DistributorConfig};
+use autodist_runtime::cluster::ClusterConfig;
+
+#[test]
+fn every_table1_workload_distributes_correctly_over_two_nodes() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    for w in autodist_workloads::table1_workloads(1) {
+        let baseline = distributor.run_baseline(&w.program);
+        assert!(baseline.is_ok(), "{}: {:?}", w.name, baseline.error);
+        let plan = distributor.distribute(&w.program);
+        let report = plan.execute(&ClusterConfig::paper_testbed());
+        assert!(report.is_ok(), "{}: {:?}", w.name, report.error);
+        assert_eq!(
+            report.final_statics.get("Main::checksum"),
+            baseline.final_statics.get("Main::checksum"),
+            "{}: distributed checksum differs",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn bank_example_distributes_correctly_with_naive_partitioning_too() {
+    let distributor = Distributor::new(DistributorConfig::paper_defaults());
+    let w = autodist_workloads::bank(25);
+    let baseline = distributor.run_baseline(&w.program);
+    let plan = distributor.distribute(&w.program);
+    let report = plan.execute(&ClusterConfig::paper_testbed());
+    assert!(report.is_ok(), "{:?}", report.error);
+    assert_eq!(
+        report.final_statics.get("Main::checksum"),
+        baseline.final_statics.get("Main::checksum")
+    );
+}
+
+#[test]
+fn rewritten_programs_always_verify() {
+    use autodist_ir::verify::verify_program;
+    let distributor = Distributor::new(DistributorConfig::default());
+    for w in autodist_workloads::table1_workloads(1) {
+        let plan = distributor.distribute(&w.program);
+        for node in &plan.node_programs {
+            verify_program(&node.program)
+                .unwrap_or_else(|e| panic!("{} node {}: {e:?}", w.name, node.node));
+        }
+    }
+}
