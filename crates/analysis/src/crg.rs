@@ -116,7 +116,13 @@ impl ClassRelationGraph {
         i
     }
 
-    fn add_edge(&mut self, from: CrgNode, to: CrgNode, kind: CrgEdgeKind, carried: Option<ClassId>) {
+    fn add_edge(
+        &mut self,
+        from: CrgNode,
+        to: CrgNode,
+        kind: CrgEdgeKind,
+        carried: Option<ClassId>,
+    ) {
         if from == to {
             return; // self relations carry no distribution cost
         }
@@ -203,39 +209,33 @@ pub fn build_crg(program: &Program, call_graph: &CallGraph) -> ClassRelationGrap
 
         for insn in &method.body {
             match insn {
-                Insn::New(c) => {
-                    if !program.class(*c).is_synthetic {
-                        crg.add_edge(from, CrgNode::dynamic(*c), CrgEdgeKind::Use, None);
-                    }
+                Insn::New(c) if !program.class(*c).is_synthetic => {
+                    crg.add_edge(from, CrgNode::dynamic(*c), CrgEdgeKind::Use, None);
                 }
-                Insn::GetField(f) | Insn::PutField(f) => {
-                    if !program.class(f.class).is_synthetic {
-                        crg.add_edge(from, CrgNode::dynamic(f.class), CrgEdgeKind::Use, None);
-                        // Reading a reference-typed field imports that type.
-                        if matches!(insn, Insn::GetField(_)) {
-                            if let Type::Ref(t) = &program.field(*f).ty {
-                                crg.add_edge(
-                                    from,
-                                    CrgNode::dynamic(f.class),
-                                    CrgEdgeKind::Import,
-                                    Some(*t),
-                                );
-                            }
-                        } else if let Type::Ref(t) = &program.field(*f).ty {
-                            // Writing a reference-typed field exports that type.
+                Insn::GetField(f) | Insn::PutField(f) if !program.class(f.class).is_synthetic => {
+                    crg.add_edge(from, CrgNode::dynamic(f.class), CrgEdgeKind::Use, None);
+                    // Reading a reference-typed field imports that type.
+                    if matches!(insn, Insn::GetField(_)) {
+                        if let Type::Ref(t) = &program.field(*f).ty {
                             crg.add_edge(
                                 from,
                                 CrgNode::dynamic(f.class),
-                                CrgEdgeKind::Export,
+                                CrgEdgeKind::Import,
                                 Some(*t),
                             );
                         }
+                    } else if let Type::Ref(t) = &program.field(*f).ty {
+                        // Writing a reference-typed field exports that type.
+                        crg.add_edge(
+                            from,
+                            CrgNode::dynamic(f.class),
+                            CrgEdgeKind::Export,
+                            Some(*t),
+                        );
                     }
                 }
-                Insn::GetStatic(f) | Insn::PutStatic(f) => {
-                    if !program.class(f.class).is_synthetic {
-                        crg.add_edge(from, CrgNode::stat(f.class), CrgEdgeKind::Use, None);
-                    }
+                Insn::GetStatic(f) | Insn::PutStatic(f) if !program.class(f.class).is_synthetic => {
+                    crg.add_edge(from, CrgNode::stat(f.class), CrgEdgeKind::Use, None);
                 }
                 Insn::Invoke(kind, target) => {
                     let callee = program.method(*target);

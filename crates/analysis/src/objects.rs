@@ -178,8 +178,7 @@ mod tests {
         let cg = rapid_type_analysis(&p);
         let objs = collect_objects(&p, &cg);
         assert_eq!(objs.len(), 2);
-        let multiplicities: Vec<Multiplicity> =
-            objs.sites.iter().map(|s| s.multiplicity).collect();
+        let multiplicities: Vec<Multiplicity> = objs.sites.iter().map(|s| s.multiplicity).collect();
         assert!(multiplicities.contains(&Multiplicity::Single));
         assert!(multiplicities.contains(&Multiplicity::Summary));
     }

@@ -115,7 +115,9 @@ impl ObjectDependenceGraph {
 
     /// The node standing for an allocation site.
     pub fn node_of_site(&self, site: AllocSiteId) -> Option<OdgNodeId> {
-        self.nodes.iter().position(|n| matches!(n, OdgNode::Object { site: s, .. } if *s == site))
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, OdgNode::Object { site: s, .. } if *s == site))
             .map(|i| OdgNodeId(i as u32))
     }
 
@@ -130,8 +132,7 @@ impl ObjectDependenceGraph {
     /// Returns `true` if a use edge connects the two nodes (either direction).
     pub fn has_use_between(&self, a: OdgNodeId, b: OdgNodeId) -> bool {
         self.edges.iter().any(|e| {
-            e.kind == OdgEdgeKind::Use
-                && ((e.from == a && e.to == b) || (e.from == b && e.to == a))
+            e.kind == OdgEdgeKind::Use && ((e.from == a && e.to == b) || (e.from == b && e.to == a))
         })
     }
 
@@ -451,7 +452,13 @@ mod tests {
             .nodes
             .iter()
             .position(|n| {
-                matches!(n, OdgNode::Object { multiplicity: Multiplicity::Summary, .. })
+                matches!(
+                    n,
+                    OdgNode::Object {
+                        multiplicity: Multiplicity::Summary,
+                        ..
+                    }
+                )
             })
             .map(|i| OdgNodeId(i as u32))
             .expect("summary account exists");

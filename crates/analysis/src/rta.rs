@@ -110,23 +110,21 @@ pub fn analyze_from(program: &Program, roots: &[MethodId]) -> CallGraph {
         let method = program.method(m);
         for (pc, insn) in method.body.iter().enumerate() {
             match insn {
-                Insn::New(c) => {
-                    if instantiated.insert(*c) {
-                        // Newly instantiated class: previously seen virtual sites may
-                        // now dispatch to its overrides.
-                        for &(caller, _pc, declared) in &virtual_sites {
-                            let name = &program.method(declared).name;
-                            if let Some(t) = resolve_override(program, *c, declared, name) {
-                                edges.entry(caller).or_default().insert(t);
-                                if reachable_set.insert(t) {
-                                    reachable.push(t);
-                                    work.push(t);
-                                }
+                Insn::New(c) if instantiated.insert(*c) => {
+                    // Newly instantiated class: previously seen virtual sites may
+                    // now dispatch to its overrides.
+                    for &(caller, _pc, declared) in &virtual_sites {
+                        let name = &program.method(declared).name;
+                        if let Some(t) = resolve_override(program, *c, declared, name) {
+                            edges.entry(caller).or_default().insert(t);
+                            if reachable_set.insert(t) {
+                                reachable.push(t);
+                                work.push(t);
                             }
                         }
-                        // Constructors of superclasses are conceptually reachable via
-                        // implicit super() chains; we only consider explicit calls.
                     }
+                    // Constructors of superclasses are conceptually reachable via
+                    // implicit super() chains; we only consider explicit calls.
                 }
                 Insn::Invoke(kind, target) => match kind {
                     InvokeKind::Static | InvokeKind::Special => {

@@ -116,7 +116,12 @@ impl WeightModel {
                     .get(&class)
                     .copied()
                     .unwrap_or_else(|| program.class(class).instance_size_bytes());
-                let cpu = data.invocation_counts.get(&class).copied().unwrap_or(1).max(1);
+                let cpu = data
+                    .invocation_counts
+                    .get(&class)
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
                 ResourceVector {
                     memory: mem.max(1),
                     cpu,

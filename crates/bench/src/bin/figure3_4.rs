@@ -26,11 +26,17 @@ fn main() {
     )
     .unwrap();
 
-    println!("Figure 3 — class relation graph ({} nodes, {} edges)",
-        plan.analysis.crg.node_count(), plan.analysis.crg.edge_count());
+    println!(
+        "Figure 3 — class relation graph ({} nodes, {} edges)",
+        plan.analysis.crg.node_count(),
+        plan.analysis.crg.edge_count()
+    );
     println!("{crg_vcg}");
-    println!("Figure 4 — object dependence graph ({} nodes, {} edges)",
-        plan.analysis.odg.node_count(), plan.analysis.odg.edge_count());
+    println!(
+        "Figure 4 — object dependence graph ({} nodes, {} edges)",
+        plan.analysis.odg.node_count(),
+        plan.analysis.odg.edge_count()
+    );
     println!("{odg_vcg}");
     println!("written to results/figure3_crg.{{vcg,dot}} and results/figure4_odg.{{vcg,dot}}");
 }

@@ -21,7 +21,10 @@ fn main() {
 
     let rewritten = rewrite_for_node(program, &placement, 0);
     println!("Transformed bytecode of Main.main on node 0 (Account/Bank hosted on node 1):");
-    println!("{}", print_bytecode(&rewritten.program, rewritten.program.entry.unwrap()));
+    println!(
+        "{}",
+        print_bytecode(&rewritten.program, rewritten.program.entry.unwrap())
+    );
     println!(
         "rewrite statistics: {} allocations, {} invocations, {} field accesses in {} methods",
         rewritten.stats.rewritten_allocations,

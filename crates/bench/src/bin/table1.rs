@@ -13,5 +13,8 @@ fn main() {
         println!("{}", row.render());
     }
     let bank = autodist_workloads::bank(100 * scale);
-    println!("{}", table1_row(&bank, &DistributorConfig::default()).render());
+    println!(
+        "{}",
+        table1_row(&bank, &DistributorConfig::default()).render()
+    );
 }

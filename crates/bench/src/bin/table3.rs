@@ -7,10 +7,11 @@ use autodist_profiler::Metric;
 
 fn main() {
     let scale = scale_from_args();
-    let workloads: Vec<(String, autodist_ir::Program)> = autodist_workloads::table3_workloads(scale)
-        .into_iter()
-        .map(|w| (w.name, w.program))
-        .collect();
+    let workloads: Vec<(String, autodist_ir::Program)> =
+        autodist_workloads::table3_workloads(scale)
+            .into_iter()
+            .map(|w| (w.name, w.program))
+            .collect();
     println!("Table 3 — profiler overhead (wall-clock ms, scale = {scale})");
     let table = measure_overheads(&workloads, &Metric::all(), 3);
     print!("{}", table.render());

@@ -72,7 +72,10 @@ pub fn arm_rules() -> Burs {
             matches: Box::new(|op| {
                 matches!(
                     op,
-                    TreeOp::IConstLeaf(_) | TreeOp::SConstLeaf(_) | TreeOp::NullLeaf | TreeOp::FConstLeaf(_)
+                    TreeOp::IConstLeaf(_)
+                        | TreeOp::SConstLeaf(_)
+                        | TreeOp::NullLeaf
+                        | TreeOp::FConstLeaf(_)
                 )
             }),
             child_nts: vec![],
@@ -173,7 +176,10 @@ pub fn arm_rules() -> Burs {
                         ops.first().cloned().unwrap_or_default(),
                         ops.get(1).cloned().unwrap_or_default()
                     ),
-                    TreeOp::Un(_) => format!("rsb {dst}, {}, #0", ops.first().cloned().unwrap_or_default()),
+                    TreeOp::Un(_) => format!(
+                        "rsb {dst}, {}, #0",
+                        ops.first().cloned().unwrap_or_default()
+                    ),
                     _ => unreachable!(),
                 };
                 (vec![line], String::new())
@@ -320,7 +326,10 @@ pub fn arm_rules() -> Burs {
             name: "arm.mem_read",
             produces: Nonterminal::Stmt,
             matches: Box::new(|op| {
-                matches!(op, TreeOp::GetField(_) | TreeOp::GetStatic(_) | TreeOp::ALoad | TreeOp::ALen)
+                matches!(
+                    op,
+                    TreeOp::GetField(_) | TreeOp::GetStatic(_) | TreeOp::ALoad | TreeOp::ALen
+                )
             }),
             child_nts: vec![Nonterminal::Reg],
             variadic: true,
@@ -329,7 +338,10 @@ pub fn arm_rules() -> Burs {
                 let dst = dst_name(n, ctx);
                 let line = match &n.op {
                     TreeOp::GetField(f) => {
-                        format!("ldr {dst}, [{}, #{f}]", ops.first().cloned().unwrap_or_default())
+                        format!(
+                            "ldr {dst}, [{}, #{f}]",
+                            ops.first().cloned().unwrap_or_default()
+                        )
                     }
                     TreeOp::GetStatic(f) => format!("ldr {dst}, ={f}"),
                     TreeOp::ALoad => format!(
@@ -338,7 +350,10 @@ pub fn arm_rules() -> Burs {
                         ops.get(1).cloned().unwrap_or_default()
                     ),
                     TreeOp::ALen => {
-                        format!("ldr {dst}, [{}, #-8]", ops.first().cloned().unwrap_or_default())
+                        format!(
+                            "ldr {dst}, [{}, #-8]",
+                            ops.first().cloned().unwrap_or_default()
+                        )
                     }
                     _ => unreachable!(),
                 };
@@ -349,7 +364,10 @@ pub fn arm_rules() -> Burs {
             name: "arm.mem_write",
             produces: Nonterminal::Stmt,
             matches: Box::new(|op| {
-                matches!(op, TreeOp::PutField(_) | TreeOp::PutStatic(_) | TreeOp::AStore)
+                matches!(
+                    op,
+                    TreeOp::PutField(_) | TreeOp::PutStatic(_) | TreeOp::AStore
+                )
             }),
             child_nts: vec![Nonterminal::Reg],
             variadic: true,

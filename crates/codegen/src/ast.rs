@@ -134,10 +134,7 @@ impl TreeNode {
 }
 
 /// Builds one AST per quad of `qm`, grouped by basic block.
-pub fn build_method_forest(
-    program: &Program,
-    qm: &QuadMethod,
-) -> Vec<(BlockId, Vec<TreeNode>)> {
+pub fn build_method_forest(program: &Program, qm: &QuadMethod) -> Vec<(BlockId, Vec<TreeNode>)> {
     qm.blocks
         .iter()
         .map(|b| {
@@ -201,7 +198,11 @@ pub fn quad_to_tree(program: &Program, q: &Quad) -> TreeNode {
         Quad::AStore { arr, idx, val } => TreeNode {
             op: TreeOp::AStore,
             dst: None,
-            children: vec![TreeNode::leaf(arr), TreeNode::leaf(idx), TreeNode::leaf(val)],
+            children: vec![
+                TreeNode::leaf(arr),
+                TreeNode::leaf(idx),
+                TreeNode::leaf(val),
+            ],
         },
         Quad::ALen { dst, arr } => TreeNode {
             op: TreeOp::ALen,

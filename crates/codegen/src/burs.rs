@@ -81,6 +81,10 @@ impl EmitCtx {
 /// result (empty for statements).
 pub type EmitFn = Box<dyn Fn(&TreeNode, &[String], &mut EmitCtx) -> (Vec<String>, String)>;
 
+/// Emitter materialising an immediate into a register: takes the immediate's text,
+/// returns the emitted lines and the register holding the value.
+pub type ImmEmitFn = Box<dyn Fn(&str, &mut EmitCtx) -> (Vec<String>, String)>;
+
 /// A single BURS rule.
 pub struct Rule {
     /// Human-readable rule name (useful in tests and debugging).
@@ -108,7 +112,7 @@ pub struct Burs {
     /// Cost of the `reg <- imm` chain derivation.
     pub imm_to_reg_cost: u32,
     /// Emitter for the `reg <- imm` chain derivation.
-    pub imm_to_reg: Box<dyn Fn(&str, &mut EmitCtx) -> (Vec<String>, String)>,
+    pub imm_to_reg: ImmEmitFn,
 }
 
 /// Per-node labelling result: for each nonterminal, the cheapest derivation.
@@ -367,9 +371,15 @@ mod tests {
     fn labeler_prefers_the_cheaper_rule() {
         let t = toy_target();
         // add reg, imm: move(1) + add_ri(1) = 2
-        assert_eq!(t.derivation_cost(&add_tree(true), Nonterminal::Stmt), Some(2));
+        assert_eq!(
+            t.derivation_cost(&add_tree(true), Nonterminal::Stmt),
+            Some(2)
+        );
         // add reg, reg: move(1) + add_rr(3) = 4
-        assert_eq!(t.derivation_cost(&add_tree(false), Nonterminal::Stmt), Some(4));
+        assert_eq!(
+            t.derivation_cost(&add_tree(false), Nonterminal::Stmt),
+            Some(4)
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ mod tests {
         assert!(text.contains("cmp"), "{text}");
         assert!(text.contains("ble") || text.contains("bgt"), "{text}");
         assert!(text.contains("add"), "{text}");
-        assert!(text.contains("mov PC, R14") || text.contains("mov pc"), "{text}");
+        assert!(
+            text.contains("mov PC, R14") || text.contains("mov pc"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -457,8 +457,14 @@ mod tests {
         let main = rw.program.entry.unwrap();
         let listing = print_bytecode(&rw.program, main);
         assert!(listing.contains("new rt/DependentObject"), "{listing}");
-        assert!(listing.contains("invokevirtual rt/DependentObject.access"), "{listing}");
-        assert!(listing.contains("invokespecial rt/DependentObject.<init>"), "{listing}");
+        assert!(
+            listing.contains("invokevirtual rt/DependentObject.access"),
+            "{listing}"
+        );
+        assert!(
+            listing.contains("invokespecial rt/DependentObject.<init>"),
+            "{listing}"
+        );
         assert!(!listing.contains("new Bank"), "{listing}");
     }
 

@@ -45,7 +45,10 @@ fn imm_leaf() -> Rule {
         matches: Box::new(|op| {
             matches!(
                 op,
-                TreeOp::IConstLeaf(_) | TreeOp::SConstLeaf(_) | TreeOp::NullLeaf | TreeOp::FConstLeaf(_)
+                TreeOp::IConstLeaf(_)
+                    | TreeOp::SConstLeaf(_)
+                    | TreeOp::NullLeaf
+                    | TreeOp::FConstLeaf(_)
             )
         }),
         child_nts: vec![],
@@ -341,7 +344,10 @@ pub fn x86_rules() -> Burs {
             name: "x86.getfield",
             produces: Nonterminal::Stmt,
             matches: Box::new(|op| {
-                matches!(op, TreeOp::GetField(_) | TreeOp::GetStatic(_) | TreeOp::ALoad | TreeOp::ALen)
+                matches!(
+                    op,
+                    TreeOp::GetField(_) | TreeOp::GetStatic(_) | TreeOp::ALoad | TreeOp::ALen
+                )
             }),
             child_nts: vec![Nonterminal::Reg],
             variadic: true,
@@ -349,8 +355,10 @@ pub fn x86_rules() -> Burs {
             emit: Box::new(|n, ops, ctx| {
                 let dst = dst_name(n, ctx);
                 let what = match &n.op {
-                    TreeOp::GetField(f) | TreeOp::GetStatic(f) => format!("{f}"),
-                    TreeOp::ALoad => format!("{} + {}*8", ops[0], ops.get(1).cloned().unwrap_or_default()),
+                    TreeOp::GetField(f) | TreeOp::GetStatic(f) => f.to_string(),
+                    TreeOp::ALoad => {
+                        format!("{} + {}*8", ops[0], ops.get(1).cloned().unwrap_or_default())
+                    }
                     TreeOp::ALen => format!("{} - 8", ops[0]),
                     _ => unreachable!(),
                 };
@@ -367,7 +375,10 @@ pub fn x86_rules() -> Burs {
             name: "x86.putfield",
             produces: Nonterminal::Stmt,
             matches: Box::new(|op| {
-                matches!(op, TreeOp::PutField(_) | TreeOp::PutStatic(_) | TreeOp::AStore)
+                matches!(
+                    op,
+                    TreeOp::PutField(_) | TreeOp::PutStatic(_) | TreeOp::AStore
+                )
             }),
             child_nts: vec![Nonterminal::Reg],
             variadic: true,
@@ -375,7 +386,11 @@ pub fn x86_rules() -> Burs {
             emit: Box::new(|n, ops, _| {
                 let line = match &n.op {
                     TreeOp::PutField(f) => {
-                        format!("mov [{} + {f}], {}", ops[0], ops.get(1).cloned().unwrap_or_default())
+                        format!(
+                            "mov [{} + {f}], {}",
+                            ops[0],
+                            ops.get(1).cloned().unwrap_or_default()
+                        )
                     }
                     TreeOp::PutStatic(f) => {
                         format!("mov [{f}], {}", ops.first().cloned().unwrap_or_default())

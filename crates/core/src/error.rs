@@ -1,0 +1,231 @@
+//! The single error surface of the distribution pipeline.
+//!
+//! Every phase of the pipeline has its own precise error type where precision matters
+//! (`ParseError` with source lines, `VerifyError` with method/pc coordinates,
+//! `ExecError` with runtime faults), but callers driving the whole pipeline should not
+//! have to know which crate a failure came from. [`PipelineError`] wraps each phase's
+//! native error and tags it with the [`Phase`] that produced it, so `Distributor`,
+//! the experiment harness and downstream tools report failures through one type.
+
+use std::fmt;
+
+use autodist_ir::frontend::ParseError;
+use autodist_ir::lower::LowerError;
+use autodist_ir::verify::VerifyError;
+use autodist_runtime::cluster::ExecutionReport;
+use autodist_runtime::interp::ExecError;
+
+/// Convenience alias used by the fallible pipeline entry points.
+pub type PipelineResult<T> = Result<T, PipelineError>;
+
+/// The pipeline phase a [`PipelineError`] originated in (the paper's Figure 1 stages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Source parsing / bytecode construction (`autodist-ir`).
+    Frontend,
+    /// RTA / CRG / ODG construction (`autodist-analysis`).
+    Analysis,
+    /// Graph partitioning (`autodist-partition`).
+    Partition,
+    /// Bytecode rewriting and code generation (`autodist-codegen`).
+    Codegen,
+    /// Bytecode verification of program copies (`autodist-ir`).
+    Verify,
+    /// Distributed or centralized execution (`autodist-runtime`).
+    Runtime,
+    /// Pipeline configuration validation (before any phase runs).
+    Config,
+}
+
+impl Phase {
+    /// Stable lowercase name (used in diagnostics and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Frontend => "frontend",
+            Phase::Analysis => "analysis",
+            Phase::Partition => "partition",
+            Phase::Codegen => "codegen",
+            Phase::Verify => "verify",
+            Phase::Runtime => "runtime",
+            Phase::Config => "config",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failure anywhere in the distribution pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// The source program failed to parse or compile to bytecode.
+    Parse(ParseError),
+    /// Bytecode-to-quad lowering failed (codegen-side analyses need quads).
+    Lower(LowerError),
+    /// A program copy failed bytecode verification. `node` identifies the rewritten
+    /// copy (`None` for the input program).
+    Verify {
+        /// Node whose program copy failed, if the failure is post-rewrite.
+        node: Option<usize>,
+        /// The individual verification failures.
+        errors: Vec<VerifyError>,
+    },
+    /// The partitioner produced an unusable result for this input.
+    Partition(String),
+    /// Communication generation could not rewrite the program.
+    Codegen(String),
+    /// The interpreter faulted (centralized or on some node).
+    Exec(ExecError),
+    /// A distributed run failed; the message is the launch node's report error.
+    Runtime(String),
+    /// The pipeline configuration is invalid (e.g. zero nodes).
+    Config(String),
+}
+
+impl PipelineError {
+    /// The phase that produced this error.
+    pub fn phase(&self) -> Phase {
+        match self {
+            PipelineError::Parse(_) => Phase::Frontend,
+            PipelineError::Lower(_) | PipelineError::Codegen(_) => Phase::Codegen,
+            PipelineError::Verify { .. } => Phase::Verify,
+            PipelineError::Partition(_) => Phase::Partition,
+            PipelineError::Exec(_) | PipelineError::Runtime(_) => Phase::Runtime,
+            PipelineError::Config(_) => Phase::Config,
+        }
+    }
+
+    /// Converts an execution report into a result, surfacing the report's error
+    /// through the unified type.
+    pub fn check_report(report: ExecutionReport) -> PipelineResult<ExecutionReport> {
+        match report.error {
+            Some(ref e) => Err(PipelineError::Runtime(e.clone())),
+            None => Ok(report),
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.phase())?;
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::Lower(e) => write!(f, "{e}"),
+            PipelineError::Verify { node, errors } => {
+                match node {
+                    Some(n) => write!(f, "rewritten copy for node {n} failed verification")?,
+                    None => write!(f, "program failed verification")?,
+                }
+                for e in errors {
+                    write!(f, "; {e}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Partition(m) => write!(f, "{m}"),
+            PipelineError::Codegen(m) => write!(f, "{m}"),
+            PipelineError::Exec(e) => write!(f, "{e}"),
+            PipelineError::Runtime(m) => write!(f, "{m}"),
+            PipelineError::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Lower(e) => Some(e),
+            PipelineError::Exec(e) => Some(e),
+            PipelineError::Verify { errors, .. } => errors
+                .first()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<LowerError> for PipelineError {
+    fn from(e: LowerError) -> Self {
+        PipelineError::Lower(e)
+    }
+}
+
+impl From<Vec<VerifyError>> for PipelineError {
+    fn from(errors: Vec<VerifyError>) -> Self {
+        PipelineError::Verify { node: None, errors }
+    }
+}
+
+impl From<ExecError> for PipelineError {
+    fn from(e: ExecError) -> Self {
+        PipelineError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_and_display_are_consistent() {
+        let e = PipelineError::Config("nodes must be > 0".into());
+        assert_eq!(e.phase(), Phase::Config);
+        assert!(e.to_string().contains("invalid configuration"));
+
+        let e = PipelineError::Runtime("node 1 died".into());
+        assert_eq!(e.phase(), Phase::Runtime);
+        assert_eq!(e.to_string(), "[runtime] node 1 died");
+    }
+
+    #[test]
+    fn native_errors_convert_and_keep_their_source() {
+        use std::error::Error as _;
+        let parse = ParseError {
+            line: 3,
+            message: "expected `{`".into(),
+        };
+        let e: PipelineError = parse.into();
+        assert_eq!(e.phase(), Phase::Frontend);
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_some());
+
+        let verify: PipelineError = vec![VerifyError::NoEntryPoint].into();
+        assert_eq!(verify.phase(), Phase::Verify);
+        assert!(verify.source().is_some());
+
+        let exec: PipelineError = ExecError::DivisionByZero.into();
+        assert_eq!(exec.phase(), Phase::Runtime);
+    }
+
+    #[test]
+    fn check_report_splits_on_the_error_field() {
+        let ok = ExecutionReport {
+            virtual_time_us: 1.0,
+            wall_time_ms: 1.0,
+            per_node: vec![],
+            final_statics: Default::default(),
+            error: None,
+        };
+        assert!(PipelineError::check_report(ok).is_ok());
+        let bad = ExecutionReport {
+            virtual_time_us: 1.0,
+            wall_time_ms: 1.0,
+            per_node: vec![],
+            final_statics: Default::default(),
+            error: Some("remote failure: unknown method f".into()),
+        };
+        match PipelineError::check_report(bad) {
+            Err(PipelineError::Runtime(m)) => assert!(m.contains("unknown method")),
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! Phase timings are recorded (the paper's Table 2), graph statistics are exposed (the
 //! paper's Table 1) and both graphs can be exported in VCG or DOT form (Figures 3/4).
 
+pub mod error;
 pub mod stats;
 pub mod viz;
 
@@ -32,6 +33,7 @@ use autodist_ir::verify::verify_program;
 use autodist_partition::{partition, Graph, GraphBuilder, Method, PartitionConfig, Partitioning};
 use autodist_runtime::cluster::{run_centralized, run_distributed, ClusterConfig, ExecutionReport};
 
+pub use error::{Phase, PipelineError, PipelineResult};
 pub use stats::{GraphStats, PhaseTimings, Table1Row};
 
 /// Configuration of the distribution pipeline.
@@ -115,13 +117,22 @@ pub struct DistributionPlan {
 impl DistributionPlan {
     /// The per-node programs as plain [`Program`]s (what the runtime consumes).
     pub fn programs(&self) -> Vec<Program> {
-        self.node_programs.iter().map(|r| r.program.clone()).collect()
+        self.node_programs
+            .iter()
+            .map(|r| r.program.clone())
+            .collect()
     }
 
     /// Executes the plan on the simulated cluster.
     pub fn execute(&self, cluster: &ClusterConfig) -> ExecutionReport {
         let programs = self.programs();
         run_distributed(&programs, cluster)
+    }
+
+    /// Executes the plan and surfaces any execution failure as a [`PipelineError`]
+    /// instead of an error field inside the report.
+    pub fn try_execute(&self, cluster: &ClusterConfig) -> PipelineResult<ExecutionReport> {
+        PipelineError::check_report(self.execute(cluster))
     }
 
     /// Total number of program points rewritten across all node copies.
@@ -172,8 +183,34 @@ impl Distributor {
         gb.build()
     }
 
-    /// Runs the full pipeline: analyse, partition, place, rewrite.
+    /// Compiles MiniJava-style source straight into a [`Program`], reporting parse
+    /// failures through the unified error surface.
+    pub fn compile(source: &str) -> PipelineResult<Program> {
+        Ok(autodist_ir::frontend::compile_source(source)?)
+    }
+
+    /// Runs the full pipeline: analyse, partition, place, rewrite. Panics on invalid
+    /// configurations or rewriter bugs; use [`Distributor::try_distribute`] to get a
+    /// [`PipelineError`] instead.
     pub fn distribute(&self, program: &Program) -> DistributionPlan {
+        self.try_distribute(program)
+            .unwrap_or_else(|e| panic!("distribution pipeline failed: {e}"))
+    }
+
+    /// Runs the full pipeline, reporting failures from any phase through the shared
+    /// [`PipelineError`] surface.
+    pub fn try_distribute(&self, program: &Program) -> PipelineResult<DistributionPlan> {
+        if self.config.nodes == 0 {
+            return Err(PipelineError::Config(
+                "cannot distribute over zero nodes".to_string(),
+            ));
+        }
+        if self.config.balance_tolerance.is_nan() || self.config.balance_tolerance < 0.0 {
+            return Err(PipelineError::Config(format!(
+                "balance tolerance must be non-negative, got {}",
+                self.config.balance_tolerance
+            )));
+        }
         // Phase 1: CRG construction (includes RTA, mirroring the paper's breakdown).
         let t0 = Instant::now();
         let call_graph = rapid_type_analysis(program);
@@ -204,23 +241,32 @@ impl Distributor {
             ..Default::default()
         };
         let partitioning = partition(&graph, &part_cfg);
+        if partitioning.assignment.len() != analysis.odg.node_count() {
+            return Err(PipelineError::Partition(format!(
+                "assignment covers {} of {} ODG nodes",
+                partitioning.assignment.len(),
+                analysis.odg.node_count()
+            )));
+        }
         let partition_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         // Phase 4: code and communication generation.
         let t3 = Instant::now();
-        let placement =
-            ClassPlacement::from_odg_partition(program, &analysis.odg, &partitioning);
+        let placement = ClassPlacement::from_odg_partition(program, &analysis.odg, &partitioning);
         let node_programs: Vec<RewrittenProgram> = (0..self.config.nodes)
             .map(|n| rewrite_for_node(program, &placement, n))
             .collect();
         if self.config.verify {
             for rp in &node_programs {
-                verify_program(&rp.program).expect("rewritten program verifies");
+                verify_program(&rp.program).map_err(|errors| PipelineError::Verify {
+                    node: Some(rp.node),
+                    errors,
+                })?;
             }
         }
         let rewrite_ms = t3.elapsed().as_secs_f64() * 1e3;
 
-        DistributionPlan {
+        Ok(DistributionPlan {
             analysis,
             graph,
             partitioning,
@@ -232,13 +278,18 @@ impl Distributor {
                 partition_ms,
                 rewrite_ms,
             },
-        }
+        })
     }
 
     /// Runs the sequential baseline (everything on the slow node), as the paper does
     /// for its Figure 11 comparison.
     pub fn run_baseline(&self, program: &Program) -> ExecutionReport {
         run_centralized(program, 1.0)
+    }
+
+    /// Runs the sequential baseline, surfacing interpreter faults as [`PipelineError`].
+    pub fn try_run_baseline(&self, program: &Program) -> PipelineResult<ExecutionReport> {
+        PipelineError::check_report(self.run_baseline(program))
     }
 }
 
@@ -256,7 +307,10 @@ mod tests {
         assert!(plan.analysis.crg.node_count() >= 3);
         assert!(plan.analysis.odg.node_count() >= 4);
         assert_eq!(plan.node_programs.len(), 2);
-        assert_eq!(plan.partitioning.assignment.len(), plan.analysis.odg.node_count());
+        assert_eq!(
+            plan.partitioning.assignment.len(),
+            plan.analysis.odg.node_count()
+        );
         assert!(plan.timings.total_ms() > 0.0);
         // Node 0 must host the entry class.
         let main = w.program.class_by_name("Main").unwrap();
@@ -309,6 +363,72 @@ mod tests {
                 ml.partitioning.edgecut,
                 rr.partitioning.edgecut
             );
+        }
+    }
+
+    #[test]
+    fn try_distribute_rejects_invalid_configurations() {
+        let w = workloads::bank(5);
+        for (config, needle) in [
+            (
+                DistributorConfig {
+                    nodes: 0,
+                    ..Default::default()
+                },
+                "zero nodes",
+            ),
+            (
+                DistributorConfig {
+                    balance_tolerance: f64::NAN,
+                    ..Default::default()
+                },
+                "balance tolerance",
+            ),
+        ] {
+            match Distributor::new(config).try_distribute(&w.program) {
+                Err(PipelineError::Config(m)) => assert!(m.contains(needle), "{m}"),
+                other => panic!("expected config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fallible_pipeline_matches_the_infallible_one() {
+        let w = workloads::bank(10);
+        let distributor = Distributor::new(DistributorConfig::default());
+        let plan = distributor.try_distribute(&w.program).expect("pipeline");
+        let report = plan
+            .try_execute(&ClusterConfig::paper_testbed())
+            .expect("execution");
+        let baseline = distributor.try_run_baseline(&w.program).expect("baseline");
+        assert_eq!(
+            report.final_statics.get("Main::checksum"),
+            baseline.final_statics.get("Main::checksum")
+        );
+    }
+
+    #[test]
+    fn runtime_faults_flow_through_the_unified_surface() {
+        let src = "class Main {
+            static int checksum;
+            static void main() { int a = 1; int b = 0; checksum = a / b; }
+        }";
+        let program = Distributor::compile(src).expect("compiles");
+        let distributor = Distributor::new(DistributorConfig::default());
+        match distributor.try_run_baseline(&program) {
+            Err(e @ PipelineError::Runtime(_)) => {
+                assert_eq!(e.phase(), Phase::Runtime);
+                assert!(e.to_string().contains("division by zero"), "{e}");
+            }
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_flow_through_the_unified_surface() {
+        match Distributor::compile("class Main { static void main() { int = ; } }") {
+            Err(e @ PipelineError::Parse(_)) => assert_eq!(e.phase(), Phase::Frontend),
+            other => panic!("expected parse error, got {other:?}"),
         }
     }
 

@@ -79,11 +79,7 @@ pub fn crg_to_dot(program: &Program, crg: &ClassRelationGraph) -> String {
     out
 }
 
-fn odg_node_label(
-    odg: &ObjectDependenceGraph,
-    idx: usize,
-    assignment: Option<&[usize]>,
-) -> String {
+fn odg_node_label(odg: &ObjectDependenceGraph, idx: usize, assignment: Option<&[usize]>) -> String {
     let base = odg.labels[idx].clone();
     match assignment.and_then(|a| a.get(idx)) {
         Some(p) => format!("{base} [{p}]"),

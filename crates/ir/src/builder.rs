@@ -72,7 +72,9 @@ impl ProgramBuilder {
 
     /// Starts building a constructor (`<init>`).
     pub fn constructor(&mut self, class: ClassId, params: Vec<Type>) -> MethodBuilder<'_> {
-        let id = self.program.add_method(class, "<init>", params, Type::Void, false);
+        let id = self
+            .program
+            .add_method(class, "<init>", params, Type::Void, false);
         MethodBuilder::new(&mut self.program, id)
     }
 
@@ -320,7 +322,11 @@ impl<'p> MethodBuilder<'p> {
             self.insns[pc].remap_targets(|_| target);
         }
         // Ensure the body terminates.
-        let terminated = self.insns.last().map(|i| i.is_terminator()).unwrap_or(false);
+        let terminated = self
+            .insns
+            .last()
+            .map(|i| i.is_terminator())
+            .unwrap_or(false);
         if !terminated {
             let ret = self.program.method(self.method).ret.clone();
             if ret == Type::Void {

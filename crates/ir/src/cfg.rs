@@ -168,10 +168,7 @@ impl BytecodeCfg {
     /// Returns `true` if the instruction at `pc` sits inside a loop.
     pub fn pc_in_loop(&self, pc: usize) -> bool {
         let loops = self.loop_blocks();
-        loops
-            .get(self.block_of_pc(pc))
-            .copied()
-            .unwrap_or(false)
+        loops.get(self.block_of_pc(pc)).copied().unwrap_or(false)
     }
 }
 
@@ -199,33 +196,33 @@ mod tests {
     /// while (i < 10) { i = i + 1 }  — a single natural loop.
     fn loop_body() -> Vec<Insn> {
         vec![
-            Insn::Const(Const::Int(0)),  // 0
-            Insn::Store(0),              // 1
-            Insn::Load(0),               // 2  <- loop header
-            Insn::Const(Const::Int(10)), // 3
-            Insn::IfCmp(CmpOp::Ge, 9),   // 4
-            Insn::Load(0),               // 5
-            Insn::Const(Const::Int(1)),  // 6
+            Insn::Const(Const::Int(0)),             // 0
+            Insn::Store(0),                         // 1
+            Insn::Load(0),                          // 2  <- loop header
+            Insn::Const(Const::Int(10)),            // 3
+            Insn::IfCmp(CmpOp::Ge, 9),              // 4
+            Insn::Load(0),                          // 5
+            Insn::Const(Const::Int(1)),             // 6
             Insn::Bin(crate::bytecode::BinOp::Add), // 7
-            Insn::Store(0),              // 8 ... falls to 9? no: loop back
-            Insn::Return,                // 9
+            Insn::Store(0),                         // 8 ... falls to 9? no: loop back
+            Insn::Return,                           // 9
         ]
     }
 
     /// Same loop but with an explicit back edge.
     fn real_loop_body() -> Vec<Insn> {
         vec![
-            Insn::Const(Const::Int(0)),  // 0
-            Insn::Store(0),              // 1
-            Insn::Load(0),               // 2  header
-            Insn::Const(Const::Int(10)), // 3
-            Insn::IfCmp(CmpOp::Ge, 10),  // 4
-            Insn::Load(0),               // 5
-            Insn::Const(Const::Int(1)),  // 6
+            Insn::Const(Const::Int(0)),             // 0
+            Insn::Store(0),                         // 1
+            Insn::Load(0),                          // 2  header
+            Insn::Const(Const::Int(10)),            // 3
+            Insn::IfCmp(CmpOp::Ge, 10),             // 4
+            Insn::Load(0),                          // 5
+            Insn::Const(Const::Int(1)),             // 6
             Insn::Bin(crate::bytecode::BinOp::Add), // 7
-            Insn::Store(0),              // 8
-            Insn::Goto(2),               // 9  back edge
-            Insn::Return,                // 10
+            Insn::Store(0),                         // 8
+            Insn::Goto(2),                          // 9  back edge
+            Insn::Return,                           // 10
         ]
     }
 

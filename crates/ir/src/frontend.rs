@@ -186,9 +186,7 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                             '!' => Tok::Bang,
                             '<' => Tok::Lt,
                             '>' => Tok::Gt,
-                            other => {
-                                return err(line, format!("unexpected character '{other}'"))
-                            }
+                            other => return err(line, format!("unexpected character '{other}'")),
                         };
                         (t, 1)
                     }
@@ -275,7 +273,7 @@ enum Stmt {
     If(Expr, Box<Stmt>, Option<Box<Stmt>>),
     While(Expr, Box<Stmt>),
     Return(Option<Expr>),
-    ExprStmt(Expr),
+    Expr(Expr),
 }
 
 #[derive(Debug, Clone)]
@@ -322,7 +320,10 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            err(self.line(), format!("expected {what}, found {:?}", self.peek()))
+            err(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            )
         }
     }
     fn expect_ident(&mut self) -> Result<String, ParseError> {
@@ -464,17 +465,22 @@ impl Parser {
         // or `Type[] name`.
         match self.peek() {
             Tok::Ident(s)
-                if matches!(s.as_str(), "int" | "float" | "double" | "boolean" | "String") =>
+                if matches!(
+                    s.as_str(),
+                    "int" | "float" | "double" | "boolean" | "String"
+                ) =>
             {
                 true
             }
             Tok::Ident(_) => {
                 // Ident Ident  or  Ident [ ] Ident
-                match (&self.toks[self.pos + 1].tok, self.toks.get(self.pos + 2).map(|t| &t.tok)) {
-                    (Tok::Ident(_), _) => true,
-                    (Tok::LBracket, Some(Tok::RBracket)) => true,
-                    _ => false,
-                }
+                matches!(
+                    (
+                        &self.toks[self.pos + 1].tok,
+                        self.toks.get(self.pos + 2).map(|t| &t.tok),
+                    ),
+                    (Tok::Ident(_), _) | (Tok::LBracket, Some(Tok::RBracket))
+                )
             }
             _ => false,
         }
@@ -536,7 +542,7 @@ impl Parser {
                     Ok(Stmt::Assign(e, rhs))
                 } else {
                     self.expect(&Tok::Semi, "';'")?;
-                    Ok(Stmt::ExprStmt(e))
+                    Ok(Stmt::Expr(e))
                 }
             }
         }
@@ -806,15 +812,10 @@ impl<'a> Compiler<'a> {
             TypeName::Bool => Type::Bool,
             TypeName::Str => Type::Str,
             TypeName::Void => Type::Void,
-            TypeName::Class(c) => Type::Ref(
-                *self
-                    .class_ids
-                    .get(c)
-                    .ok_or_else(|| ParseError {
-                        line,
-                        message: format!("unknown class {c}"),
-                    })?,
-            ),
+            TypeName::Class(c) => Type::Ref(*self.class_ids.get(c).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown class {c}"),
+            })?),
             TypeName::Array(inner) => Type::Array(Box::new(self.resolve_type(inner, line)?)),
         })
     }
@@ -956,12 +957,13 @@ impl<'a> Compiler<'a> {
                         line: m.line,
                         message: format!("field {fname} on non-object"),
                     })?;
-                    let fr = self.program.resolve_field(ocls, fname).ok_or_else(|| {
-                        ParseError {
+                    let fr = self
+                        .program
+                        .resolve_field(ocls, fname)
+                        .ok_or_else(|| ParseError {
                             line: m.line,
                             message: format!("unknown field {fname}"),
-                        }
-                    })?;
+                        })?;
                     self.compile_expr(class, m, ctx, rhs)?;
                     ctx.emit(Insn::PutField(fr));
                 }
@@ -1001,7 +1003,7 @@ impl<'a> Compiler<'a> {
                     ctx.emit(Insn::Return);
                 }
             }
-            Stmt::ExprStmt(e) => {
+            Stmt::Expr(e) => {
                 let ty = self.compile_expr(class, m, ctx, e)?;
                 if ty != Type::Void {
                     ctx.emit(Insn::Pop);
@@ -1133,7 +1135,7 @@ impl<'a> Compiler<'a> {
                     Some(r) => {
                         // `Ident.method(...)` where Ident is a class name = static call.
                         if let Expr::Var(cname) = r.as_ref() {
-                            if ctx.locals.get(cname).is_none()
+                            if !ctx.locals.contains_key(cname)
                                 && self.program.resolve_field(class, cname).is_none()
                             {
                                 if let Some(&cid) = self.class_ids.get(cname) {

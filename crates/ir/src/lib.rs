@@ -20,8 +20,8 @@
 //! * [`printer`] — human-readable listings of bytecode and quads (Figure 5 style).
 //! * [`verify`] — a structural verifier for methods (stack discipline, branch targets).
 
-pub mod bytecode;
 pub mod builder;
+pub mod bytecode;
 pub mod cfg;
 pub mod frontend;
 pub mod lower;

@@ -466,7 +466,9 @@ mod tests {
     fn invoke_lowering_passes_receiver_and_args() {
         let mut pb = ProgramBuilder::new();
         let c = pb.class("C");
-        let callee = pb.method(c, "f", vec![Type::Int, Type::Int], Type::Int).finish();
+        let callee = pb
+            .method(c, "f", vec![Type::Int, Type::Int], Type::Int)
+            .finish();
         let mut m = pb.static_method(c, "main", vec![], Type::Void);
         m.null(); // receiver placeholder
         m.iconst(1).iconst(2);
@@ -515,9 +517,9 @@ mod tests {
             .iter()
             .position(|q| matches!(q, Quad::Move { dst: Reg(0), .. }))
             .expect("store to local 0");
-        let spill_before = all[..store0_idx].iter().any(|q| {
-            matches!(q, Quad::Move { src: Operand::Reg(Reg(0)), dst } if dst.0 != 0)
-        });
+        let spill_before = all[..store0_idx]
+            .iter()
+            .any(|q| matches!(q, Quad::Move { src: Operand::Reg(Reg(0)), dst } if dst.0 != 0));
         assert!(spill_before, "aliased stack entry spilled before overwrite");
     }
 

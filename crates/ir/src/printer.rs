@@ -52,21 +52,23 @@ pub fn format_quad(program: &Program, q: &Quad) -> String {
             lhs,
             rhs,
             target,
-        } => format!("IFCMP_I {lhs}, {rhs}, {}, {}", op.mnemonic(), block_name(*target)),
+        } => format!(
+            "IFCMP_I {lhs}, {rhs}, {}, {}",
+            op.mnemonic(),
+            block_name(*target)
+        ),
         Quad::Goto { target } => format!("GOTO {}", block_name(*target)),
         Quad::New { dst, class } => format!("NEW {dst}, {}", program.class(*class).name),
         Quad::NewArray { dst, elem, len } => format!("NEWARRAY {dst}, {elem}, {len}"),
         Quad::ALoad { dst, arr, idx } => format!("ALOAD {dst}, {arr}[{idx}]"),
         Quad::AStore { arr, idx, val } => format!("ASTORE {arr}[{idx}], {val}"),
         Quad::ALen { dst, arr } => format!("ARRAYLENGTH {dst}, {arr}"),
-        Quad::GetField { dst, obj, field } => format!(
-            "GETFIELD {dst}, {obj}.{}",
-            program.field(*field).name
-        ),
-        Quad::PutField { obj, field, val } => format!(
-            "PUTFIELD {obj}.{}, {val}",
-            program.field(*field).name
-        ),
+        Quad::GetField { dst, obj, field } => {
+            format!("GETFIELD {dst}, {obj}.{}", program.field(*field).name)
+        }
+        Quad::PutField { obj, field, val } => {
+            format!("PUTFIELD {obj}.{}, {val}", program.field(*field).name)
+        }
         Quad::GetStatic { dst, field } => format!(
             "GETSTATIC {dst}, {}.{}",
             program.class(field.class).name,

@@ -181,7 +181,10 @@ pub struct Class {
 impl Class {
     /// Finds a field slot by name, searching only this class (not superclasses).
     pub fn field_index(&self, name: &str) -> Option<u16> {
-        self.fields.iter().position(|f| f.name == name).map(|i| i as u16)
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u16)
     }
 
     /// Sum of the instance field sizes, a rough per-instance memory footprint.
@@ -313,7 +316,10 @@ impl Program {
         while let Some(cid) = cur {
             let c = self.class(cid);
             if let Some(idx) = c.field_index(name) {
-                return Some(FieldRef { class: cid, index: idx });
+                return Some(FieldRef {
+                    class: cid,
+                    index: idx,
+                });
             }
             cur = c.super_class;
         }

@@ -109,7 +109,11 @@ pub enum Quad {
     /// `dst := new elem[len]`
     NewArray { dst: Reg, elem: Type, len: Operand },
     /// `dst := arr[idx]`
-    ALoad { dst: Reg, arr: Operand, idx: Operand },
+    ALoad {
+        dst: Reg,
+        arr: Operand,
+        idx: Operand,
+    },
     /// `arr[idx] := val`
     AStore {
         arr: Operand,

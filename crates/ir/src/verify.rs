@@ -17,13 +17,21 @@ use crate::program::{Method, MethodId, Program, Type};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
     /// A branch points past the end of the body.
-    BranchOutOfRange { method: MethodId, pc: usize, target: usize },
+    BranchOutOfRange {
+        method: MethodId,
+        pc: usize,
+        target: usize,
+    },
     /// Operand stack underflow.
     StackUnderflow { method: MethodId, pc: usize },
     /// Two paths reach the same pc with different stack heights.
     InconsistentStack { method: MethodId, pc: usize },
     /// A referenced entity does not exist in the program.
-    DanglingReference { method: MethodId, pc: usize, what: &'static str },
+    DanglingReference {
+        method: MethodId,
+        pc: usize,
+        what: &'static str,
+    },
     /// Execution can fall off the end of the body.
     MissingReturn { method: MethodId },
     /// The program has no entry point.
@@ -109,22 +117,17 @@ pub fn verify_method(program: &Program, method: &Method) -> Result<(), Vec<Verif
             what,
         };
         match insn {
-            Insn::New(c) => {
-                if c.0 as usize >= program.classes.len() {
-                    errors.push(dangling("class"));
-                }
+            Insn::New(c) if c.0 as usize >= program.classes.len() => {
+                errors.push(dangling("class"));
             }
-            Insn::GetField(f) | Insn::PutField(f) | Insn::GetStatic(f) | Insn::PutStatic(f) => {
-                if f.class.0 as usize >= program.classes.len()
-                    || f.index as usize >= program.class(f.class).fields.len()
-                {
-                    errors.push(dangling("field"));
-                }
+            Insn::GetField(f) | Insn::PutField(f) | Insn::GetStatic(f) | Insn::PutStatic(f)
+                if (f.class.0 as usize >= program.classes.len()
+                    || f.index as usize >= program.class(f.class).fields.len()) =>
+            {
+                errors.push(dangling("field"));
             }
-            Insn::Invoke(_, m) => {
-                if m.0 as usize >= program.methods.len() {
-                    errors.push(dangling("method"));
-                }
+            Insn::Invoke(_, m) if m.0 as usize >= program.methods.len() => {
+                errors.push(dangling("method"));
             }
             _ => {}
         }
@@ -142,6 +145,9 @@ pub fn verify_method(program: &Program, method: &Method) -> Result<(), Vec<Verif
         while let Some(b) = work.pop() {
             let mut h = entry_height[b].unwrap();
             let (start, end) = cfg.ranges[b];
+            // `pc` is a real program counter (it appears in the diagnostics below),
+            // so the index-based loop is the clearer spelling.
+            #[allow(clippy::needless_range_loop)]
             for pc in start..end {
                 h += body[pc].stack_delta(|m| {
                     let callee = program.method(m);
@@ -241,7 +247,10 @@ mod tests {
         let m = p.add_method(c, "bad", vec![], Type::Void, true);
         p.method_mut(m).body = vec![Insn::Goto(100), Insn::Return];
         let errs = verify_method(&p, p.method(m)).unwrap_err();
-        assert!(matches!(errs[0], VerifyError::BranchOutOfRange { target: 100, .. }));
+        assert!(matches!(
+            errs[0],
+            VerifyError::BranchOutOfRange { target: 100, .. }
+        ));
     }
 
     #[test]
@@ -261,7 +270,10 @@ mod tests {
         let m = p.add_method(c, "bad", vec![], Type::Void, true);
         p.method_mut(m).body = vec![Insn::New(ClassId(99)), Insn::Pop, Insn::Return];
         let errs = verify_method(&p, p.method(m)).unwrap_err();
-        assert!(matches!(errs[0], VerifyError::DanglingReference { what: "class", .. }));
+        assert!(matches!(
+            errs[0],
+            VerifyError::DanglingReference { what: "class", .. }
+        ));
     }
 
     #[test]

@@ -92,8 +92,8 @@ pub fn coarsen_once(graph: &Graph, seed: u64) -> Option<CoarseLevel> {
     let mut builder = GraphBuilder::new(next, graph.ncon);
     let mut weights = vec![vec![0u64; graph.ncon]; next];
     for v in 0..n {
-        for c in 0..graph.ncon {
-            weights[map[v]][c] += graph.vertex_weight(v)[c];
+        for (acc, w) in weights[map[v]].iter_mut().zip(graph.vertex_weight(v)) {
+            *acc += w;
         }
     }
     for (cv, w) in weights.iter().enumerate() {
@@ -162,10 +162,7 @@ mod tests {
         assert_eq!(level.graph.total_weight(), g.total_weight());
         // The map covers every fine vertex and targets valid coarse vertices.
         assert_eq!(level.map.len(), g.vertex_count());
-        assert!(level
-            .map
-            .iter()
-            .all(|&cv| cv < level.graph.vertex_count()));
+        assert!(level.map.iter().all(|&cv| cv < level.graph.vertex_count()));
     }
 
     #[test]

@@ -93,10 +93,14 @@ impl Graph {
     /// Per-part, per-constraint weights.
     pub fn part_weights(&self, assignment: &[usize], nparts: usize) -> Vec<Vec<u64>> {
         let mut pw = vec![vec![0u64; self.ncon]; nparts];
-        for v in 0..self.vertex_count() {
-            let p = assignment[v];
-            for c in 0..self.ncon {
-                pw[p][c] += self.vertex_weight(v)[c];
+        assert_eq!(
+            assignment.len(),
+            self.vertex_count(),
+            "assignment must cover every vertex"
+        );
+        for (v, &p) in assignment.iter().enumerate() {
+            for (acc, w) in pw[p].iter_mut().zip(self.vertex_weight(v)) {
+                *acc += w;
             }
         }
         pw

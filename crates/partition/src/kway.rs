@@ -100,11 +100,17 @@ pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &PartitionConfig) -> 
     let coarsest: &Graph = levels.last().map(|l| &l.graph).unwrap_or(graph);
 
     // Initial split on the coarsest graph: try several GGGP seeds, keep the best.
-    let targets_coarsest = BisectionTargets::from_fraction(coarsest, frac, config.balance_tolerance);
+    let targets_coarsest =
+        BisectionTargets::from_fraction(coarsest, frac, config.balance_tolerance);
     let mut best: Option<(u64, Vec<usize>)> = None;
     for attempt in 0..4u64 {
         let mut split = greedy_graph_growing(coarsest, frac, config.seed.wrapping_add(attempt));
-        let cut = fm_refine_bisection(coarsest, &mut split, &targets_coarsest, config.refine_passes);
+        let cut = fm_refine_bisection(
+            coarsest,
+            &mut split,
+            &targets_coarsest,
+            config.refine_passes,
+        );
         match &best {
             Some((bc, _)) if *bc <= cut => {}
             _ => best = Some((cut, split)),
@@ -230,7 +236,10 @@ mod tests {
         let pw = g.part_weights(&side, 2);
         let total = 36;
         assert!(pw[0][0] >= total / 2, "side 0 grew to at least half");
-        assert!(pw[0][0] <= total / 2 + 6, "side 0 did not swallow everything");
+        assert!(
+            pw[0][0] <= total / 2 + 6,
+            "side 0 did not swallow everything"
+        );
         // The grown region should be connected-ish: its internal cut is small.
         assert!(g.edge_cut(&side) <= 14);
     }

@@ -21,7 +21,9 @@ pub fn hash_partition(n: usize, nparts: usize) -> Vec<usize> {
     let nparts = nparts.max(1);
     (0..n)
         .map(|v| {
-            let h = (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+            let h = (v as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(17);
             (h % nparts as u64) as usize
         })
         .collect()

@@ -103,9 +103,9 @@ pub fn fm_refine_bisection(
             // Apply the move.
             let from = assignment[v];
             let to = 1 - from;
-            for c in 0..ncon {
-                part_weights[from][c] -= graph.vertex_weight(v)[c];
-                part_weights[to][c] += graph.vertex_weight(v)[c];
+            for (c, w) in graph.vertex_weight(v).iter().enumerate() {
+                part_weights[from][c] -= w;
+                part_weights[to][c] += w;
             }
             assignment[v] = to;
             locked[v] = true;
@@ -232,9 +232,9 @@ mod tests {
         let targets = BisectionTargets::from_fraction(&g, 0.5, 0.25);
         fm_refine_bisection(&g, &mut a, &targets, 4);
         let pw = g.part_weights(&a, 2);
-        for side in 0..2 {
-            for c in 0..2 {
-                assert!(pw[side][c] <= targets.allowed[side][c]);
+        for (weights, allowed) in pw.iter().zip(&targets.allowed) {
+            for (w, cap) in weights.iter().zip(allowed) {
+                assert!(w <= cap);
             }
         }
     }

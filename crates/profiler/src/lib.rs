@@ -107,8 +107,11 @@ impl ProfileData {
 
     /// The `k` hottest call paths.
     pub fn hottest_paths(&self, k: usize) -> Vec<(Vec<MethodId>, u64)> {
-        let mut v: Vec<(Vec<MethodId>, u64)> =
-            self.hot_paths.iter().map(|(p, c)| (p.clone(), *c)).collect();
+        let mut v: Vec<(Vec<MethodId>, u64)> = self
+            .hot_paths
+            .iter()
+            .map(|(p, c)| (p.clone(), *c))
+            .collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(k);
         v
@@ -210,12 +213,7 @@ impl ProfilerSink for Profiler {
         match self.metric {
             Some(Metric::MethodDuration) => self.entry_stack.push((method, clock_us)),
             Some(Metric::MethodFrequency) => {
-                *self
-                    .data
-                    .lock()
-                    .method_frequency
-                    .entry(method)
-                    .or_insert(0) += 1;
+                *self.data.lock().method_frequency.entry(method).or_insert(0) += 1;
             }
             _ => {}
         }
@@ -223,10 +221,15 @@ impl ProfilerSink for Profiler {
 
     fn method_exit(&mut self, method: MethodId, clock_us: f64) {
         if self.metric == Some(Metric::MethodDuration) {
-            if let Some((m, start)) = self.entry_stack.pop() {
-                let m = if m == method { m } else { method };
-                *self.data.lock().method_duration_us.entry(m).or_insert(0.0) +=
-                    clock_us - start;
+            // On a mismatched enter/exit pair (the interpreter unwinding past a
+            // frame) the elapsed time is attributed to the exiting method.
+            if let Some((_, start)) = self.entry_stack.pop() {
+                *self
+                    .data
+                    .lock()
+                    .method_duration_us
+                    .entry(method)
+                    .or_insert(0.0) += clock_us - start;
             }
         }
     }
@@ -253,10 +256,8 @@ impl ProfilerSink for Profiler {
                     *d.hot_methods.entry(top).or_insert(0) += 1;
                 }
             }
-            Metric::HotPaths => {
-                if !stack.is_empty() {
-                    *d.hot_paths.entry(stack.to_vec()).or_insert(0) += 1;
-                }
+            Metric::HotPaths if !stack.is_empty() => {
+                *d.hot_paths.entry(stack.to_vec()).or_insert(0) += 1;
             }
             Metric::DynamicCallGraph => {
                 for w in stack.windows(2) {
@@ -337,7 +338,10 @@ mod tests {
         let t_spin = data.method_duration_us.get(&spin).copied().unwrap_or(0.0);
         let t_make = data.method_duration_us.get(&make).copied().unwrap_or(0.0);
         assert!(t_spin > 0.0);
-        assert!(t_spin > t_make * 5.0, "spin dominates ({t_spin} vs {t_make})");
+        assert!(
+            t_spin > t_make * 5.0,
+            "spin dominates ({t_spin} vs {t_make})"
+        );
     }
 
     #[test]

@@ -179,8 +179,7 @@ pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> Executio
                     .stack_size(32 * 1024 * 1024);
                 let handle = builder
                     .spawn_scoped(scope, move || {
-                        let mut interp =
-                            Interp::new(program).with_dist(DistState::new(endpoint));
+                        let mut interp = Interp::new(program).with_dist(DistState::new(endpoint));
                         let mut error = None;
                         let stats;
                         if rank == 0 {
@@ -216,10 +215,7 @@ pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> Executio
     // The distributed execution ends when the launch node finishes `main`; its clock
     // has already absorbed every synchronous round trip (the communication style is
     // request/response), so it is the execution time the paper measures.
-    let virtual_time_us = results
-        .first()
-        .map(|(s, _, _)| s.clock_us)
-        .unwrap_or(0.0);
+    let virtual_time_us = results.first().map(|(s, _, _)| s.clock_us).unwrap_or(0.0);
     ExecutionReport {
         virtual_time_us,
         wall_time_ms: wall.as_secs_f64() * 1e3,

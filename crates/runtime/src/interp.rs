@@ -253,14 +253,12 @@ impl<'p> Interp<'p> {
         while let Some(cid) = cur {
             let c = self.program.class(cid);
             for f in c.fields.iter().filter(|f| !f.is_static) {
-                fields
-                    .entry(f.name.clone())
-                    .or_insert_with(|| match f.ty {
-                        Type::Int => Value::Int(0),
-                        Type::Float => Value::Float(0.0),
-                        Type::Bool => Value::Bool(false),
-                        _ => Value::Null,
-                    });
+                fields.entry(f.name.clone()).or_insert_with(|| match f.ty {
+                    Type::Int => Value::Int(0),
+                    Type::Float => Value::Float(0.0),
+                    Type::Bool => Value::Bool(false),
+                    _ => Value::Null,
+                });
             }
             cur = c.super_class;
         }
@@ -405,10 +403,7 @@ impl<'p> Interp<'p> {
                         .as_int()
                         .ok_or_else(|| ExecError::Unsupported("array length not an int".into()))?;
                     if len < 0 {
-                        return Err(ExecError::IndexOutOfBounds {
-                            index: len,
-                            len: 0,
-                        });
+                        return Err(ExecError::IndexOutOfBounds { index: len, len: 0 });
                     }
                     // Java-style zero initialisation according to the element type.
                     let default = match elem {
@@ -506,11 +501,7 @@ impl<'p> Interp<'p> {
                     a / b
                 }
                 BinOp::Rem => a % b,
-                _ => {
-                    return Err(ExecError::Unsupported(format!(
-                        "bitwise {op:?} on floats"
-                    )))
-                }
+                _ => return Err(ExecError::Unsupported(format!("bitwise {op:?} on floats"))),
             };
             return Ok(Value::Float(r));
         }
@@ -565,13 +556,14 @@ impl<'p> Interp<'p> {
             .ok_or_else(|| ExecError::Unsupported("array index not an int".into()))?;
         match arr {
             Value::Ref(ObjRef::Local(h)) => match &self.heap[h as usize] {
-                HeapObject::Array { data } => data
-                    .get(i as usize)
-                    .cloned()
-                    .ok_or(ExecError::IndexOutOfBounds {
-                        index: i,
-                        len: self.array_len(h),
-                    }),
+                HeapObject::Array { data } => {
+                    data.get(i as usize)
+                        .cloned()
+                        .ok_or(ExecError::IndexOutOfBounds {
+                            index: i,
+                            len: self.array_len(h),
+                        })
+                }
                 _ => Err(ExecError::Unsupported("array load on object".into())),
             },
             Value::Ref(r @ ObjRef::Remote { .. }) => {
@@ -612,7 +604,9 @@ impl<'p> Interp<'p> {
                 Ok(())
             }
             Value::Null => Err(ExecError::NullPointer("array store".into())),
-            _ => Err(ExecError::Unsupported("array store on non-reference".into())),
+            _ => Err(ExecError::Unsupported(
+                "array store on non-reference".into(),
+            )),
         }
     }
 
@@ -659,7 +653,9 @@ impl<'p> Interp<'p> {
                 Ok(())
             }
             Value::Null => Err(ExecError::NullPointer(format!("write of field {name}"))),
-            _ => Err(ExecError::Unsupported("field write on non-reference".into())),
+            _ => Err(ExecError::Unsupported(
+                "field write on non-reference".into(),
+            )),
         }
     }
 
@@ -788,11 +784,9 @@ impl<'p> Interp<'p> {
             "<init>" => {
                 // args = [proxy, location, className, argsArray]
                 let proxy = receiver;
-                let location = args
-                    .get(1)
-                    .and_then(|v| v.as_int())
-                    .ok_or_else(|| ExecError::Unsupported("DependentObject.<init>: location".into()))?
-                    as usize;
+                let location = args.get(1).and_then(|v| v.as_int()).ok_or_else(|| {
+                    ExecError::Unsupported("DependentObject.<init>: location".into())
+                })? as usize;
                 let class_name = match args.get(2) {
                     Some(Value::Str(s)) => s.to_string(),
                     _ => {
@@ -821,8 +815,9 @@ impl<'p> Interp<'p> {
                     .get(1)
                     .and_then(|v| v.as_int())
                     .ok_or_else(|| ExecError::Unsupported("access: kind".into()))?;
-                let kind = AccessKind::from_tag(kind_tag)
-                    .ok_or_else(|| ExecError::Unsupported(format!("access: bad kind {kind_tag}")))?;
+                let kind = AccessKind::from_tag(kind_tag).ok_or_else(|| {
+                    ExecError::Unsupported(format!("access: bad kind {kind_tag}"))
+                })?;
                 let member = match args.get(2) {
                     Some(Value::Str(s)) => s.to_string(),
                     _ => return Err(ExecError::Unsupported("access: member name".into())),
@@ -839,7 +834,9 @@ impl<'p> Interp<'p> {
                 };
                 self.remote_access(target, kind, &member, call_args)
             }
-            other => Err(ExecError::UnknownMethod(format!("rt/DependentObject.{other}"))),
+            other => Err(ExecError::UnknownMethod(format!(
+                "rt/DependentObject.{other}"
+            ))),
         }
     }
 
@@ -867,7 +864,9 @@ impl<'p> Interp<'p> {
         match v {
             Some(Value::Ref(ObjRef::Local(h))) => match &self.heap[h as usize] {
                 HeapObject::Array { data } => Ok(data.clone()),
-                _ => Err(ExecError::Unsupported("argument list is not an array".into())),
+                _ => Err(ExecError::Unsupported(
+                    "argument list is not an array".into(),
+                )),
             },
             Some(Value::Null) | None => Ok(Vec::new()),
             Some(other) => Err(ExecError::Unsupported(format!(
@@ -1092,10 +1091,9 @@ impl<'p> Interp<'p> {
             } => {
                 let heap_idx = {
                     let dist = self.dist.as_ref().ok_or(ExecError::NotDistributed)?;
-                    *dist
-                        .exports
-                        .get(target as usize)
-                        .ok_or_else(|| ExecError::RemoteFailure(format!("bad export id {target}")))?
+                    *dist.exports.get(target as usize).ok_or_else(|| {
+                        ExecError::RemoteFailure(format!("bad export id {target}"))
+                    })?
                 };
                 let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
                 let receiver = Value::Ref(ObjRef::Local(heap_idx));
@@ -1379,10 +1377,7 @@ mod tests {
         "#;
         let p = compile_source(src).unwrap();
         let mut interp = Interp::new(&p);
-        assert!(matches!(
-            interp.run_entry(),
-            Err(ExecError::NullPointer(_))
-        ));
+        assert!(matches!(interp.run_entry(), Err(ExecError::NullPointer(_))));
     }
 
     #[test]

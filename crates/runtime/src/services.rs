@@ -72,8 +72,12 @@ impl MessageExchange {
             let size = dist.endpoint.size;
             for rank in 0..size {
                 if rank != me {
-                    dist.endpoint
-                        .send(rank, PacketKind::Request, Request::Shutdown.encode(), clock);
+                    dist.endpoint.send(
+                        rank,
+                        PacketKind::Request,
+                        Request::Shutdown.encode(),
+                        clock,
+                    );
                 }
             }
         }

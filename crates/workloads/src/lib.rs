@@ -57,8 +57,8 @@ pub struct Workload {
 }
 
 fn build(name: &str, description: &str, src: &str) -> Workload {
-    let program = compile_source(src)
-        .unwrap_or_else(|e| panic!("workload {name} failed to compile: {e}"));
+    let program =
+        compile_source(src).unwrap_or_else(|e| panic!("workload {name} failed to compile: {e}"));
     Workload {
         name: name.to_string(),
         description: description.to_string(),
@@ -148,11 +148,7 @@ pub fn bank(customers: usize) -> Workload {
         n = customers,
         cap = customers + 8
     );
-    build(
-        "bank",
-        "the Bank/Account running example of Figure 2",
-        &src,
-    )
+    build("bank", "the Bank/Account running example of Figure 2", &src)
 }
 
 /// JGFCreateBench: object and array creation throughput.
@@ -494,7 +490,11 @@ pub fn search(depth: usize) -> Workload {
         "#,
         d = depth
     );
-    build("search", "JGFSearchBench: alpha-beta game-tree search", &src)
+    build(
+        "search",
+        "JGFSearchBench: alpha-beta game-tree search",
+        &src,
+    )
 }
 
 /// SPEC JVM98 201_compress shaped workload: run-length compression + round trip check.

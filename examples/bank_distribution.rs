@@ -19,7 +19,10 @@ fn main() {
     println!("{}", viz::crg_to_vcg(program, &plan.analysis.crg));
 
     println!("=== Figure 4: object dependence graph with partition numbers (VCG) ===");
-    println!("{}", viz::odg_to_vcg(&plan.analysis.odg, Some(&plan.partitioning.assignment)));
+    println!(
+        "{}",
+        viz::odg_to_vcg(&plan.analysis.odg, Some(&plan.partitioning.assignment))
+    );
 
     println!("=== class placement ===");
     for (&class, &node) in &plan.placement.home {
@@ -29,7 +32,10 @@ fn main() {
     println!();
     println!("=== Figure 8/9 style: Main.main rewritten for node 0 ===");
     let node0 = &plan.node_programs[0];
-    println!("{}", print_bytecode(&node0.program, node0.program.entry.unwrap()));
+    println!(
+        "{}",
+        print_bytecode(&node0.program, node0.program.entry.unwrap())
+    );
     println!(
         "rewrites: {} allocations, {} invocations, {} field accesses",
         node0.stats.rewritten_allocations,
@@ -41,6 +47,13 @@ fn main() {
     let report = plan.execute(&ClusterConfig::paper_testbed());
     println!();
     println!("centralized : {:>10.0} us", baseline.virtual_time_us);
-    println!("distributed : {:>10.0} us ({} messages)", report.virtual_time_us, report.total_messages());
-    println!("correct     : {}", report.final_statics.get("Main::checksum") == baseline.final_statics.get("Main::checksum"));
+    println!(
+        "distributed : {:>10.0} us ({} messages)",
+        report.virtual_time_us,
+        report.total_messages()
+    );
+    println!(
+        "correct     : {}",
+        report.final_statics.get("Main::checksum") == baseline.final_statics.get("Main::checksum")
+    );
 }

@@ -18,11 +18,19 @@ fn main() {
         if m.name == "<init>" {
             continue;
         }
-        println!("==================== {class}.{} ====================", m.name);
+        println!(
+            "==================== {class}.{} ====================",
+            m.name
+        );
         println!("--- quads (Figure 5 style) ---");
         println!("{}", print_quads(program, qm));
-        println!("--- AST roots: {} trees ---", ast::build_method_forest(program, qm)
-            .iter().map(|(_, t)| t.len()).sum::<usize>());
+        println!(
+            "--- AST roots: {} trees ---",
+            ast::build_method_forest(program, qm)
+                .iter()
+                .map(|(_, t)| t.len())
+                .sum::<usize>()
+        );
         println!("--- x86 ---");
         for line in generate_method(program, qm, Target::X86) {
             println!("    {line}");

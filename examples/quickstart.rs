@@ -3,35 +3,55 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use autodist::{Distributor, DistributorConfig};
+use autodist::{Distributor, DistributorConfig, PipelineError};
 use autodist_runtime::cluster::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     // 1. A monolithic program (the paper's Figure 2 example, written in the bundled
     //    MiniJava-like source language and compiled to bytecode).
     let workload = autodist_workloads::bank(100);
 
-    // 2. The automatic distribution pipeline: analyse, partition, rewrite.
+    // 2. The automatic distribution pipeline: analyse, partition, rewrite. Every phase
+    //    reports failures through the shared `PipelineError` surface.
     let distributor = Distributor::new(DistributorConfig::default());
-    let plan = distributor.distribute(&workload.program);
-    println!("class relation graph : {} nodes, {} edges", plan.analysis.crg.node_count(), plan.analysis.crg.edge_count());
-    println!("object dependence graph: {} nodes, {} edges", plan.analysis.odg.node_count(), plan.analysis.odg.edge_count());
-    println!("ODG edge cut          : {} (weight {})", plan.partitioning.cut_edges, plan.partitioning.edgecut);
+    let plan = distributor.try_distribute(&workload.program)?;
+    println!(
+        "class relation graph : {} nodes, {} edges",
+        plan.analysis.crg.node_count(),
+        plan.analysis.crg.edge_count()
+    );
+    println!(
+        "object dependence graph: {} nodes, {} edges",
+        plan.analysis.odg.node_count(),
+        plan.analysis.odg.edge_count()
+    );
+    println!(
+        "ODG edge cut          : {} (weight {})",
+        plan.partitioning.cut_edges, plan.partitioning.edgecut
+    );
     println!("rewritten sites       : {}", plan.total_rewritten_sites());
     println!("transformation time   : {:.2} ms", plan.timings.total_ms());
 
     // 3. Execute: sequential baseline on the slow node vs distributed over the paper's
     //    two-node testbed (800 MHz node + 1.7 GHz node, 100 Mb Ethernet).
-    let baseline = distributor.run_baseline(&workload.program);
-    let report = plan.execute(&ClusterConfig::paper_testbed());
+    let baseline = distributor.try_run_baseline(&workload.program)?;
+    let report = plan.try_execute(&ClusterConfig::paper_testbed())?;
     println!("baseline (virtual)    : {:.0} us", baseline.virtual_time_us);
     println!("distributed (virtual) : {:.0} us", report.virtual_time_us);
-    println!("messages exchanged    : {} ({} bytes)", report.total_messages(), report.total_bytes());
-    println!("speedup               : {:.1} %", report.speedup_over(&baseline) * 100.0);
+    println!(
+        "messages exchanged    : {} ({} bytes)",
+        report.total_messages(),
+        report.total_bytes()
+    );
+    println!(
+        "speedup               : {:.1} %",
+        report.speedup_over(&baseline) * 100.0
+    );
     assert_eq!(
         report.final_statics.get("Main::checksum"),
         baseline.final_statics.get("Main::checksum"),
         "distribution must not change program behaviour"
     );
     println!("checksums match       : yes");
+    Ok(())
 }

@@ -1,8 +1,11 @@
-//! Top-level convenience re-exports for the `autodist` reproduction workspace.
+//! Top-level convenience re-exports for the autodist reproduction workspace.
 //!
-//! This crate exists to host the repository-level examples (`examples/`) and the
-//! cross-crate integration tests (`tests/`). Library users should depend on the
-//! individual crates (`autodist`, `autodist-ir`, ...) directly.
+//! This umbrella crate (package `autodist-repro`) exists to host the repository-level
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`). Library
+//! users should depend on the individual crates directly — the pipeline lives in the
+//! `autodist` package (`crates/core`), with `autodist-ir`, `autodist-analysis`,
+//! `autodist-partition`, `autodist-codegen`, `autodist-runtime`, `autodist-profiler`
+//! and `autodist-workloads` beneath it.
 
 pub use autodist as pipeline;
 pub use autodist_analysis as analysis;

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The runtime's simulated MPI transport only needs unbounded MPSC channels with
+//! `recv_timeout`, which `std::sync::mpsc` provides with identical semantics for this
+//! usage (every endpoint owns exactly one receiver). The stand-in re-exports the std
+//! types under crossbeam's names so the real crate can be dropped back in later with
+//! no source changes.
+
+/// Multi-producer channels (the `crossbeam-channel` subset the runtime uses).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(41).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

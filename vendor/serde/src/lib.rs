@@ -1,0 +1,55 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The IR crate derives `Serialize`/`Deserialize` on its program representation so
+//! that programs and bytecode can be persisted once a real serializer is available,
+//! but nothing in the workspace performs serde-based (de)serialization yet — the wire
+//! format is hand-rolled over `bytes`. Since the build environment cannot reach
+//! crates.io, this stub keeps the derive attributes compiling: the traits are markers
+//! satisfied for every type, and the derive macros expand to nothing. Restoring the
+//! real dependency is a manifest-only change as long as derived impls are all the
+//! workspace relies on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe<T> {
+        field: T,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Shape {
+        Unit,
+        Tuple(u32, String),
+        Struct { x: i64 },
+    }
+
+    fn assert_markers<T: super::Serialize + super::Deserialize>() {}
+
+    #[test]
+    fn derives_compile_on_generics_and_enums() {
+        assert_markers::<Probe<Vec<Shape>>>();
+        let shapes = [
+            Shape::Unit,
+            Shape::Tuple(1, "a".into()),
+            Shape::Struct { x: 3 },
+        ];
+        let again = [
+            Shape::Unit,
+            Shape::Tuple(1, "a".into()),
+            Shape::Struct { x: 3 },
+        ];
+        assert_eq!(shapes, again);
+    }
+}
