@@ -1,0 +1,80 @@
+//! Machine-readable performance report: the Table 1 workload suite (centralized vs
+//! distributed, median wall time + virtual time) plus the four criterion micro-bench
+//! areas, written as JSON.
+//!
+//! This is the baseline artifact all perf PRs diff against: run it before and after a
+//! change and compare `totals.suite_wall_ms` (see the README's "Performance" section
+//! for the schema and the committed `BENCH_pr3.json` baseline).
+//!
+//! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
+//!            [--repeats N] [--scale N] [--out FILE] [--quick]`
+
+use autodist::PipelineError;
+use autodist_bench::report::measure;
+
+fn main() -> Result<(), PipelineError> {
+    let mut repeats = 5usize;
+    let mut scale = 1usize;
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repeats" => repeats = parse_arg(args.next(), "--repeats")?,
+            "--scale" => scale = parse_arg(args.next(), "--scale")?,
+            "--out" => {
+                out = args.next().ok_or_else(|| {
+                    PipelineError::Config("--out requires a file path".to_string())
+                })?
+            }
+            "--quick" => {
+                // CI smoke configuration: fewest repeats on the smallest workloads.
+                repeats = 2;
+                scale = 1;
+            }
+            other => {
+                return Err(PipelineError::Config(format!(
+                    "unknown argument {other} (expected --repeats/--scale/--out/--quick)"
+                )))
+            }
+        }
+    }
+
+    let report = measure(scale, repeats)?;
+    println!(
+        "{:<26} {:>12} {:>14} {:>12} {:>14} {:>9} {:>8}",
+        "workload", "cent ms", "cent virt us", "dist ms", "dist virt us", "messages", "correct"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<26} {:>12.3} {:>14.0} {:>12.3} {:>14.0} {:>9} {:>8}",
+            w.name,
+            w.centralized_wall_ms,
+            w.centralized_virtual_us,
+            w.distributed_wall_ms,
+            w.distributed_virtual_us,
+            w.messages,
+            w.checksum_matches
+        );
+    }
+    println!();
+    for m in &report.micro {
+        println!("micro {:<28} {:>12.2} us", m.name, m.median_us);
+    }
+    println!();
+    println!(
+        "totals: centralized {:.3} ms, distributed {:.3} ms, suite {:.3} ms",
+        report.total_centralized_ms(),
+        report.total_distributed_ms(),
+        report.total_suite_ms()
+    );
+
+    std::fs::write(&out, report.to_json())
+        .map_err(|e| PipelineError::Config(format!("cannot write {out}: {e}")))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn parse_arg(v: Option<String>, flag: &str) -> Result<usize, PipelineError> {
+    v.and_then(|s| s.parse().ok())
+        .ok_or_else(|| PipelineError::Config(format!("{flag} requires a positive integer")))
+}

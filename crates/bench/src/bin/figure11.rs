@@ -1,10 +1,10 @@
 //! Regenerates Figure 11: the performance comparison of centralized and distributed
 //! executions (speedup percentage per benchmark).
 
-use autodist::DistributorConfig;
+use autodist::{DistributorConfig, PipelineError};
 use autodist_bench::{measure_speedup, scale_from_args};
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     let scale = scale_from_args();
     println!("Figure 11 — centralized vs distributed execution (scale = {scale})");
     println!(
@@ -17,7 +17,7 @@ fn main() {
     let mut rows = autodist_workloads::table1_workloads(scale);
     rows.push(autodist_workloads::bank(60 * scale));
     for w in rows {
-        let row = measure_speedup(&w, &config);
+        let row = measure_speedup(&w, &config)?;
         println!(
             "{:<12} {:>14.0} {:>14.0} {:>9.1}% {:>10} {:>10} {:>9}",
             row.benchmark,
@@ -31,4 +31,5 @@ fn main() {
     }
     println!();
     println!("paper range: 79.2% .. 175.2% with a naive partitioning on a 2-node testbed");
+    Ok(())
 }

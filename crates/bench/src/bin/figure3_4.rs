@@ -2,29 +2,33 @@
 //! graph of the Bank/Account example, in VCG (aiSee) and Graphviz DOT formats.
 
 use autodist::viz;
-use autodist::{Distributor, DistributorConfig};
+use autodist::{Distributor, DistributorConfig, PipelineError};
 use std::fs;
 
-fn main() {
+fn io_err(e: std::io::Error) -> PipelineError {
+    PipelineError::Config(format!("cannot write results: {e}"))
+}
+
+fn main() -> Result<(), PipelineError> {
     let w = autodist_workloads::bank(100);
     let distributor = Distributor::new(DistributorConfig::default());
-    let plan = distributor.distribute(&w.program);
+    let plan = distributor.try_distribute(&w.program)?;
 
     let out_dir = std::path::Path::new("results");
-    fs::create_dir_all(out_dir).expect("create results dir");
+    fs::create_dir_all(out_dir).map_err(io_err)?;
     let crg_vcg = viz::crg_to_vcg(&w.program, &plan.analysis.crg);
     let crg_dot = viz::crg_to_dot(&w.program, &plan.analysis.crg);
     let odg_vcg = viz::odg_to_vcg(&plan.analysis.odg, Some(&plan.partitioning.assignment));
     let odg_dot = viz::odg_to_dot(&plan.analysis.odg, Some(&plan.partitioning.assignment));
-    fs::write(out_dir.join("figure3_crg.vcg"), &crg_vcg).unwrap();
-    fs::write(out_dir.join("figure3_crg.dot"), &crg_dot).unwrap();
-    fs::write(out_dir.join("figure4_odg.vcg"), &odg_vcg).unwrap();
-    fs::write(out_dir.join("figure4_odg.dot"), &odg_dot).unwrap();
+    fs::write(out_dir.join("figure3_crg.vcg"), &crg_vcg).map_err(io_err)?;
+    fs::write(out_dir.join("figure3_crg.dot"), &crg_dot).map_err(io_err)?;
+    fs::write(out_dir.join("figure4_odg.vcg"), &odg_vcg).map_err(io_err)?;
+    fs::write(out_dir.join("figure4_odg.dot"), &odg_dot).map_err(io_err)?;
     fs::write(
         out_dir.join("placement.dot"),
         viz::placement_to_dot(&w.program, &plan.placement),
     )
-    .unwrap();
+    .map_err(io_err)?;
 
     println!(
         "Figure 3 — class relation graph ({} nodes, {} edges)",
@@ -39,4 +43,5 @@ fn main() {
     );
     println!("{odg_vcg}");
     println!("written to results/figure3_crg.{{vcg,dot}} and results/figure4_odg.{{vcg,dot}}");
+    Ok(())
 }

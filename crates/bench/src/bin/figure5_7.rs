@@ -1,13 +1,14 @@
 //! Regenerates Figures 5–7: the quad listing, the AST and the x86 / StrongARM machine
 //! code for the paper's `Example.ex(int b)` method.
 
+use autodist::PipelineError;
 use autodist_codegen::{ast, generate_method, Target};
 use autodist_ir::bytecode::CmpOp;
 use autodist_ir::lower::lower_method;
 use autodist_ir::printer::print_quads;
 use autodist_ir::{ProgramBuilder, Type};
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     // public class Example { int ex(int b) { b = 4; if (b > 2) { b++; } return b; } }
     let mut pb = ProgramBuilder::new();
     let example = pb.class("Example");
@@ -20,7 +21,7 @@ fn main() {
     m.load(1).ret_val();
     let id = m.finish();
     let program = pb.build();
-    let qm = lower_method(&program, program.method(id)).unwrap();
+    let qm = lower_method(&program, program.method(id))?;
 
     println!("Figure 5 — quad listing of Example.ex:");
     println!("{}", print_quads(&program, &qm));
@@ -43,4 +44,5 @@ fn main() {
     for line in generate_method(&program, &qm, Target::StrongArm) {
         println!("    {line}");
     }
+    Ok(())
 }

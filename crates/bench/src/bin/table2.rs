@@ -1,10 +1,10 @@
 //! Regenerates Table 2: the execution-time breakdown of the code-distribution
 //! transformation (CRG construction, ODG construction, partitioning, bytecode rewrite).
 
-use autodist::{Distributor, DistributorConfig};
+use autodist::{Distributor, DistributorConfig, PipelineError};
 use autodist_bench::scale_from_args;
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     let scale = scale_from_args();
     println!("Table 2 — distribution transformation times in ms (scale = {scale})");
     println!(
@@ -13,7 +13,7 @@ fn main() {
     );
     let distributor = Distributor::new(DistributorConfig::default());
     for w in autodist_workloads::table1_workloads(scale) {
-        let plan = distributor.distribute(&w.program);
+        let plan = distributor.try_distribute(&w.program)?;
         let t = plan.timings;
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
@@ -25,4 +25,5 @@ fn main() {
             t.total_ms()
         );
     }
+    Ok(())
 }

@@ -15,9 +15,11 @@
 //!
 //! Run any of them with `cargo run -p autodist-bench --bin <name> [-- scale]`.
 
-use autodist::{Distributor, DistributorConfig, Table1Row};
+use autodist::{Distributor, DistributorConfig, PipelineResult, Table1Row};
 use autodist_runtime::cluster::ClusterConfig;
 use autodist_workloads::Workload;
+
+pub mod report;
 
 /// One row of the Figure 11 experiment.
 #[derive(Clone, Debug)]
@@ -48,37 +50,39 @@ impl SpeedupRow {
 }
 
 /// Runs the Figure 11 experiment for one workload: centralized baseline on the slow
-/// node vs automatic distribution over the paper's two-node testbed.
-pub fn measure_speedup(workload: &Workload, config: &DistributorConfig) -> SpeedupRow {
+/// node vs automatic distribution over the paper's two-node testbed. Pipeline and
+/// execution failures surface as [`autodist::PipelineError`].
+pub fn measure_speedup(
+    workload: &Workload,
+    config: &DistributorConfig,
+) -> PipelineResult<SpeedupRow> {
     let distributor = Distributor::new(config.clone());
-    let baseline = distributor.run_baseline(&workload.program);
-    let plan = distributor.distribute(&workload.program);
-    let report = plan.execute(&ClusterConfig::paper_testbed());
-    let checksum_matches = report.is_ok()
-        && baseline.is_ok()
-        && report.final_statics.get("Main::checksum")
-            == baseline.final_statics.get("Main::checksum");
-    SpeedupRow {
+    let baseline = distributor.try_run_baseline(&workload.program)?;
+    let plan = distributor.try_distribute(&workload.program)?;
+    let report = plan.try_execute(&ClusterConfig::paper_testbed())?;
+    let checksum_matches =
+        report.final_statics.get("Main::checksum") == baseline.final_statics.get("Main::checksum");
+    Ok(SpeedupRow {
         benchmark: workload.name.clone(),
         centralized_us: baseline.virtual_time_us,
         distributed_us: report.virtual_time_us,
         messages: report.total_messages(),
         bytes: report.total_bytes(),
         checksum_matches,
-    }
+    })
 }
 
 /// Builds the Table 1 row for one workload.
-pub fn table1_row(workload: &Workload, config: &DistributorConfig) -> Table1Row {
+pub fn table1_row(workload: &Workload, config: &DistributorConfig) -> PipelineResult<Table1Row> {
     let distributor = Distributor::new(config.clone());
-    let plan = distributor.distribute(&workload.program);
-    Table1Row::build(
+    let plan = distributor.try_distribute(&workload.program)?;
+    Ok(Table1Row::build(
         &workload.name,
         &workload.program,
         &plan.analysis,
         &plan.partitioning,
         &plan.placement,
-    )
+    ))
 }
 
 /// Parses the optional `scale` argument used by the table/figure binaries.
@@ -96,7 +100,7 @@ mod tests {
     #[test]
     fn speedup_row_for_bank_is_consistent() {
         let w = autodist_workloads::bank(10);
-        let row = measure_speedup(&w, &DistributorConfig::default());
+        let row = measure_speedup(&w, &DistributorConfig::default()).expect("pipeline");
         assert!(row.checksum_matches);
         assert!(row.centralized_us > 0.0);
         assert!(row.distributed_us > 0.0);
@@ -106,7 +110,7 @@ mod tests {
     #[test]
     fn table1_row_matches_workload_name() {
         let w = autodist_workloads::crypt(100);
-        let row = table1_row(&w, &DistributorConfig::default());
+        let row = table1_row(&w, &DistributorConfig::default()).expect("pipeline");
         assert_eq!(row.benchmark, "crypt");
         assert!(row.crg.nodes > 0 && row.odg.nodes > 0);
     }

@@ -1,0 +1,267 @@
+//! The machine-readable performance report behind `cargo run -p autodist-bench --bin
+//! bench_report`.
+//!
+//! Measures (a) every Table 1 workload, centralized and distributed, reporting the
+//! **median wall time** and the (deterministic) **virtual time**, and (b) five
+//! microbenchmark areas mirroring the criterion benches (analysis, partitioning,
+//! rewrite+codegen, runtime). The result serialises to a small hand-rolled JSON
+//! document (the build environment has no serde_json) whose schema is documented in
+//! the README's "Performance" section; committed snapshots (`BENCH_pr3.json`) are the
+//! baselines future perf PRs diff against.
+
+use std::time::Instant;
+
+use autodist::{Distributor, DistributorConfig, PipelineResult};
+use autodist_codegen::rewrite::rewrite_for_node;
+use autodist_partition::{partition, PartitionConfig};
+use autodist_runtime::cluster::ClusterConfig;
+use autodist_runtime::wire::{AccessKind, Request, WireValue};
+
+/// Measurements for one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload name (Table 1 row).
+    pub name: String,
+    /// Median wall time of the centralized run, milliseconds.
+    pub centralized_wall_ms: f64,
+    /// Virtual time of the centralized run, microseconds (deterministic).
+    pub centralized_virtual_us: f64,
+    /// Median wall time of the distributed run (paper testbed), milliseconds.
+    pub distributed_wall_ms: f64,
+    /// Virtual time of the distributed run, microseconds (deterministic).
+    pub distributed_virtual_us: f64,
+    /// Messages exchanged by the distributed run.
+    pub messages: u64,
+    /// `true` when the distributed checksum matched the centralized one.
+    pub checksum_matches: bool,
+}
+
+/// One micro-benchmark area (median seconds per iteration, scaled to microseconds).
+#[derive(Clone, Debug)]
+pub struct MicroReport {
+    /// Area name (matches the criterion bench group).
+    pub name: String,
+    /// Median time per iteration in microseconds.
+    pub median_us: f64,
+}
+
+/// The whole report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Schema version of the JSON document.
+    pub schema_version: u32,
+    /// Workload scale factor used (Table 1 sizes × scale).
+    pub scale: usize,
+    /// Number of repetitions the medians were taken over.
+    pub repeats: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadReport>,
+    /// Micro-benchmark areas.
+    pub micro: Vec<MicroReport>,
+}
+
+use autodist_profiler::overhead::median;
+
+/// Times `f` `repeats` times and returns the median duration in milliseconds.
+fn median_wall_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    let runs: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(runs)
+}
+
+/// Runs the full measurement: every Table 1 workload centralized vs distributed plus
+/// the five microbench areas.
+pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let mut workloads = Vec::new();
+    for w in autodist_workloads::table1_workloads(scale) {
+        let baseline = distributor.try_run_baseline(&w.program)?;
+        let plan = distributor.try_distribute(&w.program)?;
+        let dist_report = plan.try_execute(&ClusterConfig::paper_testbed())?;
+
+        let cent_wall = median_wall_ms(repeats, || distributor.run_baseline(&w.program));
+        let dist_wall = median_wall_ms(repeats, || plan.execute(&ClusterConfig::paper_testbed()));
+        workloads.push(WorkloadReport {
+            name: w.name.clone(),
+            centralized_wall_ms: cent_wall,
+            centralized_virtual_us: baseline.virtual_time_us,
+            distributed_wall_ms: dist_wall,
+            distributed_virtual_us: dist_report.virtual_time_us,
+            messages: dist_report.total_messages(),
+            checksum_matches: dist_report.final_statics.get("Main::checksum")
+                == baseline.final_statics.get("Main::checksum"),
+        });
+    }
+
+    // Micro areas, one per criterion bench group.
+    let bank = autodist_workloads::bank(100);
+    let crypt = autodist_workloads::crypt(400);
+    let plan = distributor.try_distribute(&bank.program)?;
+    let graph = plan.graph.clone();
+    let micro = vec![
+        MicroReport {
+            name: "analysis".to_string(),
+            median_us: median_wall_ms(repeats, || distributor.analyze(&bank.program)) * 1e3,
+        },
+        MicroReport {
+            name: "partitioning".to_string(),
+            median_us: median_wall_ms(repeats, || partition(&graph, &PartitionConfig::kway(2)))
+                * 1e3,
+        },
+        MicroReport {
+            name: "rewrite_and_codegen".to_string(),
+            median_us: median_wall_ms(repeats, || {
+                rewrite_for_node(&bank.program, &plan.placement, 0)
+            }) * 1e3,
+        },
+        MicroReport {
+            name: "runtime_interp_crypt".to_string(),
+            median_us: median_wall_ms(repeats, || distributor.run_baseline(&crypt.program)) * 1e3,
+        },
+        MicroReport {
+            name: "runtime_wire_roundtrip".to_string(),
+            median_us: median_wall_ms(repeats, || {
+                let req = Request::Dependence {
+                    target: 7,
+                    kind: AccessKind::InvokeRet,
+                    member: "getSavings".into(),
+                    args: vec![WireValue::Int(1), WireValue::Str("x".into())],
+                };
+                for _ in 0..1000 {
+                    std::hint::black_box(Request::decode(req.encode()));
+                }
+            }) * 1e3
+                / 1000.0,
+        },
+    ];
+
+    Ok(BenchReport {
+        schema_version: 1,
+        scale,
+        repeats,
+        workloads,
+        micro,
+    })
+}
+
+impl BenchReport {
+    /// Sum of the centralized medians, milliseconds.
+    pub fn total_centralized_ms(&self) -> f64 {
+        self.workloads.iter().map(|w| w.centralized_wall_ms).sum()
+    }
+
+    /// Sum of the distributed medians, milliseconds.
+    pub fn total_distributed_ms(&self) -> f64 {
+        self.workloads.iter().map(|w| w.distributed_wall_ms).sum()
+    }
+
+    /// Sum over the whole suite (centralized + distributed), milliseconds.
+    pub fn total_suite_ms(&self) -> f64 {
+        self.total_centralized_ms() + self.total_distributed_ms()
+    }
+
+    /// Serialises the report to JSON (stable key order, no external dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"scale\": {},\n  \"repeats\": {},\n",
+            self.schema_version, self.scale, self.repeats
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"centralized_wall_ms\": {:.4}, \
+                 \"centralized_virtual_us\": {:.1}, \"distributed_wall_ms\": {:.4}, \
+                 \"distributed_virtual_us\": {:.1}, \"messages\": {}, \
+                 \"checksum_matches\": {}}}{}\n",
+                json_string(&w.name),
+                w.centralized_wall_ms,
+                w.centralized_virtual_us,
+                w.distributed_wall_ms,
+                w.distributed_virtual_us,
+                w.messages,
+                w.checksum_matches,
+                if i + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"microbench\": [\n");
+        for (i, m) in self.micro.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"median_us\": {:.3}}}{}\n",
+                json_string(&m.name),
+                m.median_us,
+                if i + 1 < self.micro.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"totals\": {\n");
+        out.push_str(&format!(
+            "    \"centralized_wall_ms\": {:.4},\n    \"distributed_wall_ms\": {:.4},\n    \
+             \"suite_wall_ms\": {:.4}\n  }}\n}}\n",
+            self.total_centralized_ms(),
+            self.total_distributed_ms(),
+            self.total_suite_ms()
+        ));
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+        assert_eq!(median(vec![4.0, 1.0]), 4.0, "upper median for even counts");
+    }
+
+    #[test]
+    fn quick_report_measures_and_serialises() {
+        let report = measure(1, 1).expect("measurement");
+        assert_eq!(report.workloads.len(), 8, "all Table 1 workloads");
+        assert!(report.workloads.iter().all(|w| w.checksum_matches));
+        assert!(report.total_suite_ms() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"heapsort\""));
+        assert!(json.contains("\"microbench\""));
+        assert!(json.contains("\"suite_wall_ms\""));
+    }
+}

@@ -79,9 +79,9 @@ impl ClassPlacement {
             votes.entry(class).or_default().push(part);
         }
         let mut home = BTreeMap::new();
-        for (class, parts) in votes {
+        for (class, parts) in &votes {
             let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
-            for p in parts {
+            for &p in parts {
                 *counts.entry(p).or_insert(0) += 1;
             }
             let best = counts
@@ -89,7 +89,50 @@ impl ClassPlacement {
                 .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)))
                 .map(|(p, _)| p)
                 .unwrap_or(0);
-            home.insert(class, best);
+            home.insert(*class, best);
+        }
+        // The majority vote can undo the partitioner's min-parallelism guarantee: a
+        // class whose objects split 60/40 across nodes still lands wholly on the
+        // majority node, and with few classes that can collapse the whole placement
+        // onto one node (zero messages, no offloading). If that happens, move the
+        // class with the strongest minority affinity — the one the partitioner most
+        // wanted elsewhere — to its minority part.
+        let populated: std::collections::BTreeSet<usize> = home.values().copied().collect();
+        if populated.len() < 2 && partitioning.nparts >= 2 && home.len() >= 2 {
+            let sole = populated.iter().next().copied().unwrap_or(0);
+            let entry_class = program.entry.map(|e| program.method(e).class);
+            let best_move = votes
+                .iter()
+                .filter(|(c, _)| Some(**c) != entry_class)
+                .filter_map(|(c, parts)| {
+                    let total = parts.len().max(1);
+                    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+                    for &p in parts.iter().filter(|&&p| p != sole) {
+                        *counts.entry(p).or_insert(0) += 1;
+                    }
+                    counts
+                        .into_iter()
+                        .max_by_key(|&(_, n)| n)
+                        .map(|(p, n)| (n * 1000 / total, *c, p))
+                })
+                .max();
+            match best_move {
+                Some((_, class, part)) => {
+                    home.insert(class, part);
+                }
+                None => {
+                    // No minority votes at all: fall back to evicting the class with
+                    // the fewest objects to the next node.
+                    if let Some((_, class)) = votes
+                        .iter()
+                        .filter(|(c, _)| Some(**c) != entry_class)
+                        .map(|(c, parts)| (parts.len(), *c))
+                        .min()
+                    {
+                        home.insert(class, (sole + 1) % partitioning.nparts);
+                    }
+                }
+            }
         }
         // The Execution Starter runs `main` on node 0, so the entry class must live
         // there. Rather than overriding its assignment (which would merge it with

@@ -31,7 +31,9 @@ use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement, RewrittenProgr
 use autodist_ir::program::Program;
 use autodist_ir::verify::verify_program;
 use autodist_partition::{partition, Graph, GraphBuilder, Method, PartitionConfig, Partitioning};
-use autodist_runtime::cluster::{run_centralized, run_distributed, ClusterConfig, ExecutionReport};
+use autodist_runtime::cluster::{
+    run_centralized, run_distributed, ClusterConfig, ExecutionReport, Schedule,
+};
 
 pub use error::{Phase, PipelineError, PipelineResult};
 pub use stats::{GraphStats, PhaseTimings, Table1Row};
@@ -124,9 +126,59 @@ impl DistributionPlan {
     }
 
     /// Executes the plan on the simulated cluster.
+    ///
+    /// When the caller leaves the schedule on [`Schedule::Auto`], the plan picks the
+    /// cooperative single-threaded scheduler whenever the placement's inter-node
+    /// dependence digraph is acyclic (checked conservatively from the class relation
+    /// graph), and falls back to thread-per-node execution for re-entrant placements.
     pub fn execute(&self, cluster: &ClusterConfig) -> ExecutionReport {
         let programs = self.programs();
-        run_distributed(&programs, cluster)
+        let mut config = cluster.clone();
+        if config.schedule == Schedule::Auto {
+            config.schedule = if self.placement_digraph_is_acyclic() {
+                Schedule::Inline
+            } else {
+                Schedule::Threaded
+            };
+        }
+        run_distributed(&programs, &config)
+    }
+
+    /// `true` when no chain of inter-node dependences can revisit a node, i.e. the
+    /// digraph over nodes induced by the CRG edges (an edge `home(A) -> home(B)` for
+    /// every class relation `A -> B` crossing nodes) has no cycle. The CRG is a
+    /// conservative superset of the runtime's remote accesses, so `true` guarantees
+    /// that a node waiting for a response can never itself be the target of a nested
+    /// request — the condition under which the cooperative scheduler is safe.
+    pub fn placement_digraph_is_acyclic(&self) -> bool {
+        let n = self.placement.nparts.max(1);
+        let mut adj = vec![vec![false; n]; n];
+        for e in &self.analysis.crg.edges {
+            let from = self.placement.home_of(e.from.class);
+            let to = self.placement.home_of(e.to.class);
+            if from != to && from < n && to < n {
+                adj[from][to] = true;
+            }
+        }
+        // Three-colour DFS over the (tiny) node digraph.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        fn has_cycle(v: usize, adj: &[Vec<bool>], colour: &mut [u8]) -> bool {
+            colour[v] = GREY;
+            for (u, &edge) in adj[v].iter().enumerate() {
+                if !edge {
+                    continue;
+                }
+                if colour[u] == GREY || (colour[u] == WHITE && has_cycle(u, adj, colour)) {
+                    return true;
+                }
+            }
+            colour[v] = BLACK;
+            false
+        }
+        let mut colour = vec![WHITE; n];
+        (0..n).all(|v| colour[v] != WHITE || !has_cycle(v, &adj, &mut colour))
     }
 
     /// Executes the plan and surfaces any execution failure as a [`PipelineError`]
@@ -447,6 +499,7 @@ mod tests {
                 node_speeds: vec![1.0, 2.1, 1.5, 1.5],
                 ..NetworkConfig::paper_testbed()
             },
+            ..Default::default()
         };
         let report = plan.execute(&cluster);
         assert!(report.is_ok(), "{:?}", report.error);

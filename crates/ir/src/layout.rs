@@ -1,0 +1,354 @@
+//! Program-load-time interning: field slot layouts, static slots and dispatch tables.
+//!
+//! The interpreter originally resolved every field access by cloning the field name and
+//! probing a per-object `BTreeMap<String, Value>`, and every virtual call by walking the
+//! superclass chain comparing method-name strings. [`ProgramLayout`] is the resolution
+//! pass that removes both costs: it is computed once per [`Program`] and maps
+//!
+//! * every instance [`FieldRef`] to a dense **slot index** into a flat per-object value
+//!   vector (superclass fields occupy a shared prefix, so a field declared in class `D`
+//!   has the same slot in every subclass of `D`),
+//! * every static [`FieldRef`] to a global **static slot** (statics are replicated per
+//!   node, so one dense vector per interpreter suffices),
+//! * every method name to a **selector** and every class to a selector-indexed
+//!   **vtable**, replacing the name-based superclass walk of dynamic dispatch.
+//!
+//! Name-keyed lookups remain available (`slot_of_name`, `static_slot_names`) for the
+//! wire format, `statics_snapshot` and diagnostics — the boundaries where names are the
+//! protocol — but the interpret loop itself only ever uses the dense indices.
+//!
+//! Field-name shadowing note: the previous map-based heap stored one entry per *name*,
+//! so a subclass redeclaring a superclass field aliased it. The layout reproduces that
+//! behaviour by assigning the shadowing declaration the same slot as the shadowed one.
+
+use std::collections::HashMap;
+
+use crate::program::{ClassId, FieldRef, MethodId, Program, Type};
+
+/// Sentinel for "no method bound to this selector" inside the vtables.
+const NO_METHOD: u32 = u32::MAX;
+
+/// The field layout and dispatch table of one class.
+#[derive(Clone, Debug, Default)]
+pub struct ClassLayout {
+    /// Canonical field name per slot (inherited slots first).
+    pub slot_names: Vec<String>,
+    /// Declared type per slot (under shadowing the most-derived declaration's
+    /// type wins, matching the old subclass-first default initialisation).
+    pub slot_types: Vec<Type>,
+    /// Slot index per entry of this class's own `Class::fields` (None for statics).
+    field_slot: Vec<Option<u32>>,
+    /// Global static slot per entry of this class's own `Class::fields` (None for
+    /// instance fields).
+    static_slot: Vec<Option<u32>>,
+    /// Name → slot, for the wire boundary (remote field accesses travel by name).
+    name_to_slot: HashMap<String, u32>,
+    /// Selector-indexed dispatch table (`NO_METHOD` where unbound).
+    vtable: Vec<u32>,
+}
+
+impl ClassLayout {
+    /// Number of instance-field slots (including inherited ones).
+    pub fn slot_count(&self) -> usize {
+        self.slot_names.len()
+    }
+}
+
+/// The interning tables for a whole program. Built once with [`ProgramLayout::build`];
+/// the program must not be mutated afterwards (the interpreter builds it at load time,
+/// after all rewriting has happened).
+#[derive(Clone, Debug, Default)]
+pub struct ProgramLayout {
+    /// Per-class layouts, indexed by [`ClassId`].
+    pub classes: Vec<ClassLayout>,
+    /// Global static slot → `Class::field` key (the `statics_snapshot` wire names).
+    pub static_names: Vec<String>,
+    /// Global static slot → declared type (for Java-style default initialisation).
+    pub static_types: Vec<Type>,
+    /// Selector per [`MethodId`] (methods with the same name share a selector).
+    selectors: Vec<u32>,
+    /// Total number of selectors (vtable width).
+    pub selector_count: usize,
+}
+
+impl ProgramLayout {
+    /// Runs the resolution pass over `program`.
+    pub fn build(program: &Program) -> ProgramLayout {
+        // Selectors: one per distinct method name.
+        let mut selector_of_name: HashMap<&str, u32> = HashMap::new();
+        let mut selectors = Vec::with_capacity(program.methods.len());
+        for m in &program.methods {
+            let next = selector_of_name.len() as u32;
+            let sel = *selector_of_name.entry(m.name.as_str()).or_insert(next);
+            selectors.push(sel);
+        }
+        let selector_count = selector_of_name.len();
+
+        let mut classes: Vec<ClassLayout> = (0..program.classes.len())
+            .map(|_| ClassLayout::default())
+            .collect();
+        let mut static_names = Vec::new();
+        let mut static_types = Vec::new();
+        let mut static_of_field: HashMap<(ClassId, u16), u32> = HashMap::new();
+
+        // Static slots are assigned in (class, field) declaration order so the
+        // snapshot keys come out deterministic.
+        for class in &program.classes {
+            for (idx, f) in class.fields.iter().enumerate() {
+                if f.is_static {
+                    let slot = static_names.len() as u32;
+                    static_names.push(format!("{}::{}", class.name, f.name));
+                    static_types.push(f.ty.clone());
+                    static_of_field.insert((class.id, idx as u16), slot);
+                }
+            }
+        }
+
+        for class in &program.classes {
+            // Root-first superclass chain: inherited fields occupy a shared prefix, so
+            // a FieldRef resolves to the same slot in the declaring class and every
+            // subclass.
+            let mut chain = Vec::new();
+            let mut cur = Some(class.id);
+            while let Some(cid) = cur {
+                chain.push(cid);
+                cur = program.class(cid).super_class;
+            }
+            chain.reverse();
+
+            let layout = &mut classes[class.id.0 as usize];
+            for &cid in &chain {
+                let c = program.class(cid);
+                let record_own = cid == class.id;
+                for (idx, f) in c.fields.iter().enumerate() {
+                    if f.is_static {
+                        if record_own {
+                            layout.field_slot.push(None);
+                            layout
+                                .static_slot
+                                .push(static_of_field.get(&(cid, idx as u16)).copied());
+                        }
+                        continue;
+                    }
+                    let slot = match layout.name_to_slot.get(f.name.as_str()) {
+                        Some(&s) => {
+                            // Shadowed: alias the inherited slot. The most-derived
+                            // declaration's type wins (the map-based heap defaulted
+                            // fields subclass-first), so overwrite the slot type.
+                            layout.slot_types[s as usize] = f.ty.clone();
+                            s
+                        }
+                        None => {
+                            let s = layout.slot_names.len() as u32;
+                            layout.slot_names.push(f.name.clone());
+                            layout.slot_types.push(f.ty.clone());
+                            layout.name_to_slot.insert(f.name.clone(), s);
+                            s
+                        }
+                    };
+                    if record_own {
+                        layout.field_slot.push(Some(slot));
+                        layout.static_slot.push(None);
+                    }
+                }
+            }
+
+            // Vtable: walk the chain root-first so subclass declarations overwrite
+            // inherited bindings, reproducing `Program::resolve_method`.
+            let mut vtable = vec![NO_METHOD; selector_count];
+            for &cid in &chain {
+                for &mid in &program.class(cid).methods {
+                    vtable[selectors[mid.0 as usize] as usize] = mid.0;
+                }
+            }
+            classes[class.id.0 as usize].vtable = vtable;
+        }
+
+        ProgramLayout {
+            classes,
+            static_names,
+            static_types,
+            selectors,
+            selector_count,
+        }
+    }
+
+    /// Dense slot of an instance field reference, valid for objects of the declaring
+    /// class and all its subclasses. `None` if `fr` names a static field.
+    #[inline]
+    pub fn field_slot(&self, fr: FieldRef) -> Option<u32> {
+        self.classes[fr.class.0 as usize]
+            .field_slot
+            .get(fr.index as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Global static slot of a static field reference.
+    #[inline]
+    pub fn static_slot(&self, fr: FieldRef) -> Option<u32> {
+        self.classes[fr.class.0 as usize]
+            .static_slot
+            .get(fr.index as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Resolves a field *name* against the layout of `class` (the wire boundary path:
+    /// remote `DEPENDENCE` messages carry names).
+    pub fn slot_of_name(&self, class: ClassId, name: &str) -> Option<u32> {
+        self.classes[class.0 as usize]
+            .name_to_slot
+            .get(name)
+            .copied()
+    }
+
+    /// The canonical name of `slot` in `class` (diagnostics).
+    pub fn slot_name(&self, class: ClassId, slot: u32) -> Option<&str> {
+        self.classes[class.0 as usize]
+            .slot_names
+            .get(slot as usize)
+            .map(|s| s.as_str())
+    }
+
+    /// Selector assigned to `method`'s name.
+    #[inline]
+    pub fn selector(&self, method: MethodId) -> u32 {
+        self.selectors[method.0 as usize]
+    }
+
+    /// Virtual dispatch: the method bound in `class`'s vtable for `target`'s selector.
+    /// This is the interned equivalent of `Program::resolve_method(class, name)`.
+    #[inline]
+    pub fn resolve_virtual(&self, class: ClassId, target: MethodId) -> Option<MethodId> {
+        let sel = self.selectors[target.0 as usize] as usize;
+        match self.classes[class.0 as usize].vtable.get(sel) {
+            Some(&m) if m != NO_METHOD => Some(MethodId(m)),
+            _ => None,
+        }
+    }
+
+    /// Number of instance-field slots of `class`.
+    #[inline]
+    pub fn slot_count(&self, class: ClassId) -> usize {
+        self.classes[class.0 as usize].slot_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        p.add_field(a, "x", Type::Int, false);
+        p.add_field(a, "s", Type::Int, true);
+        p.add_field(a, "y", Type::Float, false);
+        let b = p.add_class("B", Some(a));
+        p.add_field(b, "z", Type::Bool, false);
+        p.add_method(a, "m", vec![], Type::Void, false);
+        p.add_method(a, "n", vec![], Type::Void, false);
+        p.add_method(b, "m", vec![], Type::Void, false);
+        p
+    }
+
+    #[test]
+    fn inherited_fields_share_the_slot_prefix() {
+        let p = sample();
+        let layout = ProgramLayout::build(&p);
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let fx = p.resolve_field(a, "x").unwrap();
+        let fy = p.resolve_field(a, "y").unwrap();
+        let fz = p.resolve_field(b, "z").unwrap();
+        assert_eq!(layout.field_slot(fx), Some(0));
+        assert_eq!(layout.field_slot(fy), Some(1));
+        assert_eq!(layout.field_slot(fz), Some(2));
+        // The same FieldRef resolves identically through the subclass layout.
+        assert_eq!(layout.slot_of_name(b, "x"), Some(0));
+        assert_eq!(layout.slot_of_name(b, "y"), Some(1));
+        assert_eq!(layout.slot_count(a), 2);
+        assert_eq!(layout.slot_count(b), 3);
+    }
+
+    #[test]
+    fn statics_get_global_slots_with_snapshot_keys() {
+        let p = sample();
+        let layout = ProgramLayout::build(&p);
+        let a = p.class_by_name("A").unwrap();
+        let fs = p.resolve_field(a, "s").unwrap();
+        let slot = layout.static_slot(fs).unwrap();
+        assert_eq!(layout.static_names[slot as usize], "A::s");
+        assert_eq!(layout.static_types[slot as usize], Type::Int);
+        assert_eq!(layout.field_slot(fs), None);
+    }
+
+    #[test]
+    fn vtables_reproduce_name_based_resolution() {
+        let p = sample();
+        let layout = ProgramLayout::build(&p);
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let am = p.find_method(a, "m").unwrap();
+        let an = p.find_method(a, "n").unwrap();
+        let bm = p.find_method(b, "m").unwrap();
+        assert_eq!(layout.resolve_virtual(a, am), Some(am));
+        assert_eq!(layout.resolve_virtual(b, am), Some(bm), "override wins");
+        assert_eq!(layout.resolve_virtual(b, an), Some(an), "inherited binding");
+        assert_eq!(
+            layout.selector(am),
+            layout.selector(bm),
+            "same name, same selector"
+        );
+        assert_ne!(layout.selector(am), layout.selector(an));
+    }
+
+    #[test]
+    fn shadowing_aliases_the_inherited_slot() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        p.add_field(a, "v", Type::Int, false);
+        let b = p.add_class("B", Some(a));
+        let shadow = p.add_field(b, "v", Type::Int, false);
+        let layout = ProgramLayout::build(&p);
+        assert_eq!(layout.field_slot(shadow), Some(0));
+        assert_eq!(layout.slot_count(b), 1);
+    }
+
+    #[test]
+    fn shadowing_with_a_different_type_defaults_to_the_derived_declaration() {
+        // The map-based heap defaulted fields subclass-first, so the most-derived
+        // declaration's type determined a fresh instance's default value.
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        p.add_field(a, "v", Type::Bool, false);
+        let b = p.add_class("B", Some(a));
+        p.add_field(b, "v", Type::Int, false);
+        let layout = ProgramLayout::build(&p);
+        assert_eq!(layout.classes[a.0 as usize].slot_types[0], Type::Bool);
+        assert_eq!(
+            layout.classes[b.0 as usize].slot_types[0],
+            Type::Int,
+            "B instances default v to Int(0), not Bool(false)"
+        );
+    }
+
+    #[test]
+    fn layout_resolution_matches_program_resolution_for_every_method() {
+        let p = sample();
+        let layout = ProgramLayout::build(&p);
+        for class in &p.classes {
+            for m in &p.methods {
+                assert_eq!(
+                    layout.resolve_virtual(class.id, m.id),
+                    p.resolve_method(class.id, &m.name),
+                    "class {} method {}",
+                    class.name,
+                    m.name
+                );
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`frontend`] — a small MiniJava-like source language front-end so that programs
 //!   such as the paper's Bank/Account example (Figure 2) can be written as source text.
 //! * [`cfg`] — control-flow graph utilities over bytecode (leaders, back edges, loops).
+//! * [`layout`] — the load-time interning pass: dense field slots, static slots and
+//!   selector-indexed vtables consumed by the interpreter's hot paths.
 //! * [`printer`] — human-readable listings of bytecode and quads (Figure 5 style).
 //! * [`verify`] — a structural verifier for methods (stack discipline, branch targets).
 
@@ -24,6 +26,7 @@ pub mod builder;
 pub mod bytecode;
 pub mod cfg;
 pub mod frontend;
+pub mod layout;
 pub mod lower;
 pub mod printer;
 pub mod program;
@@ -32,5 +35,6 @@ pub mod verify;
 
 pub use builder::{MethodBuilder, ProgramBuilder};
 pub use bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
+pub use layout::{ClassLayout, ProgramLayout};
 pub use program::{Class, ClassId, Field, FieldRef, Method, MethodId, Program, Type};
 pub use quad::{BlockId, Operand, Quad, QuadMethod, Reg};

@@ -57,6 +57,13 @@ pub struct PartitionConfig {
     pub refine_passes: usize,
     /// Seed for randomized choices (matching order, random partitioning).
     pub seed: u64,
+    /// Minimum number of non-empty parts (capped at `nparts` and at the vertex
+    /// count). The multilevel scheme legitimately minimises the cut by collapsing a
+    /// small dependence graph into one part — which yields a "distribution" with zero
+    /// communication and no offloading at all. A floor of 2 guarantees the default
+    /// pipeline actually places work on more than one node; set to 0 or 1 to allow
+    /// fully collapsed partitions.
+    pub min_parallelism: usize,
 }
 
 impl Default for PartitionConfig {
@@ -68,6 +75,7 @@ impl Default for PartitionConfig {
             coarsen_to: 64,
             refine_passes: 4,
             seed: 0x5eed,
+            min_parallelism: 2,
         }
     }
 }
@@ -109,9 +117,11 @@ pub struct Partitioning {
 /// Partitions `graph` into `config.nparts` parts.
 ///
 /// Empty graphs yield an empty assignment; `nparts == 1` puts everything in part 0.
+/// Afterwards the `min_parallelism` constraint is enforced (see
+/// [`PartitionConfig::min_parallelism`]).
 pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
     let n = graph.vertex_count();
-    let assignment = if n == 0 {
+    let mut assignment = if n == 0 {
         Vec::new()
     } else if config.nparts <= 1 {
         vec![0; n]
@@ -124,7 +134,52 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
             Method::Random => naive::random_partition(n, config.nparts, config.seed),
         }
     };
+    enforce_min_parallelism(graph, &mut assignment, config);
     summarize(graph, assignment, config.nparts)
+}
+
+/// Ensures at least `min(min_parallelism, nparts, n)` parts are non-empty by moving,
+/// one at a time, the vertex whose migration adds the least edge weight to the cut
+/// (choosing from parts that keep at least one vertex) into an empty part.
+fn enforce_min_parallelism(graph: &Graph, assignment: &mut [usize], config: &PartitionConfig) {
+    let n = assignment.len();
+    let target = config.min_parallelism.min(config.nparts).min(n);
+    if target <= 1 {
+        return;
+    }
+    loop {
+        let mut part_sizes = vec![0usize; config.nparts];
+        for &a in assignment.iter() {
+            part_sizes[a] += 1;
+        }
+        let non_empty = part_sizes.iter().filter(|&&s| s > 0).count();
+        if non_empty >= target {
+            return;
+        }
+        let empty_part = part_sizes
+            .iter()
+            .position(|&s| s == 0)
+            .expect("non_empty < nparts implies an empty part exists");
+        // The cost of moving v out of its part is the weight of its edges into that
+        // part (they become cut edges) minus the weight of edges already cut that
+        // stay cut; edges into the empty destination are impossible. Prefer the
+        // cheapest move, breaking ties towards lighter vertices.
+        let candidate = (0..n)
+            .filter(|&v| part_sizes[assignment[v]] > 1)
+            .map(|v| {
+                let internal: u64 = graph
+                    .neighbours(v)
+                    .filter(|&(u, _)| assignment[u] == assignment[v])
+                    .map(|(_, w)| w)
+                    .sum();
+                (internal, graph.vertex_weight(v)[0], v)
+            })
+            .min();
+        match candidate {
+            Some((_, _, v)) => assignment[v] = empty_part,
+            None => return, // every part has exactly one vertex; nothing to move
+        }
+    }
 }
 
 /// Computes the quality metrics for an existing assignment.
@@ -229,6 +284,57 @@ mod tests {
         for &imb in &p.imbalance {
             assert!(imb <= 1.0 + cfg.balance_tolerance + 1e-9, "imbalance {imb}");
         }
+    }
+
+    #[test]
+    fn min_parallelism_prevents_fully_collapsed_partitions() {
+        // A single dense clique: the cut-minimal 2-way partition puts everything in
+        // one part (cut 0), which means no distribution at all. The min-parallelism
+        // constraint must force a second non-empty part.
+        let mut b = GraphBuilder::new(6, 1);
+        for v in 0..6 {
+            b.set_weight(v, &[1]);
+            for u in (v + 1)..6 {
+                b.add_edge(v, u, 5);
+            }
+        }
+        let g = b.build();
+        let p = partition(&g, &PartitionConfig::kway(2));
+        let mut counts = [0usize; 2];
+        for &a in &p.assignment {
+            counts[a] += 1;
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "both parts must be populated: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn min_parallelism_can_be_disabled() {
+        let mut b = GraphBuilder::new(4, 1);
+        for v in 0..4 {
+            b.set_weight(v, &[1]);
+            b.add_edge(v, (v + 1) % 4, 9);
+        }
+        let g = b.build();
+        let cfg = PartitionConfig {
+            min_parallelism: 0,
+            ..PartitionConfig::kway(2)
+        };
+        // With the constraint off the partitioner may do whatever minimises the cut;
+        // the assignment merely has to be valid.
+        let p = partition(&g, &cfg);
+        assert!(p.assignment.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    fn min_parallelism_is_capped_by_vertex_count() {
+        let mut b = GraphBuilder::new(1, 1);
+        b.set_weight(0, &[1]);
+        let g = b.build();
+        let p = partition(&g, &PartitionConfig::kway(4));
+        assert_eq!(p.assignment, vec![0], "one vertex can only fill one part");
     }
 
     #[test]

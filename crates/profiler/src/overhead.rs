@@ -95,46 +95,78 @@ impl OverheadTable {
     }
 }
 
-/// Runs every workload under the baseline and under each metric, `repeats` times each
-/// (taking the minimum wall time to reduce noise), and returns the overhead table.
+/// Runs every workload under the baseline and under each metric and returns the
+/// overhead table.
+///
+/// Noise control (the paper's Table 3 numbers are small percentages, easily swamped by
+/// scheduler jitter on a shared machine):
+///
+/// * at least **5 repetitions** per (configuration, workload) pair, whatever the
+///   caller asks for;
+/// * the reported value is the **median**, not the minimum — the minimum
+///   systematically under-reports the instrumented configurations and used to produce
+///   negative overheads;
+/// * repetitions are **interleaved** (every configuration measured once per round)
+///   so slow drift in machine load biases all configurations equally;
+/// * one warm-up execution per workload before anything is timed.
 pub fn measure_overheads(
     workloads: &[(String, Program)],
     metrics: &[Metric],
     repeats: usize,
 ) -> OverheadTable {
-    let repeats = repeats.max(1);
+    let repeats = repeats.max(5);
     let mut configs: Vec<Option<Metric>> = vec![None];
     configs.extend(metrics.iter().copied().map(Some));
 
-    let mut rows = Vec::new();
-    for config in configs {
-        let mut per_workload = Vec::new();
-        for (_, program) in workloads {
-            let mut best = f64::MAX;
-            for _ in 0..repeats {
-                let (profiler, _handle) = Profiler::new(config);
+    // Warm-up: fault in code paths and caches outside the measured region.
+    for (_, program) in workloads {
+        let (profiler, _handle) = Profiler::new(None);
+        let report = run_centralized_profiled(program, 1.0, Some(Box::new(profiler)), 0);
+        assert!(report.is_ok(), "workload failed: {:?}", report.error);
+    }
+
+    // samples[config][workload] = per-round wall times.
+    let mut samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); workloads.len()]; configs.len()];
+    for _ in 0..repeats {
+        for (ci, config) in configs.iter().enumerate() {
+            for (wi, (_, program)) in workloads.iter().enumerate() {
+                let (profiler, _handle) = Profiler::new(*config);
                 let report = run_centralized_profiled(
                     program,
                     1.0,
                     Some(Box::new(profiler)),
-                    Profiler::sample_interval(config),
+                    Profiler::sample_interval(*config),
                 );
                 assert!(report.is_ok(), "workload failed: {:?}", report.error);
-                best = best.min(report.wall_time_ms);
+                samples[ci][wi].push(report.wall_time_ms);
             }
-            per_workload.push(best);
         }
-        let total = per_workload.iter().sum();
-        rows.push(OverheadRow {
-            metric: config,
-            per_workload_ms: per_workload,
-            total_ms: total,
-        });
     }
+
+    let rows = configs
+        .iter()
+        .zip(samples)
+        .map(|(config, per_workload_samples)| {
+            let per_workload: Vec<f64> = per_workload_samples.into_iter().map(median).collect();
+            let total = per_workload.iter().sum();
+            OverheadRow {
+                metric: *config,
+                per_workload_ms: per_workload,
+                total_ms: total,
+            }
+        })
+        .collect();
     OverheadTable {
         workloads: workloads.iter().map(|(n, _)| n.clone()).collect(),
         rows,
     }
+}
+
+/// Median (upper median for even counts) of a non-empty sample vector. Shared with
+/// the bench crate's report so every "median" in the repo means the same statistic.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("wall times are never NaN"));
+    xs[xs.len() / 2]
 }
 
 #[cfg(test)]

@@ -1,28 +1,61 @@
 //! The cluster driver: runs a program centralized or distributed and reports timings.
 //!
-//! Distributed runs spawn one OS thread per node; node 0 plays the paper's launch node
-//! (the 800 MHz machine where the user starts the program), runs the Execution Starter
-//! and finally broadcasts a shutdown; every other node runs the Message Exchange serve
-//! loop. Each node keeps a virtual clock fed by the instruction and network cost model,
-//! so the reported *virtual time* reproduces the shape of the paper's Figure 11 even
-//! though everything actually executes on one machine; wall-clock time is reported as
-//! well.
+//! Node 0 plays the paper's launch node (the 800 MHz machine where the user starts the
+//! program), runs the Execution Starter and finally broadcasts a shutdown; every other
+//! node answers `NEW`/`DEPENDENCE` requests. Each node keeps a virtual clock fed by the
+//! instruction and network cost model, so the reported *virtual time* reproduces the
+//! shape of the paper's Figure 11 even though everything actually executes on one
+//! machine; wall-clock time is reported as well.
+//!
+//! Two schedulers are available (see [`Schedule`]):
+//!
+//! * **Cooperative** ([`Schedule::Inline`]) — all virtual nodes are multiplexed onto a
+//!   single OS thread. Because the paper's communication style is synchronous
+//!   request/response, exactly one node is runnable at any moment; a node waiting for
+//!   a response runs its callee's message loop inline instead of parking a thread.
+//!   This removes every context switch from the simulation and makes sweeps over
+//!   hundreds of virtual nodes practical. It requires the placement's inter-node
+//!   dependence digraph to be acyclic (no callbacks into a node that is awaiting a
+//!   response) — the pipeline checks this from the class relation graph and falls back
+//!   otherwise.
+//! * **Threaded** ([`Schedule::Threaded`]) — the original thread-per-node execution,
+//!   which supports arbitrary re-entrant placements.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use autodist_ir::program::Program;
 
-use crate::interp::{DistState, Interp, ProfilerSink};
+use crate::interp::{ClusterPump, DistState, Interp, ProfilerSink};
 use crate::net::NetworkConfig;
 use crate::services::{ExecutionStarter, MessageExchange, MpiService};
 use crate::value::Value;
+
+/// How the simulated nodes are scheduled onto OS threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Defer the choice to the caller's knowledge of the placement: `run_distributed`
+    /// itself resolves `Auto` to [`Schedule::Threaded`] (always safe); the pipeline's
+    /// `DistributionPlan::execute` resolves it to [`Schedule::Inline`] when the
+    /// placement's inter-node dependence digraph is acyclic.
+    #[default]
+    Auto,
+    /// Cooperative single-threaded scheduling: virtual nodes are multiplexed on one
+    /// OS thread; a waiting node runs its callee inline. Requires an acyclic
+    /// inter-node dependence digraph.
+    Inline,
+    /// One OS thread per node (the pre-pool behaviour; handles re-entrant placements).
+    Threaded,
+}
 
 /// Configuration of a distributed run.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterConfig {
     /// The network / CPU cost model. The number of nodes is `network.nodes()`.
     pub network: NetworkConfig,
+    /// Node-to-thread scheduling policy.
+    pub schedule: Schedule,
 }
 
 impl ClusterConfig {
@@ -30,6 +63,7 @@ impl ClusterConfig {
     pub fn paper_testbed() -> Self {
         ClusterConfig {
             network: NetworkConfig::paper_testbed(),
+            schedule: Schedule::Auto,
         }
     }
 }
@@ -155,7 +189,10 @@ pub fn run_centralized_profiled(
 /// Runs the per-node program copies distributed over `config.network.nodes()` nodes.
 ///
 /// `programs[r]` is the (rewritten) program copy executed by rank `r`; `programs.len()`
-/// must equal the node count of the network configuration.
+/// must equal the node count of the network configuration. [`Schedule::Auto`] resolves
+/// to the always-safe threaded scheduler here; callers that know the placement's
+/// dependence digraph is acyclic (the pipeline does) should request
+/// [`Schedule::Inline`] to get the cooperative scheduler.
 pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
     let nodes = programs.len();
     assert!(nodes >= 1, "at least one node required");
@@ -164,6 +201,141 @@ pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> Executio
         config.network.nodes(),
         "one program copy per configured node"
     );
+    match config.schedule {
+        Schedule::Inline => run_distributed_inline(programs, config),
+        Schedule::Auto | Schedule::Threaded => run_distributed_threaded(programs, config),
+    }
+}
+
+/// One virtual node held by the cooperative scheduler: its interpreter while idle, or
+/// its final outcome once it has processed the shutdown broadcast.
+enum CoopSlot<'p> {
+    Idle(Box<Interp<'p>>),
+    Done(NodeStats),
+    /// Checked out by a (possibly nested) `pump` frame, or never populated (rank 0).
+    Empty,
+}
+
+/// The cooperative scheduler: all virtual nodes multiplexed onto the calling thread.
+/// `pump(rank)` — invoked by an interpreter waiting for a response — checks the callee
+/// out of its slot, drains its mailbox (running nested round trips recursively), and
+/// checks it back in.
+struct CoopCluster<'p> {
+    slots: Vec<Mutex<CoopSlot<'p>>>,
+}
+
+impl<'p> CoopCluster<'p> {
+    fn new(nodes: usize) -> Self {
+        CoopCluster {
+            slots: (0..nodes).map(|_| Mutex::new(CoopSlot::Empty)).collect(),
+        }
+    }
+}
+
+impl ClusterPump for CoopCluster<'_> {
+    fn pump(&self, rank: usize) -> bool {
+        let Some(slot) = self.slots.get(rank) else {
+            return false;
+        };
+        let taken = {
+            let mut guard = slot.lock().expect("coop slot poisoned");
+            match std::mem::replace(&mut *guard, CoopSlot::Empty) {
+                CoopSlot::Idle(interp) => interp,
+                other => {
+                    *guard = other;
+                    return false;
+                }
+            }
+        };
+        let mut interp = taken;
+        let shutdown = interp.drain_mailbox();
+        let mut guard = slot.lock().expect("coop slot poisoned");
+        *guard = if shutdown {
+            // Dropping the interpreter here releases its Arc back-reference to the
+            // scheduler, so the cluster is freed when the run ends.
+            CoopSlot::Done(stats_of(&interp, rank))
+        } else {
+            CoopSlot::Idle(interp)
+        };
+        true
+    }
+}
+
+/// Cooperative single-threaded distributed execution (see [`Schedule::Inline`]).
+fn run_distributed_inline(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
+    let nodes = programs.len();
+    let start = Instant::now();
+    let mut mpi = MpiService::init(nodes, config.network.clone());
+    let cluster = Arc::new(CoopCluster::new(nodes));
+    for (rank, program) in programs.iter().enumerate().skip(1) {
+        let pump: Arc<dyn ClusterPump + '_> = cluster.clone();
+        let interp =
+            Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_pump(pump));
+        *cluster.slots[rank].lock().expect("coop slot") = CoopSlot::Idle(Box::new(interp));
+    }
+    let pump: Arc<dyn ClusterPump + '_> = cluster.clone();
+    let mut driver =
+        Interp::new(&programs[0]).with_dist(DistState::new(mpi.endpoint(0)).with_pump(pump));
+
+    // The whole simulation runs on one dedicated thread with a deep stack: nested
+    // cross-node call chains unwind on a single stack under cooperative scheduling.
+    let driver_cluster = cluster.clone();
+    let (stats0, statics0, error) = std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("coop-cluster".to_string())
+            .stack_size(64 * 1024 * 1024)
+            .spawn_scoped(scope, move || {
+                let error = ExecutionStarter::start(&mut driver)
+                    .err()
+                    .map(|e| e.to_string());
+                // Execution ends when main returns on the launch node; the shutdown
+                // broadcast is bookkeeping and not part of the measured execution.
+                let stats = stats_of(&driver, 0);
+                let statics = driver.statics_snapshot();
+                MessageExchange::broadcast_shutdown(&mut driver);
+                for rank in 1..nodes {
+                    driver_cluster.pump(rank);
+                }
+                (stats, statics, error)
+            })
+            .expect("spawn cooperative cluster thread")
+            .join()
+            .expect("cooperative cluster thread panicked")
+    });
+
+    let wall = start.elapsed();
+    let mut per_node = vec![stats0];
+    let final_statics = statics0;
+    for rank in 1..nodes {
+        let slot = std::mem::replace(
+            &mut *cluster.slots[rank].lock().expect("coop slot"),
+            CoopSlot::Empty,
+        );
+        match slot {
+            CoopSlot::Done(stats) => per_node.push(stats),
+            CoopSlot::Idle(interp) => per_node.push(stats_of(&interp, rank)),
+            CoopSlot::Empty => per_node.push(NodeStats {
+                node: rank,
+                ..NodeStats::default()
+            }),
+        }
+    }
+    // The distributed execution ends when the launch node finishes `main`; its clock
+    // has already absorbed every synchronous round trip (the communication style is
+    // request/response), so it is the execution time the paper measures.
+    let virtual_time_us = per_node.first().map(|s| s.clock_us).unwrap_or(0.0);
+    ExecutionReport {
+        virtual_time_us,
+        wall_time_ms: wall.as_secs_f64() * 1e3,
+        per_node,
+        final_statics,
+        error,
+    }
+}
+
+/// Thread-per-node distributed execution (see [`Schedule::Threaded`]).
+fn run_distributed_threaded(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
+    let nodes = programs.len();
     let start = Instant::now();
     let mut mpi = MpiService::init(nodes, config.network.clone());
 
@@ -330,6 +502,7 @@ mod tests {
         let copy = rewrite_for_node(&p, &placement, 0).program;
         let config = ClusterConfig {
             network: NetworkConfig::uniform(1),
+            ..Default::default()
         };
         let report = run_distributed(std::slice::from_ref(&copy), &config);
         assert!(report.is_ok(), "{:?}", report.error);
@@ -384,6 +557,124 @@ mod tests {
         assert!(
             speedup > 1.2,
             "offloading the hot loop to the 2.1x node should win (speedup {speedup:.2})"
+        );
+    }
+
+    #[test]
+    fn inline_schedule_matches_threaded_results_and_virtual_time() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = split_placement(&p);
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let threaded = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Threaded,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        let inline = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Inline,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        assert!(inline.is_ok(), "{:?}", inline.error);
+        assert_eq!(inline.final_statics, threaded.final_statics);
+        assert_eq!(inline.total_messages(), threaded.total_messages());
+        assert_eq!(inline.total_bytes(), threaded.total_bytes());
+        assert!(
+            (inline.virtual_time_us - threaded.virtual_time_us).abs() < 1e-6,
+            "virtual clocks must agree: inline {} vs threaded {}",
+            inline.virtual_time_us,
+            threaded.virtual_time_us
+        );
+        for (a, b) in inline.per_node.iter().zip(threaded.per_node.iter()) {
+            assert_eq!(a.requests_served, b.requests_served);
+            assert_eq!(a.instructions, b.instructions);
+        }
+    }
+
+    #[test]
+    fn inline_schedule_scales_to_many_virtual_nodes() {
+        // 64 virtual nodes on one OS thread: the pre-pool design would have spawned 64
+        // threads with 32 MB stacks for this.
+        let p = compile_source(BANK_SRC).unwrap();
+        let nodes = 64;
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Bank").unwrap(), 1);
+        home.insert(p.class_by_name("Account").unwrap(), 2);
+        let placement = ClassPlacement {
+            home,
+            nparts: nodes,
+        };
+        let copies: Vec<autodist_ir::Program> = (0..nodes)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let config = ClusterConfig {
+            network: NetworkConfig::uniform(nodes),
+            schedule: Schedule::Inline,
+        };
+        let report = run_distributed(&copies, &config);
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(report.per_node.len(), nodes);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            Some(&Value::Int(10 * 1000 + 50000 - 900))
+        );
+        assert!(report.total_messages() > 0);
+    }
+
+    /// A placement whose inter-node digraph is cyclic: node 1's method calls back into
+    /// an object living on node 0. The threaded scheduler must handle this (the waiting
+    /// launch node serves the callback from its own mailbox).
+    #[test]
+    fn threaded_schedule_supports_reentrant_callbacks() {
+        let src = r#"
+            class Cell {
+                int v;
+                int bump() { this.v = this.v + 1; return this.v; }
+            }
+            class Relay {
+                int poke(Cell c) { return c.bump() + c.bump(); }
+            }
+            class Main {
+                static int result;
+                static void main() {
+                    Cell c = new Cell();
+                    Relay r = new Relay();
+                    result = r.poke(c);
+                }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let baseline = run_centralized(&p, 1.0);
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Cell").unwrap(), 0);
+        home.insert(p.class_by_name("Relay").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let report = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Threaded,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            baseline.final_statics.get("Main::result")
+        );
+        assert!(
+            report.per_node[0].requests_served > 0,
+            "the launch node served the callback"
         );
     }
 

@@ -7,14 +7,23 @@
 //! cost latency + bytes/bandwidth), exposes profiler hooks (Section 6), and — when a
 //! [`DistState`] is attached — intercepts operations on `rt/DependentObject` proxies and
 //! turns them into `NEW` / `DEPENDENCE` message exchanges (Section 5).
+//!
+//! All name resolution is interned at program-load time by
+//! [`autodist_ir::layout::ProgramLayout`]: instance fields are flat slot-indexed
+//! vectors, statics live in one dense replicated vector, and dynamic dispatch goes
+//! through selector-indexed vtables. The interpret loop performs no string clone and no
+//! map probe per field or method access; names only appear at the wire boundary
+//! (remote `DEPENDENCE` messages and `statics_snapshot`).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use autodist_ir::bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
-use autodist_ir::program::{ClassId, MethodId, Program, Type};
+use autodist_ir::layout::ProgramLayout;
+use autodist_ir::program::{ClassId, FieldRef, MethodId, Program, Type};
 
-use crate::net::{MpiEndpoint, PacketKind};
+use crate::net::{MpiEndpoint, Packet, PacketKind};
 use crate::value::{HeapObject, ObjRef, Value};
 use crate::wire::{AccessKind, Request, Response, WireValue};
 
@@ -110,9 +119,18 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// The hook through which a waiting interpreter hands control to the cooperative
+/// cluster scheduler: `pump(rank)` runs `rank`'s message loop (on the current thread)
+/// until its mailbox is empty, returning `false` if that node is not currently
+/// runnable. Implemented by `autodist_runtime::cluster`.
+pub trait ClusterPump: Send + Sync {
+    /// Drains `rank`'s mailbox, serving every queued request.
+    fn pump(&self, rank: usize) -> bool;
+}
+
 /// Distributed-execution state attached to an interpreter running as one node of the
 /// simulated cluster.
-pub struct DistState {
+pub struct DistState<'a> {
     /// This node's endpoint into the simulated MPI world.
     pub endpoint: MpiEndpoint,
     /// Export table: export id -> heap index.
@@ -121,9 +139,12 @@ pub struct DistState {
     pub export_ids: HashMap<u32, u64>,
     /// Set once a `Shutdown` request is received.
     pub shutdown: bool,
+    /// Cooperative scheduler hook (None under thread-per-node execution: the waiting
+    /// node then blocks on its own mailbox instead of running its callee inline).
+    pub pump: Option<Arc<dyn ClusterPump + 'a>>,
 }
 
-impl DistState {
+impl<'a> DistState<'a> {
     /// Wraps an endpoint.
     pub fn new(endpoint: MpiEndpoint) -> Self {
         DistState {
@@ -131,7 +152,14 @@ impl DistState {
             exports: Vec::new(),
             export_ids: HashMap::new(),
             shutdown: false,
+            pump: None,
         }
+    }
+
+    /// Attaches the cooperative scheduler hook.
+    pub fn with_pump(mut self, pump: Arc<dyn ClusterPump + 'a>) -> Self {
+        self.pump = Some(pump);
+        self
     }
 
     /// This node's rank.
@@ -159,17 +187,55 @@ pub struct Interp<'p> {
     /// Sampling quantum in instructions (0 disables sampling).
     pub sample_interval: u64,
     /// Distributed runtime state (None for centralized execution).
-    pub dist: Option<DistState>,
+    pub dist: Option<DistState<'p>>,
+    /// The interning tables built at load time: field slots, static slots, vtables.
+    layout: ProgramLayout,
+    /// Replicated static fields, indexed by the layout's global static slot.
+    statics: Vec<Value>,
+    /// Per-class default field vectors cloned on instantiation.
+    class_defaults: Vec<Vec<Value>>,
     call_stack: Vec<MethodId>,
     instructions_since_sample: u64,
     max_depth: usize,
     dep_class: Option<ClassId>,
+    /// (home, remoteId, className) slots of the proxy class, if present.
+    proxy_slots: Option<(usize, usize, usize)>,
+    /// Recycled (locals, operand stack) frame vectors, so method invocation does not
+    /// allocate on the hot path.
+    frame_pool: Vec<(Vec<Value>, Vec<Value>)>,
 }
 
 impl<'p> Interp<'p> {
-    /// Creates an interpreter for a centralized run at speed 1.0.
+    /// Creates an interpreter for a centralized run at speed 1.0. This runs the
+    /// program-load-time resolution pass ([`ProgramLayout::build`]), after which the
+    /// interpret loop performs no string clone and no map probe per field or method
+    /// access.
     pub fn new(program: &'p Program) -> Self {
         let dep_class = program.class_by_name(DEPENDENT_OBJECT_CLASS);
+        let layout = ProgramLayout::build(program);
+        let mut class_defaults: Vec<Vec<Value>> = layout
+            .classes
+            .iter()
+            .map(|c| c.slot_types.iter().map(default_value).collect())
+            .collect();
+        // Proxy identity fields must read as uninitialised (not Int 0) until the
+        // remote `NEW` handshake fills them in.
+        if let Some(dep) = dep_class {
+            for v in &mut class_defaults[dep.0 as usize] {
+                *v = Value::Null;
+            }
+        }
+        let statics = layout.static_types.iter().map(default_value).collect();
+        let proxy_slots = dep_class.and_then(|dep| {
+            match (
+                layout.slot_of_name(dep, "home"),
+                layout.slot_of_name(dep, "remoteId"),
+                layout.slot_of_name(dep, "className"),
+            ) {
+                (Some(h), Some(r), Some(c)) => Some((h as usize, r as usize, c as usize)),
+                _ => None,
+            }
+        });
         Interp {
             program,
             heap: Vec::new(),
@@ -180,11 +246,21 @@ impl<'p> Interp<'p> {
             profiler: None,
             sample_interval: 0,
             dist: None,
+            layout,
+            statics,
+            class_defaults,
             call_stack: Vec::new(),
             instructions_since_sample: 0,
             max_depth: 100,
             dep_class,
+            proxy_slots,
+            frame_pool: Vec::new(),
         }
+    }
+
+    /// The interning tables backing this interpreter's field and dispatch resolution.
+    pub fn layout(&self) -> &ProgramLayout {
+        &self.layout
     }
 
     /// Sets the node speed factor.
@@ -194,7 +270,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Attaches the distributed runtime state.
-    pub fn with_dist(mut self, dist: DistState) -> Self {
+    pub fn with_dist(mut self, dist: DistState<'p>) -> Self {
         self.instr_cost_us = dist.endpoint.config.instr_cost_us;
         self.speed = dist.endpoint.config.speed_of(dist.endpoint.rank);
         self.dist = Some(dist);
@@ -219,16 +295,15 @@ impl<'p> Interp<'p> {
         self.invoke(entry, Vec::new())
     }
 
-    fn charge(&mut self, n: u64) {
-        self.counters.instructions += n;
-        self.clock_us += n as f64 * self.instr_cost_us / self.speed;
-        if self.sample_interval > 0 {
-            self.instructions_since_sample += n;
-            if self.instructions_since_sample >= self.sample_interval {
-                self.instructions_since_sample = 0;
-                if let Some(p) = self.profiler.as_mut() {
-                    p.sample(&self.call_stack);
-                }
+    /// Sampling-profiler tick, taken out of line so the interpret loop only pays a
+    /// predictable branch when sampling is disabled.
+    #[cold]
+    fn tick_sample(&mut self) {
+        self.instructions_since_sample += 1;
+        if self.instructions_since_sample >= self.sample_interval {
+            self.instructions_since_sample = 0;
+            if let Some(p) = self.profiler.as_mut() {
+                p.sample(&self.call_stack);
             }
         }
     }
@@ -246,22 +321,9 @@ impl<'p> Interp<'p> {
     }
 
     fn new_instance(&mut self, class: ClassId) -> ObjRef {
-        // Initialise instance fields to their Java-style default values, walking the
-        // superclass chain.
-        let mut fields = BTreeMap::new();
-        let mut cur = Some(class);
-        while let Some(cid) = cur {
-            let c = self.program.class(cid);
-            for f in c.fields.iter().filter(|f| !f.is_static) {
-                fields.entry(f.name.clone()).or_insert_with(|| match f.ty {
-                    Type::Int => Value::Int(0),
-                    Type::Float => Value::Float(0.0),
-                    Type::Bool => Value::Bool(false),
-                    _ => Value::Null,
-                });
-            }
-            cur = c.super_class;
-        }
+        // Slot vector pre-filled with Java-style default values (computed once per
+        // class at load time).
+        let fields = self.class_defaults[class.0 as usize].clone();
         self.alloc(HeapObject::Object { class, fields })
     }
 
@@ -275,6 +337,48 @@ impl<'p> Interp<'p> {
             // Abstract / intrinsic methods that were not intercepted: behave as no-ops.
             return Ok(Value::Null);
         }
+        let (mut locals, stack) = self.frame_pool.pop().unwrap_or_default();
+        locals.resize((m.locals as usize).max(args.len()) + 4, Value::Null);
+        for (i, a) in args.into_iter().enumerate() {
+            locals[i] = a;
+        }
+        self.run_frame(method, locals, stack)
+    }
+
+    /// Invokes `method`, taking its `nargs` arguments directly off the caller's
+    /// operand stack: the hot call path allocates no argument vector.
+    fn invoke_from_stack(
+        &mut self,
+        method: MethodId,
+        caller: &mut Vec<Value>,
+        nargs: usize,
+    ) -> Result<Value, ExecError> {
+        if self.call_stack.len() >= self.max_depth {
+            caller.truncate(caller.len() - nargs);
+            return Err(ExecError::StackOverflow);
+        }
+        let m = self.program.method(method);
+        if m.body.is_empty() {
+            caller.truncate(caller.len() - nargs);
+            return Ok(Value::Null);
+        }
+        let (mut locals, stack) = self.frame_pool.pop().unwrap_or_default();
+        locals.resize((m.locals as usize).max(nargs) + 4, Value::Null);
+        let base = caller.len() - nargs;
+        for (i, a) in caller.drain(base..).enumerate() {
+            locals[i] = a;
+        }
+        self.run_frame(method, locals, stack)
+    }
+
+    /// Frame bookkeeping around [`Self::execute_frame`]: call-stack push/pop, profiler
+    /// enter/exit, frame recycling. `locals` already contains the arguments.
+    fn run_frame(
+        &mut self,
+        method: MethodId,
+        mut locals: Vec<Value>,
+        mut stack: Vec<Value>,
+    ) -> Result<Value, ExecError> {
         self.counters.method_invocations += 1;
         self.call_stack.push(method);
         let wants_instr = self
@@ -288,7 +392,7 @@ impl<'p> Interp<'p> {
                 p.method_enter(method, clock);
             }
         }
-        let result = self.execute_body(method, args);
+        let result = self.execute_frame(method, &mut locals, &mut stack);
         if wants_instr {
             let clock = self.clock_us;
             if let Some(p) = self.profiler.as_mut() {
@@ -296,29 +400,73 @@ impl<'p> Interp<'p> {
             }
         }
         self.call_stack.pop();
+        if self.frame_pool.len() < 128 {
+            locals.clear();
+            stack.clear();
+            self.frame_pool.push((locals, stack));
+        }
         result
     }
 
-    fn execute_body(&mut self, method: MethodId, args: Vec<Value>) -> Result<Value, ExecError> {
+    fn execute_frame(
+        &mut self,
+        method: MethodId,
+        locals: &mut Vec<Value>,
+        stack: &mut Vec<Value>,
+    ) -> Result<Value, ExecError> {
         let m = self.program.method(method);
-        let mut locals: Vec<Value> = vec![Value::Null; (m.locals as usize).max(args.len()) + 4];
-        for (i, a) in args.into_iter().enumerate() {
-            locals[i] = a;
-        }
-        let mut stack: Vec<Value> = Vec::with_capacity(8);
         let body = &m.body;
         let mut pc = 0usize;
+        // Hoisted out of the loop: the per-instruction virtual-time increment (node
+        // speed and instruction cost never change mid-frame) and the sampling flag.
+        let unit_cost = self.instr_cost_us / self.speed;
+        let sampling = self.sample_interval > 0;
+        // The virtual clock and instruction count are accumulated in locals (registers)
+        // and flushed back to `self` at every exit and around every call that can
+        // observe them (nested invokes, remote accesses, the profiler).
+        let mut clock = self.clock_us;
+        let mut executed: u64 = 0;
 
+        // Flushes the accumulators back into `self` and returns the given error.
+        macro_rules! fail {
+            ($e:expr) => {{
+                self.clock_us = clock;
+                self.counters.instructions += executed;
+                return Err($e);
+            }};
+        }
+        // Runs a `self`-method that may advance the clock (nested calls, remote
+        // accesses): flush accumulators, call, re-load the clock.
+        macro_rules! call {
+            ($e:expr) => {{
+                self.clock_us = clock;
+                self.counters.instructions += executed;
+                executed = 0;
+                let r = $e;
+                clock = self.clock_us;
+                match r {
+                    Ok(v) => v,
+                    Err(e) => return Err(e),
+                }
+            }};
+        }
         macro_rules! pop {
             () => {
-                stack.pop().ok_or_else(|| {
-                    ExecError::Unsupported(format!("operand stack underflow at pc {pc}"))
-                })?
+                match stack.pop() {
+                    Some(v) => v,
+                    None => fail!(ExecError::Unsupported(format!(
+                        "operand stack underflow at pc {pc}"
+                    ))),
+                }
             };
         }
 
         while pc < body.len() {
-            self.charge(1);
+            executed += 1;
+            clock += unit_cost;
+            if sampling {
+                self.tick_sample();
+            }
             match &body[pc] {
                 Insn::Const(c) => stack.push(match c {
                     Const::Int(v) => Value::Int(*v),
@@ -341,36 +489,73 @@ impl<'p> Interp<'p> {
                     }
                     locals[idx] = pop!();
                 }
-                Insn::Dup => {
-                    let v = stack
-                        .last()
-                        .cloned()
-                        .ok_or_else(|| ExecError::Unsupported("dup on empty stack".into()))?;
-                    stack.push(v);
-                }
+                Insn::Dup => match stack.last().cloned() {
+                    Some(v) => stack.push(v),
+                    None => fail!(ExecError::Unsupported("dup on empty stack".into())),
+                },
                 Insn::Pop => {
                     pop!();
                 }
                 Insn::Swap => {
                     let len = stack.len();
                     if len < 2 {
-                        return Err(ExecError::Unsupported("swap on short stack".into()));
+                        fail!(ExecError::Unsupported("swap on short stack".into()));
                     }
                     stack.swap(len - 1, len - 2);
                 }
                 Insn::Bin(op) => {
                     let rhs = pop!();
                     let lhs = pop!();
-                    stack.push(self.binop(*op, lhs, rhs)?);
+                    // Fast path: integer arithmetic stays inside the loop (no call).
+                    if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                        let (a, b) = (*a, *b);
+                        let r = match op {
+                            BinOp::Add => a.wrapping_add(b),
+                            BinOp::Sub => a.wrapping_sub(b),
+                            BinOp::Mul => a.wrapping_mul(b),
+                            BinOp::Div => {
+                                if b == 0 {
+                                    fail!(ExecError::DivisionByZero);
+                                }
+                                a.wrapping_div(b)
+                            }
+                            BinOp::Rem => {
+                                if b == 0 {
+                                    fail!(ExecError::DivisionByZero);
+                                }
+                                a.wrapping_rem(b)
+                            }
+                            BinOp::And => a & b,
+                            BinOp::Or => a | b,
+                            BinOp::Xor => a ^ b,
+                            BinOp::Shl => a.wrapping_shl(b as u32),
+                            BinOp::Shr => a.wrapping_shr(b as u32),
+                        };
+                        stack.push(Value::Int(r));
+                    } else {
+                        match self.binop(*op, lhs, rhs) {
+                            Ok(v) => stack.push(v),
+                            Err(e) => fail!(e),
+                        }
+                    }
                 }
                 Insn::Un(op) => {
                     let v = pop!();
-                    stack.push(self.unop(*op, v)?);
+                    match self.unop(*op, v) {
+                        Ok(v) => stack.push(v),
+                        Err(e) => fail!(e),
+                    }
                 }
                 Insn::IfCmp(op, target) => {
                     let rhs = pop!();
                     let lhs = pop!();
-                    if compare(*op, &lhs, &rhs) {
+                    // Fast path: integer comparison without the generic coercions.
+                    let taken = if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                        op.eval_ord(a.cmp(b))
+                    } else {
+                        compare(*op, &lhs, &rhs)
+                    };
+                    if taken {
                         pc = *target;
                         continue;
                     }
@@ -399,11 +584,12 @@ impl<'p> Interp<'p> {
                     stack.push(Value::Ref(r));
                 }
                 Insn::NewArray(elem) => {
-                    let len = pop!()
-                        .as_int()
-                        .ok_or_else(|| ExecError::Unsupported("array length not an int".into()))?;
+                    let len = match pop!().as_int() {
+                        Some(v) => v,
+                        None => fail!(ExecError::Unsupported("array length not an int".into())),
+                    };
                     if len < 0 {
-                        return Err(ExecError::IndexOutOfBounds { index: len, len: 0 });
+                        fail!(ExecError::IndexOutOfBounds { index: len, len: 0 });
                     }
                     // Java-style zero initialisation according to the element type.
                     let default = match elem {
@@ -420,59 +606,135 @@ impl<'p> Interp<'p> {
                 Insn::ArrayLoad => {
                     let idx = pop!();
                     let arr = pop!();
-                    stack.push(self.array_load(arr, idx)?);
+                    // Fast path: local array, integer index.
+                    if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
+                        if let HeapObject::Array { data } = &self.heap[*h as usize] {
+                            match data.get(*i as usize) {
+                                Some(v) => {
+                                    stack.push(v.clone());
+                                    pc += 1;
+                                    continue;
+                                }
+                                None => fail!(ExecError::IndexOutOfBounds {
+                                    index: *i,
+                                    len: data.len(),
+                                }),
+                            }
+                        }
+                    }
+                    let v = call!(self.array_load(arr, idx));
+                    stack.push(v);
                 }
                 Insn::ArrayStore => {
                     let val = pop!();
                     let idx = pop!();
                     let arr = pop!();
-                    self.array_store(arr, idx, val)?;
+                    // Fast path: local array, integer index.
+                    if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
+                        if let HeapObject::Array { data } = &mut self.heap[*h as usize] {
+                            let len = data.len();
+                            match data.get_mut(*i as usize) {
+                                Some(cell) => {
+                                    *cell = val;
+                                    pc += 1;
+                                    continue;
+                                }
+                                None => fail!(ExecError::IndexOutOfBounds { index: *i, len }),
+                            }
+                        }
+                    }
+                    call!(self.array_store(arr, idx, val));
                 }
                 Insn::ArrayLength => {
                     let arr = pop!();
-                    stack.push(self.array_length(arr)?);
+                    let v = call!(self.array_length(arr));
+                    stack.push(v);
                 }
                 Insn::GetField(fr) => {
                     let obj = pop!();
-                    let name = self.program.field(*fr).name.clone();
-                    stack.push(self.get_field(obj, &name)?);
+                    // Fast path: local non-proxy object — one slot index, no call.
+                    if let Value::Ref(ObjRef::Local(h)) = obj {
+                        if let HeapObject::Object { class, fields } = &self.heap[h as usize] {
+                            if Some(*class) != self.dep_class {
+                                stack.push(
+                                    self.layout
+                                        .field_slot(*fr)
+                                        .and_then(|slot| fields.get(slot as usize))
+                                        .cloned()
+                                        .unwrap_or(Value::Null),
+                                );
+                                pc += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let v = call!(self.get_field(obj, *fr));
+                    stack.push(v);
                 }
                 Insn::PutField(fr) => {
                     let val = pop!();
                     let obj = pop!();
-                    let name = self.program.field(*fr).name.clone();
-                    self.put_field(obj, &name, val)?;
+                    // Fast path: local non-proxy object.
+                    if let Value::Ref(ObjRef::Local(h)) = obj {
+                        if let HeapObject::Object { class, fields } = &mut self.heap[h as usize] {
+                            if Some(*class) != self.dep_class {
+                                if let Some(cell) = self
+                                    .layout
+                                    .field_slot(*fr)
+                                    .and_then(|slot| fields.get_mut(slot as usize))
+                                {
+                                    *cell = val;
+                                }
+                                pc += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    call!(self.put_field(obj, *fr, val));
                 }
                 Insn::GetStatic(fr) => {
-                    let key = static_key(self.program, *fr);
-                    stack.push(self.static_field(&key));
+                    stack.push(match self.layout.static_slot(*fr) {
+                        Some(slot) => self.statics[slot as usize].clone(),
+                        None => Value::Null,
+                    });
                 }
                 Insn::PutStatic(fr) => {
                     let val = pop!();
-                    let key = static_key(self.program, *fr);
-                    self.set_static_field(&key, val);
+                    if let Some(slot) = self.layout.static_slot(*fr) {
+                        self.statics[slot as usize] = val;
+                    }
                 }
                 Insn::Invoke(kind, target) => {
                     let callee = self.program.method(*target);
                     let nargs =
                         callee.params.len() + if *kind == InvokeKind::Static { 0 } else { 1 };
                     if stack.len() < nargs {
-                        return Err(ExecError::Unsupported(format!(
+                        fail!(ExecError::Unsupported(format!(
                             "invoke underflow at pc {pc}"
                         )));
                     }
-                    let args: Vec<Value> = stack.split_off(stack.len() - nargs);
                     let has_ret = callee.ret != Type::Void;
-                    let result = self.dispatch(*kind, *target, args)?;
+                    let result = call!(self.dispatch_on_stack(*kind, *target, stack, nargs));
                     if has_ret {
                         stack.push(result);
                     }
                 }
-                Insn::Return => return Ok(Value::Null),
-                Insn::ReturnValue => return Ok(pop!()),
+                Insn::Return => {
+                    self.clock_us = clock;
+                    self.counters.instructions += executed;
+                    return Ok(Value::Null);
+                }
+                Insn::ReturnValue => {
+                    let v = pop!();
+                    self.clock_us = clock;
+                    self.counters.instructions += executed;
+                    return Ok(v);
+                }
             }
             pc += 1;
         }
+        self.clock_us = clock;
+        self.counters.instructions += executed;
         Ok(Value::Null)
     }
 
@@ -623,12 +885,94 @@ impl<'p> Interp<'p> {
 
     // --- fields -------------------------------------------------------------------
 
-    fn get_field(&mut self, obj: Value, name: &str) -> Result<Value, ExecError> {
+    /// Reads an instance field through its pre-resolved slot: one array index, no
+    /// string and no map probe. Remote references (and proxies reached by accesses the
+    /// type-based rewriter missed) fall through to the wire path, which is the only
+    /// place the field *name* is materialised.
+    fn get_field(&mut self, obj: Value, fr: FieldRef) -> Result<Value, ExecError> {
         match obj {
             Value::Ref(ObjRef::Local(h)) => match &self.heap[h as usize] {
-                HeapObject::Object { fields, .. } => {
-                    Ok(fields.get(name).cloned().unwrap_or(Value::Null))
+                HeapObject::Object { class, fields } => {
+                    if Some(*class) == self.dep_class && Some(fr.class) != self.dep_class {
+                        // The object is a proxy: forward transparently to its home.
+                        let target = self.proxy_target(h)?;
+                        let program = self.program;
+                        let name: &'p str = &program.field(fr).name;
+                        return self.remote_access(target, AccessKind::GetField, name, vec![]);
+                    }
+                    Ok(self
+                        .layout
+                        .field_slot(fr)
+                        .and_then(|slot| fields.get(slot as usize))
+                        .cloned()
+                        .unwrap_or(Value::Null))
                 }
+                _ => Err(ExecError::Unsupported("field read on array".into())),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                let program = self.program;
+                let name: &'p str = &program.field(fr).name;
+                self.remote_access(r, AccessKind::GetField, name, vec![])
+            }
+            Value::Null => Err(ExecError::NullPointer(format!(
+                "read of field {}",
+                self.program.field(fr).name
+            ))),
+            _ => Err(ExecError::Unsupported("field read on non-reference".into())),
+        }
+    }
+
+    /// Writes an instance field through its pre-resolved slot (see [`Self::get_field`]).
+    fn put_field(&mut self, obj: Value, fr: FieldRef, val: Value) -> Result<(), ExecError> {
+        match obj {
+            Value::Ref(ObjRef::Local(h)) => match &mut self.heap[h as usize] {
+                HeapObject::Object { class, fields } => {
+                    if Some(*class) == self.dep_class && Some(fr.class) != self.dep_class {
+                        let target = self.proxy_target(h)?;
+                        let program = self.program;
+                        let name: &'p str = &program.field(fr).name;
+                        self.remote_access(target, AccessKind::PutField, name, vec![val])?;
+                        return Ok(());
+                    }
+                    if let Some(cell) = self
+                        .layout
+                        .field_slot(fr)
+                        .and_then(|slot| fields.get_mut(slot as usize))
+                    {
+                        *cell = val;
+                    }
+                    Ok(())
+                }
+                _ => Err(ExecError::Unsupported("field write on array".into())),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                let program = self.program;
+                let name: &'p str = &program.field(fr).name;
+                self.remote_access(r, AccessKind::PutField, name, vec![val])?;
+                Ok(())
+            }
+            Value::Null => Err(ExecError::NullPointer(format!(
+                "write of field {}",
+                self.program.field(fr).name
+            ))),
+            _ => Err(ExecError::Unsupported(
+                "field write on non-reference".into(),
+            )),
+        }
+    }
+
+    /// Name-keyed field read, used only at the wire boundary (incoming `DEPENDENCE`
+    /// messages carry member names). Resolves the name against the runtime class's
+    /// layout; unknown names read as null, mirroring the pre-slot map semantics.
+    fn get_field_by_name(&mut self, obj: Value, name: &str) -> Result<Value, ExecError> {
+        match obj {
+            Value::Ref(ObjRef::Local(h)) => match &self.heap[h as usize] {
+                HeapObject::Object { class, fields } => Ok(self
+                    .layout
+                    .slot_of_name(*class, name)
+                    .and_then(|slot| fields.get(slot as usize))
+                    .cloned()
+                    .unwrap_or(Value::Null)),
                 _ => Err(ExecError::Unsupported("field read on array".into())),
             },
             Value::Ref(r @ ObjRef::Remote { .. }) => {
@@ -639,11 +983,19 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn put_field(&mut self, obj: Value, name: &str, val: Value) -> Result<(), ExecError> {
+    /// Name-keyed field write for the wire boundary; writes to unknown names are
+    /// dropped (the declared layout is the schema).
+    fn put_field_by_name(&mut self, obj: Value, name: &str, val: Value) -> Result<(), ExecError> {
         match obj {
             Value::Ref(ObjRef::Local(h)) => match &mut self.heap[h as usize] {
-                HeapObject::Object { fields, .. } => {
-                    fields.insert(name.to_string(), val);
+                HeapObject::Object { class, fields } => {
+                    if let Some(cell) = self
+                        .layout
+                        .slot_of_name(*class, name)
+                        .and_then(|slot| fields.get_mut(slot as usize))
+                    {
+                        *cell = val;
+                    }
                     Ok(())
                 }
                 _ => Err(ExecError::Unsupported("field write on array".into())),
@@ -659,45 +1011,44 @@ impl<'p> Interp<'p> {
         }
     }
 
-    // Statics are replicated per node and stored in a hidden heap object per class.
-    fn static_field(&mut self, key: &str) -> Value {
-        for obj in &self.heap {
-            if let HeapObject::Object { class: _, fields } = obj {
-                if let Some(v) = fields.get(key) {
-                    return v.clone();
-                }
-            }
-        }
-        Value::Null
-    }
-
-    fn set_static_field(&mut self, key: &str, val: Value) {
-        // Store statics in heap slot 0 by convention (created lazily).
-        if self.heap.is_empty() {
-            self.heap.push(HeapObject::Object {
-                class: ClassId(u32::MAX),
-                fields: BTreeMap::new(),
-            });
-        }
-        // Slot 0 might be a user object if allocation happened first; scan for an
-        // existing holder, else use a dedicated appended object.
-        for obj in self.heap.iter_mut() {
-            if let HeapObject::Object { class, fields } = obj {
-                if *class == ClassId(u32::MAX) {
-                    fields.insert(key.to_string(), val);
-                    return;
-                }
-            }
-        }
-        let mut fields = BTreeMap::new();
-        fields.insert(key.to_string(), val);
-        self.heap.push(HeapObject::Object {
-            class: ClassId(u32::MAX),
-            fields,
-        });
-    }
-
     // --- dispatch -----------------------------------------------------------------
+
+    /// Dispatches an invocation whose arguments still sit on the caller's operand
+    /// stack. Static calls and virtual/special calls on ordinary local receivers (the
+    /// hot paths) move the arguments straight into the callee frame; everything else
+    /// (proxies, remote receivers, the DependentObject protocol, faults) materialises
+    /// an argument vector and goes through [`Self::dispatch`].
+    fn dispatch_on_stack(
+        &mut self,
+        kind: InvokeKind,
+        target: MethodId,
+        stack: &mut Vec<Value>,
+        nargs: usize,
+    ) -> Result<Value, ExecError> {
+        if kind == InvokeKind::Static {
+            return self.invoke_from_stack(target, stack, nargs);
+        }
+        let base = stack.len() - nargs;
+        if let Value::Ref(ObjRef::Local(h)) = &stack[base] {
+            let h = *h;
+            let callee_class = self.program.method(target).class;
+            if Some(callee_class) != self.dep_class {
+                if let Some(c) = self.heap[h as usize].class() {
+                    if Some(c) != self.dep_class {
+                        let resolved = match kind {
+                            InvokeKind::Special => target,
+                            _ => self.layout.resolve_virtual(c, target).ok_or_else(|| {
+                                ExecError::UnknownMethod(self.program.method(target).name.clone())
+                            })?,
+                        };
+                        return self.invoke_from_stack(resolved, stack, nargs);
+                    }
+                }
+            }
+        }
+        let args = stack.split_off(base);
+        self.dispatch(kind, target, args)
+    }
 
     fn dispatch(
         &mut self,
@@ -705,13 +1056,11 @@ impl<'p> Interp<'p> {
         target: MethodId,
         mut args: Vec<Value>,
     ) -> Result<Value, ExecError> {
-        let callee = self.program.method(target);
-        let callee_class = callee.class;
-        let callee_name = callee.name.clone();
-
         if kind == InvokeKind::Static {
             return self.invoke(target, args);
         }
+        let program = self.program;
+        let callee_class = program.method(target).class;
 
         // Instance call: args[0] is the receiver.
         let receiver = args
@@ -721,11 +1070,14 @@ impl<'p> Interp<'p> {
 
         // Interception of the DependentObject proxy protocol.
         if Some(callee_class) == self.dep_class {
-            return self.dependent_object_call(&callee_name, receiver, args);
+            return self.dependent_object_call(target, receiver, args);
         }
 
         match receiver {
-            Value::Null => Err(ExecError::NullPointer(format!("call to {callee_name}"))),
+            Value::Null => Err(ExecError::NullPointer(format!(
+                "call to {}",
+                program.method(target).name
+            ))),
             Value::Ref(ObjRef::Local(h)) => {
                 let runtime_class = self.heap[h as usize].class();
                 match runtime_class {
@@ -734,20 +1086,22 @@ impl<'p> Interp<'p> {
                         // forward transparently to its home node.
                         let remote = self.proxy_target(h)?;
                         args.remove(0);
-                        let k = if self.program.method(target).ret == Type::Void {
+                        let callee = program.method(target);
+                        let k = if callee.ret == Type::Void {
                             AccessKind::InvokeVoid
                         } else {
                             AccessKind::InvokeRet
                         };
-                        self.remote_access(remote, k, &callee_name, args)
+                        self.remote_access(remote, k, &callee.name, args)
                     }
                     Some(c) => {
+                        // Dynamic dispatch through the selector-indexed vtable: no
+                        // name compare, no superclass walk.
                         let resolved = match kind {
                             InvokeKind::Special => target,
-                            _ => self
-                                .program
-                                .resolve_method(c, &callee_name)
-                                .ok_or_else(|| ExecError::UnknownMethod(callee_name.clone()))?,
+                            _ => self.layout.resolve_virtual(c, target).ok_or_else(|| {
+                                ExecError::UnknownMethod(program.method(target).name.clone())
+                            })?,
                         };
                         self.invoke(resolved, args)
                     }
@@ -760,12 +1114,13 @@ impl<'p> Interp<'p> {
                 // Transparent forwarding: type-based rewriting missed this receiver, but
                 // the object actually lives remotely.
                 args.remove(0);
-                let k = if self.program.method(target).ret == Type::Void {
+                let callee = program.method(target);
+                let k = if callee.ret == Type::Void {
                     AccessKind::InvokeVoid
                 } else {
                     AccessKind::InvokeRet
                 };
-                self.remote_access(r, k, &callee_name, args)
+                self.remote_access(r, k, &callee.name, args)
             }
             other => Err(ExecError::Unsupported(format!(
                 "method call on non-reference {other:?}"
@@ -776,11 +1131,11 @@ impl<'p> Interp<'p> {
     /// Handles `DependentObject.<init>` and `DependentObject.access`.
     fn dependent_object_call(
         &mut self,
-        name: &str,
+        target: MethodId,
         receiver: Value,
         args: Vec<Value>,
     ) -> Result<Value, ExecError> {
-        match name {
+        match self.program.method(target).name.as_str() {
             "<init>" => {
                 // args = [proxy, location, className, argsArray]
                 let proxy = receiver;
@@ -798,13 +1153,15 @@ impl<'p> Interp<'p> {
                 let ctor_args = self.unpack_args_array(args.get(3).cloned())?;
                 let remote = self.remote_new(location, &class_name, ctor_args)?;
                 // Record the remote identity in the proxy so later accesses route there.
-                if let Value::Ref(ObjRef::Local(h)) = proxy {
+                if let (Value::Ref(ObjRef::Local(h)), Some((hs, rs, cs))) =
+                    (proxy, self.proxy_slots)
+                {
                     if let (ObjRef::Remote { node, id }, HeapObject::Object { fields, .. }) =
                         (remote, &mut self.heap[h as usize])
                     {
-                        fields.insert("home".to_string(), Value::Int(node as i64));
-                        fields.insert("remoteId".to_string(), Value::Int(id as i64));
-                        fields.insert("className".to_string(), Value::str(&class_name));
+                        fields[hs] = Value::Int(node as i64);
+                        fields[rs] = Value::Int(id as i64);
+                        fields[cs] = Value::str(&class_name);
                     }
                 }
                 Ok(Value::Null)
@@ -842,10 +1199,13 @@ impl<'p> Interp<'p> {
 
     /// Extracts the remote identity recorded in a proxy object.
     fn proxy_target(&self, heap_idx: u32) -> Result<ObjRef, ExecError> {
+        let (hs, rs, _) = self
+            .proxy_slots
+            .ok_or_else(|| ExecError::Unsupported("no DependentObject class loaded".into()))?;
         match &self.heap[heap_idx as usize] {
             HeapObject::Object { fields, .. } => {
-                let node = fields.get("home").and_then(|v| v.as_int());
-                let id = fields.get("remoteId").and_then(|v| v.as_int());
+                let node = fields.get(hs).and_then(|v| v.as_int());
+                let id = fields.get(rs).and_then(|v| v.as_int());
                 match (node, id) {
                     (Some(n), Some(i)) => Ok(ObjRef::Remote {
                         node: n as usize,
@@ -971,12 +1331,9 @@ impl<'p> Interp<'p> {
             return Ok(r);
         }
         let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let req = Request::New {
-            class_name: class_name.to_string(),
-            args: wire_args,
-        };
+        let data = crate::wire::encode_new(class_name, &wire_args);
         self.counters.remote_requests += 1;
-        let resp = self.round_trip(home, req)?;
+        let resp = self.round_trip(home, data)?;
         match self.unmarshal(resp) {
             Value::Ref(r) => Ok(r),
             other => Err(ExecError::RemoteFailure(format!(
@@ -1005,53 +1362,120 @@ impl<'p> Interp<'p> {
             return Err(ExecError::NotDistributed);
         }
         let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let req = Request::Dependence {
-            target: id,
-            kind,
-            member: member.to_string(),
-            args: wire_args,
-        };
+        let data = crate::wire::encode_dependence(id, kind, member, &wire_args);
         self.counters.remote_requests += 1;
-        let resp = self.round_trip(node, req)?;
+        let resp = self.round_trip(node, data)?;
         Ok(self.unmarshal(resp))
     }
 
     /// Sends a request and waits for its response, serving any nested requests that
     /// arrive in the meantime (the re-entrant Message Exchange behaviour).
-    fn round_trip(&mut self, to: usize, req: Request) -> Result<WireValue, ExecError> {
-        let data = req.encode();
+    ///
+    /// Under cooperative scheduling (a [`ClusterPump`] is attached) the wait does not
+    /// block an OS thread: the callee node's message loop is run inline on the current
+    /// thread until it has answered. Under thread-per-node execution the wait blocks
+    /// on this node's own mailbox, exactly as before.
+    fn round_trip(&mut self, to: usize, data: bytes::Bytes) -> Result<WireValue, ExecError> {
         {
             let clock = self.clock_us;
             let dist = self.dist.as_mut().unwrap();
             self.clock_us = dist.endpoint.send(to, PacketKind::Request, data, clock);
         }
         loop {
-            let pkt = self.dist.as_mut().unwrap().endpoint.recv();
-            self.clock_us = self.clock_us.max(pkt.arrival_time_us);
-            match pkt.kind {
-                PacketKind::Response => {
-                    return match Response::decode(pkt.data) {
-                        Response::Value(v) => Ok(v),
-                        Response::Error(e) => Err(ExecError::RemoteFailure(e)),
+            // Absorb whatever is already queued for us (the response, or nested
+            // requests that must be served before the response can be produced).
+            while let Some(pkt) = self.dist.as_mut().unwrap().endpoint.try_recv() {
+                if let Some(v) = self.absorb(pkt)? {
+                    return Ok(v);
+                }
+            }
+            let pump = self.dist.as_ref().unwrap().pump.clone();
+            match pump {
+                Some(p) => {
+                    // Cooperative mode: run the callee inline. The scheduler is only
+                    // selected for placements whose inter-node dependence digraph is
+                    // acyclic, so the callee is never an ancestor of this call chain.
+                    if !p.pump(to) {
+                        return Err(ExecError::RemoteFailure(format!(
+                            "cooperative scheduler: node {to} is not runnable \
+                             (re-entrant placement executed inline?)"
+                        )));
+                    }
+                    if let Some(pkt) = self.dist.as_mut().unwrap().endpoint.try_recv() {
+                        if let Some(v) = self.absorb(pkt)? {
+                            return Ok(v);
+                        }
+                    } else {
+                        return Err(ExecError::RemoteFailure(format!(
+                            "node {to} went idle without answering"
+                        )));
                     }
                 }
-                PacketKind::Request => {
-                    let req = Request::decode(pkt.data);
-                    if matches!(req, Request::Shutdown) {
-                        if let Some(d) = self.dist.as_mut() {
-                            d.shutdown = true;
-                        }
-                        continue;
+                None => {
+                    let pkt = self.dist.as_mut().unwrap().endpoint.recv();
+                    if let Some(v) = self.absorb(pkt)? {
+                        return Ok(v);
                     }
-                    let resp = self.handle_request(req);
-                    let clock = self.clock_us;
-                    let dist = self.dist.as_mut().unwrap();
-                    self.clock_us =
-                        dist.endpoint
-                            .send(pkt.from, PacketKind::Response, resp.encode(), clock);
                 }
             }
         }
+    }
+
+    /// Absorbs one packet while waiting inside a round trip: returns the decoded
+    /// response when it arrives, serves nested requests, and notes shutdowns.
+    fn absorb(&mut self, pkt: Packet) -> Result<Option<WireValue>, ExecError> {
+        self.clock_us = self.clock_us.max(pkt.arrival_time_us);
+        match pkt.kind {
+            PacketKind::Response => match Response::decode(pkt.data) {
+                Response::Value(v) => Ok(Some(v)),
+                Response::Error(e) => Err(ExecError::RemoteFailure(e)),
+            },
+            PacketKind::Request => {
+                self.serve_request(pkt.from, pkt.data);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Serves one incoming request packet (shared by every wait/drain loop so the
+    /// cost accounting cannot diverge between schedulers): decodes it, notes
+    /// shutdowns, and sends the response back with the modelled cost. The caller has
+    /// already advanced the clock to the packet's arrival time.
+    fn serve_request(&mut self, from: usize, data: bytes::Bytes) {
+        let req = Request::decode(data);
+        if matches!(req, Request::Shutdown) {
+            if let Some(d) = self.dist.as_mut() {
+                d.shutdown = true;
+            }
+            return;
+        }
+        let resp = self.handle_request(req);
+        let clock = self.clock_us;
+        let dist = self.dist.as_mut().unwrap();
+        self.clock_us = dist
+            .endpoint
+            .send(from, PacketKind::Response, resp.encode(), clock);
+    }
+
+    /// Serves every packet currently queued on this node's endpoint without blocking
+    /// (the cooperative scheduler's unit of work). Returns `true` once a shutdown
+    /// request has been observed.
+    pub fn drain_mailbox(&mut self) -> bool {
+        loop {
+            let pkt = match self.dist.as_mut() {
+                Some(d) => d.endpoint.try_recv(),
+                None => return true,
+            };
+            let Some(pkt) = pkt else { break };
+            self.clock_us = self.clock_us.max(pkt.arrival_time_us);
+            match pkt.kind {
+                PacketKind::Request => self.serve_request(pkt.from, pkt.data),
+                PacketKind::Response => {
+                    // Stray response (should not happen): ignore.
+                }
+            }
+        }
+        self.dist.as_ref().map(|d| d.shutdown).unwrap_or(true)
     }
 
     /// Handles one incoming request (the body of the Message Exchange service).
@@ -1098,10 +1522,10 @@ impl<'p> Interp<'p> {
                 let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
                 let receiver = Value::Ref(ObjRef::Local(heap_idx));
                 match kind {
-                    AccessKind::GetField => self.get_field(receiver, &member),
+                    AccessKind::GetField => self.get_field_by_name(receiver, &member),
                     AccessKind::PutField => {
                         let v = args.into_iter().next().unwrap_or(Value::Null);
-                        self.put_field(receiver, &member, v)?;
+                        self.put_field_by_name(receiver, &member, v)?;
                         Ok(Value::Null)
                     }
                     AccessKind::GetElement => {
@@ -1137,17 +1561,12 @@ impl<'p> Interp<'p> {
     /// Used by tests and by the cluster driver to compare centralized and distributed
     /// final states.
     pub fn statics_snapshot(&self) -> BTreeMap<String, Value> {
-        let mut out = BTreeMap::new();
-        for obj in &self.heap {
-            if let HeapObject::Object { class, fields } = obj {
-                if *class == ClassId(u32::MAX) {
-                    for (k, v) in fields {
-                        out.insert(k.clone(), v.clone());
-                    }
-                }
-            }
-        }
-        out
+        self.layout
+            .static_names
+            .iter()
+            .cloned()
+            .zip(self.statics.iter().cloned())
+            .collect()
     }
 
     /// Runs the Message Exchange serve loop until a `Shutdown` request arrives.
@@ -1169,19 +1588,10 @@ impl<'p> Interp<'p> {
             self.clock_us = self.clock_us.max(pkt.arrival_time_us);
             match pkt.kind {
                 PacketKind::Request => {
-                    let req = Request::decode(pkt.data);
-                    if matches!(req, Request::Shutdown) {
-                        if let Some(d) = self.dist.as_mut() {
-                            d.shutdown = true;
-                        }
+                    self.serve_request(pkt.from, pkt.data);
+                    if self.dist.as_ref().map(|d| d.shutdown).unwrap_or(true) {
                         return;
                     }
-                    let resp = self.handle_request(req);
-                    let clock = self.clock_us;
-                    let dist = self.dist.as_mut().unwrap();
-                    self.clock_us =
-                        dist.endpoint
-                            .send(pkt.from, PacketKind::Response, resp.encode(), clock);
                 }
                 PacketKind::Response => {
                     // Stray response (should not happen): ignore.
@@ -1191,13 +1601,14 @@ impl<'p> Interp<'p> {
     }
 }
 
-/// Key used to store a static field in the replicated statics area.
-fn static_key(program: &Program, fr: autodist_ir::program::FieldRef) -> String {
-    format!(
-        "{}::{}",
-        program.class(fr.class).name,
-        program.field(fr).name
-    )
+/// The Java-style default value for a declared type (0, 0.0, false, null).
+fn default_value(ty: &Type) -> Value {
+    match ty {
+        Type::Int => Value::Int(0),
+        Type::Float => Value::Float(0.0),
+        Type::Bool => Value::Bool(false),
+        _ => Value::Null,
+    }
 }
 
 /// Evaluates a comparison between two values.
@@ -1484,5 +1895,68 @@ mod tests {
         let p = compile_source(src).unwrap();
         let mut interp = Interp::new(&p);
         assert_eq!(interp.run_entry(), Err(ExecError::StackOverflow));
+    }
+
+    #[test]
+    fn field_slots_alias_shadowed_declarations() {
+        // A subclass redeclaring a superclass field aliases the same storage, exactly
+        // like the previous name-keyed heap did.
+        let src = r#"
+            class Base {
+                int v;
+                int baseGet() { return this.v; }
+            }
+            class Derived extends Base {
+                int v;
+                void set(int x) { this.v = x; }
+            }
+            class Main {
+                static int run() {
+                    Derived d = new Derived();
+                    d.set(41);
+                    return d.baseGet() + 1;
+                }
+                static void main() { int x = Main.run(); }
+            }
+        "#;
+        assert_eq!(run_static(src, "Main", "run"), Value::Int(42));
+    }
+
+    #[test]
+    fn statics_snapshot_uses_layout_names_and_defaults() {
+        let src = r#"
+            class Main {
+                static int touched;
+                static int untouched;
+                static void main() { touched = 7; }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        interp.run_entry().unwrap();
+        let snap = interp.statics_snapshot();
+        assert_eq!(snap.get("Main::touched"), Some(&Value::Int(7)));
+        assert_eq!(
+            snap.get("Main::untouched"),
+            Some(&Value::Int(0)),
+            "untouched statics read as their typed default"
+        );
+    }
+
+    #[test]
+    fn interned_layout_resolves_fields_without_names() {
+        let src = r#"
+            class A { int x; float y; }
+            class B extends A { boolean z; }
+            class Main { static void main() { B b = new B(); b.x = 1; } }
+        "#;
+        let p = compile_source(src).unwrap();
+        let interp = Interp::new(&p);
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let fx = p.resolve_field(b, "x").unwrap();
+        assert_eq!(interp.layout().field_slot(fx), Some(0));
+        assert_eq!(interp.layout().slot_count(a), 2);
+        assert_eq!(interp.layout().slot_count(b), 3);
     }
 }

@@ -194,6 +194,19 @@ impl MpiEndpoint {
         pkt
     }
 
+    /// Non-blocking receive, used by the cooperative cluster scheduler to drain a
+    /// node's mailbox without parking the worker thread.
+    pub fn try_recv(&mut self) -> Option<Packet> {
+        match self.receiver.try_recv() {
+            Ok(pkt) => {
+                self.messages_received += 1;
+                self.bytes_received += pkt.data.len() as u64;
+                Some(pkt)
+            }
+            Err(_) => None,
+        }
+    }
+
     /// Receive with a timeout, used by serve loops to notice shutdown.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Packet> {
         match self.receiver.recv_timeout(timeout) {

@@ -5,7 +5,6 @@
 //! plus the export id the home node handed out); remote references are what a
 //! `DependentObject` stands for at run time.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use autodist_ir::program::ClassId;
@@ -90,16 +89,18 @@ impl Value {
     }
 }
 
-/// A heap cell: an object with named fields, or an array.
+/// A heap cell: an object with slot-indexed fields, or an array.
 #[derive(Clone, Debug, PartialEq)]
 pub enum HeapObject {
-    /// An instance of `class` with its fields (keyed by field name; superclass fields
-    /// share the map).
+    /// An instance of `class`. Fields live in a flat vector indexed by the dense slot
+    /// assigned at program-load time by `autodist_ir::layout::ProgramLayout`;
+    /// superclass fields occupy the shared prefix, so a field reference resolves to
+    /// the same slot for every runtime subclass.
     Object {
         /// Runtime class of the instance.
         class: ClassId,
-        /// Field values.
-        fields: BTreeMap<String, Value>,
+        /// Field values, indexed by layout slot.
+        fields: Vec<Value>,
     },
     /// An array of values.
     Array {
@@ -157,11 +158,9 @@ mod tests {
 
     #[test]
     fn heap_object_sizes() {
-        let mut fields = BTreeMap::new();
-        fields.insert("x".to_string(), Value::Int(1));
         let o = HeapObject::Object {
             class: ClassId(0),
-            fields,
+            fields: vec![Value::Int(1)],
         };
         let a = HeapObject::Array {
             data: vec![Value::Int(0); 10],

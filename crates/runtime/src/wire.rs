@@ -179,31 +179,55 @@ fn get_values(buf: &mut Bytes) -> Vec<WireValue> {
     (0..n).map(|_| get_value(buf)).collect()
 }
 
+/// Encodes a `NEW` request without materialising a [`Request`] (the runtime's send
+/// path encodes straight from borrowed data; one buffer allocation, no string clone).
+pub fn encode_new(class_name: &str, args: &[WireValue]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + class_name.len() + values_size_hint(args));
+    buf.put_u8(0);
+    put_string(&mut buf, class_name);
+    put_values(&mut buf, args);
+    buf.freeze()
+}
+
+/// Encodes a `DEPENDENCE` request without materialising a [`Request`].
+pub fn encode_dependence(target: u64, kind: AccessKind, member: &str, args: &[WireValue]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + member.len() + values_size_hint(args));
+    buf.put_u8(1);
+    buf.put_u64(target);
+    buf.put_u8(kind.tag());
+    put_string(&mut buf, member);
+    put_values(&mut buf, args);
+    buf.freeze()
+}
+
+/// A close upper bound on the encoded size of a value list.
+fn values_size_hint(vs: &[WireValue]) -> usize {
+    4 + vs
+        .iter()
+        .map(|v| match v {
+            WireValue::Str(s) => 5 + s.len(),
+            _ => 13,
+        })
+        .sum::<usize>()
+}
+
 impl Request {
     /// Encodes the request into the streamed format.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
         match self {
-            Request::New { class_name, args } => {
-                buf.put_u8(0);
-                put_string(&mut buf, class_name);
-                put_values(&mut buf, args);
-            }
+            Request::New { class_name, args } => encode_new(class_name, args),
             Request::Dependence {
                 target,
                 kind,
                 member,
                 args,
-            } => {
-                buf.put_u8(1);
-                buf.put_u64(*target);
-                buf.put_u8(kind.tag());
-                put_string(&mut buf, member);
-                put_values(&mut buf, args);
+            } => encode_dependence(*target, *kind, member, args),
+            Request::Shutdown => {
+                let mut buf = BytesMut::with_capacity(1);
+                buf.put_u8(2);
+                buf.freeze()
             }
-            Request::Shutdown => buf.put_u8(2),
         }
-        buf.freeze()
     }
 
     /// Decodes a request from bytes.
@@ -228,7 +252,11 @@ impl Request {
 impl Response {
     /// Encodes the response.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(match self {
+            Response::Value(WireValue::Str(s)) => 6 + s.len(),
+            Response::Value(_) => 16,
+            Response::Error(e) => 6 + e.len(),
+        });
         match self {
             Response::Value(v) => {
                 buf.put_u8(0);

@@ -4,16 +4,16 @@
 //!
 //! Run with: `cargo run --example bank_distribution`
 
-use autodist::{viz, Distributor, DistributorConfig};
+use autodist::{viz, Distributor, DistributorConfig, PipelineError};
 use autodist_ir::printer::print_bytecode;
 use autodist_runtime::cluster::ClusterConfig;
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     let workload = autodist_workloads::bank(20);
     let program = &workload.program;
 
     let distributor = Distributor::new(DistributorConfig::default());
-    let plan = distributor.distribute(program);
+    let plan = distributor.try_distribute(program)?;
 
     println!("=== Figure 3: class relation graph (VCG) ===");
     println!("{}", viz::crg_to_vcg(program, &plan.analysis.crg));
@@ -32,10 +32,11 @@ fn main() {
     println!();
     println!("=== Figure 8/9 style: Main.main rewritten for node 0 ===");
     let node0 = &plan.node_programs[0];
-    println!(
-        "{}",
-        print_bytecode(&node0.program, node0.program.entry.unwrap())
-    );
+    let entry = node0
+        .program
+        .entry
+        .ok_or_else(|| PipelineError::Codegen("node 0 copy lost its entry point".to_string()))?;
+    println!("{}", print_bytecode(&node0.program, entry));
     println!(
         "rewrites: {} allocations, {} invocations, {} field accesses",
         node0.stats.rewritten_allocations,
@@ -43,8 +44,8 @@ fn main() {
         node0.stats.rewritten_field_accesses
     );
 
-    let baseline = distributor.run_baseline(program);
-    let report = plan.execute(&ClusterConfig::paper_testbed());
+    let baseline = distributor.try_run_baseline(program)?;
+    let report = plan.try_execute(&ClusterConfig::paper_testbed())?;
     println!();
     println!("centralized : {:>10.0} us", baseline.virtual_time_us);
     println!(
@@ -56,4 +57,5 @@ fn main() {
         "correct     : {}",
         report.final_statics.get("Main::checksum") == baseline.final_statics.get("Main::checksum")
     );
+    Ok(())
 }

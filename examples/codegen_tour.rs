@@ -3,14 +3,15 @@
 //!
 //! Run with: `cargo run --example codegen_tour`
 
+use autodist::PipelineError;
 use autodist_codegen::{ast, generate_method, Target};
 use autodist_ir::lower::lower_program;
 use autodist_ir::printer::print_quads;
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     let workload = autodist_workloads::crypt(64);
     let program = &workload.program;
-    let quad_methods = lower_program(program).expect("lowering succeeds");
+    let quad_methods = lower_program(program)?;
 
     for qm in &quad_methods {
         let m = program.method(qm.method);
@@ -41,4 +42,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

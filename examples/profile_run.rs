@@ -8,7 +8,9 @@ use autodist_profiler::{Metric, Profiler};
 use autodist_runtime::cluster::run_centralized_profiled;
 
 fn main() {
-    let workload = autodist_workloads::montecarlo(3000);
+    // Large enough that each run takes a few milliseconds: overhead percentages are
+    // meaningless when the whole run is sub-millisecond noise.
+    let workload = autodist_workloads::montecarlo(40000);
 
     for metric in Metric::all() {
         let (profiler, handle) = Profiler::new(Some(metric));
@@ -30,7 +32,22 @@ fn main() {
     }
 
     println!("==== overhead comparison (Table 3 methodology) ====");
-    let workloads = vec![(workload.name.clone(), workload.program.clone())];
-    let table = measure_overheads(&workloads, &Metric::all(), 2);
+    let workloads = vec![
+        (workload.name.clone(), workload.program.clone()),
+        (
+            "heapsort".to_string(),
+            autodist_workloads::heapsort(4000).program,
+        ),
+    ];
+    // measure_overheads repeats at least 5 rounds, interleaved, and reports medians.
+    let table = measure_overheads(&workloads, &Metric::all(), 5);
     print!("{}", table.render());
+    let base = table.baseline().total_ms;
+    for row in &table.rows {
+        assert!(
+            row.overhead_pct(base) > -5.0,
+            "overhead of {:?} is implausibly negative",
+            row.metric
+        );
+    }
 }

@@ -7,7 +7,7 @@ use autodist_bench::{measure_speedup, table1_row};
 #[test]
 fn table1_rows_are_internally_consistent() {
     for w in autodist_workloads::table1_workloads(1) {
-        let row: Table1Row = table1_row(&w, &DistributorConfig::default());
+        let row: Table1Row = table1_row(&w, &DistributorConfig::default()).expect("pipeline");
         assert!(row.classes >= 2, "{}", w.name);
         assert!(row.methods >= 2, "{}", w.name);
         assert!(row.kb >= 1, "{}", w.name);
@@ -21,14 +21,14 @@ fn figure11_compute_kernels_benefit_from_the_fast_node() {
     // The compute-bound kernels must show the paper's headline effect: offloading to
     // the 2.1x-faster service node beats the slow-node-only baseline.
     let config = DistributorConfig::default();
-    let crypt = measure_speedup(&autodist_workloads::crypt(3000), &config);
+    let crypt = measure_speedup(&autodist_workloads::crypt(3000), &config).expect("pipeline");
     assert!(crypt.checksum_matches);
     assert!(
         crypt.speedup_pct() > 110.0,
         "crypt speedup {:.1}%",
         crypt.speedup_pct()
     );
-    let heapsort = measure_speedup(&autodist_workloads::heapsort(2000), &config);
+    let heapsort = measure_speedup(&autodist_workloads::heapsort(2000), &config).expect("pipeline");
     assert!(heapsort.checksum_matches);
     assert!(
         heapsort.speedup_pct() > 110.0,
@@ -40,7 +40,7 @@ fn figure11_compute_kernels_benefit_from_the_fast_node() {
 #[test]
 fn figure11_chatty_programs_pay_communication_overhead() {
     let config = DistributorConfig::paper_defaults();
-    let row = measure_speedup(&autodist_workloads::bank(40), &config);
+    let row = measure_speedup(&autodist_workloads::bank(40), &config).expect("pipeline");
     assert!(row.checksum_matches);
     assert!(
         row.speedup_pct() < 100.0,

@@ -37,6 +37,35 @@ fn bank_example_distributes_correctly_with_naive_partitioning_too() {
     );
 }
 
+/// Regression test for the ROADMAP item "multilevel partitioner rarely cuts": with the
+/// default configuration the Bank example used to land entirely on node 0 (zero
+/// messages, no offloading). The partitioner's min-parallelism constraint must keep at
+/// least two nodes populated so the default pipeline really distributes.
+#[test]
+fn default_multilevel_distribution_of_bank_actually_communicates() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let w = autodist_workloads::bank(40);
+    let plan = distributor.distribute(&w.program);
+    let populated: usize = plan
+        .placement
+        .classes_per_node()
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    assert!(populated >= 2, "placement uses at least two nodes");
+    let baseline = distributor.run_baseline(&w.program);
+    let report = plan.execute(&ClusterConfig::paper_testbed());
+    assert!(report.is_ok(), "{:?}", report.error);
+    assert_eq!(
+        report.final_statics.get("Main::checksum"),
+        baseline.final_statics.get("Main::checksum")
+    );
+    assert!(
+        report.total_messages() > 0,
+        "the default method must produce real communication"
+    );
+}
+
 #[test]
 fn rewritten_programs_always_verify() {
     use autodist_ir::verify::verify_program;
