@@ -2,19 +2,22 @@
 //! bench_report`.
 //!
 //! Measures (a) every Table 1 workload, centralized and distributed, reporting the
-//! **median wall time** and the (deterministic) **virtual time**, and (b) five
+//! **median wall time** and the (deterministic) **virtual time**, and (b) six
 //! microbenchmark areas mirroring the criterion benches (analysis, partitioning,
-//! rewrite+codegen, runtime). The result serialises to a small hand-rolled JSON
-//! document (the build environment has no serde_json) whose schema is documented in
-//! the README's "Performance" section; committed snapshots (`BENCH_pr3.json`) are the
-//! baselines future perf PRs diff against.
+//! rewrite+codegen, runtime) plus a raw **op-dispatch** probe of the explicit-stack
+//! interpreter. The result serialises to a small hand-rolled JSON document (the
+//! build environment has no serde_json) whose schema is documented in the README's
+//! "Performance" section; committed snapshots (`BENCH_pr3.json`, `BENCH_pr4.json`)
+//! are the baselines future perf PRs diff against.
 
 use std::time::Instant;
 
 use autodist::{Distributor, DistributorConfig, PipelineResult};
 use autodist_codegen::rewrite::rewrite_for_node;
+use autodist_ir::frontend::compile_source;
 use autodist_partition::{partition, PartitionConfig};
 use autodist_runtime::cluster::ClusterConfig;
+use autodist_runtime::interp::Interp;
 use autodist_runtime::wire::{AccessKind, Request, WireValue};
 
 /// Measurements for one workload.
@@ -74,8 +77,36 @@ fn median_wall_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
     median(runs)
 }
 
+/// Pure op-dispatch probe: a tight integer loop whose body never leaves the decoded-op
+/// dispatch loop (no allocation, no calls, no strings), interpreted on a pre-built
+/// [`Interp`] so layout construction is excluded. Reports the median cost of 1000
+/// executed ops in microseconds — the direct measure of the explicit-stack loop the
+/// `Insn` → [`autodist_ir::layout::Op`] pre-decode feeds.
+fn measure_op_dispatch(repeats: usize) -> f64 {
+    let src = "class Main {
+        static int sink;
+        static void main() {
+            int acc = 7;
+            int i = 0;
+            while (i < 20000) {
+                acc = (acc * 3 + i) % 65537;
+                i = i + 1;
+            }
+            sink = acc;
+        }
+    }";
+    let program = compile_source(src).expect("dispatch probe compiles");
+    // Deterministic op count for the normalisation, from the centralized report.
+    let ops = autodist_runtime::cluster::run_centralized(&program, 1.0).per_node[0].instructions;
+    let entry = program.entry.expect("probe has an entry point");
+    let mut interp = Interp::new(&program);
+    let per_run_us =
+        median_wall_ms(repeats.max(3), || interp.invoke(entry, Vec::new()).unwrap()) * 1e3;
+    per_run_us * 1000.0 / ops as f64
+}
+
 /// Runs the full measurement: every Table 1 workload centralized vs distributed plus
-/// the five microbench areas.
+/// the six microbench areas.
 pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
     let distributor = Distributor::new(DistributorConfig::default());
     let mut workloads = Vec::new();
@@ -122,6 +153,10 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         MicroReport {
             name: "runtime_interp_crypt".to_string(),
             median_us: median_wall_ms(repeats, || distributor.run_baseline(&crypt.program)) * 1e3,
+        },
+        MicroReport {
+            name: "op_dispatch_1k_ops".to_string(),
+            median_us: measure_op_dispatch(repeats),
         },
         MicroReport {
             name: "runtime_wire_roundtrip".to_string(),

@@ -79,8 +79,8 @@ pub enum PipelineError {
     Codegen(String),
     /// The interpreter faulted (centralized or on some node).
     Exec(ExecError),
-    /// A distributed run failed; the message is the launch node's report error.
-    Runtime(String),
+    /// A distributed run failed: the launch node's report carried this typed fault.
+    Runtime(ExecError),
     /// The pipeline configuration is invalid (e.g. zero nodes).
     Config(String),
 }
@@ -127,7 +127,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Partition(m) => write!(f, "{m}"),
             PipelineError::Codegen(m) => write!(f, "{m}"),
             PipelineError::Exec(e) => write!(f, "{e}"),
-            PipelineError::Runtime(m) => write!(f, "{m}"),
+            PipelineError::Runtime(e) => write!(f, "{e}"),
             PipelineError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
@@ -138,7 +138,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Parse(e) => Some(e),
             PipelineError::Lower(e) => Some(e),
-            PipelineError::Exec(e) => Some(e),
+            PipelineError::Exec(e) | PipelineError::Runtime(e) => Some(e),
             PipelineError::Verify { errors, .. } => errors
                 .first()
                 .map(|e| e as &(dyn std::error::Error + 'static)),
@@ -181,9 +181,9 @@ mod tests {
         assert_eq!(e.phase(), Phase::Config);
         assert!(e.to_string().contains("invalid configuration"));
 
-        let e = PipelineError::Runtime("node 1 died".into());
+        let e = PipelineError::Runtime(ExecError::RemoteFailure("node 1 died".into()));
         assert_eq!(e.phase(), Phase::Runtime);
-        assert_eq!(e.to_string(), "[runtime] node 1 died");
+        assert_eq!(e.to_string(), "[runtime] remote failure: node 1 died");
     }
 
     #[test]
@@ -221,10 +221,13 @@ mod tests {
             wall_time_ms: 1.0,
             per_node: vec![],
             final_statics: Default::default(),
-            error: Some("remote failure: unknown method f".into()),
+            error: Some(ExecError::UnknownMethod("f".into())),
         };
         match PipelineError::check_report(bad) {
-            Err(PipelineError::Runtime(m)) => assert!(m.contains("unknown method")),
+            Err(PipelineError::Runtime(e)) => {
+                assert_eq!(e, ExecError::UnknownMethod("f".into()));
+                assert!(e.to_string().contains("unknown method"));
+            }
             other => panic!("expected runtime error, got {other:?}"),
         }
     }

@@ -127,29 +127,27 @@ impl DistributionPlan {
 
     /// Executes the plan on the simulated cluster.
     ///
-    /// When the caller leaves the schedule on [`Schedule::Auto`], the plan picks the
-    /// cooperative single-threaded scheduler whenever the placement's inter-node
-    /// dependence digraph is acyclic (checked conservatively from the class relation
-    /// graph), and falls back to thread-per-node execution for re-entrant placements.
+    /// [`Schedule::Auto`] resolves to the cooperative single-threaded scheduler
+    /// ([`Schedule::Inline`]) for **every** placement: the continuation-based
+    /// interpreter parks a node's frame stack while it awaits a remote response, so
+    /// cyclic/re-entrant placements are scheduled on one OS thread just like acyclic
+    /// ones. Thread-per-node execution survives as the [`Schedule::Threaded`]
+    /// cross-check.
     pub fn execute(&self, cluster: &ClusterConfig) -> ExecutionReport {
         let programs = self.programs();
         let mut config = cluster.clone();
         if config.schedule == Schedule::Auto {
-            config.schedule = if self.placement_digraph_is_acyclic() {
-                Schedule::Inline
-            } else {
-                Schedule::Threaded
-            };
+            config.schedule = Schedule::Inline;
         }
         run_distributed(&programs, &config)
     }
 
     /// `true` when no chain of inter-node dependences can revisit a node, i.e. the
     /// digraph over nodes induced by the CRG edges (an edge `home(A) -> home(B)` for
-    /// every class relation `A -> B` crossing nodes) has no cycle. The CRG is a
-    /// conservative superset of the runtime's remote accesses, so `true` guarantees
-    /// that a node waiting for a response can never itself be the target of a nested
-    /// request — the condition under which the cooperative scheduler is safe.
+    /// every class relation `A -> B` crossing nodes) has no cycle. No longer a
+    /// scheduling constraint (the continuation-based scheduler handles cycles);
+    /// retained as a placement diagnostic — an acyclic placement is one whose remote
+    /// calls can never re-enter a node that is awaiting a response.
     pub fn placement_digraph_is_acyclic(&self) -> bool {
         let n = self.placement.nparts.max(1);
         let mut adj = vec![vec![false; n]; n];

@@ -20,13 +20,155 @@
 //! Field-name shadowing note: the previous map-based heap stored one entry per *name*,
 //! so a subclass redeclaring a superclass field aliased it. The layout reproduces that
 //! behaviour by assigning the shadowing declaration the same slot as the shadowed one.
+//!
+//! On top of the interning tables, `build` runs a **decode pass** over every method
+//! body: each [`crate::bytecode::Insn`] becomes exactly one dense [`Op`] with its
+//! name-carrying payloads resolved up front — instance/static field slots, invoke
+//! argument counts and selectors, interned constant-pool indices for string literals,
+//! and `u32` branch targets. The interpreter's dispatch loop runs over `Op`s and never
+//! touches a string or a resolution table; the original [`FieldRef`]s survive inside
+//! the ops only for the proxy/remote slow paths, where the *name* is the wire protocol.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
 use crate::program::{ClassId, FieldRef, MethodId, Program, Type};
 
 /// Sentinel for "no method bound to this selector" inside the vtables.
 const NO_METHOD: u32 = u32::MAX;
+
+/// Sentinel slot for field references that do not resolve (e.g. a `GetField` naming a
+/// static). The interpreter treats it as "no such slot", reproducing the pre-decode
+/// `Option` semantics (reads yield null, writes are dropped).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Per-element-type default used by `NewArray` (Java-style zero initialisation),
+/// pre-computed so the interpreter does not match on [`Type`] in the hot loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayInit {
+    /// Elements default to `0`.
+    Int,
+    /// Elements default to `0.0`.
+    Float,
+    /// Elements default to `false`.
+    Bool,
+    /// Elements default to `null` (references, strings, nested arrays).
+    Null,
+}
+
+impl ArrayInit {
+    /// The default-value class of an array element type.
+    pub fn of(ty: &Type) -> ArrayInit {
+        match ty {
+            Type::Int => ArrayInit::Int,
+            Type::Float => ArrayInit::Float,
+            Type::Bool => ArrayInit::Bool,
+            _ => ArrayInit::Null,
+        }
+    }
+}
+
+/// One pre-decoded instruction of the compact op format the interpreter executes.
+///
+/// Ops are in 1:1 correspondence with the [`Insn`]s of the method body (so branch
+/// targets carry over unchanged, as `u32`), but every name-carrying payload is already
+/// resolved: field accesses carry their dense slot, invokes carry the argument count,
+/// the callee selector and whether the call site expects a pushed result, and string
+/// constants are indices into the shared constant pool ([`ProgramLayout::const_strs`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a float constant.
+    ConstFloat(f64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push an interned string constant (index into the program's constant pool).
+    ConstStr(u32),
+    /// Push null.
+    ConstNull,
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two topmost stack values.
+    Swap,
+    /// Pop two values, push `lhs op rhs`.
+    Bin(BinOp),
+    /// Pop one value, push `op value`.
+    Un(UnOp),
+    /// Pop `rhs`, `lhs`; branch to `target` if `lhs op rhs`.
+    IfCmp(CmpOp, u32),
+    /// Pop `v`; branch to `target` if `v op 0` (for refs: `Eq` = is-null).
+    If(CmpOp, u32),
+    /// Unconditional branch.
+    Goto(u32),
+    /// Allocate an uninitialised instance and push the reference.
+    New(ClassId),
+    /// Pop a length, allocate an array zero-filled per `ArrayInit`, push the reference.
+    NewArray(ArrayInit),
+    /// Pop index and array reference, push the element.
+    ArrayLoad,
+    /// Pop value, index and array reference, store the element.
+    ArrayStore,
+    /// Pop an array reference, push its length.
+    ArrayLength,
+    /// Pop an object reference, push the field at `slot`. `fr` survives only for the
+    /// proxy/remote slow path, where the field *name* travels on the wire.
+    GetField {
+        /// Pre-resolved dense instance slot ([`NO_SLOT`] if unresolvable).
+        slot: u32,
+        /// The original field reference (slow paths + diagnostics).
+        fr: FieldRef,
+    },
+    /// Pop a value and an object reference, store into the field at `slot`.
+    PutField {
+        /// Pre-resolved dense instance slot ([`NO_SLOT`] if unresolvable).
+        slot: u32,
+        /// The original field reference (slow paths + diagnostics).
+        fr: FieldRef,
+    },
+    /// Push the static at the pre-resolved global slot ([`NO_SLOT`] pushes null).
+    GetStatic(u32),
+    /// Pop into the static at the global slot ([`NO_SLOT`] drops the value).
+    PutStatic(u32),
+    /// Invoke a method. All signature-derived facts are pre-decoded: `nargs` counts
+    /// the receiver for non-static kinds, `sel` is the callee's selector for vtable
+    /// dispatch, and `push_ret` says whether the call site expects a pushed result
+    /// (derived from the *static* target, exactly like the pre-decode interpreter).
+    Invoke {
+        /// Dispatch kind.
+        kind: InvokeKind,
+        /// Static target method.
+        target: MethodId,
+        /// Pre-resolved selector of the target (vtable column).
+        sel: u32,
+        /// Stack values consumed (receiver included for non-static kinds).
+        nargs: u16,
+        /// Whether the result is pushed (static target returns non-void).
+        push_ret: bool,
+    },
+    /// Return with no value.
+    Return,
+    /// Pop a value and return it.
+    ReturnValue,
+}
+
+/// The decoded body of one method (empty iff the bytecode body is empty, i.e. the
+/// method is abstract/intrinsic) plus the frame facts the interpreter needs to set up
+/// an activation without consulting the [`Program`].
+#[derive(Clone, Debug, Default)]
+pub struct MethodOps {
+    /// The decoded ops, 1:1 with the method's `body`.
+    pub ops: Vec<Op>,
+    /// Local variable slots (including parameters and `this`).
+    pub locals: u16,
+}
 
 /// The field layout and dispatch table of one class.
 #[derive(Clone, Debug, Default)]
@@ -69,6 +211,11 @@ pub struct ProgramLayout {
     selectors: Vec<u32>,
     /// Total number of selectors (vtable width).
     pub selector_count: usize,
+    /// Pre-decoded op bodies, indexed by [`MethodId`].
+    pub method_ops: Vec<MethodOps>,
+    /// Interned string constants referenced by [`Op::ConstStr`], deduplicated across
+    /// the whole program (one allocation per distinct literal, cloned by refcount).
+    pub const_strs: Vec<Arc<str>>,
 }
 
 impl ProgramLayout {
@@ -164,12 +311,99 @@ impl ProgramLayout {
             classes[class.id.0 as usize].vtable = vtable;
         }
 
-        ProgramLayout {
+        let mut layout = ProgramLayout {
             classes,
             static_names,
             static_types,
             selectors,
             selector_count,
+            method_ops: Vec::new(),
+            const_strs: Vec::new(),
+        };
+
+        // Decode pass: every Insn body becomes a dense op body against the freshly
+        // built resolution tables, interning string constants as it goes.
+        let mut pool: HashMap<String, u32> = HashMap::new();
+        let method_ops: Vec<MethodOps> = program
+            .methods
+            .iter()
+            .map(|m| MethodOps {
+                locals: m.locals,
+                ops: m
+                    .body
+                    .iter()
+                    .map(|insn| layout.decode_insn(program, insn, &mut pool))
+                    .collect(),
+            })
+            .collect();
+        layout.method_ops = method_ops;
+        layout
+    }
+
+    /// Decodes one instruction against the built tables. Infallible by construction:
+    /// every [`Insn`] maps to exactly one [`Op`], with unresolvable field references
+    /// carrying [`NO_SLOT`] (reproducing the pre-decode `Option` semantics).
+    fn decode_insn(
+        &mut self,
+        program: &Program,
+        insn: &Insn,
+        pool: &mut HashMap<String, u32>,
+    ) -> Op {
+        match insn {
+            Insn::Const(Const::Int(v)) => Op::ConstInt(*v),
+            Insn::Const(Const::Float(v)) => Op::ConstFloat(*v),
+            Insn::Const(Const::Bool(v)) => Op::ConstBool(*v),
+            Insn::Const(Const::Null) => Op::ConstNull,
+            Insn::Const(Const::Str(s)) => {
+                let idx = match pool.get(s) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.const_strs.len() as u32;
+                        self.const_strs.push(Arc::from(s.as_str()));
+                        pool.insert(s.clone(), i);
+                        i
+                    }
+                };
+                Op::ConstStr(idx)
+            }
+            Insn::Load(n) => Op::Load(*n),
+            Insn::Store(n) => Op::Store(*n),
+            Insn::Dup => Op::Dup,
+            Insn::Pop => Op::Pop,
+            Insn::Swap => Op::Swap,
+            Insn::Bin(op) => Op::Bin(*op),
+            Insn::Un(op) => Op::Un(*op),
+            Insn::IfCmp(op, t) => Op::IfCmp(*op, *t as u32),
+            Insn::If(op, t) => Op::If(*op, *t as u32),
+            Insn::Goto(t) => Op::Goto(*t as u32),
+            Insn::New(c) => Op::New(*c),
+            Insn::NewArray(ty) => Op::NewArray(ArrayInit::of(ty)),
+            Insn::ArrayLoad => Op::ArrayLoad,
+            Insn::ArrayStore => Op::ArrayStore,
+            Insn::ArrayLength => Op::ArrayLength,
+            Insn::GetField(fr) => Op::GetField {
+                slot: self.field_slot(*fr).unwrap_or(NO_SLOT),
+                fr: *fr,
+            },
+            Insn::PutField(fr) => Op::PutField {
+                slot: self.field_slot(*fr).unwrap_or(NO_SLOT),
+                fr: *fr,
+            },
+            Insn::GetStatic(fr) => Op::GetStatic(self.static_slot(*fr).unwrap_or(NO_SLOT)),
+            Insn::PutStatic(fr) => Op::PutStatic(self.static_slot(*fr).unwrap_or(NO_SLOT)),
+            Insn::Invoke(kind, target) => {
+                let callee = program.method(*target);
+                let receiver = usize::from(*kind != InvokeKind::Static);
+                Op::Invoke {
+                    kind: *kind,
+                    target: *target,
+                    sel: self.selectors[target.0 as usize],
+                    nargs: (callee.params.len() + receiver) as u16,
+                    push_ret: callee.ret != Type::Void,
+                }
+            }
+            Insn::Return => Op::Return,
+            Insn::ReturnValue => Op::ReturnValue,
         }
     }
 
@@ -226,6 +460,29 @@ impl ProgramLayout {
             Some(&m) if m != NO_METHOD => Some(MethodId(m)),
             _ => None,
         }
+    }
+
+    /// Virtual dispatch by pre-decoded selector: the method bound in `class`'s vtable
+    /// column `sel`. This is what [`Op::Invoke`] uses — one array index, no probe of
+    /// the per-method selector table.
+    #[inline]
+    pub fn resolve_selector(&self, class: ClassId, sel: u32) -> Option<MethodId> {
+        match self.classes[class.0 as usize].vtable.get(sel as usize) {
+            Some(&m) if m != NO_METHOD => Some(MethodId(m)),
+            _ => None,
+        }
+    }
+
+    /// The pre-decoded body of `method` (`ops` empty iff the bytecode body is empty).
+    #[inline]
+    pub fn ops(&self, method: MethodId) -> &MethodOps {
+        &self.method_ops[method.0 as usize]
+    }
+
+    /// An interned string constant by pool index.
+    #[inline]
+    pub fn const_str(&self, idx: u32) -> &Arc<str> {
+        &self.const_strs[idx as usize]
     }
 
     /// Number of instance-field slots of `class`.
@@ -333,6 +590,80 @@ mod tests {
             Type::Int,
             "B instances default v to Int(0), not Bool(false)"
         );
+    }
+
+    #[test]
+    fn decode_interns_string_constants_once() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![], Type::Void, true);
+        p.method_mut(m).body = vec![
+            Insn::Const(Const::Str("dup".into())),
+            Insn::Pop,
+            Insn::Const(Const::Str("dup".into())),
+            Insn::Pop,
+            Insn::Const(Const::Str("other".into())),
+            Insn::Pop,
+            Insn::Return,
+        ];
+        let layout = ProgramLayout::build(&p);
+        assert_eq!(layout.const_strs.len(), 2, "literals are deduplicated");
+        let ops = &layout.ops(m).ops;
+        assert_eq!(ops[0], ops[2], "same literal, same pool index");
+        assert_ne!(ops[0], ops[4]);
+        match ops[0] {
+            Op::ConstStr(i) => assert_eq!(&*layout.const_str(i).clone(), "dup"),
+            ref other => panic!("expected ConstStr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_resolves_slots_selectors_and_invoke_shapes() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let fx = p.add_field(a, "x", Type::Int, false);
+        let fs = p.add_field(a, "s", Type::Int, true);
+        let m = p.add_method(a, "m", vec![Type::Int, Type::Int], Type::Int, false);
+        let caller = p.add_method(a, "caller", vec![], Type::Void, true);
+        p.method_mut(caller).body = vec![
+            Insn::GetField(fx),
+            Insn::GetStatic(fs),
+            Insn::PutStatic(fs),
+            Insn::PutField(fx),
+            Insn::Invoke(InvokeKind::Virtual, m),
+            Insn::Goto(0),
+        ];
+        let layout = ProgramLayout::build(&p);
+        let ops = &layout.ops(caller).ops;
+        assert_eq!(
+            ops[0],
+            Op::GetField {
+                slot: layout.field_slot(fx).unwrap(),
+                fr: fx
+            }
+        );
+        assert_eq!(ops[1], Op::GetStatic(layout.static_slot(fs).unwrap()));
+        assert_eq!(ops[2], Op::PutStatic(layout.static_slot(fs).unwrap()));
+        match ops[4] {
+            Op::Invoke {
+                kind,
+                target,
+                sel,
+                nargs,
+                push_ret,
+            } => {
+                assert_eq!(kind, InvokeKind::Virtual);
+                assert_eq!(target, m);
+                assert_eq!(sel, layout.selector(m));
+                assert_eq!(nargs, 3, "two params + receiver");
+                assert!(push_ret);
+                assert_eq!(layout.resolve_selector(a, sel), Some(m));
+            }
+            ref other => panic!("expected Invoke, got {other:?}"),
+        }
+        assert_eq!(ops[5], Op::Goto(0));
+        assert_eq!(layout.ops(m).locals, p.method(m).locals);
+        assert!(layout.ops(m).ops.is_empty(), "abstract body decodes empty");
     }
 
     #[test]

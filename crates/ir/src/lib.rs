@@ -17,8 +17,9 @@
 //! * [`frontend`] — a small MiniJava-like source language front-end so that programs
 //!   such as the paper's Bank/Account example (Figure 2) can be written as source text.
 //! * [`cfg`] — control-flow graph utilities over bytecode (leaders, back edges, loops).
-//! * [`layout`] — the load-time interning pass: dense field slots, static slots and
-//!   selector-indexed vtables consumed by the interpreter's hot paths.
+//! * [`layout`] — the load-time interning pass: dense field slots, static slots,
+//!   selector-indexed vtables, and the pre-decoded compact op format
+//!   ([`layout::Op`]) the interpreter's dispatch loop executes.
 //! * [`printer`] — human-readable listings of bytecode and quads (Figure 5 style).
 //! * [`verify`] — a structural verifier for methods (stack discipline, branch targets).
 
@@ -35,6 +36,6 @@ pub mod verify;
 
 pub use builder::{MethodBuilder, ProgramBuilder};
 pub use bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
-pub use layout::{ClassLayout, ProgramLayout};
+pub use layout::{ArrayInit, ClassLayout, MethodOps, Op, ProgramLayout, NO_SLOT};
 pub use program::{Class, ClassId, Field, FieldRef, Method, MethodId, Program, Type};
 pub use quad::{BlockId, Operand, Quad, QuadMethod, Reg};

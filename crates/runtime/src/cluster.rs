@@ -10,42 +10,44 @@
 //! Two schedulers are available (see [`Schedule`]):
 //!
 //! * **Cooperative** ([`Schedule::Inline`]) — all virtual nodes are multiplexed onto a
-//!   single OS thread. Because the paper's communication style is synchronous
-//!   request/response, exactly one node is runnable at any moment; a node waiting for
-//!   a response runs its callee's message loop inline instead of parking a thread.
-//!   This removes every context switch from the simulation and makes sweeps over
-//!   hundreds of virtual nodes practical. It requires the placement's inter-node
-//!   dependence digraph to be acyclic (no callbacks into a node that is awaiting a
-//!   response) — the pipeline checks this from the class relation graph and falls back
-//!   otherwise.
+//!   single OS thread. The interpreter's explicit-stack machine makes every in-flight
+//!   computation plain data: when a node hits a remote operation it sends the request
+//!   and *parks* its frame stack as a continuation keyed by the request id; the
+//!   scheduler then runs whichever node has a deliverable message. Because serving a
+//!   request spawns a fresh continuation (instead of recursing on a native stack), a
+//!   node can serve callbacks *while one of its own computations is parked* — cyclic /
+//!   re-entrant placements run on one OS thread just like acyclic ones, so this is
+//!   the default for every placement.
 //! * **Threaded** ([`Schedule::Threaded`]) — the original thread-per-node execution,
-//!   which supports arbitrary re-entrant placements.
+//!   kept as an opt-in cross-check: its virtual clocks, message counts and results
+//!   must be identical to the cooperative scheduler's.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use autodist_ir::program::Program;
 
-use crate::interp::{ClusterPump, DistState, Interp, ProfilerSink};
-use crate::net::NetworkConfig;
+use crate::interp::{
+    Continuation, DistState, ExecError, Interp, ProfilerSink, ServeOutcome, TaskOutcome,
+};
+use crate::net::{NetworkConfig, PacketKind};
 use crate::services::{ExecutionStarter, MessageExchange, MpiService};
 use crate::value::Value;
+use crate::wire::Response;
 
 /// How the simulated nodes are scheduled onto OS threads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Schedule {
-    /// Defer the choice to the caller's knowledge of the placement: `run_distributed`
-    /// itself resolves `Auto` to [`Schedule::Threaded`] (always safe); the pipeline's
-    /// `DistributionPlan::execute` resolves it to [`Schedule::Inline`] when the
-    /// placement's inter-node dependence digraph is acyclic.
+    /// Resolves to [`Schedule::Inline`]: the continuation-based cooperative scheduler
+    /// handles every placement, including cyclic/re-entrant ones.
     #[default]
     Auto,
     /// Cooperative single-threaded scheduling: virtual nodes are multiplexed on one
-    /// OS thread; a waiting node runs its callee inline. Requires an acyclic
-    /// inter-node dependence digraph.
+    /// OS thread; a node waiting on a remote operation parks its frame stack as a
+    /// continuation and any node with a deliverable message runs.
     Inline,
-    /// One OS thread per node (the pre-pool behaviour; handles re-entrant placements).
+    /// One OS thread per node (the pre-pool behaviour, kept as an opt-in cross-check
+    /// of the cooperative scheduler).
     Threaded,
 }
 
@@ -105,8 +107,8 @@ pub struct ExecutionReport {
     /// Final values of static fields on the launch node (used to check that the
     /// distributed execution computes the same answers as the centralized one).
     pub final_statics: BTreeMap<String, Value>,
-    /// The error message if execution failed.
-    pub error: Option<String>,
+    /// The typed runtime fault if execution failed.
+    pub error: Option<ExecError>,
 }
 
 impl ExecutionReport {
@@ -182,7 +184,7 @@ pub fn run_centralized_profiled(
         wall_time_ms: wall.as_secs_f64() * 1e3,
         per_node: vec![stats_of(&interp, 0)],
         final_statics: interp.statics_snapshot(),
-        error: result.err().map(|e| e.to_string()),
+        error: result.err(),
     }
 }
 
@@ -190,9 +192,8 @@ pub fn run_centralized_profiled(
 ///
 /// `programs[r]` is the (rewritten) program copy executed by rank `r`; `programs.len()`
 /// must equal the node count of the network configuration. [`Schedule::Auto`] resolves
-/// to the always-safe threaded scheduler here; callers that know the placement's
-/// dependence digraph is acyclic (the pipeline does) should request
-/// [`Schedule::Inline`] to get the cooperative scheduler.
+/// to the cooperative scheduler, which handles every placement — request
+/// [`Schedule::Threaded`] explicitly to cross-check against thread-per-node execution.
 pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
     let nodes = programs.len();
     assert!(nodes >= 1, "at least one node required");
@@ -202,123 +203,185 @@ pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> Executio
         "one program copy per configured node"
     );
     match config.schedule {
-        Schedule::Inline => run_distributed_inline(programs, config),
-        Schedule::Auto | Schedule::Threaded => run_distributed_threaded(programs, config),
+        Schedule::Auto | Schedule::Inline => run_distributed_inline(programs, config),
+        Schedule::Threaded => run_distributed_threaded(programs, config),
     }
 }
 
-/// One virtual node held by the cooperative scheduler: its interpreter while idle, or
-/// its final outcome once it has processed the shutdown broadcast.
-enum CoopSlot<'p> {
-    Idle(Box<Interp<'p>>),
-    Done(NodeStats),
-    /// Checked out by a (possibly nested) `pump` frame, or never populated (rank 0).
-    Empty,
+/// What to do with a cooperative task's result once its bottom frame returns.
+enum TaskDone {
+    /// The Execution Starter's `main` on the launch node: its result ends the run.
+    Root,
+    /// A serving computation: reply to `to` for request `req_id`. `reply_override`
+    /// carries the freshly created object reference for `NEW` requests (the
+    /// constructor's return value is discarded, as in the synchronous serve path).
+    Reply {
+        to: usize,
+        req_id: u64,
+        reply_override: Option<Value>,
+    },
 }
 
-/// The cooperative scheduler: all virtual nodes multiplexed onto the calling thread.
-/// `pump(rank)` — invoked by an interpreter waiting for a response — checks the callee
-/// out of its slot, drains its mailbox (running nested round trips recursively), and
-/// checks it back in.
-struct CoopCluster<'p> {
-    slots: Vec<Mutex<CoopSlot<'p>>>,
+/// A cooperative computation: the interpreter-level continuation plus its completion
+/// action.
+struct CoopTask {
+    cont: Continuation,
+    done: TaskDone,
 }
 
-impl<'p> CoopCluster<'p> {
-    fn new(nodes: usize) -> Self {
-        CoopCluster {
-            slots: (0..nodes).map(|_| Mutex::new(CoopSlot::Empty)).collect(),
+/// One virtual node of the cooperative scheduler: its interpreter plus every
+/// continuation currently parked on an outstanding remote request, keyed by the
+/// request id the response will echo.
+struct CoopNode<'p> {
+    interp: Interp<'p>,
+    parked: HashMap<u64, CoopTask>,
+}
+
+impl CoopNode<'_> {
+    /// Drives `task` until it parks or completes; completions either finish the run
+    /// (root) or send the response for the request being served.
+    fn run(&mut self, mut task: CoopTask, root_result: &mut Option<Result<Value, ExecError>>) {
+        let outcome = self.interp.run_task(&mut task.cont);
+        self.settle(task, outcome, root_result);
+    }
+
+    fn settle(
+        &mut self,
+        task: CoopTask,
+        outcome: TaskOutcome,
+        root_result: &mut Option<Result<Value, ExecError>>,
+    ) {
+        match outcome {
+            TaskOutcome::Parked { req_id } => {
+                self.parked.insert(req_id, task);
+            }
+            TaskOutcome::Done(res) => match task.done {
+                TaskDone::Root => *root_result = Some(res),
+                TaskDone::Reply {
+                    to,
+                    req_id,
+                    reply_override,
+                } => {
+                    let result = res.map(|v| reply_override.unwrap_or(v));
+                    self.interp.send_reply(to, req_id, result);
+                }
+            },
         }
     }
 }
 
-impl ClusterPump for CoopCluster<'_> {
-    fn pump(&self, rank: usize) -> bool {
-        let Some(slot) = self.slots.get(rank) else {
-            return false;
-        };
-        let taken = {
-            let mut guard = slot.lock().expect("coop slot poisoned");
-            match std::mem::replace(&mut *guard, CoopSlot::Empty) {
-                CoopSlot::Idle(interp) => interp,
-                other => {
-                    *guard = other;
-                    return false;
+/// Cooperative single-threaded distributed execution (see [`Schedule::Inline`]): the
+/// continuation-based scheduler. All virtual nodes run on the calling thread; the
+/// explicit-stack machine never recurses, so no oversized stack is needed and a node
+/// can serve re-entrant callbacks while its own computation is parked.
+fn run_distributed_inline(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
+    let node_count = programs.len();
+    let start = Instant::now();
+    let mut mpi = MpiService::init(node_count, config.network.clone());
+    let mut nodes: Vec<CoopNode<'_>> = programs
+        .iter()
+        .enumerate()
+        .map(|(rank, program)| CoopNode {
+            interp: Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_coop()),
+            parked: HashMap::new(),
+        })
+        .collect();
+
+    // The Execution Starter: launch `main` as the root continuation on node 0.
+    let mut root_result: Option<Result<Value, ExecError>> = None;
+    match nodes[0].interp.program.entry {
+        None => root_result = Some(Err(ExecError::NoEntry)),
+        Some(entry) => match nodes[0].interp.task_for(entry, Vec::new()) {
+            None => root_result = Some(Ok(Value::Null)),
+            Some(cont) => {
+                let task = CoopTask {
+                    cont,
+                    done: TaskDone::Root,
+                };
+                nodes[0].run(task, &mut root_result);
+            }
+        },
+    }
+
+    // The scheduler proper: deliver messages to any node that has one, resuming the
+    // parked continuation (responses) or spawning a serving task (requests), until
+    // the root computation completes. Exactly one logical control flow exists at any
+    // moment (the communication style is synchronous request/response), so every
+    // sweep either delivers a message or the run is complete.
+    while root_result.is_none() {
+        let mut progress = false;
+        for node in nodes.iter_mut() {
+            while let Some(pkt) = node.interp.poll_packet() {
+                progress = true;
+                match pkt.kind {
+                    PacketKind::Request => {
+                        match node.interp.accept_request(pkt.from, pkt.req_id, pkt.data) {
+                            ServeOutcome::Handled => {}
+                            ServeOutcome::Spawned {
+                                task,
+                                reply_override,
+                            } => {
+                                let task = CoopTask {
+                                    cont: task,
+                                    done: TaskDone::Reply {
+                                        to: pkt.from,
+                                        req_id: pkt.req_id,
+                                        reply_override,
+                                    },
+                                };
+                                node.run(task, &mut root_result);
+                            }
+                        }
+                    }
+                    PacketKind::Response => {
+                        // The response for a parked continuation: resume it.
+                        let Some(mut task) = node.parked.remove(&pkt.req_id) else {
+                            continue; // stray response (cannot happen): ignore
+                        };
+                        let resp = match Response::decode(pkt.data) {
+                            Response::Value(v) => Ok(v),
+                            Response::Error(e) => Err(e),
+                        };
+                        let outcome = node.interp.resume_task(&mut task.cont, resp);
+                        node.settle(task, outcome, &mut root_result);
+                    }
+                }
+                if root_result.is_some() {
+                    break;
                 }
             }
-        };
-        let mut interp = taken;
-        let shutdown = interp.drain_mailbox();
-        let mut guard = slot.lock().expect("coop slot poisoned");
-        *guard = if shutdown {
-            // Dropping the interpreter here releases its Arc back-reference to the
-            // scheduler, so the cluster is freed when the run ends.
-            CoopSlot::Done(stats_of(&interp, rank))
-        } else {
-            CoopSlot::Idle(interp)
-        };
-        true
+            if root_result.is_some() {
+                break;
+            }
+        }
+        if !progress && root_result.is_none() {
+            // Only reachable through a scheduler bug: surface it instead of hanging.
+            root_result = Some(Err(ExecError::RemoteFailure(
+                "cooperative scheduler stalled: no runnable node and no deliverable message".into(),
+            )));
+        }
     }
-}
 
-/// Cooperative single-threaded distributed execution (see [`Schedule::Inline`]).
-fn run_distributed_inline(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
-    let nodes = programs.len();
-    let start = Instant::now();
-    let mut mpi = MpiService::init(nodes, config.network.clone());
-    let cluster = Arc::new(CoopCluster::new(nodes));
-    for (rank, program) in programs.iter().enumerate().skip(1) {
-        let pump: Arc<dyn ClusterPump + '_> = cluster.clone();
-        let interp =
-            Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_pump(pump));
-        *cluster.slots[rank].lock().expect("coop slot") = CoopSlot::Idle(Box::new(interp));
+    // Execution ends when main returns on the launch node; the shutdown broadcast is
+    // bookkeeping and not part of the measured execution.
+    let error = root_result.expect("root completed").err();
+    let stats0 = stats_of(&nodes[0].interp, 0);
+    let final_statics = nodes[0].interp.statics_snapshot();
+    MessageExchange::broadcast_shutdown(&mut nodes[0].interp);
+    for node in nodes.iter_mut().skip(1) {
+        // Deliver the shutdown (advancing each node's clock to its arrival, exactly
+        // like the threaded serve loop does before exiting).
+        while let Some(pkt) = node.interp.poll_packet() {
+            if pkt.kind == PacketKind::Request {
+                let _ = node.interp.accept_request(pkt.from, pkt.req_id, pkt.data);
+            }
+        }
     }
-    let pump: Arc<dyn ClusterPump + '_> = cluster.clone();
-    let mut driver =
-        Interp::new(&programs[0]).with_dist(DistState::new(mpi.endpoint(0)).with_pump(pump));
-
-    // The whole simulation runs on one dedicated thread with a deep stack: nested
-    // cross-node call chains unwind on a single stack under cooperative scheduling.
-    let driver_cluster = cluster.clone();
-    let (stats0, statics0, error) = std::thread::scope(|scope| {
-        std::thread::Builder::new()
-            .name("coop-cluster".to_string())
-            .stack_size(64 * 1024 * 1024)
-            .spawn_scoped(scope, move || {
-                let error = ExecutionStarter::start(&mut driver)
-                    .err()
-                    .map(|e| e.to_string());
-                // Execution ends when main returns on the launch node; the shutdown
-                // broadcast is bookkeeping and not part of the measured execution.
-                let stats = stats_of(&driver, 0);
-                let statics = driver.statics_snapshot();
-                MessageExchange::broadcast_shutdown(&mut driver);
-                for rank in 1..nodes {
-                    driver_cluster.pump(rank);
-                }
-                (stats, statics, error)
-            })
-            .expect("spawn cooperative cluster thread")
-            .join()
-            .expect("cooperative cluster thread panicked")
-    });
 
     let wall = start.elapsed();
     let mut per_node = vec![stats0];
-    let final_statics = statics0;
-    for rank in 1..nodes {
-        let slot = std::mem::replace(
-            &mut *cluster.slots[rank].lock().expect("coop slot"),
-            CoopSlot::Empty,
-        );
-        match slot {
-            CoopSlot::Done(stats) => per_node.push(stats),
-            CoopSlot::Idle(interp) => per_node.push(stats_of(&interp, rank)),
-            CoopSlot::Empty => per_node.push(NodeStats {
-                node: rank,
-                ..NodeStats::default()
-            }),
-        }
+    for (rank, node) in nodes.iter().enumerate().skip(1) {
+        per_node.push(stats_of(&node.interp, rank));
     }
     // The distributed execution ends when the launch node finishes `main`; its clock
     // has already absorbed every synchronous round trip (the communication style is
@@ -341,7 +404,7 @@ fn run_distributed_threaded(programs: &[Program], config: &ClusterConfig) -> Exe
 
     let mut endpoints: Vec<_> = (0..nodes).map(|r| Some(mpi.endpoint(r))).collect();
 
-    let results: Vec<(NodeStats, BTreeMap<String, Value>, Option<String>)> =
+    let results: Vec<(NodeStats, BTreeMap<String, Value>, Option<ExecError>)> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (rank, program) in programs.iter().enumerate() {
@@ -356,7 +419,7 @@ fn run_distributed_threaded(programs: &[Program], config: &ClusterConfig) -> Exe
                         let stats;
                         if rank == 0 {
                             if let Err(e) = ExecutionStarter::start(&mut interp) {
-                                error = Some(e.to_string());
+                                error = Some(e);
                             }
                             // Execution ends when main returns on the launch node; the
                             // shutdown broadcast is bookkeeping and not part of the
@@ -676,6 +739,77 @@ mod tests {
             report.per_node[0].requests_served > 0,
             "the launch node served the callback"
         );
+    }
+
+    /// The same cyclic placement as `threaded_schedule_supports_reentrant_callbacks`,
+    /// but on the cooperative scheduler: node 0's main parks while node 1 serves
+    /// `poke`, which calls back into node 0 — the callback runs as a fresh
+    /// continuation on node 0 while its root computation stays parked. Results,
+    /// traffic and virtual clocks must be identical to thread-per-node execution.
+    #[test]
+    fn inline_schedule_supports_reentrant_callbacks() {
+        let src = r#"
+            class Cell {
+                int v;
+                int bump() { this.v = this.v + 1; return this.v; }
+            }
+            class Relay {
+                int poke(Cell c) { return c.bump() + c.bump(); }
+            }
+            class Main {
+                static int result;
+                static void main() {
+                    Cell c = new Cell();
+                    Relay r = new Relay();
+                    result = r.poke(c);
+                }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Cell").unwrap(), 0);
+        home.insert(p.class_by_name("Relay").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let threaded = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Threaded,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        let inline = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Inline,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        assert!(inline.is_ok(), "{:?}", inline.error);
+        assert_eq!(
+            inline.final_statics.get("Main::result"),
+            Some(&Value::Int(3))
+        );
+        assert_eq!(inline.final_statics, threaded.final_statics);
+        assert_eq!(inline.total_messages(), threaded.total_messages());
+        assert_eq!(inline.total_bytes(), threaded.total_bytes());
+        assert!(
+            (inline.virtual_time_us - threaded.virtual_time_us).abs() < 1e-9,
+            "virtual clocks must agree: inline {} vs threaded {}",
+            inline.virtual_time_us,
+            threaded.virtual_time_us
+        );
+        assert!(
+            inline.per_node[0].requests_served > 0,
+            "the launch node served the callback while parked"
+        );
+        for (a, b) in inline.per_node.iter().zip(threaded.per_node.iter()) {
+            assert_eq!(a.requests_served, b.requests_served);
+            assert_eq!(a.instructions, b.instructions);
+        }
     }
 
     #[test]

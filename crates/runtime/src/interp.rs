@@ -11,17 +11,32 @@
 //! All name resolution is interned at program-load time by
 //! [`autodist_ir::layout::ProgramLayout`]: instance fields are flat slot-indexed
 //! vectors, statics live in one dense replicated vector, and dynamic dispatch goes
-//! through selector-indexed vtables. The interpret loop performs no string clone and no
-//! map probe per field or method access; names only appear at the wire boundary
-//! (remote `DEPENDENCE` messages and `statics_snapshot`).
+//! through selector-indexed vtables. On top of those tables the layout **pre-decodes**
+//! every method body into the compact [`Op`] format (resolved slots, selectors,
+//! argument counts, interned string constants, `u32` branch targets), so the dispatch
+//! loop performs no string clone, no map probe and no signature lookup per
+//! instruction; names only appear at the wire boundary (remote `DEPENDENCE` messages
+//! and `statics_snapshot`).
+//!
+//! Execution itself runs on an **explicit frame stack** ([`Continuation`]): a single
+//! dispatch loop ([`Interp::run_task`]) drives a `Vec` of [`Frame`]s (locals + operand
+//! stack + pc each) instead of recursing through Rust. An in-flight computation is
+//! therefore plain data — when a node executing under the cooperative cluster
+//! scheduler hits a remote operation, the machine sends the request and *parks* the
+//! whole frame stack as a continuation keyed by the request id ([`TaskOutcome::Parked`]);
+//! the scheduler resumes it when the response is delivered. Under thread-per-node
+//! execution the same machine blocks in [`Interp::round_trip`] instead, serving nested
+//! requests re-entrantly on the native stack exactly as before.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use autodist_ir::bytecode::{BinOp, CmpOp, Const, Insn, InvokeKind, UnOp};
-use autodist_ir::layout::ProgramLayout;
+use autodist_ir::bytecode::{BinOp, CmpOp, InvokeKind, UnOp};
+use autodist_ir::layout::{ArrayInit, Op, ProgramLayout, NO_SLOT};
 use autodist_ir::program::{ClassId, FieldRef, MethodId, Program, Type};
+
+use bytes::Bytes;
 
 use crate::net::{MpiEndpoint, Packet, PacketKind};
 use crate::value::{HeapObject, ObjRef, Value};
@@ -90,6 +105,14 @@ pub enum ExecError {
     UnknownMethod(String),
     /// Call depth limit exceeded.
     StackOverflow,
+    /// The operand stack was popped while empty (a verifier escape; never raised for
+    /// programs that pass `verify_program`).
+    StackUnderflow {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The method whose operand stack underflowed.
+        method: MethodId,
+    },
     /// A remote operation failed on the other node.
     RemoteFailure(String),
     /// A remote operation was attempted without a distributed runtime attached.
@@ -110,6 +133,13 @@ impl fmt::Display for ExecError {
             ExecError::UnknownField(n) => write!(f, "unknown field {n}"),
             ExecError::UnknownMethod(n) => write!(f, "unknown method {n}"),
             ExecError::StackOverflow => write!(f, "call depth limit exceeded"),
+            ExecError::StackUnderflow { pc, method } => {
+                write!(
+                    f,
+                    "operand stack underflow at pc {pc} in method #{}",
+                    method.0
+                )
+            }
             ExecError::RemoteFailure(e) => write!(f, "remote failure: {e}"),
             ExecError::NotDistributed => write!(f, "remote access without a distributed runtime"),
             ExecError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
@@ -119,18 +149,9 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// The hook through which a waiting interpreter hands control to the cooperative
-/// cluster scheduler: `pump(rank)` runs `rank`'s message loop (on the current thread)
-/// until its mailbox is empty, returning `false` if that node is not currently
-/// runnable. Implemented by `autodist_runtime::cluster`.
-pub trait ClusterPump: Send + Sync {
-    /// Drains `rank`'s mailbox, serving every queued request.
-    fn pump(&self, rank: usize) -> bool;
-}
-
 /// Distributed-execution state attached to an interpreter running as one node of the
 /// simulated cluster.
-pub struct DistState<'a> {
+pub struct DistState {
     /// This node's endpoint into the simulated MPI world.
     pub endpoint: MpiEndpoint,
     /// Export table: export id -> heap index.
@@ -139,12 +160,13 @@ pub struct DistState<'a> {
     pub export_ids: HashMap<u32, u64>,
     /// Set once a `Shutdown` request is received.
     pub shutdown: bool,
-    /// Cooperative scheduler hook (None under thread-per-node execution: the waiting
-    /// node then blocks on its own mailbox instead of running its callee inline).
-    pub pump: Option<Arc<dyn ClusterPump + 'a>>,
+    /// `true` when this node is driven by the cooperative (continuation-based)
+    /// cluster scheduler: remote operations then *park* the running frame stack
+    /// instead of blocking the OS thread in a round trip.
+    pub coop: bool,
 }
 
-impl<'a> DistState<'a> {
+impl DistState {
     /// Wraps an endpoint.
     pub fn new(endpoint: MpiEndpoint) -> Self {
         DistState {
@@ -152,13 +174,13 @@ impl<'a> DistState<'a> {
             exports: Vec::new(),
             export_ids: HashMap::new(),
             shutdown: false,
-            pump: None,
+            coop: false,
         }
     }
 
-    /// Attaches the cooperative scheduler hook.
-    pub fn with_pump(mut self, pump: Arc<dyn ClusterPump + 'a>) -> Self {
-        self.pump = Some(pump);
+    /// Marks this node as scheduled cooperatively (continuation mode).
+    pub fn with_coop(mut self) -> Self {
+        self.coop = true;
         self
     }
 
@@ -166,6 +188,127 @@ impl<'a> DistState<'a> {
     pub fn rank(&self) -> usize {
         self.endpoint.rank
     }
+}
+
+/// One activation record of the explicit-stack machine: everything needed to resume
+/// the method mid-flight. Frames live in a [`Continuation`]'s frame stack; their
+/// locals/operand-stack vectors are recycled through the interpreter's frame pool.
+#[derive(Debug)]
+pub struct Frame {
+    /// The executing method.
+    pub method: MethodId,
+    /// Resume program counter (index into the decoded op body).
+    pub pc: u32,
+    /// Whether the caller's invoke site expects a pushed result (derived from the
+    /// static target's return type, like the recursive interpreter did).
+    push_ret: bool,
+    /// Whether profiler enter/exit hooks fire for this frame.
+    instrumented: bool,
+    /// Local variable slots.
+    locals: Vec<Value>,
+    /// Operand stack.
+    stack: Vec<Value>,
+}
+
+/// What to do with the remote response when a parked continuation is resumed.
+#[derive(Debug)]
+enum ResumeAction {
+    /// Push the unmarshalled response onto the top frame's operand stack.
+    Push,
+    /// Discard the response (void calls, field writes).
+    Drop,
+    /// `NEW` response: bind the remote identity into the proxy object's
+    /// home/remoteId/className slots (when the proxy is a bindable local object).
+    NewProxy {
+        /// Heap index of the proxy, if it can be bound.
+        proxy: Option<u32>,
+        /// Class name recorded into the proxy.
+        class_name: String,
+    },
+}
+
+/// An in-flight computation as plain data: the explicit frame stack plus, when
+/// parked, what to do with the awaited response. This is the continuation the
+/// cooperative cluster scheduler keys by request id.
+#[derive(Debug, Default)]
+pub struct Continuation {
+    frames: Vec<Frame>,
+    pending: Option<ResumeAction>,
+}
+
+impl Continuation {
+    /// Current call depth (number of live frames).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// The result of driving a [`Continuation`] until it can run no further.
+#[derive(Debug)]
+pub enum TaskOutcome {
+    /// The bottom frame returned (or the computation faulted).
+    Done(Result<Value, ExecError>),
+    /// A remote request was sent; the continuation is parked until the response for
+    /// `req_id` is delivered (resume with [`Interp::resume_task`]).
+    Parked {
+        /// Correlation id of the outstanding request.
+        req_id: u64,
+    },
+}
+
+/// What [`Interp::accept_request`] did with an incoming request packet.
+pub enum ServeOutcome {
+    /// Fully handled: the response was sent (or the shutdown flag was set).
+    Handled,
+    /// Bytecode must run to produce the response: the scheduler runs `task` and
+    /// replies with its result — or with `reply_override` (the freshly created
+    /// object reference) for `NEW` requests whose constructor is still running.
+    Spawned {
+        /// The serving computation.
+        task: Continuation,
+        /// Response value overriding the task's return value (`NEW` requests).
+        reply_override: Option<Value>,
+    },
+}
+
+/// Decision produced for invoke sites that leave the fast path under cooperative
+/// scheduling (proxies, remote receivers, the DependentObject protocol).
+enum SlowInvoke {
+    /// Send a `DEPENDENCE` message and park.
+    Remote {
+        target_ref: ObjRef,
+        kind: AccessKind,
+        member: String,
+        args: Vec<Value>,
+        push: bool,
+    },
+    /// Send a `NEW` message and park; bind the proxy on resume.
+    NewRemote {
+        home: usize,
+        class_name: String,
+        args: Vec<Value>,
+        proxy: Option<u32>,
+    },
+    /// `DependentObject.<init>` whose home is this node: run the local constructor.
+    CallCtor {
+        ctor: MethodId,
+        receiver: Value,
+        args: Vec<Value>,
+    },
+    /// Completed locally with nothing left to do (push null if the site expects a
+    /// result).
+    Nothing,
+}
+
+/// Internal result of classifying an incoming request (see [`Interp::accept_request`]).
+enum Accepted {
+    /// The response value is already known.
+    Value(Value),
+    /// Bytecode must run; reply with the task's result or with `reply_override`.
+    Run {
+        task: Continuation,
+        reply_override: Option<Value>,
+    },
 }
 
 /// The bytecode interpreter for one node (or for a centralized run).
@@ -187,9 +330,11 @@ pub struct Interp<'p> {
     /// Sampling quantum in instructions (0 disables sampling).
     pub sample_interval: u64,
     /// Distributed runtime state (None for centralized execution).
-    pub dist: Option<DistState<'p>>,
-    /// The interning tables built at load time: field slots, static slots, vtables.
-    layout: ProgramLayout,
+    pub dist: Option<DistState>,
+    /// The interning tables built at load time: field slots, static slots, vtables,
+    /// and the pre-decoded op bodies. Shared by refcount so the dispatch loop can
+    /// hold a borrow of the ops while the interpreter mutates its own state.
+    layout: Arc<ProgramLayout>,
     /// Replicated static fields, indexed by the layout's global static slot.
     statics: Vec<Value>,
     /// Per-class default field vectors cloned on instantiation.
@@ -212,7 +357,7 @@ impl<'p> Interp<'p> {
     /// access.
     pub fn new(program: &'p Program) -> Self {
         let dep_class = program.class_by_name(DEPENDENT_OBJECT_CLASS);
-        let layout = ProgramLayout::build(program);
+        let layout = Arc::new(ProgramLayout::build(program));
         let mut class_defaults: Vec<Vec<Value>> = layout
             .classes
             .iter()
@@ -270,7 +415,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Attaches the distributed runtime state.
-    pub fn with_dist(mut self, dist: DistState<'p>) -> Self {
+    pub fn with_dist(mut self, dist: DistState) -> Self {
         self.instr_cost_us = dist.endpoint.config.instr_cost_us;
         self.speed = dist.endpoint.config.speed_of(dist.endpoint.rank);
         self.dist = Some(dist);
@@ -327,415 +472,1002 @@ impl<'p> Interp<'p> {
         self.alloc(HeapObject::Object { class, fields })
     }
 
-    /// Invokes `method` with `args` (receiver first for instance methods).
+    /// Invokes `method` with `args` (receiver first for instance methods), driving the
+    /// explicit-stack machine to completion on the current thread. Remote operations
+    /// block in a round trip (thread-per-node semantics); under the cooperative
+    /// scheduler use [`Self::task_for`] + [`Self::run_task`] instead, which park.
     pub fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Value, ExecError> {
         if self.call_stack.len() >= self.max_depth {
             return Err(ExecError::StackOverflow);
         }
-        let m = self.program.method(method);
-        if m.body.is_empty() {
+        let Some(mut task) = self.task_for(method, args) else {
             // Abstract / intrinsic methods that were not intercepted: behave as no-ops.
             return Ok(Value::Null);
+        };
+        match self.run_task(&mut task) {
+            TaskOutcome::Done(r) => r,
+            TaskOutcome::Parked { .. } => Err(ExecError::Unsupported(
+                "computation suspended outside the cooperative scheduler".into(),
+            )),
         }
-        let (mut locals, stack) = self.frame_pool.pop().unwrap_or_default();
-        locals.resize((m.locals as usize).max(args.len()) + 4, Value::Null);
+    }
+
+    /// Builds a runnable [`Continuation`] whose bottom frame is `method` applied to
+    /// `args`. Returns `None` for empty (abstract/intrinsic) bodies, which complete
+    /// immediately with `null` and consume no frame.
+    pub fn task_for(&mut self, method: MethodId, args: Vec<Value>) -> Option<Continuation> {
+        let mops = self.layout.ops(method);
+        if mops.ops.is_empty() {
+            return None;
+        }
+        let needed = (mops.locals as usize).max(args.len()) + 4;
+        let mut frame = self.make_frame(method, true);
+        frame.locals.resize(needed, Value::Null);
         for (i, a) in args.into_iter().enumerate() {
-            locals[i] = a;
+            frame.locals[i] = a;
         }
-        self.run_frame(method, locals, stack)
+        Some(Continuation {
+            frames: vec![frame],
+            pending: None,
+        })
     }
 
-    /// Invokes `method`, taking its `nargs` arguments directly off the caller's
-    /// operand stack: the hot call path allocates no argument vector.
-    fn invoke_from_stack(
-        &mut self,
-        method: MethodId,
-        caller: &mut Vec<Value>,
-        nargs: usize,
-    ) -> Result<Value, ExecError> {
-        if self.call_stack.len() >= self.max_depth {
-            caller.truncate(caller.len() - nargs);
-            return Err(ExecError::StackOverflow);
-        }
-        let m = self.program.method(method);
-        if m.body.is_empty() {
-            caller.truncate(caller.len() - nargs);
-            return Ok(Value::Null);
-        }
-        let (mut locals, stack) = self.frame_pool.pop().unwrap_or_default();
-        locals.resize((m.locals as usize).max(nargs) + 4, Value::Null);
-        let base = caller.len() - nargs;
-        for (i, a) in caller.drain(base..).enumerate() {
-            locals[i] = a;
-        }
-        self.run_frame(method, locals, stack)
-    }
-
-    /// Frame bookkeeping around [`Self::execute_frame`]: call-stack push/pop, profiler
-    /// enter/exit, frame recycling. `locals` already contains the arguments.
-    fn run_frame(
-        &mut self,
-        method: MethodId,
-        mut locals: Vec<Value>,
-        mut stack: Vec<Value>,
-    ) -> Result<Value, ExecError> {
+    /// Creates an activation frame (pooled vectors, call-stack push, profiler enter).
+    /// The caller fills the locals; when the profiler is attached the caller must have
+    /// flushed the virtual clock first.
+    fn make_frame(&mut self, method: MethodId, push_ret: bool) -> Frame {
         self.counters.method_invocations += 1;
         self.call_stack.push(method);
-        let wants_instr = self
+        let instrumented = self
             .profiler
             .as_ref()
             .map(|p| p.wants_instrumentation())
             .unwrap_or(false);
-        if wants_instr {
+        if instrumented {
             let clock = self.clock_us;
             if let Some(p) = self.profiler.as_mut() {
                 p.method_enter(method, clock);
             }
         }
-        let result = self.execute_frame(method, &mut locals, &mut stack);
-        if wants_instr {
+        let (locals, stack) = self.frame_pool.pop().unwrap_or_default();
+        Frame {
+            method,
+            pc: 0,
+            push_ret,
+            instrumented,
+            locals,
+            stack,
+        }
+    }
+
+    /// Frame teardown: profiler exit (the clock must be flushed) and call-stack pop.
+    ///
+    /// `call_stack` is interpreter-global, so when a node interleaves several parked
+    /// continuations its *contents* above the live prefix can belong to a different
+    /// continuation than the frame being retired — only the length (the depth guard)
+    /// is exact. The sole contents consumer is the sampling profiler, which is
+    /// centralized-only today; a per-continuation call stack is required before
+    /// profiling cooperative distributed runs (see ROADMAP).
+    fn retire_frame(&mut self, frame: &Frame) {
+        if frame.instrumented {
             let clock = self.clock_us;
             if let Some(p) = self.profiler.as_mut() {
-                p.method_exit(method, clock);
+                p.method_exit(frame.method, clock);
             }
         }
         self.call_stack.pop();
-        if self.frame_pool.len() < 128 {
-            locals.clear();
-            stack.clear();
-            self.frame_pool.push((locals, stack));
-        }
-        result
     }
 
-    fn execute_frame(
+    /// Returns a frame's vectors to the pool.
+    fn recycle_frame(&mut self, mut frame: Frame) {
+        if self.frame_pool.len() < 128 {
+            frame.locals.clear();
+            frame.stack.clear();
+            self.frame_pool.push((frame.locals, frame.stack));
+        }
+    }
+
+    /// Pops every live frame (firing profiler exits, exactly like the recursive
+    /// interpreter did while an error propagated) and returns the error.
+    fn unwind_frames(&mut self, task: &mut Continuation, e: ExecError) -> ExecError {
+        while let Some(f) = task.frames.pop() {
+            self.retire_frame(&f);
+            self.recycle_frame(f);
+        }
+        e
+    }
+
+    /// `true` when this node parks on remote operations instead of blocking.
+    fn coop(&self) -> bool {
+        self.dist.as_ref().map(|d| d.coop).unwrap_or(false)
+    }
+
+    /// Resumes a parked continuation with the decoded response of its outstanding
+    /// request (`Err` carries a remote failure message) and drives it onward.
+    pub fn resume_task(
         &mut self,
-        method: MethodId,
-        locals: &mut Vec<Value>,
-        stack: &mut Vec<Value>,
-    ) -> Result<Value, ExecError> {
-        let m = self.program.method(method);
-        let body = &m.body;
-        let mut pc = 0usize;
+        task: &mut Continuation,
+        response: Result<WireValue, String>,
+    ) -> TaskOutcome {
+        let action = task
+            .pending
+            .take()
+            .expect("resumed continuation has no pending request");
+        let w = match response {
+            Ok(w) => w,
+            Err(e) => {
+                let e = self.unwind_frames(task, ExecError::RemoteFailure(e));
+                return TaskOutcome::Done(Err(e));
+            }
+        };
+        match action {
+            ResumeAction::Push => {
+                let v = self.unmarshal(w);
+                task.frames
+                    .last_mut()
+                    .expect("parked continuation has a frame")
+                    .stack
+                    .push(v);
+            }
+            ResumeAction::Drop => {
+                let _ = self.unmarshal(w);
+            }
+            ResumeAction::NewProxy { proxy, class_name } => match self.unmarshal(w) {
+                Value::Ref(ObjRef::Remote { node, id }) => {
+                    if let Some(h) = proxy {
+                        self.bind_proxy(h, node, id, &class_name);
+                    }
+                }
+                Value::Ref(ObjRef::Local(_)) => {}
+                other => {
+                    let e = self.unwind_frames(
+                        task,
+                        ExecError::RemoteFailure(format!("NEW returned a non-reference {other:?}")),
+                    );
+                    return TaskOutcome::Done(Err(e));
+                }
+            },
+        }
+        self.run_task(task)
+    }
+
+    /// The dispatch loop of the explicit-stack machine: drives `task` until its bottom
+    /// frame returns, it faults, or (cooperative mode only) it parks on a remote
+    /// request. All local calls push frames onto the continuation — the Rust stack
+    /// stays flat — so an in-flight computation is always resumable plain data.
+    pub fn run_task(&mut self, task: &mut Continuation) -> TaskOutcome {
+        debug_assert!(task.pending.is_none(), "running a parked continuation");
+        let layout = Arc::clone(&self.layout);
+        let program = self.program;
         // Hoisted out of the loop: the per-instruction virtual-time increment (node
-        // speed and instruction cost never change mid-frame) and the sampling flag.
+        // speed and instruction cost never change mid-run) and the mode flags.
         let unit_cost = self.instr_cost_us / self.speed;
         let sampling = self.sample_interval > 0;
-        // The virtual clock and instruction count are accumulated in locals (registers)
-        // and flushed back to `self` at every exit and around every call that can
-        // observe them (nested invokes, remote accesses, the profiler).
+        let coop = self.coop();
+        // The virtual clock and instruction count are accumulated in locals
+        // (registers) and flushed back to `self` at every exit and around every call
+        // that can observe them (remote accesses, the profiler, blocking dispatch).
         let mut clock = self.clock_us;
         let mut executed: u64 = 0;
 
-        // Flushes the accumulators back into `self` and returns the given error.
-        macro_rules! fail {
-            ($e:expr) => {{
-                self.clock_us = clock;
-                self.counters.instructions += executed;
-                return Err($e);
-            }};
-        }
-        // Runs a `self`-method that may advance the clock (nested calls, remote
-        // accesses): flush accumulators, call, re-load the clock.
-        macro_rules! call {
-            ($e:expr) => {{
-                self.clock_us = clock;
-                self.counters.instructions += executed;
-                executed = 0;
-                let r = $e;
-                clock = self.clock_us;
-                match r {
-                    Ok(v) => v,
-                    Err(e) => return Err(e),
-                }
-            }};
-        }
-        macro_rules! pop {
-            () => {
-                match stack.pop() {
-                    Some(v) => v,
-                    None => fail!(ExecError::Unsupported(format!(
-                        "operand stack underflow at pc {pc}"
-                    ))),
-                }
-            };
+        /// Control transfer out of the current activation.
+        enum Transfer {
+            /// Push the callee frame and continue there.
+            Call(Frame),
+            /// The current frame returned this value.
+            Finish(Value),
+            /// Park the continuation on request `.0`, resuming with `.1`.
+            Park(u64, ResumeAction),
+            /// The computation faulted.
+            Fail(ExecError),
         }
 
-        while pc < body.len() {
-            executed += 1;
-            clock += unit_cost;
-            if sampling {
-                self.tick_sample();
-            }
-            match &body[pc] {
-                Insn::Const(c) => stack.push(match c {
-                    Const::Int(v) => Value::Int(*v),
-                    Const::Float(v) => Value::Float(*v),
-                    Const::Bool(v) => Value::Bool(*v),
-                    Const::Str(s) => Value::str(s),
-                    Const::Null => Value::Null,
-                }),
-                Insn::Load(n) => {
-                    let idx = *n as usize;
-                    if idx >= locals.len() {
-                        locals.resize(idx + 1, Value::Null);
-                    }
-                    stack.push(locals[idx].clone());
-                }
-                Insn::Store(n) => {
-                    let idx = *n as usize;
-                    if idx >= locals.len() {
-                        locals.resize(idx + 1, Value::Null);
-                    }
-                    locals[idx] = pop!();
-                }
-                Insn::Dup => match stack.last().cloned() {
-                    Some(v) => stack.push(v),
-                    None => fail!(ExecError::Unsupported("dup on empty stack".into())),
-                },
-                Insn::Pop => {
-                    pop!();
-                }
-                Insn::Swap => {
-                    let len = stack.len();
-                    if len < 2 {
-                        fail!(ExecError::Unsupported("swap on short stack".into()));
-                    }
-                    stack.swap(len - 1, len - 2);
-                }
-                Insn::Bin(op) => {
-                    let rhs = pop!();
-                    let lhs = pop!();
-                    // Fast path: integer arithmetic stays inside the loop (no call).
-                    if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
-                        let (a, b) = (*a, *b);
-                        let r = match op {
-                            BinOp::Add => a.wrapping_add(b),
-                            BinOp::Sub => a.wrapping_sub(b),
-                            BinOp::Mul => a.wrapping_mul(b),
-                            BinOp::Div => {
-                                if b == 0 {
-                                    fail!(ExecError::DivisionByZero);
-                                }
-                                a.wrapping_div(b)
-                            }
-                            BinOp::Rem => {
-                                if b == 0 {
-                                    fail!(ExecError::DivisionByZero);
-                                }
-                                a.wrapping_rem(b)
-                            }
-                            BinOp::And => a & b,
-                            BinOp::Or => a | b,
-                            BinOp::Xor => a ^ b,
-                            BinOp::Shl => a.wrapping_shl(b as u32),
-                            BinOp::Shr => a.wrapping_shr(b as u32),
-                        };
-                        stack.push(Value::Int(r));
-                    } else {
-                        match self.binop(*op, lhs, rhs) {
-                            Ok(v) => stack.push(v),
-                            Err(e) => fail!(e),
+        loop {
+            let transfer = {
+                let Some(frame) = task.frames.last_mut() else {
+                    self.clock_us = clock;
+                    self.counters.instructions += executed;
+                    return TaskOutcome::Done(Ok(Value::Null));
+                };
+                let method = frame.method;
+                let ops: &[Op] = &layout.method_ops[method.0 as usize].ops;
+                let mut pc = frame.pc as usize;
+
+                // Flushes the register accumulators into `self` (required before any
+                // call that can observe the clock or instruction count).
+                macro_rules! flush {
+                    () => {{
+                        self.clock_us = clock;
+                        self.counters.instructions += executed;
+                        #[allow(unused_assignments)]
+                        {
+                            executed = 0;
                         }
-                    }
+                    }};
                 }
-                Insn::Un(op) => {
-                    let v = pop!();
-                    match self.unop(*op, v) {
-                        Ok(v) => stack.push(v),
-                        Err(e) => fail!(e),
-                    }
-                }
-                Insn::IfCmp(op, target) => {
-                    let rhs = pop!();
-                    let lhs = pop!();
-                    // Fast path: integer comparison without the generic coercions.
-                    let taken = if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
-                        op.eval_ord(a.cmp(b))
-                    } else {
-                        compare(*op, &lhs, &rhs)
+                macro_rules! fail {
+                    ($e:expr) => {
+                        break Transfer::Fail($e)
                     };
-                    if taken {
-                        pc = *target;
-                        continue;
-                    }
                 }
-                Insn::If(op, target) => {
-                    let v = pop!();
-                    let taken = match v {
-                        Value::Null => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
-                        Value::Ref(_) => matches!(op, CmpOp::Ne),
-                        other => {
-                            let i = other.as_int().unwrap_or(0);
-                            op.eval_ord(i.cmp(&0))
-                        }
-                    };
-                    if taken {
-                        pc = *target;
-                        continue;
-                    }
-                }
-                Insn::Goto(target) => {
-                    pc = *target;
-                    continue;
-                }
-                Insn::New(class) => {
-                    let r = self.new_instance(*class);
-                    stack.push(Value::Ref(r));
-                }
-                Insn::NewArray(elem) => {
-                    let len = match pop!().as_int() {
-                        Some(v) => v,
-                        None => fail!(ExecError::Unsupported("array length not an int".into())),
-                    };
-                    if len < 0 {
-                        fail!(ExecError::IndexOutOfBounds { index: len, len: 0 });
-                    }
-                    // Java-style zero initialisation according to the element type.
-                    let default = match elem {
-                        Type::Int => Value::Int(0),
-                        Type::Float => Value::Float(0.0),
-                        Type::Bool => Value::Bool(false),
-                        _ => Value::Null,
-                    };
-                    let r = self.alloc(HeapObject::Array {
-                        data: vec![default; len as usize],
-                    });
-                    stack.push(Value::Ref(r));
-                }
-                Insn::ArrayLoad => {
-                    let idx = pop!();
-                    let arr = pop!();
-                    // Fast path: local array, integer index.
-                    if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
-                        if let HeapObject::Array { data } = &self.heap[*h as usize] {
-                            match data.get(*i as usize) {
-                                Some(v) => {
-                                    stack.push(v.clone());
-                                    pc += 1;
-                                    continue;
-                                }
-                                None => fail!(ExecError::IndexOutOfBounds {
-                                    index: *i,
-                                    len: data.len(),
-                                }),
+                macro_rules! pop {
+                    () => {
+                        match frame.stack.pop() {
+                            Some(v) => v,
+                            None => {
+                                break Transfer::Fail(ExecError::StackUnderflow {
+                                    pc: pc as u32,
+                                    method,
+                                })
                             }
                         }
-                    }
-                    let v = call!(self.array_load(arr, idx));
-                    stack.push(v);
+                    };
                 }
-                Insn::ArrayStore => {
-                    let val = pop!();
-                    let idx = pop!();
-                    let arr = pop!();
-                    // Fast path: local array, integer index.
-                    if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
-                        if let HeapObject::Array { data } = &mut self.heap[*h as usize] {
-                            let len = data.len();
-                            match data.get_mut(*i as usize) {
-                                Some(cell) => {
-                                    *cell = val;
-                                    pc += 1;
-                                    continue;
-                                }
-                                None => fail!(ExecError::IndexOutOfBounds { index: *i, len }),
+                // Runs a blocking `self`-method that may advance the clock (remote
+                // round trips, slow dispatch): flush, call, re-load the clock.
+                macro_rules! call {
+                    ($e:expr) => {{
+                        flush!();
+                        let r = $e;
+                        clock = self.clock_us;
+                        match r {
+                            Ok(v) => v,
+                            Err(e) => break Transfer::Fail(e),
+                        }
+                    }};
+                }
+                // Sends a remote request and parks the continuation (cooperative
+                // mode): the frame resumes at the next instruction.
+                macro_rules! park {
+                    ($send:expr, $action:expr) => {{
+                        flush!();
+                        match $send {
+                            Ok(req_id) => {
+                                frame.pc = (pc + 1) as u32;
+                                break Transfer::Park(req_id, $action);
+                            }
+                            Err(e) => {
+                                clock = self.clock_us;
+                                break Transfer::Fail(e);
                             }
                         }
+                    }};
+                }
+
+                loop {
+                    if pc >= ops.len() {
+                        break Transfer::Finish(Value::Null);
                     }
-                    call!(self.array_store(arr, idx, val));
-                }
-                Insn::ArrayLength => {
-                    let arr = pop!();
-                    let v = call!(self.array_length(arr));
-                    stack.push(v);
-                }
-                Insn::GetField(fr) => {
-                    let obj = pop!();
-                    // Fast path: local non-proxy object — one slot index, no call.
-                    if let Value::Ref(ObjRef::Local(h)) = obj {
-                        if let HeapObject::Object { class, fields } = &self.heap[h as usize] {
-                            if Some(*class) != self.dep_class {
-                                stack.push(
-                                    self.layout
-                                        .field_slot(*fr)
-                                        .and_then(|slot| fields.get(slot as usize))
-                                        .cloned()
-                                        .unwrap_or(Value::Null),
-                                );
-                                pc += 1;
+                    executed += 1;
+                    clock += unit_cost;
+                    if sampling {
+                        self.tick_sample();
+                    }
+                    match &ops[pc] {
+                        Op::ConstInt(v) => frame.stack.push(Value::Int(*v)),
+                        Op::ConstFloat(v) => frame.stack.push(Value::Float(*v)),
+                        Op::ConstBool(v) => frame.stack.push(Value::Bool(*v)),
+                        Op::ConstNull => frame.stack.push(Value::Null),
+                        Op::ConstStr(i) => frame
+                            .stack
+                            .push(Value::Str(layout.const_strs[*i as usize].clone())),
+                        Op::Load(n) => {
+                            let idx = *n as usize;
+                            if idx >= frame.locals.len() {
+                                frame.locals.resize(idx + 1, Value::Null);
+                            }
+                            frame.stack.push(frame.locals[idx].clone());
+                        }
+                        Op::Store(n) => {
+                            let idx = *n as usize;
+                            if idx >= frame.locals.len() {
+                                frame.locals.resize(idx + 1, Value::Null);
+                            }
+                            frame.locals[idx] = pop!();
+                        }
+                        Op::Dup => match frame.stack.last().cloned() {
+                            Some(v) => frame.stack.push(v),
+                            None => fail!(ExecError::StackUnderflow {
+                                pc: pc as u32,
+                                method,
+                            }),
+                        },
+                        Op::Pop => {
+                            pop!();
+                        }
+                        Op::Swap => {
+                            let len = frame.stack.len();
+                            if len < 2 {
+                                fail!(ExecError::StackUnderflow {
+                                    pc: pc as u32,
+                                    method,
+                                });
+                            }
+                            frame.stack.swap(len - 1, len - 2);
+                        }
+                        Op::Bin(op) => {
+                            let rhs = pop!();
+                            let lhs = pop!();
+                            // Fast path: integer arithmetic stays inside the loop.
+                            if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                                let (a, b) = (*a, *b);
+                                let r = match op {
+                                    BinOp::Add => a.wrapping_add(b),
+                                    BinOp::Sub => a.wrapping_sub(b),
+                                    BinOp::Mul => a.wrapping_mul(b),
+                                    BinOp::Div => {
+                                        if b == 0 {
+                                            fail!(ExecError::DivisionByZero);
+                                        }
+                                        a.wrapping_div(b)
+                                    }
+                                    BinOp::Rem => {
+                                        if b == 0 {
+                                            fail!(ExecError::DivisionByZero);
+                                        }
+                                        a.wrapping_rem(b)
+                                    }
+                                    BinOp::And => a & b,
+                                    BinOp::Or => a | b,
+                                    BinOp::Xor => a ^ b,
+                                    BinOp::Shl => a.wrapping_shl(b as u32),
+                                    BinOp::Shr => a.wrapping_shr(b as u32),
+                                };
+                                frame.stack.push(Value::Int(r));
+                            } else {
+                                match self.binop(*op, lhs, rhs) {
+                                    Ok(v) => frame.stack.push(v),
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                        }
+                        Op::Un(op) => {
+                            let v = pop!();
+                            match self.unop(*op, v) {
+                                Ok(v) => frame.stack.push(v),
+                                Err(e) => fail!(e),
+                            }
+                        }
+                        Op::IfCmp(op, target) => {
+                            let rhs = pop!();
+                            let lhs = pop!();
+                            // Fast path: integer comparison without the coercions.
+                            let taken = if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                                op.eval_ord(a.cmp(b))
+                            } else {
+                                compare(*op, &lhs, &rhs)
+                            };
+                            if taken {
+                                pc = *target as usize;
                                 continue;
                             }
                         }
-                    }
-                    let v = call!(self.get_field(obj, *fr));
-                    stack.push(v);
-                }
-                Insn::PutField(fr) => {
-                    let val = pop!();
-                    let obj = pop!();
-                    // Fast path: local non-proxy object.
-                    if let Value::Ref(ObjRef::Local(h)) = obj {
-                        if let HeapObject::Object { class, fields } = &mut self.heap[h as usize] {
-                            if Some(*class) != self.dep_class {
-                                if let Some(cell) = self
-                                    .layout
-                                    .field_slot(*fr)
-                                    .and_then(|slot| fields.get_mut(slot as usize))
+                        Op::If(op, target) => {
+                            let v = pop!();
+                            let taken = match v {
+                                Value::Null => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+                                Value::Ref(_) => matches!(op, CmpOp::Ne),
+                                other => {
+                                    let i = other.as_int().unwrap_or(0);
+                                    op.eval_ord(i.cmp(&0))
+                                }
+                            };
+                            if taken {
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        Op::Goto(target) => {
+                            pc = *target as usize;
+                            continue;
+                        }
+                        Op::New(class) => {
+                            let r = self.new_instance(*class);
+                            frame.stack.push(Value::Ref(r));
+                        }
+                        Op::NewArray(init) => {
+                            let len = match pop!().as_int() {
+                                Some(v) => v,
+                                None => {
+                                    fail!(ExecError::Unsupported("array length not an int".into()))
+                                }
+                            };
+                            if len < 0 {
+                                fail!(ExecError::IndexOutOfBounds { index: len, len: 0 });
+                            }
+                            // Java-style zero initialisation (pre-decoded per type).
+                            let default = match init {
+                                ArrayInit::Int => Value::Int(0),
+                                ArrayInit::Float => Value::Float(0.0),
+                                ArrayInit::Bool => Value::Bool(false),
+                                ArrayInit::Null => Value::Null,
+                            };
+                            let r = self.alloc(HeapObject::Array {
+                                data: vec![default; len as usize],
+                            });
+                            frame.stack.push(Value::Ref(r));
+                        }
+                        Op::ArrayLoad => {
+                            let idx = pop!();
+                            let arr = pop!();
+                            // Fast path: local array, integer index.
+                            if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
+                                if let HeapObject::Array { data } = &self.heap[*h as usize] {
+                                    match data.get(*i as usize) {
+                                        Some(v) => {
+                                            frame.stack.push(v.clone());
+                                            pc += 1;
+                                            continue;
+                                        }
+                                        None => fail!(ExecError::IndexOutOfBounds {
+                                            index: *i,
+                                            len: data.len(),
+                                        }),
+                                    }
+                                }
+                            }
+                            if coop {
+                                if let Value::Ref(r @ ObjRef::Remote { .. }) = arr {
+                                    let i = match idx.as_int() {
+                                        Some(i) => i,
+                                        None => fail!(ExecError::Unsupported(
+                                            "array index not an int".into()
+                                        )),
+                                    };
+                                    park!(
+                                        self.remote_send(
+                                            r,
+                                            AccessKind::GetElement,
+                                            "",
+                                            vec![Value::Int(i)]
+                                        ),
+                                        ResumeAction::Push
+                                    );
+                                }
+                            }
+                            let v = call!(self.array_load(arr, idx));
+                            frame.stack.push(v);
+                        }
+                        Op::ArrayStore => {
+                            let val = pop!();
+                            let idx = pop!();
+                            let arr = pop!();
+                            // Fast path: local array, integer index.
+                            if let (Value::Ref(ObjRef::Local(h)), Value::Int(i)) = (&arr, &idx) {
+                                if let HeapObject::Array { data } = &mut self.heap[*h as usize] {
+                                    let len = data.len();
+                                    match data.get_mut(*i as usize) {
+                                        Some(cell) => {
+                                            *cell = val;
+                                            pc += 1;
+                                            continue;
+                                        }
+                                        None => {
+                                            fail!(ExecError::IndexOutOfBounds { index: *i, len })
+                                        }
+                                    }
+                                }
+                            }
+                            if coop {
+                                if let Value::Ref(r @ ObjRef::Remote { .. }) = arr {
+                                    let i = match idx.as_int() {
+                                        Some(i) => i,
+                                        None => fail!(ExecError::Unsupported(
+                                            "array index not an int".into()
+                                        )),
+                                    };
+                                    park!(
+                                        self.remote_send(
+                                            r,
+                                            AccessKind::PutElement,
+                                            "",
+                                            vec![Value::Int(i), val]
+                                        ),
+                                        ResumeAction::Drop
+                                    );
+                                }
+                            }
+                            call!(self.array_store(arr, idx, val));
+                        }
+                        Op::ArrayLength => {
+                            let arr = pop!();
+                            if coop {
+                                if let Value::Ref(r @ ObjRef::Remote { .. }) = arr {
+                                    park!(
+                                        self.remote_send(r, AccessKind::ArrayLength, "", vec![]),
+                                        ResumeAction::Push
+                                    );
+                                }
+                            }
+                            let v = call!(self.array_length(arr));
+                            frame.stack.push(v);
+                        }
+                        Op::GetField { slot, fr } => {
+                            let obj = pop!();
+                            // Fast path: local non-proxy object — one pre-resolved
+                            // slot index, no call.
+                            if let Value::Ref(ObjRef::Local(h)) = &obj {
+                                if let HeapObject::Object { class, fields } =
+                                    &self.heap[*h as usize]
                                 {
-                                    *cell = val;
+                                    if Some(*class) != self.dep_class {
+                                        frame.stack.push(
+                                            fields
+                                                .get(*slot as usize)
+                                                .cloned()
+                                                .unwrap_or(Value::Null),
+                                        );
+                                        pc += 1;
+                                        continue;
+                                    }
                                 }
-                                pc += 1;
-                                continue;
+                            }
+                            if coop {
+                                match self.remote_field_target(&obj, *fr) {
+                                    Ok(Some(target)) => {
+                                        let name: &str = &program.field(*fr).name;
+                                        park!(
+                                            self.remote_send(
+                                                target,
+                                                AccessKind::GetField,
+                                                name,
+                                                vec![]
+                                            ),
+                                            ResumeAction::Push
+                                        );
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                            let v = call!(self.get_field(obj, *fr));
+                            frame.stack.push(v);
+                        }
+                        Op::PutField { slot, fr } => {
+                            let val = pop!();
+                            let obj = pop!();
+                            // Fast path: local non-proxy object.
+                            if let Value::Ref(ObjRef::Local(h)) = &obj {
+                                if let HeapObject::Object { class, fields } =
+                                    &mut self.heap[*h as usize]
+                                {
+                                    if Some(*class) != self.dep_class {
+                                        if let Some(cell) = fields.get_mut(*slot as usize) {
+                                            *cell = val;
+                                        }
+                                        pc += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            if coop {
+                                match self.remote_field_target(&obj, *fr) {
+                                    Ok(Some(target)) => {
+                                        let name: &str = &program.field(*fr).name;
+                                        park!(
+                                            self.remote_send(
+                                                target,
+                                                AccessKind::PutField,
+                                                name,
+                                                vec![val]
+                                            ),
+                                            ResumeAction::Drop
+                                        );
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                            call!(self.put_field(obj, *fr, val));
+                        }
+                        Op::GetStatic(slot) => {
+                            frame.stack.push(if *slot != NO_SLOT {
+                                self.statics[*slot as usize].clone()
+                            } else {
+                                Value::Null
+                            });
+                        }
+                        Op::PutStatic(slot) => {
+                            let val = pop!();
+                            if *slot != NO_SLOT {
+                                self.statics[*slot as usize] = val;
                             }
                         }
+                        Op::Invoke {
+                            kind,
+                            target,
+                            sel,
+                            nargs,
+                            push_ret,
+                        } => {
+                            let nargs = *nargs as usize;
+                            if frame.stack.len() < nargs {
+                                fail!(ExecError::StackUnderflow {
+                                    pc: pc as u32,
+                                    method,
+                                });
+                            }
+                            let base = frame.stack.len() - nargs;
+                            // Hot path resolution: static calls, and virtual/special
+                            // calls on ordinary local receivers.
+                            let mut resolved: Option<MethodId> = None;
+                            if *kind == InvokeKind::Static {
+                                resolved = Some(*target);
+                            } else if let Value::Ref(ObjRef::Local(h)) = &frame.stack[base] {
+                                let callee_class = program.method(*target).class;
+                                if Some(callee_class) != self.dep_class {
+                                    if let Some(c) = self.heap[*h as usize].class() {
+                                        if Some(c) != self.dep_class {
+                                            resolved = Some(match kind {
+                                                InvokeKind::Special => *target,
+                                                _ => match layout.resolve_selector(c, *sel) {
+                                                    Some(m) => m,
+                                                    None => fail!(ExecError::UnknownMethod(
+                                                        program.method(*target).name.clone(),
+                                                    )),
+                                                },
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(callee) = resolved {
+                                if self.call_stack.len() >= self.max_depth {
+                                    frame.stack.truncate(base);
+                                    fail!(ExecError::StackOverflow);
+                                }
+                                let cmops = &layout.method_ops[callee.0 as usize];
+                                if cmops.ops.is_empty() {
+                                    frame.stack.truncate(base);
+                                    if *push_ret {
+                                        frame.stack.push(Value::Null);
+                                    }
+                                } else {
+                                    if self.profiler.is_some() {
+                                        flush!();
+                                    }
+                                    let mut f = self.make_frame(callee, *push_ret);
+                                    f.locals.resize(
+                                        (cmops.locals as usize).max(nargs) + 4,
+                                        Value::Null,
+                                    );
+                                    for (i, a) in frame.stack.drain(base..).enumerate() {
+                                        f.locals[i] = a;
+                                    }
+                                    frame.pc = (pc + 1) as u32;
+                                    break Transfer::Call(f);
+                                }
+                            } else if coop {
+                                // Proxies, remote receivers, the DependentObject
+                                // protocol: suspendable paths.
+                                let args = frame.stack.split_off(base);
+                                match self.prep_slow_invoke(args, *target, *push_ret) {
+                                    Ok(SlowInvoke::Remote {
+                                        target_ref,
+                                        kind,
+                                        member,
+                                        args,
+                                        push,
+                                    }) => {
+                                        park!(
+                                            self.remote_send(target_ref, kind, &member, args),
+                                            if push {
+                                                ResumeAction::Push
+                                            } else {
+                                                ResumeAction::Drop
+                                            }
+                                        );
+                                    }
+                                    Ok(SlowInvoke::NewRemote {
+                                        home,
+                                        class_name,
+                                        args,
+                                        proxy,
+                                    }) => {
+                                        park!(
+                                            self.remote_new_send(home, &class_name, args),
+                                            ResumeAction::NewProxy { proxy, class_name }
+                                        );
+                                    }
+                                    Ok(SlowInvoke::CallCtor {
+                                        ctor,
+                                        receiver,
+                                        args,
+                                    }) => {
+                                        if self.call_stack.len() >= self.max_depth {
+                                            fail!(ExecError::StackOverflow);
+                                        }
+                                        let cmops = &layout.method_ops[ctor.0 as usize];
+                                        if self.profiler.is_some() {
+                                            flush!();
+                                        }
+                                        let mut f = self.make_frame(ctor, false);
+                                        f.locals.resize(
+                                            (cmops.locals as usize).max(args.len() + 1) + 4,
+                                            Value::Null,
+                                        );
+                                        f.locals[0] = receiver;
+                                        for (i, a) in args.into_iter().enumerate() {
+                                            f.locals[i + 1] = a;
+                                        }
+                                        frame.pc = (pc + 1) as u32;
+                                        break Transfer::Call(f);
+                                    }
+                                    Ok(SlowInvoke::Nothing) => {
+                                        if *push_ret {
+                                            frame.stack.push(Value::Null);
+                                        }
+                                    }
+                                    Err(e) => fail!(e),
+                                }
+                            } else {
+                                // Blocking slow path (threaded / centralized): the
+                                // classic dispatcher, re-entrant on the native stack.
+                                let args = frame.stack.split_off(base);
+                                let v = call!(self.dispatch(*kind, *target, args));
+                                if *push_ret {
+                                    frame.stack.push(v);
+                                }
+                            }
+                        }
+                        Op::Return => {
+                            break Transfer::Finish(Value::Null);
+                        }
+                        Op::ReturnValue => {
+                            let v = pop!();
+                            break Transfer::Finish(v);
+                        }
                     }
-                    call!(self.put_field(obj, *fr, val));
+                    pc += 1;
                 }
-                Insn::GetStatic(fr) => {
-                    stack.push(match self.layout.static_slot(*fr) {
-                        Some(slot) => self.statics[slot as usize].clone(),
-                        None => Value::Null,
-                    });
+            };
+
+            match transfer {
+                Transfer::Call(f) => {
+                    task.frames.push(f);
                 }
-                Insn::PutStatic(fr) => {
-                    let val = pop!();
-                    if let Some(slot) = self.layout.static_slot(*fr) {
-                        self.statics[slot as usize] = val;
+                Transfer::Finish(v) => {
+                    if self.profiler.is_some() {
+                        self.clock_us = clock;
+                        self.counters.instructions += executed;
+                        executed = 0;
+                    }
+                    let done = task.frames.pop().expect("finished frame exists");
+                    self.retire_frame(&done);
+                    let push = done.push_ret;
+                    self.recycle_frame(done);
+                    match task.frames.last_mut() {
+                        Some(caller) => {
+                            if push {
+                                caller.stack.push(v);
+                            }
+                        }
+                        None => {
+                            self.clock_us = clock;
+                            self.counters.instructions += executed;
+                            return TaskOutcome::Done(Ok(v));
+                        }
                     }
                 }
-                Insn::Invoke(kind, target) => {
-                    let callee = self.program.method(*target);
-                    let nargs =
-                        callee.params.len() + if *kind == InvokeKind::Static { 0 } else { 1 };
-                    if stack.len() < nargs {
-                        fail!(ExecError::Unsupported(format!(
-                            "invoke underflow at pc {pc}"
-                        )));
-                    }
-                    let has_ret = callee.ret != Type::Void;
-                    let result = call!(self.dispatch_on_stack(*kind, *target, stack, nargs));
-                    if has_ret {
-                        stack.push(result);
-                    }
+                Transfer::Park(req_id, action) => {
+                    // The accumulators were flushed before the send; `self.clock_us`
+                    // already includes the send overhead.
+                    task.pending = Some(action);
+                    return TaskOutcome::Parked { req_id };
                 }
-                Insn::Return => {
+                Transfer::Fail(e) => {
                     self.clock_us = clock;
                     self.counters.instructions += executed;
-                    return Ok(Value::Null);
-                }
-                Insn::ReturnValue => {
-                    let v = pop!();
-                    self.clock_us = clock;
-                    self.counters.instructions += executed;
-                    return Ok(v);
+                    let e = self.unwind_frames(task, e);
+                    return TaskOutcome::Done(Err(e));
                 }
             }
-            pc += 1;
         }
-        self.clock_us = clock;
-        self.counters.instructions += executed;
-        Ok(Value::Null)
+    }
+
+    /// For the cooperative slow paths of `GetField`/`PutField`: decides whether the
+    /// access must travel to another node. Returns `Ok(Some(remote))` for proxies
+    /// being forwarded and for remote references, `Ok(None)` when the access is
+    /// local (or is a fault the blocking helpers will report identically).
+    fn remote_field_target(&self, obj: &Value, fr: FieldRef) -> Result<Option<ObjRef>, ExecError> {
+        match obj {
+            Value::Ref(ObjRef::Local(h)) => match &self.heap[*h as usize] {
+                HeapObject::Object { class, .. }
+                    if Some(*class) == self.dep_class && Some(fr.class) != self.dep_class =>
+                {
+                    self.proxy_target(*h).map(Some)
+                }
+                _ => Ok(None),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => Ok(Some(*r)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Classifies an invoke that left the hot path under cooperative scheduling:
+    /// everything the recursive `dispatch` + `dependent_object_call` pair did, minus
+    /// the blocking round trips (those become [`SlowInvoke`] decisions the machine
+    /// turns into parks). `args` includes the receiver.
+    fn prep_slow_invoke(
+        &mut self,
+        mut args: Vec<Value>,
+        target: MethodId,
+        push_ret: bool,
+    ) -> Result<SlowInvoke, ExecError> {
+        let program = self.program;
+        let callee_class = program.method(target).class;
+        let receiver = args
+            .first()
+            .cloned()
+            .ok_or_else(|| ExecError::Unsupported("instance call without receiver".into()))?;
+
+        // Interception of the DependentObject proxy protocol.
+        if Some(callee_class) == self.dep_class {
+            return self.prep_dependent_object_call(target, receiver, args, push_ret);
+        }
+
+        match receiver {
+            Value::Null => Err(ExecError::NullPointer(format!(
+                "call to {}",
+                program.method(target).name
+            ))),
+            Value::Ref(ObjRef::Local(h)) => match self.heap[h as usize].class() {
+                Some(c) if Some(c) == self.dep_class => {
+                    // A proxy object reached a normal (non-rewritten) call site:
+                    // forward transparently to its home node.
+                    let remote = self.proxy_target(h)?;
+                    args.remove(0);
+                    let callee = program.method(target);
+                    let k = if callee.ret == Type::Void {
+                        AccessKind::InvokeVoid
+                    } else {
+                        AccessKind::InvokeRet
+                    };
+                    Ok(SlowInvoke::Remote {
+                        target_ref: remote,
+                        kind: k,
+                        member: callee.name.clone(),
+                        args,
+                        push: push_ret,
+                    })
+                }
+                Some(_) => Err(ExecError::Unsupported(
+                    "internal: local receiver missed the dispatch fast path".into(),
+                )),
+                None => Err(ExecError::Unsupported(
+                    "method call on an array reference".into(),
+                )),
+            },
+            Value::Ref(r @ ObjRef::Remote { .. }) => {
+                // Transparent forwarding: type-based rewriting missed this receiver,
+                // but the object actually lives remotely.
+                args.remove(0);
+                let callee = program.method(target);
+                let k = if callee.ret == Type::Void {
+                    AccessKind::InvokeVoid
+                } else {
+                    AccessKind::InvokeRet
+                };
+                Ok(SlowInvoke::Remote {
+                    target_ref: r,
+                    kind: k,
+                    member: callee.name.clone(),
+                    args,
+                    push: push_ret,
+                })
+            }
+            other => Err(ExecError::Unsupported(format!(
+                "method call on non-reference {other:?}"
+            ))),
+        }
+    }
+
+    /// The cooperative-mode counterpart of [`Self::dependent_object_call`]: parses
+    /// `DependentObject.<init>` / `.access` and decides how the machine proceeds.
+    fn prep_dependent_object_call(
+        &mut self,
+        target: MethodId,
+        receiver: Value,
+        args: Vec<Value>,
+        push_ret: bool,
+    ) -> Result<SlowInvoke, ExecError> {
+        match self.program.method(target).name.as_str() {
+            "<init>" => {
+                let (location, class_name, ctor_args) = self.parse_dep_init(&args)?;
+                if self.dist.is_none() {
+                    return Err(ExecError::NotDistributed);
+                }
+                if location == self.dist.as_ref().unwrap().rank() {
+                    let (r, ctor) = self.create_at_home(&class_name)?;
+                    match ctor {
+                        Some(ctor) => Ok(SlowInvoke::CallCtor {
+                            ctor,
+                            receiver: Value::Ref(r),
+                            args: ctor_args,
+                        }),
+                        None => Ok(SlowInvoke::Nothing),
+                    }
+                } else {
+                    let proxy = match (&receiver, self.proxy_slots) {
+                        (Value::Ref(ObjRef::Local(h)), Some(_)) => Some(*h),
+                        _ => None,
+                    };
+                    Ok(SlowInvoke::NewRemote {
+                        home: location,
+                        class_name,
+                        args: ctor_args,
+                        proxy,
+                    })
+                }
+            }
+            "access" => {
+                let (target_ref, kind, member, call_args) =
+                    self.parse_dep_access(&receiver, &args)?;
+                Ok(SlowInvoke::Remote {
+                    target_ref,
+                    kind,
+                    member,
+                    args: call_args,
+                    push: push_ret,
+                })
+            }
+            other => Err(ExecError::UnknownMethod(format!(
+                "rt/DependentObject.{other}"
+            ))),
+        }
+    }
+
+    /// Parses the argument list of `DependentObject.<init>` — `[proxy, location,
+    /// className, argsArray]` — into (home node, class name, constructor args).
+    /// Shared by both schedulers' proxy-interception paths so the wire protocol is
+    /// decoded in exactly one place.
+    fn parse_dep_init(&self, args: &[Value]) -> Result<(usize, String, Vec<Value>), ExecError> {
+        let location = args
+            .get(1)
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| ExecError::Unsupported("DependentObject.<init>: location".into()))?
+            as usize;
+        let class_name = match args.get(2) {
+            Some(Value::Str(s)) => s.to_string(),
+            _ => {
+                return Err(ExecError::Unsupported(
+                    "DependentObject.<init>: class name".into(),
+                ))
+            }
+        };
+        let ctor_args = self.unpack_args_array(args.get(3).cloned())?;
+        Ok((location, class_name, ctor_args))
+    }
+
+    /// Parses a `DependentObject.access` call — `[proxy-or-remote, kind, member,
+    /// argsArray]` — into the remote target, access kind, member name and call args.
+    /// Shared by both schedulers' proxy-interception paths.
+    fn parse_dep_access(
+        &self,
+        receiver: &Value,
+        args: &[Value],
+    ) -> Result<(ObjRef, AccessKind, String, Vec<Value>), ExecError> {
+        let kind_tag = args
+            .get(1)
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| ExecError::Unsupported("access: kind".into()))?;
+        let kind = AccessKind::from_tag(kind_tag)
+            .ok_or_else(|| ExecError::Unsupported(format!("access: bad kind {kind_tag}")))?;
+        let member = match args.get(2) {
+            Some(Value::Str(s)) => s.to_string(),
+            _ => return Err(ExecError::Unsupported("access: member name".into())),
+        };
+        let call_args = self.unpack_args_array(args.get(3).cloned())?;
+        let target_ref = match receiver {
+            Value::Ref(ObjRef::Local(h)) => self.proxy_target(*h)?,
+            Value::Ref(r @ ObjRef::Remote { .. }) => *r,
+            _ => {
+                return Err(ExecError::NullPointer(
+                    "DependentObject.access on null".into(),
+                ))
+            }
+        };
+        Ok((target_ref, kind, member, call_args))
     }
 
     fn binop(&self, op: BinOp, lhs: Value, rhs: Value) -> Result<Value, ExecError> {
@@ -1013,43 +1745,9 @@ impl<'p> Interp<'p> {
 
     // --- dispatch -----------------------------------------------------------------
 
-    /// Dispatches an invocation whose arguments still sit on the caller's operand
-    /// stack. Static calls and virtual/special calls on ordinary local receivers (the
-    /// hot paths) move the arguments straight into the callee frame; everything else
-    /// (proxies, remote receivers, the DependentObject protocol, faults) materialises
-    /// an argument vector and goes through [`Self::dispatch`].
-    fn dispatch_on_stack(
-        &mut self,
-        kind: InvokeKind,
-        target: MethodId,
-        stack: &mut Vec<Value>,
-        nargs: usize,
-    ) -> Result<Value, ExecError> {
-        if kind == InvokeKind::Static {
-            return self.invoke_from_stack(target, stack, nargs);
-        }
-        let base = stack.len() - nargs;
-        if let Value::Ref(ObjRef::Local(h)) = &stack[base] {
-            let h = *h;
-            let callee_class = self.program.method(target).class;
-            if Some(callee_class) != self.dep_class {
-                if let Some(c) = self.heap[h as usize].class() {
-                    if Some(c) != self.dep_class {
-                        let resolved = match kind {
-                            InvokeKind::Special => target,
-                            _ => self.layout.resolve_virtual(c, target).ok_or_else(|| {
-                                ExecError::UnknownMethod(self.program.method(target).name.clone())
-                            })?,
-                        };
-                        return self.invoke_from_stack(resolved, stack, nargs);
-                    }
-                }
-            }
-        }
-        let args = stack.split_off(base);
-        self.dispatch(kind, target, args)
-    }
-
+    /// The blocking slow-path dispatcher (thread-per-node / centralized execution):
+    /// proxies, remote receivers, the DependentObject protocol and faults. Hot-path
+    /// calls never reach it — the machine pushes their frames directly.
     fn dispatch(
         &mut self,
         kind: InvokeKind,
@@ -1137,64 +1835,56 @@ impl<'p> Interp<'p> {
     ) -> Result<Value, ExecError> {
         match self.program.method(target).name.as_str() {
             "<init>" => {
-                // args = [proxy, location, className, argsArray]
                 let proxy = receiver;
-                let location = args.get(1).and_then(|v| v.as_int()).ok_or_else(|| {
-                    ExecError::Unsupported("DependentObject.<init>: location".into())
-                })? as usize;
-                let class_name = match args.get(2) {
-                    Some(Value::Str(s)) => s.to_string(),
-                    _ => {
-                        return Err(ExecError::Unsupported(
-                            "DependentObject.<init>: class name".into(),
-                        ))
-                    }
-                };
-                let ctor_args = self.unpack_args_array(args.get(3).cloned())?;
+                let (location, class_name, ctor_args) = self.parse_dep_init(&args)?;
                 let remote = self.remote_new(location, &class_name, ctor_args)?;
-                // Record the remote identity in the proxy so later accesses route there.
-                if let (Value::Ref(ObjRef::Local(h)), Some((hs, rs, cs))) =
-                    (proxy, self.proxy_slots)
+                if let (Value::Ref(ObjRef::Local(h)), ObjRef::Remote { node, id }) = (proxy, remote)
                 {
-                    if let (ObjRef::Remote { node, id }, HeapObject::Object { fields, .. }) =
-                        (remote, &mut self.heap[h as usize])
-                    {
-                        fields[hs] = Value::Int(node as i64);
-                        fields[rs] = Value::Int(id as i64);
-                        fields[cs] = Value::str(&class_name);
-                    }
+                    self.bind_proxy(h, node, id, &class_name);
                 }
                 Ok(Value::Null)
             }
             "access" => {
-                // args = [proxy-or-remote, kind, member, argsArray]
-                let kind_tag = args
-                    .get(1)
-                    .and_then(|v| v.as_int())
-                    .ok_or_else(|| ExecError::Unsupported("access: kind".into()))?;
-                let kind = AccessKind::from_tag(kind_tag).ok_or_else(|| {
-                    ExecError::Unsupported(format!("access: bad kind {kind_tag}"))
-                })?;
-                let member = match args.get(2) {
-                    Some(Value::Str(s)) => s.to_string(),
-                    _ => return Err(ExecError::Unsupported("access: member name".into())),
-                };
-                let call_args = self.unpack_args_array(args.get(3).cloned())?;
-                let target = match receiver {
-                    Value::Ref(ObjRef::Local(h)) => self.proxy_target(h)?,
-                    Value::Ref(r @ ObjRef::Remote { .. }) => r,
-                    _ => {
-                        return Err(ExecError::NullPointer(
-                            "DependentObject.access on null".into(),
-                        ))
-                    }
-                };
+                let (target, kind, member, call_args) = self.parse_dep_access(&receiver, &args)?;
                 self.remote_access(target, kind, &member, call_args)
             }
             other => Err(ExecError::UnknownMethod(format!(
                 "rt/DependentObject.{other}"
             ))),
         }
+    }
+
+    /// Records a remote identity in a proxy object's home/remoteId/className slots so
+    /// later accesses route to the object's home node — the single encoding of the
+    /// proxy representation, shared by the blocking and cooperative `<init>` paths.
+    fn bind_proxy(&mut self, proxy: u32, node: usize, id: u64, class_name: &str) {
+        if let Some((hs, rs, cs)) = self.proxy_slots {
+            if let HeapObject::Object { fields, .. } = &mut self.heap[proxy as usize] {
+                fields[hs] = Value::Int(node as i64);
+                fields[rs] = Value::Int(id as i64);
+                fields[cs] = Value::str(class_name);
+            }
+        }
+    }
+
+    /// Creates an instance of `class_name` on this node (the placement put the
+    /// "remote" class here, so no message is needed) and returns the reference plus
+    /// the constructor to run, if one with a body exists. Shared by the blocking and
+    /// cooperative at-home `NEW` paths.
+    fn create_at_home(
+        &mut self,
+        class_name: &str,
+    ) -> Result<(ObjRef, Option<MethodId>), ExecError> {
+        let class = self
+            .program
+            .class_by_name(class_name)
+            .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
+        let r = self.new_instance(class);
+        let ctor = self
+            .program
+            .find_method(class, "<init>")
+            .filter(|&c| !self.layout.ops(c).ops.is_empty());
+        Ok((r, ctor))
     }
 
     /// Extracts the remote identity recorded in a proxy object.
@@ -1316,14 +2006,8 @@ impl<'p> Interp<'p> {
             return Err(ExecError::NotDistributed);
         }
         if home == self.dist.as_ref().unwrap().rank() {
-            // The "remote" class is actually local (placement on this node): create it
-            // directly rather than messaging ourselves.
-            let class = self
-                .program
-                .class_by_name(class_name)
-                .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
-            let r = self.new_instance(class);
-            if let Some(ctor) = self.program.find_method(class, "<init>") {
+            let (r, ctor) = self.create_at_home(class_name)?;
+            if let Some(ctor) = ctor {
                 let mut full = vec![Value::Ref(r)];
                 full.extend(args);
                 self.invoke(ctor, full)?;
@@ -1368,80 +2052,109 @@ impl<'p> Interp<'p> {
         Ok(self.unmarshal(resp))
     }
 
+    /// Sends a `DEPENDENCE` request without waiting for the answer (cooperative
+    /// mode): the machine parks the running continuation on the returned request id.
+    fn remote_send(
+        &mut self,
+        target: ObjRef,
+        kind: AccessKind,
+        member: &str,
+        args: Vec<Value>,
+    ) -> Result<u64, ExecError> {
+        let (node, id) = match target {
+            ObjRef::Remote { node, id } => (node, id),
+            ObjRef::Local(_) => {
+                return Err(ExecError::Unsupported(
+                    "remote access on a local reference".into(),
+                ))
+            }
+        };
+        if self.dist.is_none() {
+            return Err(ExecError::NotDistributed);
+        }
+        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
+        let data = crate::wire::encode_dependence(id, kind, member, &wire_args);
+        self.counters.remote_requests += 1;
+        let clock = self.clock_us;
+        let dist = self.dist.as_mut().unwrap();
+        let (clock, req_id) = dist.endpoint.send_request(node, data, clock);
+        self.clock_us = clock;
+        Ok(req_id)
+    }
+
+    /// Sends a `NEW` request without waiting (cooperative mode, see
+    /// [`Self::remote_send`]).
+    fn remote_new_send(
+        &mut self,
+        home: usize,
+        class_name: &str,
+        args: Vec<Value>,
+    ) -> Result<u64, ExecError> {
+        if self.dist.is_none() {
+            return Err(ExecError::NotDistributed);
+        }
+        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
+        let data = crate::wire::encode_new(class_name, &wire_args);
+        self.counters.remote_requests += 1;
+        let clock = self.clock_us;
+        let dist = self.dist.as_mut().unwrap();
+        let (clock, req_id) = dist.endpoint.send_request(home, data, clock);
+        self.clock_us = clock;
+        Ok(req_id)
+    }
+
     /// Sends a request and waits for its response, serving any nested requests that
-    /// arrive in the meantime (the re-entrant Message Exchange behaviour).
-    ///
-    /// Under cooperative scheduling (a [`ClusterPump`] is attached) the wait does not
-    /// block an OS thread: the callee node's message loop is run inline on the current
-    /// thread until it has answered. Under thread-per-node execution the wait blocks
-    /// on this node's own mailbox, exactly as before.
-    fn round_trip(&mut self, to: usize, data: bytes::Bytes) -> Result<WireValue, ExecError> {
-        {
+    /// arrive in the meantime (the re-entrant Message Exchange behaviour). This is
+    /// the thread-per-node wait: it blocks the OS thread on this node's mailbox.
+    /// Cooperative nodes never call it — their machine parks instead.
+    fn round_trip(&mut self, to: usize, data: Bytes) -> Result<WireValue, ExecError> {
+        let req_id = {
             let clock = self.clock_us;
             let dist = self.dist.as_mut().unwrap();
-            self.clock_us = dist.endpoint.send(to, PacketKind::Request, data, clock);
-        }
+            let (clock, req_id) = dist.endpoint.send_request(to, data, clock);
+            self.clock_us = clock;
+            req_id
+        };
         loop {
-            // Absorb whatever is already queued for us (the response, or nested
-            // requests that must be served before the response can be produced).
-            while let Some(pkt) = self.dist.as_mut().unwrap().endpoint.try_recv() {
-                if let Some(v) = self.absorb(pkt)? {
-                    return Ok(v);
-                }
-            }
-            let pump = self.dist.as_ref().unwrap().pump.clone();
-            match pump {
-                Some(p) => {
-                    // Cooperative mode: run the callee inline. The scheduler is only
-                    // selected for placements whose inter-node dependence digraph is
-                    // acyclic, so the callee is never an ancestor of this call chain.
-                    if !p.pump(to) {
-                        return Err(ExecError::RemoteFailure(format!(
-                            "cooperative scheduler: node {to} is not runnable \
-                             (re-entrant placement executed inline?)"
-                        )));
-                    }
-                    if let Some(pkt) = self.dist.as_mut().unwrap().endpoint.try_recv() {
-                        if let Some(v) = self.absorb(pkt)? {
-                            return Ok(v);
-                        }
-                    } else {
-                        return Err(ExecError::RemoteFailure(format!(
-                            "node {to} went idle without answering"
-                        )));
-                    }
-                }
-                None => {
-                    let pkt = self.dist.as_mut().unwrap().endpoint.recv();
-                    if let Some(v) = self.absorb(pkt)? {
-                        return Ok(v);
-                    }
-                }
+            let pkt = self.dist.as_mut().unwrap().endpoint.recv();
+            if let Some(v) = self.absorb(pkt, req_id)? {
+                return Ok(v);
             }
         }
     }
 
     /// Absorbs one packet while waiting inside a round trip: returns the decoded
     /// response when it arrives, serves nested requests, and notes shutdowns.
-    fn absorb(&mut self, pkt: Packet) -> Result<Option<WireValue>, ExecError> {
+    /// Round trips nest LIFO on the native stack, so the first response observed at
+    /// each nesting level is the one for `expected` — the id check is a hard
+    /// invariant, not a filter.
+    fn absorb(&mut self, pkt: Packet, expected: u64) -> Result<Option<WireValue>, ExecError> {
         self.clock_us = self.clock_us.max(pkt.arrival_time_us);
         match pkt.kind {
-            PacketKind::Response => match Response::decode(pkt.data) {
-                Response::Value(v) => Ok(Some(v)),
-                Response::Error(e) => Err(ExecError::RemoteFailure(e)),
-            },
+            PacketKind::Response => {
+                if pkt.req_id != expected {
+                    return Err(ExecError::RemoteFailure(format!(
+                        "response correlation mismatch: got {}, awaiting {expected}",
+                        pkt.req_id
+                    )));
+                }
+                match Response::decode(pkt.data) {
+                    Response::Value(v) => Ok(Some(v)),
+                    Response::Error(e) => Err(ExecError::RemoteFailure(e)),
+                }
+            }
             PacketKind::Request => {
-                self.serve_request(pkt.from, pkt.data);
+                self.serve_request(pkt.from, pkt.req_id, pkt.data);
                 Ok(None)
             }
         }
     }
 
-    /// Serves one incoming request packet (shared by every wait/drain loop so the
-    /// cost accounting cannot diverge between schedulers): decodes it, notes
-    /// shutdowns, and sends the response back with the modelled cost. The caller has
-    /// already advanced the clock to the packet's arrival time.
-    fn serve_request(&mut self, from: usize, data: bytes::Bytes) {
+    /// Serves one incoming request packet synchronously (the thread-per-node serve
+    /// path): decodes it, notes shutdowns, and sends the response back with the
+    /// modelled cost. The caller has already advanced the clock to the packet's
+    /// arrival time.
+    fn serve_request(&mut self, from: usize, req_id: u64, data: Bytes) {
         let req = Request::decode(data);
         if matches!(req, Request::Shutdown) {
             if let Some(d) = self.dist.as_mut() {
@@ -1454,45 +2167,59 @@ impl<'p> Interp<'p> {
         let dist = self.dist.as_mut().unwrap();
         self.clock_us = dist
             .endpoint
-            .send(from, PacketKind::Response, resp.encode(), clock);
+            .send_response(from, req_id, resp.encode(), clock);
     }
 
-    /// Serves every packet currently queued on this node's endpoint without blocking
-    /// (the cooperative scheduler's unit of work). Returns `true` once a shutdown
-    /// request has been observed.
-    pub fn drain_mailbox(&mut self) -> bool {
-        loop {
-            let pkt = match self.dist.as_mut() {
-                Some(d) => d.endpoint.try_recv(),
-                None => return true,
-            };
-            let Some(pkt) = pkt else { break };
-            self.clock_us = self.clock_us.max(pkt.arrival_time_us);
-            match pkt.kind {
-                PacketKind::Request => self.serve_request(pkt.from, pkt.data),
-                PacketKind::Response => {
-                    // Stray response (should not happen): ignore.
-                }
+    /// Non-blocking receive for the cooperative scheduler; advances the virtual clock
+    /// to the packet's arrival time (a receiver can never observe a message before it
+    /// was sent).
+    pub fn poll_packet(&mut self) -> Option<Packet> {
+        let pkt = self.dist.as_mut()?.endpoint.try_recv()?;
+        self.clock_us = self.clock_us.max(pkt.arrival_time_us);
+        Some(pkt)
+    }
+
+    /// Processes one incoming *request* packet under cooperative scheduling. Requests
+    /// that need no bytecode (field/array accesses on local objects) are answered on
+    /// the spot; invocations and constructions spawn a [`Continuation`] the scheduler
+    /// runs — re-entrantly with any continuation this node already has parked, which
+    /// is exactly what makes cyclic placements schedulable on one thread.
+    pub fn accept_request(&mut self, from: usize, req_id: u64, data: Bytes) -> ServeOutcome {
+        let req = Request::decode(data);
+        if matches!(req, Request::Shutdown) {
+            if let Some(d) = self.dist.as_mut() {
+                d.shutdown = true;
             }
+            return ServeOutcome::Handled;
         }
-        self.dist.as_ref().map(|d| d.shutdown).unwrap_or(true)
-    }
-
-    /// Handles one incoming request (the body of the Message Exchange service).
-    pub fn handle_request(&mut self, req: Request) -> Response {
         self.counters.requests_served += 1;
-        match self.try_handle(req) {
-            Ok(v) => {
-                let w = self.marshal(&v);
-                Response::Value(w)
+        match self.accept_inner(req) {
+            Ok(Accepted::Value(v)) => {
+                self.send_reply(from, req_id, Ok(v));
+                ServeOutcome::Handled
             }
-            Err(e) => Response::Error(e.to_string()),
+            Ok(Accepted::Run {
+                task,
+                reply_override,
+            }) => ServeOutcome::Spawned {
+                task,
+                reply_override,
+            },
+            Err(e) => {
+                self.send_reply(from, req_id, Err(e));
+                ServeOutcome::Handled
+            }
         }
     }
 
-    fn try_handle(&mut self, req: Request) -> Result<Value, ExecError> {
+    /// The single request classifier behind both serve paths: decodes the request,
+    /// answers bytecode-free accesses on the spot ([`Accepted::Value`]) and returns
+    /// anything that needs bytecode as a task ([`Accepted::Run`]) — the cooperative
+    /// scheduler interleaves it, the synchronous [`Self::try_handle`] runs it to
+    /// completion.
+    fn accept_inner(&mut self, req: Request) -> Result<Accepted, ExecError> {
         match req {
-            Request::Shutdown => Ok(Value::Null),
+            Request::Shutdown => Ok(Accepted::Value(Value::Null)),
             Request::New { class_name, args } => {
                 let class = self
                     .program
@@ -1500,12 +2227,24 @@ impl<'p> Interp<'p> {
                     .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
                 let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
                 let r = self.new_instance(class);
-                if let Some(ctor) = self.program.find_method(class, "<init>") {
-                    let mut full = vec![Value::Ref(r)];
-                    full.extend(args);
-                    self.invoke(ctor, full)?;
+                match self.program.find_method(class, "<init>") {
+                    Some(ctor) if !self.layout.ops(ctor).ops.is_empty() => {
+                        // Serving pushes a frame that stays live while the task runs
+                        // (or parks), so unbounded cross-node recursion shows up as
+                        // call-stack growth here — guard it like any other call.
+                        if self.call_stack.len() >= self.max_depth {
+                            return Err(ExecError::StackOverflow);
+                        }
+                        let mut full = vec![Value::Ref(r)];
+                        full.extend(args);
+                        let task = self.task_for(ctor, full).expect("constructor has a body");
+                        Ok(Accepted::Run {
+                            task,
+                            reply_override: Some(Value::Ref(r)),
+                        })
+                    }
+                    _ => Ok(Accepted::Value(Value::Ref(r))),
                 }
-                Ok(Value::Ref(r))
             }
             Request::Dependence {
                 target,
@@ -1522,24 +2261,26 @@ impl<'p> Interp<'p> {
                 let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
                 let receiver = Value::Ref(ObjRef::Local(heap_idx));
                 match kind {
-                    AccessKind::GetField => self.get_field_by_name(receiver, &member),
+                    AccessKind::GetField => self
+                        .get_field_by_name(receiver, &member)
+                        .map(Accepted::Value),
                     AccessKind::PutField => {
                         let v = args.into_iter().next().unwrap_or(Value::Null);
                         self.put_field_by_name(receiver, &member, v)?;
-                        Ok(Value::Null)
+                        Ok(Accepted::Value(Value::Null))
                     }
                     AccessKind::GetElement => {
                         let idx = args.into_iter().next().unwrap_or(Value::Int(0));
-                        self.array_load(receiver, idx)
+                        self.array_load(receiver, idx).map(Accepted::Value)
                     }
                     AccessKind::PutElement => {
                         let mut it = args.into_iter();
                         let idx = it.next().unwrap_or(Value::Int(0));
                         let val = it.next().unwrap_or(Value::Null);
                         self.array_store(receiver, idx, val)?;
-                        Ok(Value::Null)
+                        Ok(Accepted::Value(Value::Null))
                     }
-                    AccessKind::ArrayLength => self.array_length(receiver),
+                    AccessKind::ArrayLength => self.array_length(receiver).map(Accepted::Value),
                     AccessKind::InvokeVoid | AccessKind::InvokeRet => {
                         let class = self.heap[heap_idx as usize]
                             .class()
@@ -1548,12 +2289,70 @@ impl<'p> Interp<'p> {
                             .program
                             .resolve_method(class, &member)
                             .ok_or_else(|| ExecError::UnknownMethod(member.clone()))?;
+                        // See the `New` arm: served frames accumulate on the call
+                        // stack across parks, so this is where cross-node recursion
+                        // is bounded.
+                        if self.call_stack.len() >= self.max_depth {
+                            return Err(ExecError::StackOverflow);
+                        }
                         let mut full = vec![receiver];
                         full.extend(args);
-                        self.invoke(m, full)
+                        match self.task_for(m, full) {
+                            Some(task) => Ok(Accepted::Run {
+                                task,
+                                reply_override: None,
+                            }),
+                            // Abstract / intrinsic methods behave as no-ops.
+                            None => Ok(Accepted::Value(Value::Null)),
+                        }
                     }
                 }
             }
+        }
+    }
+
+    /// Sends the response for request `req_id` back to `to`, marshalling the result
+    /// (errors travel as `Response::Error`, exactly like the synchronous serve path).
+    pub fn send_reply(&mut self, to: usize, req_id: u64, result: Result<Value, ExecError>) {
+        let resp = match result {
+            Ok(v) => Response::Value(self.marshal(&v)),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let clock = self.clock_us;
+        let dist = self.dist.as_mut().expect("reply requires dist state");
+        self.clock_us = dist
+            .endpoint
+            .send_response(to, req_id, resp.encode(), clock);
+    }
+
+    /// Handles one incoming request (the body of the Message Exchange service).
+    pub fn handle_request(&mut self, req: Request) -> Response {
+        self.counters.requests_served += 1;
+        match self.try_handle(req) {
+            Ok(v) => {
+                let w = self.marshal(&v);
+                Response::Value(w)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    /// The body of [`Self::handle_request`]: request classification is shared with
+    /// the cooperative path through [`Self::accept_inner`] (so the two schedulers
+    /// can never disagree on how a request is interpreted); the only difference is
+    /// that a spawned task runs to completion on the native stack right here.
+    fn try_handle(&mut self, req: Request) -> Result<Value, ExecError> {
+        match self.accept_inner(req)? {
+            Accepted::Value(v) => Ok(v),
+            Accepted::Run {
+                mut task,
+                reply_override,
+            } => match self.run_task(&mut task) {
+                TaskOutcome::Done(r) => r.map(|v| reply_override.unwrap_or(v)),
+                TaskOutcome::Parked { .. } => Err(ExecError::Unsupported(
+                    "computation suspended outside the cooperative scheduler".into(),
+                )),
+            },
         }
     }
 
@@ -1588,7 +2387,7 @@ impl<'p> Interp<'p> {
             self.clock_us = self.clock_us.max(pkt.arrival_time_us);
             match pkt.kind {
                 PacketKind::Request => {
-                    self.serve_request(pkt.from, pkt.data);
+                    self.serve_request(pkt.from, pkt.req_id, pkt.data);
                     if self.dist.as_ref().map(|d| d.shutdown).unwrap_or(true) {
                         return;
                     }

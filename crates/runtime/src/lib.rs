@@ -24,8 +24,10 @@ pub mod services;
 pub mod value;
 pub mod wire;
 
-pub use cluster::{run_centralized, run_distributed, ClusterConfig, ExecutionReport, NodeStats};
-pub use interp::{ExecCounters, ExecError, Interp, ProfilerSink};
+pub use cluster::{
+    run_centralized, run_distributed, ClusterConfig, ExecutionReport, NodeStats, Schedule,
+};
+pub use interp::{Continuation, ExecCounters, ExecError, Interp, ProfilerSink, TaskOutcome};
 pub use net::{MpiEndpoint, MpiWorld, NetworkConfig};
 pub use value::{HeapObject, ObjRef, Value};
 pub use wire::{AccessKind, Request, Response, WireValue};

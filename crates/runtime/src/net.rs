@@ -88,6 +88,11 @@ pub struct Packet {
     pub to: usize,
     /// Request or response.
     pub kind: PacketKind,
+    /// Correlation id: assigned per requesting endpoint for requests, echoed back on
+    /// the matching response. This is transport metadata (it does not count against
+    /// the byte cost model) and is what lets the cooperative scheduler park an
+    /// in-flight computation as a continuation keyed by its outstanding request.
+    pub req_id: u64,
     /// Encoded payload.
     pub data: Bytes,
     /// The sender's virtual clock (µs) *after* accounting for the transfer, i.e. the
@@ -140,6 +145,7 @@ impl MpiWorld {
             bytes_sent: 0,
             messages_received: 0,
             bytes_received: 0,
+            next_req_id: 0,
         }
     }
 }
@@ -162,12 +168,40 @@ pub struct MpiEndpoint {
     pub messages_received: u64,
     /// Bytes received.
     pub bytes_received: u64,
+    /// Next outgoing request correlation id (ids are unique per endpoint).
+    next_req_id: u64,
 }
 
 impl MpiEndpoint {
     /// Sends `data` to `to`. `clock_us` is the sender's current virtual time; the
     /// returned value is the sender's clock after the (modelled) send overhead.
+    /// Shutdown broadcasts and other uncorrelated messages travel with `req_id` 0.
     pub fn send(&mut self, to: usize, kind: PacketKind, data: Bytes, clock_us: f64) -> f64 {
+        self.send_with_id(to, kind, 0, data, clock_us)
+    }
+
+    /// Sends a request stamped with a fresh correlation id; returns the updated clock
+    /// and the id the matching response will echo.
+    pub fn send_request(&mut self, to: usize, data: Bytes, clock_us: f64) -> (f64, u64) {
+        self.next_req_id += 1;
+        let id = self.next_req_id;
+        let clock = self.send_with_id(to, PacketKind::Request, id, data, clock_us);
+        (clock, id)
+    }
+
+    /// Sends the response for request `req_id` back to `to`.
+    pub fn send_response(&mut self, to: usize, req_id: u64, data: Bytes, clock_us: f64) -> f64 {
+        self.send_with_id(to, PacketKind::Response, req_id, data, clock_us)
+    }
+
+    fn send_with_id(
+        &mut self,
+        to: usize,
+        kind: PacketKind,
+        req_id: u64,
+        data: Bytes,
+        clock_us: f64,
+    ) -> f64 {
         let transfer = self.config.transfer_time_us(data.len());
         let arrival = clock_us + transfer;
         self.messages_sent += 1;
@@ -176,6 +210,7 @@ impl MpiEndpoint {
             from: self.rank,
             to,
             kind,
+            req_id,
             data,
             arrival_time_us: arrival,
         };
@@ -252,6 +287,25 @@ mod tests {
         assert_eq!(a.bytes_sent, 5);
         assert_eq!(b.messages_received, 1);
         assert_eq!(b.bytes_received, 5);
+    }
+
+    #[test]
+    fn request_ids_are_fresh_and_echoed_on_responses() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2));
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        let (_, id1) = a.send_request(1, Bytes::from_static(b"q1"), 0.0);
+        let (_, id2) = a.send_request(1, Bytes::from_static(b"q2"), 0.0);
+        assert_ne!(id1, id2, "each request gets a fresh correlation id");
+        let p1 = b.recv();
+        assert_eq!(p1.req_id, id1);
+        b.send_response(0, p1.req_id, Bytes::from_static(b"r1"), 0.0);
+        let resp = a.recv();
+        assert_eq!(resp.kind, PacketKind::Response);
+        assert_eq!(resp.req_id, id1, "response echoes the request id");
+        assert!(a.send(1, PacketKind::Request, Bytes::new(), 0.0) >= 0.0);
+        assert_eq!(b.recv().req_id, id2);
+        assert_eq!(b.recv().req_id, 0, "uncorrelated sends travel with id 0");
     }
 
     #[test]

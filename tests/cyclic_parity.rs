@@ -1,0 +1,225 @@
+//! Inline-vs-threaded parity on deliberately *cyclic* placements.
+//!
+//! Mutually recursive classes are pinned to different nodes, so every level of the
+//! recursion crosses the node boundary and the placement's inter-node digraph is a
+//! cycle — the case the cooperative scheduler used to reject. The property: under
+//! [`Schedule::Inline`] (all virtual nodes on one OS thread, parked continuations)
+//! the run must produce the same result, the same traffic and the same virtual
+//! clocks as [`Schedule::Threaded`] (one OS thread per node), and both must agree
+//! with the centralized baseline and a direct Rust evaluation of the recursion.
+//!
+//! CI runs this test binary under a watchdog timeout (see `.github/workflows/ci.yml`)
+//! so a cooperative-scheduler deadlock fails fast instead of hanging the job.
+
+use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement};
+use autodist_ir::frontend::compile_source;
+use autodist_ir::program::Program;
+use autodist_runtime::cluster::{
+    run_centralized, run_distributed, ClusterConfig, ExecutionReport, Schedule,
+};
+use autodist_runtime::net::NetworkConfig;
+use autodist_runtime::value::Value;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Pins each named class to a node and executes the rewritten copies under `schedule`.
+fn run_pinned(
+    program: &Program,
+    pins: &[(&str, usize)],
+    nodes: usize,
+    schedule: Schedule,
+) -> ExecutionReport {
+    let mut home = BTreeMap::new();
+    for (class, node) in pins {
+        home.insert(program.class_by_name(class).unwrap(), *node);
+    }
+    let placement = ClassPlacement {
+        home,
+        nparts: nodes,
+    };
+    let copies: Vec<Program> = (0..nodes)
+        .map(|n| rewrite_for_node(program, &placement, n).program)
+        .collect();
+    // The paper's heterogeneous two-machine testbed when it fits, a uniform fabric
+    // for wider rings — parity must hold on both cost models.
+    let network = if nodes == 2 {
+        NetworkConfig::paper_testbed()
+    } else {
+        NetworkConfig::uniform(nodes)
+    };
+    run_distributed(&copies, &ClusterConfig { network, schedule })
+}
+
+/// Asserts that two reports from the same placement are indistinguishable: results,
+/// traffic, virtual clocks and per-node instruction counts.
+fn assert_parity(inline: &ExecutionReport, threaded: &ExecutionReport) {
+    assert!(inline.is_ok(), "inline: {:?}", inline.error);
+    assert!(threaded.is_ok(), "threaded: {:?}", threaded.error);
+    assert_eq!(inline.final_statics, threaded.final_statics);
+    assert_eq!(inline.total_messages(), threaded.total_messages());
+    assert_eq!(inline.total_bytes(), threaded.total_bytes());
+    assert!(
+        (inline.virtual_time_us - threaded.virtual_time_us).abs() < 1e-9,
+        "virtual clocks must agree: inline {} vs threaded {}",
+        inline.virtual_time_us,
+        threaded.virtual_time_us
+    );
+    for (a, b) in inline.per_node.iter().zip(threaded.per_node.iter()) {
+        assert_eq!(a.instructions, b.instructions, "node {}", a.node);
+        assert_eq!(a.requests_served, b.requests_served, "node {}", a.node);
+        assert_eq!(a.remote_requests, b.remote_requests, "node {}", a.node);
+    }
+}
+
+proptest! {
+    /// Two mutually recursive classes pinned to different nodes: `Ping::ping` on node
+    /// 0 calls `Pong::pong` on node 1, which calls back into node 0, `depth` levels
+    /// deep. Node 0's root computation stays parked the whole time, so every callback
+    /// it serves is re-entrant.
+    #[test]
+    fn ping_pong_recursion_is_schedule_invariant(
+        depth in 0i64..24,
+        mul in -3i64..4,
+    ) {
+        let src = format!(
+            "class Ping {{
+                 int ping(Pong q, int n) {{
+                     if (n <= 0) {{ return 0; }}
+                     return n + q.pong(this, n - 1);
+                 }}
+             }}
+             class Pong {{
+                 int pong(Ping p, int n) {{
+                     if (n <= 0) {{ return 0; }}
+                     return n * {mul} + p.ping(this, n - 1);
+                 }}
+             }}
+             class Main {{
+                 static int result;
+                 static void main() {{
+                     Ping p = new Ping();
+                     Pong q = new Pong();
+                     result = p.ping(q, {depth});
+                 }}
+             }}"
+        );
+        let program = compile_source(&src).expect("template compiles");
+
+        // The recursion, evaluated directly in Rust.
+        fn ping(n: i64, mul: i64) -> i64 {
+            if n <= 0 { 0 } else { n + pong(n - 1, mul) }
+        }
+        fn pong(n: i64, mul: i64) -> i64 {
+            if n <= 0 { 0 } else { n * mul + ping(n - 1, mul) }
+        }
+        let expected = Value::Int(ping(depth, mul));
+
+        let baseline = run_centralized(&program, 1.0);
+        prop_assert!(baseline.is_ok());
+        prop_assert_eq!(baseline.final_statics.get("Main::result"), Some(&expected));
+
+        let pins = [("Main", 0), ("Ping", 0), ("Pong", 1)];
+        let threaded = run_pinned(&program, &pins, 2, Schedule::Threaded);
+        let inline = run_pinned(&program, &pins, 2, Schedule::Inline);
+        assert_parity(&inline, &threaded);
+        prop_assert_eq!(inline.final_statics.get("Main::result"), Some(&expected));
+        if depth > 0 {
+            prop_assert!(inline.total_messages() > 0, "the cycle must cross nodes");
+        }
+        if depth > 1 {
+            // pong(n) only calls back into node 0 for n > 0, i.e. from depth 2 on.
+            prop_assert!(
+                inline.per_node[0].requests_served > 0,
+                "node 0 must serve callbacks while its root computation is parked"
+            );
+        }
+    }
+}
+
+/// Cross-node recursion far beyond the interpreter's call-depth limit must surface
+/// `StackOverflow` (travelling back to the launch node as a remote failure) on both
+/// schedulers — not hang the cooperative scheduler or blow the threaded native
+/// stack. Guards the serve-side depth check in `accept_inner`.
+#[test]
+fn deep_cross_node_recursion_overflows_cleanly() {
+    let src = "
+        class Ping {
+            int ping(Pong q, int n) {
+                if (n <= 0) { return 0; }
+                return n + q.pong(this, n - 1);
+            }
+        }
+        class Pong {
+            int pong(Ping p, int n) {
+                if (n <= 0) { return 0; }
+                return n + p.ping(this, n - 1);
+            }
+        }
+        class Main {
+            static int result;
+            static void main() {
+                Ping p = new Ping();
+                Pong q = new Pong();
+                result = p.ping(q, 400);
+            }
+        }
+    ";
+    let program = compile_source(src).expect("deep recursion compiles");
+    let pins = [("Main", 0), ("Ping", 0), ("Pong", 1)];
+    for schedule in [Schedule::Inline, Schedule::Threaded] {
+        let report = run_pinned(&program, &pins, 2, schedule);
+        let err = report
+            .error
+            .as_ref()
+            .unwrap_or_else(|| panic!("{schedule:?}: depth 400 must exceed the call-depth limit"));
+        assert!(
+            err.to_string().contains("call depth limit exceeded"),
+            "{schedule:?}: expected a stack overflow, got {err}"
+        );
+    }
+}
+
+/// A three-node ring: `A` on node 0 calls `B` on node 1 calls `C` on node 2 calls
+/// back into `A` on node 0. The inter-node digraph is the cycle 0 → 1 → 2 → 0.
+#[test]
+fn three_node_ring_is_schedule_invariant() {
+    let src = "
+        class A {
+            int f(B b, C c, int n) {
+                if (n <= 0) { return 0; }
+                return 1 + b.f(this, c, n - 1);
+            }
+        }
+        class B {
+            int f(A a, C c, int n) {
+                if (n <= 0) { return 0; }
+                return 1 + c.f(a, this, n - 1);
+            }
+        }
+        class C {
+            int f(A a, B b, int n) {
+                if (n <= 0) { return 0; }
+                return 1 + a.f(b, this, n - 1);
+            }
+        }
+        class Main {
+            static int result;
+            static void main() {
+                A a = new A();
+                B b = new B();
+                C c = new C();
+                result = a.f(b, c, 17);
+            }
+        }
+    ";
+    let program = compile_source(src).expect("ring compiles");
+    let pins = [("Main", 0), ("A", 0), ("B", 1), ("C", 2)];
+    let threaded = run_pinned(&program, &pins, 3, Schedule::Threaded);
+    let inline = run_pinned(&program, &pins, 3, Schedule::Inline);
+    assert_parity(&inline, &threaded);
+    assert_eq!(
+        inline.final_statics.get("Main::result"),
+        Some(&Value::Int(17))
+    );
+    assert!(inline.total_messages() > 0);
+}
