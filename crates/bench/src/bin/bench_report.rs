@@ -1,13 +1,13 @@
 //! Machine-readable performance report: the Table 1 workload suite (centralized vs
 //! distributed, median wall time + virtual time) plus the micro-bench areas —
-//! including the op-dispatch probe of the explicit-stack interpreter — written as
-//! JSON.
+//! including the op-dispatch probe of the explicit-stack interpreter and the
+//! message-delivery probe of the transport's ready queue — written as JSON.
 //!
 //! This is the baseline artifact all perf PRs diff against: run it before and after a
 //! change and compare `totals.suite_wall_ms` and the per-workload `*_virtual_us`
 //! fields, which must be byte-identical across purely mechanical interpreter changes
 //! (see the README's "Performance" section for the schema and the committed
-//! `BENCH_pr3.json` / `BENCH_pr4.json` baselines).
+//! `BENCH_pr3.json` … `BENCH_pr5.json` baselines).
 //!
 //! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
 //!            [--repeats N] [--scale N] [--out FILE] [--quick]`
@@ -18,7 +18,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr4.json".to_string();
+    let mut out = "BENCH_pr5.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -32,9 +32,10 @@ use autodist_ir::program::Program;
 use autodist_ir::verify::verify_program;
 use autodist_partition::{partition, Graph, GraphBuilder, Method, PartitionConfig, Partitioning};
 use autodist_runtime::cluster::{
-    run_centralized, run_distributed, ClusterConfig, ExecutionReport, Schedule,
+    run_centralized, run_distributed_profiled, ClusterConfig, ExecutionReport, Schedule,
 };
 
+pub use autodist_runtime::cluster::NodeProfiler;
 pub use error::{Phase, PipelineError, PipelineResult};
 pub use stats::{GraphStats, PhaseTimings, Table1Row};
 
@@ -132,14 +133,28 @@ impl DistributionPlan {
     /// interpreter parks a node's frame stack while it awaits a remote response, so
     /// cyclic/re-entrant placements are scheduled on one OS thread just like acyclic
     /// ones. Thread-per-node execution survives as the [`Schedule::Threaded`]
-    /// cross-check.
+    /// cross-check, and [`Schedule::Pool`] runs the same event-driven core on a
+    /// work-stealing pool.
     pub fn execute(&self, cluster: &ClusterConfig) -> ExecutionReport {
+        self.execute_profiled(cluster, Vec::new())
+    }
+
+    /// Executes the plan with per-node profiler sinks attached (`profilers[r]` goes
+    /// to rank `r`; a shorter or empty vector leaves the remaining nodes
+    /// unprofiled). The interpreter's call stack travels with each parked
+    /// continuation, so sampling profilers see exact per-node stacks under every
+    /// [`Schedule`] — cooperative and pooled distributed runs included.
+    pub fn execute_profiled(
+        &self,
+        cluster: &ClusterConfig,
+        profilers: Vec<Option<NodeProfiler>>,
+    ) -> ExecutionReport {
         let programs = self.programs();
         let mut config = cluster.clone();
         if config.schedule == Schedule::Auto {
             config.schedule = Schedule::Inline;
         }
-        run_distributed(&programs, &config)
+        run_distributed_profiled(&programs, &config, profilers)
     }
 
     /// `true` when no chain of inter-node dependences can revisit a node, i.e. the

@@ -7,33 +7,21 @@
 //! shape of the paper's Figure 11 even though everything actually executes on one
 //! machine; wall-clock time is reported as well.
 //!
-//! Two schedulers are available (see [`Schedule`]):
-//!
-//! * **Cooperative** ([`Schedule::Inline`]) — all virtual nodes are multiplexed onto a
-//!   single OS thread. The interpreter's explicit-stack machine makes every in-flight
-//!   computation plain data: when a node hits a remote operation it sends the request
-//!   and *parks* its frame stack as a continuation keyed by the request id; the
-//!   scheduler then runs whichever node has a deliverable message. Because serving a
-//!   request spawns a fresh continuation (instead of recursing on a native stack), a
-//!   node can serve callbacks *while one of its own computations is parked* — cyclic /
-//!   re-entrant placements run on one OS thread just like acyclic ones, so this is
-//!   the default for every placement.
-//! * **Threaded** ([`Schedule::Threaded`]) — the original thread-per-node execution,
-//!   kept as an opt-in cross-check: its virtual clocks, message counts and results
-//!   must be identical to the cooperative scheduler's.
+//! This module holds the run configuration ([`ClusterConfig`], [`Schedule`]) and the
+//! reporting surface ([`ExecutionReport`], [`NodeStats`]); the schedulers themselves —
+//! the event-driven cooperative core, the work-stealing pool and the thread-per-node
+//! cross-check — live in [`crate::sched`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use autodist_ir::program::Program;
 
-use crate::interp::{
-    Continuation, DistState, ExecError, Interp, ProfilerSink, ServeOutcome, TaskOutcome,
-};
-use crate::net::{NetworkConfig, PacketKind};
-use crate::services::{ExecutionStarter, MessageExchange, MpiService};
+use crate::interp::{ExecError, Interp, ProfilerSink};
+use crate::net::NetworkConfig;
+use crate::sched;
+use crate::services::ExecutionStarter;
 use crate::value::Value;
-use crate::wire::Response;
 
 /// How the simulated nodes are scheduled onto OS threads.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,11 +32,21 @@ pub enum Schedule {
     Auto,
     /// Cooperative single-threaded scheduling: virtual nodes are multiplexed on one
     /// OS thread; a node waiting on a remote operation parks its frame stack as a
-    /// continuation and any node with a deliverable message runs.
+    /// continuation and the scheduler pops the next ready rank off the transport's
+    /// shared ready queue (O(1) delivery per packet).
     Inline,
     /// One OS thread per node (the pre-pool behaviour, kept as an opt-in cross-check
     /// of the cooperative scheduler).
     Threaded,
+    /// A work-stealing pool of `threads` OS threads over the parked continuations'
+    /// home ranks: workers pop ready ranks from per-worker run queues, refill from
+    /// the transport's shared ready queue and steal from siblings when idle. Virtual
+    /// times and message counts stay deterministic; the extra threads pay off for
+    /// workloads with several root computations in flight.
+    Pool {
+        /// Worker thread count (clamped to at least 1).
+        threads: usize,
+    },
 }
 
 /// Configuration of a distributed run.
@@ -137,7 +135,7 @@ impl ExecutionReport {
     }
 }
 
-fn stats_of(interp: &Interp<'_>, node: usize) -> NodeStats {
+pub(crate) fn stats_of(interp: &Interp<'_>, node: usize) -> NodeStats {
     let (messages_sent, bytes_sent) = interp
         .dist
         .as_ref()
@@ -188,13 +186,46 @@ pub fn run_centralized_profiled(
     }
 }
 
+/// A profiler sink to attach to one node of a distributed run (see
+/// [`run_distributed_profiled`]).
+pub struct NodeProfiler {
+    /// The sink collecting this node's measurements.
+    pub sink: Box<dyn ProfilerSink>,
+    /// Sampling quantum in interpreted instructions; 0 disables sampling.
+    pub sample_interval: u64,
+}
+
+impl NodeProfiler {
+    /// Pairs a sink with its sampling quantum.
+    pub fn new(sink: Box<dyn ProfilerSink>, sample_interval: u64) -> Self {
+        NodeProfiler {
+            sink,
+            sample_interval,
+        }
+    }
+}
+
 /// Runs the per-node program copies distributed over `config.network.nodes()` nodes.
 ///
 /// `programs[r]` is the (rewritten) program copy executed by rank `r`; `programs.len()`
 /// must equal the node count of the network configuration. [`Schedule::Auto`] resolves
 /// to the cooperative scheduler, which handles every placement — request
-/// [`Schedule::Threaded`] explicitly to cross-check against thread-per-node execution.
+/// [`Schedule::Threaded`] explicitly to cross-check against thread-per-node execution,
+/// or [`Schedule::Pool`] for the work-stealing pool.
 pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
+    run_distributed_profiled(programs, config, Vec::new())
+}
+
+/// [`run_distributed`] with per-node profiler sinks attached. `profilers[r]`, when
+/// present, is handed to rank `r`'s interpreter; a shorter (or empty) vector leaves
+/// the remaining nodes unprofiled. Works under every [`Schedule`] — the call stack
+/// lives on each [`crate::interp::Continuation`], so sampling attribution is exact on
+/// the cooperative and pool schedulers too.
+pub fn run_distributed_profiled(
+    programs: &[Program],
+    config: &ClusterConfig,
+    profilers: Vec<Option<NodeProfiler>>,
+) -> ExecutionReport {
     let nodes = programs.len();
     assert!(nodes >= 1, "at least one node required");
     assert_eq!(
@@ -203,260 +234,9 @@ pub fn run_distributed(programs: &[Program], config: &ClusterConfig) -> Executio
         "one program copy per configured node"
     );
     match config.schedule {
-        Schedule::Auto | Schedule::Inline => run_distributed_inline(programs, config),
-        Schedule::Threaded => run_distributed_threaded(programs, config),
-    }
-}
-
-/// What to do with a cooperative task's result once its bottom frame returns.
-enum TaskDone {
-    /// The Execution Starter's `main` on the launch node: its result ends the run.
-    Root,
-    /// A serving computation: reply to `to` for request `req_id`. `reply_override`
-    /// carries the freshly created object reference for `NEW` requests (the
-    /// constructor's return value is discarded, as in the synchronous serve path).
-    Reply {
-        to: usize,
-        req_id: u64,
-        reply_override: Option<Value>,
-    },
-}
-
-/// A cooperative computation: the interpreter-level continuation plus its completion
-/// action.
-struct CoopTask {
-    cont: Continuation,
-    done: TaskDone,
-}
-
-/// One virtual node of the cooperative scheduler: its interpreter plus every
-/// continuation currently parked on an outstanding remote request, keyed by the
-/// request id the response will echo.
-struct CoopNode<'p> {
-    interp: Interp<'p>,
-    parked: HashMap<u64, CoopTask>,
-}
-
-impl CoopNode<'_> {
-    /// Drives `task` until it parks or completes; completions either finish the run
-    /// (root) or send the response for the request being served.
-    fn run(&mut self, mut task: CoopTask, root_result: &mut Option<Result<Value, ExecError>>) {
-        let outcome = self.interp.run_task(&mut task.cont);
-        self.settle(task, outcome, root_result);
-    }
-
-    fn settle(
-        &mut self,
-        task: CoopTask,
-        outcome: TaskOutcome,
-        root_result: &mut Option<Result<Value, ExecError>>,
-    ) {
-        match outcome {
-            TaskOutcome::Parked { req_id } => {
-                self.parked.insert(req_id, task);
-            }
-            TaskOutcome::Done(res) => match task.done {
-                TaskDone::Root => *root_result = Some(res),
-                TaskDone::Reply {
-                    to,
-                    req_id,
-                    reply_override,
-                } => {
-                    let result = res.map(|v| reply_override.unwrap_or(v));
-                    self.interp.send_reply(to, req_id, result);
-                }
-            },
-        }
-    }
-}
-
-/// Cooperative single-threaded distributed execution (see [`Schedule::Inline`]): the
-/// continuation-based scheduler. All virtual nodes run on the calling thread; the
-/// explicit-stack machine never recurses, so no oversized stack is needed and a node
-/// can serve re-entrant callbacks while its own computation is parked.
-fn run_distributed_inline(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
-    let node_count = programs.len();
-    let start = Instant::now();
-    let mut mpi = MpiService::init(node_count, config.network.clone());
-    let mut nodes: Vec<CoopNode<'_>> = programs
-        .iter()
-        .enumerate()
-        .map(|(rank, program)| CoopNode {
-            interp: Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_coop()),
-            parked: HashMap::new(),
-        })
-        .collect();
-
-    // The Execution Starter: launch `main` as the root continuation on node 0.
-    let mut root_result: Option<Result<Value, ExecError>> = None;
-    match nodes[0].interp.program.entry {
-        None => root_result = Some(Err(ExecError::NoEntry)),
-        Some(entry) => match nodes[0].interp.task_for(entry, Vec::new()) {
-            None => root_result = Some(Ok(Value::Null)),
-            Some(cont) => {
-                let task = CoopTask {
-                    cont,
-                    done: TaskDone::Root,
-                };
-                nodes[0].run(task, &mut root_result);
-            }
-        },
-    }
-
-    // The scheduler proper: deliver messages to any node that has one, resuming the
-    // parked continuation (responses) or spawning a serving task (requests), until
-    // the root computation completes. Exactly one logical control flow exists at any
-    // moment (the communication style is synchronous request/response), so every
-    // sweep either delivers a message or the run is complete.
-    while root_result.is_none() {
-        let mut progress = false;
-        for node in nodes.iter_mut() {
-            while let Some(pkt) = node.interp.poll_packet() {
-                progress = true;
-                match pkt.kind {
-                    PacketKind::Request => {
-                        match node.interp.accept_request(pkt.from, pkt.req_id, pkt.data) {
-                            ServeOutcome::Handled => {}
-                            ServeOutcome::Spawned {
-                                task,
-                                reply_override,
-                            } => {
-                                let task = CoopTask {
-                                    cont: task,
-                                    done: TaskDone::Reply {
-                                        to: pkt.from,
-                                        req_id: pkt.req_id,
-                                        reply_override,
-                                    },
-                                };
-                                node.run(task, &mut root_result);
-                            }
-                        }
-                    }
-                    PacketKind::Response => {
-                        // The response for a parked continuation: resume it.
-                        let Some(mut task) = node.parked.remove(&pkt.req_id) else {
-                            continue; // stray response (cannot happen): ignore
-                        };
-                        let resp = match Response::decode(pkt.data) {
-                            Response::Value(v) => Ok(v),
-                            Response::Error(e) => Err(e),
-                        };
-                        let outcome = node.interp.resume_task(&mut task.cont, resp);
-                        node.settle(task, outcome, &mut root_result);
-                    }
-                }
-                if root_result.is_some() {
-                    break;
-                }
-            }
-            if root_result.is_some() {
-                break;
-            }
-        }
-        if !progress && root_result.is_none() {
-            // Only reachable through a scheduler bug: surface it instead of hanging.
-            root_result = Some(Err(ExecError::RemoteFailure(
-                "cooperative scheduler stalled: no runnable node and no deliverable message".into(),
-            )));
-        }
-    }
-
-    // Execution ends when main returns on the launch node; the shutdown broadcast is
-    // bookkeeping and not part of the measured execution.
-    let error = root_result.expect("root completed").err();
-    let stats0 = stats_of(&nodes[0].interp, 0);
-    let final_statics = nodes[0].interp.statics_snapshot();
-    MessageExchange::broadcast_shutdown(&mut nodes[0].interp);
-    for node in nodes.iter_mut().skip(1) {
-        // Deliver the shutdown (advancing each node's clock to its arrival, exactly
-        // like the threaded serve loop does before exiting).
-        while let Some(pkt) = node.interp.poll_packet() {
-            if pkt.kind == PacketKind::Request {
-                let _ = node.interp.accept_request(pkt.from, pkt.req_id, pkt.data);
-            }
-        }
-    }
-
-    let wall = start.elapsed();
-    let mut per_node = vec![stats0];
-    for (rank, node) in nodes.iter().enumerate().skip(1) {
-        per_node.push(stats_of(&node.interp, rank));
-    }
-    // The distributed execution ends when the launch node finishes `main`; its clock
-    // has already absorbed every synchronous round trip (the communication style is
-    // request/response), so it is the execution time the paper measures.
-    let virtual_time_us = per_node.first().map(|s| s.clock_us).unwrap_or(0.0);
-    ExecutionReport {
-        virtual_time_us,
-        wall_time_ms: wall.as_secs_f64() * 1e3,
-        per_node,
-        final_statics,
-        error,
-    }
-}
-
-/// Thread-per-node distributed execution (see [`Schedule::Threaded`]).
-fn run_distributed_threaded(programs: &[Program], config: &ClusterConfig) -> ExecutionReport {
-    let nodes = programs.len();
-    let start = Instant::now();
-    let mut mpi = MpiService::init(nodes, config.network.clone());
-
-    let mut endpoints: Vec<_> = (0..nodes).map(|r| Some(mpi.endpoint(r))).collect();
-
-    let results: Vec<(NodeStats, BTreeMap<String, Value>, Option<ExecError>)> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (rank, program) in programs.iter().enumerate() {
-                let endpoint = endpoints[rank].take().expect("endpoint");
-                let builder = std::thread::Builder::new()
-                    .name(format!("node-{rank}"))
-                    .stack_size(32 * 1024 * 1024);
-                let handle = builder
-                    .spawn_scoped(scope, move || {
-                        let mut interp = Interp::new(program).with_dist(DistState::new(endpoint));
-                        let mut error = None;
-                        let stats;
-                        if rank == 0 {
-                            if let Err(e) = ExecutionStarter::start(&mut interp) {
-                                error = Some(e);
-                            }
-                            // Execution ends when main returns on the launch node; the
-                            // shutdown broadcast is bookkeeping and not part of the
-                            // measured execution.
-                            stats = stats_of(&interp, rank);
-                            MessageExchange::broadcast_shutdown(&mut interp);
-                        } else {
-                            MessageExchange::serve(&mut interp);
-                            stats = stats_of(&interp, rank);
-                        }
-                        (stats, interp.statics_snapshot(), error)
-                    })
-                    .expect("spawn node thread");
-                handles.push(handle);
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("node thread panicked"))
-                .collect()
-        });
-
-    let wall = start.elapsed();
-    let error = results.iter().find_map(|(_, _, e)| e.clone());
-    let final_statics = results
-        .first()
-        .map(|(_, s, _)| s.clone())
-        .unwrap_or_default();
-    // The distributed execution ends when the launch node finishes `main`; its clock
-    // has already absorbed every synchronous round trip (the communication style is
-    // request/response), so it is the execution time the paper measures.
-    let virtual_time_us = results.first().map(|(s, _, _)| s.clock_us).unwrap_or(0.0);
-    ExecutionReport {
-        virtual_time_us,
-        wall_time_ms: wall.as_secs_f64() * 1e3,
-        per_node: results.into_iter().map(|(s, _, _)| s).collect(),
-        final_statics,
-        error,
+        Schedule::Auto | Schedule::Inline => sched::run_inline(programs, config, profilers),
+        Schedule::Threaded => sched::run_threaded(programs, config, profilers),
+        Schedule::Pool { threads } => sched::run_pool(programs, config, profilers, threads),
     }
 }
 
@@ -658,6 +438,68 @@ mod tests {
             assert_eq!(a.requests_served, b.requests_served);
             assert_eq!(a.instructions, b.instructions);
         }
+    }
+
+    /// The work-stealing pool must be indistinguishable from the inline scheduler:
+    /// same results, same traffic, same virtual clocks — and deterministic across
+    /// repeated runs (per-node clocks depend only on per-node packet order, which
+    /// the FIFO transport fixes regardless of worker interleaving).
+    #[test]
+    fn pool_schedule_matches_inline_and_is_deterministic() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = split_placement(&p);
+        let copies: Vec<autodist_ir::Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        let inline = run_distributed(
+            &copies,
+            &ClusterConfig {
+                schedule: Schedule::Inline,
+                ..ClusterConfig::paper_testbed()
+            },
+        );
+        let pool_config = ClusterConfig {
+            schedule: Schedule::Pool { threads: 3 },
+            ..ClusterConfig::paper_testbed()
+        };
+        let first = run_distributed(&copies, &pool_config);
+        let second = run_distributed(&copies, &pool_config);
+        for pool in [&first, &second] {
+            assert!(pool.is_ok(), "{:?}", pool.error);
+            assert_eq!(pool.final_statics, inline.final_statics);
+            assert_eq!(pool.total_messages(), inline.total_messages());
+            assert_eq!(pool.total_bytes(), inline.total_bytes());
+            assert!(
+                (pool.virtual_time_us - inline.virtual_time_us).abs() < 1e-9,
+                "virtual clocks must agree: pool {} vs inline {}",
+                pool.virtual_time_us,
+                inline.virtual_time_us
+            );
+            for (a, b) in pool.per_node.iter().zip(inline.per_node.iter()) {
+                assert_eq!(a.instructions, b.instructions);
+                assert_eq!(a.requests_served, b.requests_served);
+            }
+        }
+    }
+
+    /// A run whose root computation never parks (single node, no messages) must not
+    /// spin up pool workers at all — the seeded root completes on the calling thread.
+    #[test]
+    fn pool_schedule_handles_single_node_runs() {
+        let p = compile_source(BANK_SRC).unwrap();
+        let placement = ClassPlacement::centralized(1);
+        let copy = rewrite_for_node(&p, &placement, 0).program;
+        let config = ClusterConfig {
+            network: NetworkConfig::uniform(1),
+            schedule: Schedule::Pool { threads: 4 },
+        };
+        let report = run_distributed(std::slice::from_ref(&copy), &config);
+        assert!(report.is_ok(), "{:?}", report.error);
+        assert_eq!(report.total_messages(), 0);
+        assert_eq!(
+            report.final_statics.get("Main::result"),
+            Some(&Value::Int(10 * 1000 + 50000 - 900))
+        );
     }
 
     #[test]

@@ -227,12 +227,21 @@ enum ResumeAction {
     },
 }
 
-/// An in-flight computation as plain data: the explicit frame stack plus, when
-/// parked, what to do with the awaited response. This is the continuation the
-/// cooperative cluster scheduler keys by request id.
+/// An in-flight computation as plain data: the explicit frame stack, the method call
+/// stack mirroring it, and — when parked — what to do with the awaited response.
+/// This is the continuation the cooperative cluster scheduler keys by request id.
+///
+/// The call stack lives **here**, not on the interpreter: a node interleaving several
+/// parked continuations carries each computation's exact stack with the computation
+/// itself, so the sampling profiler observes correct per-computation stacks under the
+/// cooperative and pool schedulers (an interpreter-global stack would mix frames of
+/// unrelated continuations above the live prefix).
 #[derive(Debug, Default)]
 pub struct Continuation {
     frames: Vec<Frame>,
+    /// `frames[i].method` for every live frame, maintained in lockstep with `frames`
+    /// so a sampling tick can read the whole stack without walking the frames.
+    call_stack: Vec<MethodId>,
     pending: Option<ResumeAction>,
 }
 
@@ -240,6 +249,11 @@ impl Continuation {
     /// Current call depth (number of live frames).
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// This computation's exact method call stack, innermost frame last.
+    pub fn call_stack(&self) -> &[MethodId] {
+        &self.call_stack
     }
 }
 
@@ -339,7 +353,11 @@ pub struct Interp<'p> {
     statics: Vec<Value>,
     /// Per-class default field vectors cloned on instantiation.
     class_defaults: Vec<Vec<Value>>,
-    call_stack: Vec<MethodId>,
+    /// Number of live frames across **all** of this node's continuations (running and
+    /// parked). This is the recursion guard: served frames stay live while their task
+    /// is parked, so unbounded cross-node recursion shows up here exactly as it did on
+    /// the native stack. The frame *contents* live in each [`Continuation`].
+    live_frames: usize,
     instructions_since_sample: u64,
     max_depth: usize,
     dep_class: Option<ClassId>,
@@ -394,7 +412,7 @@ impl<'p> Interp<'p> {
             layout,
             statics,
             class_defaults,
-            call_stack: Vec::new(),
+            live_frames: 0,
             instructions_since_sample: 0,
             max_depth: 100,
             dep_class,
@@ -441,14 +459,16 @@ impl<'p> Interp<'p> {
     }
 
     /// Sampling-profiler tick, taken out of line so the interpret loop only pays a
-    /// predictable branch when sampling is disabled.
+    /// predictable branch when sampling is disabled. `stack` is the running
+    /// continuation's own call stack — exact even when other continuations are parked
+    /// on this node.
     #[cold]
-    fn tick_sample(&mut self) {
+    fn tick_sample(&mut self, stack: &[MethodId]) {
         self.instructions_since_sample += 1;
         if self.instructions_since_sample >= self.sample_interval {
             self.instructions_since_sample = 0;
             if let Some(p) = self.profiler.as_mut() {
-                p.sample(&self.call_stack);
+                p.sample(stack);
             }
         }
     }
@@ -477,7 +497,7 @@ impl<'p> Interp<'p> {
     /// block in a round trip (thread-per-node semantics); under the cooperative
     /// scheduler use [`Self::task_for`] + [`Self::run_task`] instead, which park.
     pub fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Value, ExecError> {
-        if self.call_stack.len() >= self.max_depth {
+        if self.live_frames >= self.max_depth {
             return Err(ExecError::StackOverflow);
         }
         let Some(mut task) = self.task_for(method, args) else {
@@ -508,16 +528,18 @@ impl<'p> Interp<'p> {
         }
         Some(Continuation {
             frames: vec![frame],
+            call_stack: vec![method],
             pending: None,
         })
     }
 
-    /// Creates an activation frame (pooled vectors, call-stack push, profiler enter).
-    /// The caller fills the locals; when the profiler is attached the caller must have
+    /// Creates an activation frame (pooled vectors, live-frame count, profiler enter).
+    /// The caller fills the locals and pushes the frame (plus its method on the owning
+    /// continuation's call stack); when the profiler is attached the caller must have
     /// flushed the virtual clock first.
     fn make_frame(&mut self, method: MethodId, push_ret: bool) -> Frame {
         self.counters.method_invocations += 1;
-        self.call_stack.push(method);
+        self.live_frames += 1;
         let instrumented = self
             .profiler
             .as_ref()
@@ -540,14 +562,9 @@ impl<'p> Interp<'p> {
         }
     }
 
-    /// Frame teardown: profiler exit (the clock must be flushed) and call-stack pop.
-    ///
-    /// `call_stack` is interpreter-global, so when a node interleaves several parked
-    /// continuations its *contents* above the live prefix can belong to a different
-    /// continuation than the frame being retired — only the length (the depth guard)
-    /// is exact. The sole contents consumer is the sampling profiler, which is
-    /// centralized-only today; a per-continuation call stack is required before
-    /// profiling cooperative distributed runs (see ROADMAP).
+    /// Frame teardown: profiler exit (the clock must be flushed) and live-frame count
+    /// decrement. The owning continuation's call stack is popped by the caller, in
+    /// lockstep with the frame itself.
     fn retire_frame(&mut self, frame: &Frame) {
         if frame.instrumented {
             let clock = self.clock_us;
@@ -555,7 +572,7 @@ impl<'p> Interp<'p> {
                 p.method_exit(frame.method, clock);
             }
         }
-        self.call_stack.pop();
+        self.live_frames -= 1;
     }
 
     /// Returns a frame's vectors to the pool.
@@ -570,10 +587,22 @@ impl<'p> Interp<'p> {
     /// Pops every live frame (firing profiler exits, exactly like the recursive
     /// interpreter did while an error propagated) and returns the error.
     fn unwind_frames(&mut self, task: &mut Continuation, e: ExecError) -> ExecError {
-        while let Some(f) = task.frames.pop() {
+        self.unwind_parts(&mut task.frames, &mut task.call_stack, e)
+    }
+
+    /// [`Self::unwind_frames`] over a continuation's already-split fields (the dispatch
+    /// loop holds the frame stack and call stack as separate borrows).
+    fn unwind_parts(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        call_stack: &mut Vec<MethodId>,
+        e: ExecError,
+    ) -> ExecError {
+        while let Some(f) = frames.pop() {
             self.retire_frame(&f);
             self.recycle_frame(f);
         }
+        call_stack.clear();
         e
     }
 
@@ -636,7 +665,14 @@ impl<'p> Interp<'p> {
     /// request. All local calls push frames onto the continuation — the Rust stack
     /// stays flat — so an in-flight computation is always resumable plain data.
     pub fn run_task(&mut self, task: &mut Continuation) -> TaskOutcome {
-        debug_assert!(task.pending.is_none(), "running a parked continuation");
+        // Split the continuation into its fields so the sampler can read the call
+        // stack while a frame is mutably borrowed (the two are disjoint).
+        let Continuation {
+            frames,
+            call_stack,
+            pending,
+        } = task;
+        debug_assert!(pending.is_none(), "running a parked continuation");
         let layout = Arc::clone(&self.layout);
         let program = self.program;
         // Hoisted out of the loop: the per-instruction virtual-time increment (node
@@ -664,7 +700,7 @@ impl<'p> Interp<'p> {
 
         loop {
             let transfer = {
-                let Some(frame) = task.frames.last_mut() else {
+                let Some(frame) = frames.last_mut() else {
                     self.clock_us = clock;
                     self.counters.instructions += executed;
                     return TaskOutcome::Done(Ok(Value::Null));
@@ -741,7 +777,7 @@ impl<'p> Interp<'p> {
                     executed += 1;
                     clock += unit_cost;
                     if sampling {
-                        self.tick_sample();
+                        self.tick_sample(call_stack);
                     }
                     match &ops[pc] {
                         Op::ConstInt(v) => frame.stack.push(Value::Int(*v)),
@@ -1112,7 +1148,7 @@ impl<'p> Interp<'p> {
                                 }
                             }
                             if let Some(callee) = resolved {
-                                if self.call_stack.len() >= self.max_depth {
+                                if self.live_frames >= self.max_depth {
                                     frame.stack.truncate(base);
                                     fail!(ExecError::StackOverflow);
                                 }
@@ -1174,7 +1210,7 @@ impl<'p> Interp<'p> {
                                         receiver,
                                         args,
                                     }) => {
-                                        if self.call_stack.len() >= self.max_depth {
+                                        if self.live_frames >= self.max_depth {
                                             fail!(ExecError::StackOverflow);
                                         }
                                         let cmops = &layout.method_ops[ctor.0 as usize];
@@ -1224,7 +1260,8 @@ impl<'p> Interp<'p> {
 
             match transfer {
                 Transfer::Call(f) => {
-                    task.frames.push(f);
+                    call_stack.push(f.method);
+                    frames.push(f);
                 }
                 Transfer::Finish(v) => {
                     if self.profiler.is_some() {
@@ -1232,11 +1269,12 @@ impl<'p> Interp<'p> {
                         self.counters.instructions += executed;
                         executed = 0;
                     }
-                    let done = task.frames.pop().expect("finished frame exists");
+                    let done = frames.pop().expect("finished frame exists");
+                    call_stack.pop();
                     self.retire_frame(&done);
                     let push = done.push_ret;
                     self.recycle_frame(done);
-                    match task.frames.last_mut() {
+                    match frames.last_mut() {
                         Some(caller) => {
                             if push {
                                 caller.stack.push(v);
@@ -1252,13 +1290,13 @@ impl<'p> Interp<'p> {
                 Transfer::Park(req_id, action) => {
                     // The accumulators were flushed before the send; `self.clock_us`
                     // already includes the send overhead.
-                    task.pending = Some(action);
+                    *pending = Some(action);
                     return TaskOutcome::Parked { req_id };
                 }
                 Transfer::Fail(e) => {
                     self.clock_us = clock;
                     self.counters.instructions += executed;
-                    let e = self.unwind_frames(task, e);
+                    let e = self.unwind_parts(frames, call_stack, e);
                     return TaskOutcome::Done(Err(e));
                 }
             }
@@ -2231,8 +2269,8 @@ impl<'p> Interp<'p> {
                     Some(ctor) if !self.layout.ops(ctor).ops.is_empty() => {
                         // Serving pushes a frame that stays live while the task runs
                         // (or parks), so unbounded cross-node recursion shows up as
-                        // call-stack growth here — guard it like any other call.
-                        if self.call_stack.len() >= self.max_depth {
+                        // live-frame growth here — guard it like any other call.
+                        if self.live_frames >= self.max_depth {
                             return Err(ExecError::StackOverflow);
                         }
                         let mut full = vec![Value::Ref(r)];
@@ -2289,10 +2327,10 @@ impl<'p> Interp<'p> {
                             .program
                             .resolve_method(class, &member)
                             .ok_or_else(|| ExecError::UnknownMethod(member.clone()))?;
-                        // See the `New` arm: served frames accumulate on the call
-                        // stack across parks, so this is where cross-node recursion
+                        // See the `New` arm: served frames stay in the live-frame
+                        // count across parks, so this is where cross-node recursion
                         // is bounded.
-                        if self.call_stack.len() >= self.max_depth {
+                        if self.live_frames >= self.max_depth {
                             return Err(ExecError::StackOverflow);
                         }
                         let mut full = vec![receiver];
@@ -2681,6 +2719,24 @@ mod tests {
             }
         "#;
         assert_eq!(run_static(src, "S", "check"), Value::Bool(true));
+    }
+
+    /// The per-continuation call stack mirrors the frame stack exactly: one entry
+    /// per live frame, bottom first — this is what the sampling profiler reads.
+    #[test]
+    fn continuation_carries_its_own_call_stack() {
+        let src = r#"
+            class C {
+                static int leaf() { return 1; }
+                static void main() { int x = C.leaf(); }
+            }
+        "#;
+        let p = compile_source(src).unwrap();
+        let mut interp = Interp::new(&p);
+        let entry = p.entry.unwrap();
+        let task = interp.task_for(entry, vec![]).expect("entry has a body");
+        assert_eq!(task.depth(), 1);
+        assert_eq!(task.call_stack(), &[entry], "bottom frame is the entry");
     }
 
     #[test]

@@ -14,20 +14,27 @@
 //!   call sites into message exchanges, and the profiler hook surface.
 //! * [`services`] — the three per-node services of Figure 10: the MPI service, the
 //!   Execution Starter and the Message Exchange service.
-//! * [`cluster`] — the driver that spawns one thread per node, runs a distributed (or
-//!   centralized) execution and reports virtual time, wall time and traffic statistics.
+//! * [`sched`] — the event-driven scheduler core: the cooperative inline scheduler
+//!   and the work-stealing pool pop ready ranks off the transport's shared ready
+//!   queue (O(1) delivery per packet); thread-per-node execution survives as a
+//!   cross-check.
+//! * [`cluster`] — the driver configuration and reporting surface: runs a distributed
+//!   (or centralized) execution and reports virtual time, wall time and traffic
+//!   statistics.
 
 pub mod cluster;
 pub mod interp;
 pub mod net;
+pub mod sched;
 pub mod services;
 pub mod value;
 pub mod wire;
 
 pub use cluster::{
-    run_centralized, run_distributed, ClusterConfig, ExecutionReport, NodeStats, Schedule,
+    run_centralized, run_distributed, run_distributed_profiled, ClusterConfig, ExecutionReport,
+    NodeProfiler, NodeStats, Schedule,
 };
 pub use interp::{Continuation, ExecCounters, ExecError, Interp, ProfilerSink, TaskOutcome};
-pub use net::{MpiEndpoint, MpiWorld, NetworkConfig};
+pub use net::{MpiEndpoint, MpiWorld, NetworkConfig, ReadyQueue};
 pub use value::{HeapObject, ObjRef, Value};
 pub use wire::{AccessKind, Request, Response, WireValue};

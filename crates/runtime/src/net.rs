@@ -9,6 +9,9 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// The cost model for the simulated cluster.
@@ -100,12 +103,100 @@ pub struct Packet {
     pub arrival_time_us: f64,
 }
 
+/// The transport's shared **ready queue**: the ranks that have undelivered packets,
+/// in send order.
+///
+/// The sender of a packet knows its destination, so it enqueues the destination rank
+/// here at send time — delivery in the event-driven schedulers is then O(1) per
+/// packet (pop a rank, drain that node's mailbox) instead of an O(nodes) `try_recv`
+/// sweep over every mailbox per batch. A rank may appear more than once (one entry
+/// per packet); popping a rank whose mailbox was already drained is a cheap no-op.
+///
+/// The queue is shared by every endpoint of a world and is thread-safe so the
+/// work-stealing pool scheduler can use it as its global injector; the cooperative
+/// inline scheduler pops from it without contention.
+#[derive(Default)]
+pub struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+    ready: Condvar,
+    /// Threads currently blocked in [`ReadyQueue::wait_for_ready`]. Pushes only
+    /// notify when this is non-zero: a condvar notify is a futex syscall, and the
+    /// single-threaded inline scheduler (which never waits) sends thousands of
+    /// messages — the hot send path must stay syscall-free.
+    waiters: AtomicUsize,
+}
+
+impl ReadyQueue {
+    /// Enqueues `rank` as having a deliverable packet and wakes one waiter, if any.
+    pub fn push(&self, rank: usize) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(rank);
+        drop(q);
+        // Waiters register under the queue lock before blocking, so this load after
+        // the unlock cannot miss one: either the waiter saw our entry, or it
+        // registered first and this notify wakes it.
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            self.ready.notify_one();
+        }
+    }
+
+    /// Pops the oldest ready rank, if any.
+    pub fn pop(&self) -> Option<usize> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Pops up to `n` ready ranks in one lock acquisition (used by pool workers to
+    /// refill their local run queues in a batch).
+    pub fn pop_batch(&self, n: usize) -> Vec<usize> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let take = n.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Number of queued entries (an upper bound on deliverable packets).
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when no rank is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until the queue is non-empty or `timeout` elapses; returns `true` if
+    /// an entry may be available. Used by idle pool workers — registration happens
+    /// under the queue lock, so a push can never slip between the emptiness check
+    /// and the wait.
+    pub fn wait_for_ready(&self, timeout: Duration) -> bool {
+        let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if !q.is_empty() {
+            return true;
+        }
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let (q, _timed_out) = self
+            .ready
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        !q.is_empty()
+    }
+
+    /// Wakes every waiter (used when a run completes so idle workers can exit).
+    pub fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
 /// The whole simulated cluster interconnect: create once, then [`MpiWorld::take_endpoint`]
 /// per node thread.
 pub struct MpiWorld {
     senders: Vec<Sender<Packet>>,
     receivers: Vec<Option<Receiver<Packet>>>,
     config: NetworkConfig,
+    ready: Arc<ReadyQueue>,
 }
 
 impl MpiWorld {
@@ -122,7 +213,13 @@ impl MpiWorld {
             senders,
             receivers,
             config,
+            ready: Arc::new(ReadyQueue::default()),
         }
+    }
+
+    /// The shared ready queue fed by every endpoint of this world.
+    pub fn ready_queue(&self) -> Arc<ReadyQueue> {
+        Arc::clone(&self.ready)
     }
 
     /// Number of ranks.
@@ -141,6 +238,8 @@ impl MpiWorld {
             senders: self.senders.clone(),
             receiver: rx,
             config: self.config.clone(),
+            ready: Arc::clone(&self.ready),
+            track_ready: true,
             messages_sent: 0,
             bytes_sent: 0,
             messages_received: 0,
@@ -160,6 +259,13 @@ pub struct MpiEndpoint {
     receiver: Receiver<Packet>,
     /// The shared cost model.
     pub config: NetworkConfig,
+    /// The world's shared ready queue; sends enqueue the destination rank while
+    /// `track_ready` holds.
+    ready: Arc<ReadyQueue>,
+    /// `false` opts this endpoint out of ready-queue tracking (thread-per-node
+    /// execution blocks on its mailbox and never drains the queue — tracking would
+    /// only grow it and contend the shared lock).
+    track_ready: bool,
     /// Number of messages sent by this endpoint.
     pub messages_sent: u64,
     /// Bytes sent by this endpoint.
@@ -217,7 +323,19 @@ impl MpiEndpoint {
         // Sending is cheap for the sender itself (asynchronous message exchange):
         // charge only a fixed software overhead.
         let _ = self.senders[to].send(pkt);
+        // The sender knows the destination: mark the rank ready so event-driven
+        // schedulers deliver in O(1) per packet (no mailbox sweep).
+        if self.track_ready {
+            self.ready.push(to);
+        }
         clock_us + self.config.latency_us * 0.1
+    }
+
+    /// Opts this endpoint out of ready-queue tracking (see
+    /// [`MpiEndpoint::track_ready`]). Called by the thread-per-node scheduler, whose
+    /// blocking receives make the queue dead weight.
+    pub fn untrack_ready(&mut self) {
+        self.track_ready = false;
     }
 
     /// Blocking receive. Returns the packet; the caller is responsible for advancing
@@ -321,6 +439,30 @@ mod tests {
         let mut world = MpiWorld::new(1, NetworkConfig::uniform(1));
         let _a = world.take_endpoint(0);
         let _b = world.take_endpoint(0);
+    }
+
+    #[test]
+    fn sends_mark_destinations_ready_in_send_order() {
+        let mut world = MpiWorld::new(4, NetworkConfig::uniform(4));
+        let ready = world.ready_queue();
+        let mut a = world.take_endpoint(0);
+        assert!(ready.is_empty());
+        a.send(2, PacketKind::Request, Bytes::from_static(b"x"), 0.0);
+        a.send(1, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
+        a.send(2, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
+        assert_eq!(ready.len(), 3, "one entry per packet");
+        assert_eq!(ready.pop(), Some(2));
+        assert_eq!(ready.pop_batch(8), vec![1, 2]);
+        assert_eq!(ready.pop(), None);
+    }
+
+    #[test]
+    fn ready_queue_wait_observes_pushed_entries() {
+        let ready = std::sync::Arc::new(ReadyQueue::default());
+        assert!(!ready.wait_for_ready(Duration::from_millis(5)));
+        ready.push(7);
+        assert!(ready.wait_for_ready(Duration::from_millis(5)));
+        assert_eq!(ready.pop(), Some(7));
     }
 
     #[test]

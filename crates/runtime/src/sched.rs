@@ -1,0 +1,535 @@
+//! The event-driven scheduler core.
+//!
+//! Every distributed run is driven by one of three schedulers over the same
+//! continuation machinery (see [`crate::interp`]):
+//!
+//! * [`run_inline`] — the cooperative single-threaded scheduler. All virtual nodes
+//!   are multiplexed on the calling thread and delivery is **event-driven**: the
+//!   transport's shared [`ReadyQueue`] records each packet's destination at send
+//!   time, so the scheduler pops a ready rank and drains exactly that node's mailbox
+//!   — O(1) per packet, independent of the fabric width (the previous design swept
+//!   every node's mailbox per batch, O(nodes) `try_recv` probes per hop).
+//! * [`run_pool`] — an opt-in work-stealing pool over the same ready queue: `threads`
+//!   workers each keep a local run queue of ready ranks, refill it in batches from
+//!   the shared queue (the injector) and steal from siblings when idle. Virtual
+//!   times, message counts and results are deterministic — per-node clocks depend
+//!   only on that node's packet arrival order, which the transport's FIFO channels
+//!   and the synchronous request/response protocol fix regardless of worker
+//!   interleaving. The paper's communication style admits little real concurrency
+//!   for a single root computation; the pool pays off when several root computations
+//!   are in flight and is otherwise a cross-check like [`run_threaded`].
+//! * [`run_threaded`] — the original thread-per-node execution, kept as an opt-in
+//!   cross-check: its virtual clocks, message counts and results must be identical
+//!   to the event-driven schedulers'.
+//!
+//! All three accept optional per-node profiler sinks ([`NodeProfiler`]): with the
+//! call stack stored per [`Continuation`], sampling profilers attach to cooperative
+//! and pooled distributed runs with exactly the same per-node attribution as
+//! thread-per-node execution.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use autodist_ir::program::Program;
+
+use crate::cluster::{stats_of, ClusterConfig, ExecutionReport, NodeProfiler, NodeStats};
+use crate::interp::{Continuation, DistState, ExecError, Interp, ServeOutcome, TaskOutcome};
+use crate::net::{PacketKind, ReadyQueue};
+use crate::services::{ExecutionStarter, MessageExchange, MpiService};
+use crate::value::Value;
+use crate::wire::Response;
+
+/// What to do with a cooperative task's result once its bottom frame returns.
+enum TaskDone {
+    /// The Execution Starter's `main` on the launch node: its result ends the run.
+    Root,
+    /// A serving computation: reply to `to` for request `req_id`. `reply_override`
+    /// carries the freshly created object reference for `NEW` requests (the
+    /// constructor's return value is discarded, as in the synchronous serve path).
+    Reply {
+        to: usize,
+        req_id: u64,
+        reply_override: Option<Value>,
+    },
+}
+
+/// A cooperative computation: the interpreter-level continuation plus its completion
+/// action.
+struct CoopTask {
+    cont: Continuation,
+    done: TaskDone,
+}
+
+/// One virtual node of the event-driven schedulers: its interpreter plus every
+/// continuation currently parked on an outstanding remote request, keyed by the
+/// request id the response will echo.
+///
+/// The parked set is a plain vector, not a hash map: a node rarely holds more than a
+/// handful of parked computations (one per live cross-node recursion level, bounded
+/// by the call-depth guard), and the park/resume pair sits on the per-message hot
+/// path where two SipHash probes cost more than a short scan.
+struct CoopNode<'p> {
+    interp: Interp<'p>,
+    parked: Vec<(u64, CoopTask)>,
+}
+
+impl CoopNode<'_> {
+    /// Removes and returns the continuation parked on `req_id`. Scans newest-first:
+    /// under synchronous request/response the resumed continuation is almost always
+    /// the most recently parked one.
+    fn unpark(&mut self, req_id: u64) -> Option<CoopTask> {
+        let idx = self.parked.iter().rposition(|(id, _)| *id == req_id)?;
+        Some(self.parked.swap_remove(idx).1)
+    }
+
+    /// Drives `task` until it parks or completes. Completions either finish the run
+    /// (the returned root result) or send the response for the request being served.
+    fn run(&mut self, mut task: CoopTask) -> Option<Result<Value, ExecError>> {
+        let outcome = self.interp.run_task(&mut task.cont);
+        self.settle(task, outcome)
+    }
+
+    fn settle(&mut self, task: CoopTask, outcome: TaskOutcome) -> Option<Result<Value, ExecError>> {
+        match outcome {
+            TaskOutcome::Parked { req_id } => {
+                self.parked.push((req_id, task));
+                None
+            }
+            TaskOutcome::Done(res) => match task.done {
+                TaskDone::Root => Some(res),
+                TaskDone::Reply {
+                    to,
+                    req_id,
+                    reply_override,
+                } => {
+                    let result = res.map(|v| reply_override.unwrap_or(v));
+                    self.interp.send_reply(to, req_id, result);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Delivers the oldest packet in this node's mailbox, if any: a request spawns
+    /// (or answers) a serving task, a response resumes the parked continuation.
+    /// Returns the root result when the root computation completes. The ready queue
+    /// holds exactly one entry per packet, so each popped entry delivers exactly one
+    /// packet — the hot path never pays a trailing empty mailbox probe.
+    fn deliver_one(&mut self) -> Option<Result<Value, ExecError>> {
+        let pkt = self.interp.poll_packet()?;
+        match pkt.kind {
+            PacketKind::Request => {
+                match self.interp.accept_request(pkt.from, pkt.req_id, pkt.data) {
+                    ServeOutcome::Handled => None,
+                    ServeOutcome::Spawned {
+                        task,
+                        reply_override,
+                    } => self.run(CoopTask {
+                        cont: task,
+                        done: TaskDone::Reply {
+                            to: pkt.from,
+                            req_id: pkt.req_id,
+                            reply_override,
+                        },
+                    }),
+                }
+            }
+            PacketKind::Response => {
+                // The response for a parked continuation: resume it.
+                let mut task = self.unpark(pkt.req_id)?;
+                let resp = match Response::decode(pkt.data) {
+                    Response::Value(v) => Ok(v),
+                    Response::Error(e) => Err(e),
+                };
+                let outcome = self.interp.resume_task(&mut task.cont, resp);
+                self.settle(task, outcome)
+            }
+        }
+    }
+}
+
+/// Builds the per-rank cooperative nodes, attaching any per-node profiler sinks.
+fn build_nodes<'p>(
+    programs: &'p [Program],
+    mpi: &mut MpiService,
+    mut profilers: Vec<Option<NodeProfiler>>,
+) -> Vec<CoopNode<'p>> {
+    programs
+        .iter()
+        .enumerate()
+        .map(|(rank, program)| {
+            let mut interp =
+                Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_coop());
+            if let Some(p) = profilers.get_mut(rank).and_then(Option::take) {
+                interp = interp.with_profiler(p.sink, p.sample_interval);
+            }
+            CoopNode {
+                interp,
+                parked: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// The Execution Starter: launches `main` as the root continuation on the launch
+/// node. Returns the root result if it completed without ever parking.
+fn seed_root(node: &mut CoopNode<'_>) -> Option<Result<Value, ExecError>> {
+    match node.interp.program.entry {
+        None => Some(Err(ExecError::NoEntry)),
+        Some(entry) => match node.interp.task_for(entry, Vec::new()) {
+            None => Some(Ok(Value::Null)),
+            Some(cont) => node.run(CoopTask {
+                cont,
+                done: TaskDone::Root,
+            }),
+        },
+    }
+}
+
+/// Assembles the report from per-node stats. The distributed execution ends when the
+/// launch node finishes `main`; its clock has already absorbed every synchronous
+/// round trip (the communication style is request/response), so node 0's final clock
+/// is the execution time the paper measures. This is the single statement of that
+/// rule, shared by every scheduler.
+fn assemble_report(
+    per_node: Vec<NodeStats>,
+    final_statics: BTreeMap<String, Value>,
+    error: Option<ExecError>,
+    wall: Duration,
+) -> ExecutionReport {
+    let virtual_time_us = per_node.first().map(|s| s.clock_us).unwrap_or(0.0);
+    ExecutionReport {
+        virtual_time_us,
+        wall_time_ms: wall.as_secs_f64() * 1e3,
+        per_node,
+        final_statics,
+        error,
+    }
+}
+
+/// Shared epilogue of the event-driven schedulers: snapshot the launch node, deliver
+/// the shutdown broadcast (bookkeeping, not part of the measured execution — it only
+/// advances each node's clock to the shutdown's arrival, exactly like the threaded
+/// serve loop does before exiting) and assemble the report.
+fn finish_coop(
+    nodes: &mut [CoopNode<'_>],
+    root: Result<Value, ExecError>,
+    start: Instant,
+) -> ExecutionReport {
+    let error = root.err();
+    let stats0 = stats_of(&nodes[0].interp, 0);
+    let final_statics = nodes[0].interp.statics_snapshot();
+    MessageExchange::broadcast_shutdown(&mut nodes[0].interp);
+    for node in nodes.iter_mut().skip(1) {
+        while let Some(pkt) = node.interp.poll_packet() {
+            if pkt.kind == PacketKind::Request {
+                let _ = node.interp.accept_request(pkt.from, pkt.req_id, pkt.data);
+            }
+        }
+    }
+    let wall = start.elapsed();
+    let mut per_node = vec![stats0];
+    for (rank, node) in nodes.iter().enumerate().skip(1) {
+        per_node.push(stats_of(&node.interp, rank));
+    }
+    assemble_report(per_node, final_statics, error, wall)
+}
+
+/// Cooperative single-threaded distributed execution (see
+/// [`crate::cluster::Schedule::Inline`]): the continuation-based scheduler with an
+/// explicit run queue. All virtual nodes run on the calling thread; the
+/// explicit-stack machine never recurses, so no oversized stack is needed and a node
+/// can serve re-entrant callbacks while its own computation is parked.
+pub(crate) fn run_inline(
+    programs: &[Program],
+    config: &ClusterConfig,
+    profilers: Vec<Option<NodeProfiler>>,
+) -> ExecutionReport {
+    let start = Instant::now();
+    let mut mpi = MpiService::init(programs.len(), config.network.clone());
+    let ready = mpi.ready_queue();
+    let mut nodes = build_nodes(programs, &mut mpi, profilers);
+
+    let mut root_result = seed_root(&mut nodes[0]);
+
+    // The scheduler proper: pop the next ready rank off the transport's queue and
+    // deliver that node's oldest packet — resuming a parked continuation (response)
+    // or spawning a serving task (request) — until the root computation completes.
+    // Exactly one logical control flow exists at any moment (the communication style
+    // is synchronous request/response), so an empty queue before the root completes
+    // can only mean a scheduler bug: surface it instead of hanging.
+    while root_result.is_none() {
+        match ready.pop() {
+            Some(rank) => root_result = nodes[rank].deliver_one(),
+            None => {
+                root_result = Some(Err(ExecError::RemoteFailure(
+                    "cooperative scheduler stalled: no deliverable message and the root \
+                     computation has not completed"
+                        .into(),
+                )))
+            }
+        }
+    }
+
+    finish_coop(&mut nodes, root_result.expect("root completed"), start)
+}
+
+/// The shared state of one work-stealing pool run.
+struct PoolShared<'s, 'p> {
+    /// Every virtual node, lockable by any worker (per-node processing serializes on
+    /// the node's mutex; the transport channel keeps its packet order FIFO).
+    nodes: &'s [Mutex<CoopNode<'p>>],
+    /// The global injector: the transport's ready queue.
+    ready: &'s ReadyQueue,
+    /// Per-worker local run queues of ready ranks (stolen from the back).
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// The root computation's result, set exactly once.
+    root: Mutex<Option<Result<Value, ExecError>>>,
+    /// Set once `root` is; checked by every worker iteration.
+    done: AtomicBool,
+    /// Workers currently claiming or processing work. Incremented *before* looking
+    /// for work so a claimed-but-invisible rank is always covered by a non-zero
+    /// count.
+    active: AtomicUsize,
+    /// Total ranks processed; incremented (while still active) after every claimed
+    /// delivery. The stall detector requires this to hold still across several
+    /// consecutive idle checks, which closes the non-atomic-snapshot race between
+    /// reading `active` and scanning the queues.
+    deliveries: AtomicUsize,
+}
+
+impl PoolShared<'_, '_> {
+    /// Records the root result (first writer wins) and wakes every idle worker.
+    fn finish(&self, res: Result<Value, ExecError>) {
+        let mut root = self.root.lock().unwrap_or_else(|e| e.into_inner());
+        if root.is_none() {
+            *root = Some(res);
+        }
+        drop(root);
+        self.done.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+
+    /// `true` when neither the injector nor any worker's local queue holds work.
+    fn queues_idle(&self) -> bool {
+        self.ready.is_empty()
+            && self
+                .locals
+                .iter()
+                .all(|l| l.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+}
+
+/// One pool worker: local queue → injector batch → steal from a sibling; park on the
+/// ready queue when everything is empty.
+fn pool_worker(shared: &PoolShared<'_, '_>, id: usize) {
+    /// Ranks moved from the injector into the local queue per refill.
+    const BATCH: usize = 4;
+    /// Consecutive quiet idle checks before a stall is declared (see below).
+    const STALL_STRIKES: u32 = 3;
+    let idle_wait = Duration::from_millis(2);
+    let mut strikes = 0u32;
+    let mut last_epoch = None;
+    while !shared.done.load(Ordering::SeqCst) {
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let mut rank = shared.locals[id]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        if rank.is_none() {
+            let batch = shared.ready.pop_batch(BATCH);
+            let mut it = batch.into_iter();
+            rank = it.next();
+            shared.locals[id]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(it);
+        }
+        if rank.is_none() {
+            for victim in 0..shared.locals.len() {
+                if victim == id {
+                    continue;
+                }
+                rank = shared.locals[victim]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_back();
+                if rank.is_some() {
+                    break;
+                }
+            }
+        }
+        match rank {
+            Some(r) => {
+                let completed = shared.nodes[r]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .deliver_one();
+                // Finish and bump the delivery epoch before going inactive so the
+                // stall detector below can never race a completed root or mistake
+                // this delivery for quiescence.
+                if let Some(res) = completed {
+                    shared.finish(res);
+                }
+                shared.deliveries.fetch_add(1, Ordering::SeqCst);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                strikes = 0;
+            }
+            None => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                if shared.ready.wait_for_ready(idle_wait) {
+                    strikes = 0;
+                    continue;
+                }
+                // Stall detection. A single (active == 0 && queues idle) snapshot is
+                // not atomic: a sibling can move a rank from a queue into its claim
+                // between the two reads. But every claim raises `active` *before*
+                // removing the rank, and every processed claim bumps `deliveries`
+                // before lowering `active` — so across several consecutive quiet
+                // checks, live work must either show up in a queue, keep `active`
+                // non-zero, or advance the delivery epoch. Only a genuine stall
+                // (a scheduler bug: one logical control flow always has a
+                // deliverable message until the root completes) stays quiet on all
+                // three for STALL_STRIKES checks in a row.
+                let epoch = shared.deliveries.load(Ordering::SeqCst);
+                let quiet = !shared.done.load(Ordering::SeqCst)
+                    && shared.active.load(Ordering::SeqCst) == 0
+                    && shared.queues_idle()
+                    && last_epoch == Some(epoch);
+                last_epoch = Some(epoch);
+                strikes = if quiet { strikes + 1 } else { 0 };
+                if strikes >= STALL_STRIKES {
+                    shared.finish(Err(ExecError::RemoteFailure(
+                        "cooperative pool stalled: no deliverable message and the root \
+                         computation has not completed"
+                            .into(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Work-stealing pool execution (see [`crate::cluster::Schedule::Pool`]): `threads`
+/// workers over the shared ready queue and per-worker run queues of parked
+/// continuations' home ranks.
+pub(crate) fn run_pool(
+    programs: &[Program],
+    config: &ClusterConfig,
+    profilers: Vec<Option<NodeProfiler>>,
+    threads: usize,
+) -> ExecutionReport {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let mut mpi = MpiService::init(programs.len(), config.network.clone());
+    let ready = mpi.ready_queue();
+    let mut plain_nodes = build_nodes(programs, &mut mpi, profilers);
+
+    // Seed the root on the calling thread before any worker runs.
+    let root_seed = seed_root(&mut plain_nodes[0]);
+    let seeded_done = root_seed.is_some();
+    let nodes: Vec<Mutex<CoopNode<'_>>> = plain_nodes.into_iter().map(Mutex::new).collect();
+    let shared = PoolShared {
+        nodes: &nodes,
+        ready: &ready,
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        root: Mutex::new(root_seed),
+        done: AtomicBool::new(seeded_done),
+        active: AtomicUsize::new(0),
+        deliveries: AtomicUsize::new(0),
+    };
+    if !seeded_done {
+        std::thread::scope(|scope| {
+            for id in 0..threads {
+                let shared = &shared;
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{id}"))
+                    .spawn_scoped(scope, move || pool_worker(shared, id))
+                    .expect("spawn pool worker");
+            }
+        });
+    }
+
+    let root = shared
+        .root
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .expect("pool run completed");
+    let mut nodes: Vec<CoopNode<'_>> = nodes
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    finish_coop(&mut nodes, root, start)
+}
+
+/// Thread-per-node distributed execution (see [`crate::cluster::Schedule::Threaded`]).
+pub(crate) fn run_threaded(
+    programs: &[Program],
+    config: &ClusterConfig,
+    mut profilers: Vec<Option<NodeProfiler>>,
+) -> ExecutionReport {
+    let nodes = programs.len();
+    let start = Instant::now();
+    let mut mpi = MpiService::init(nodes, config.network.clone());
+
+    let mut endpoints: Vec<_> = (0..nodes).map(|r| Some(mpi.endpoint(r))).collect();
+
+    let results: Vec<(NodeStats, BTreeMap<String, Value>, Option<ExecError>)> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rank, program) in programs.iter().enumerate() {
+                let mut endpoint = endpoints[rank].take().expect("endpoint");
+                // Thread-per-node execution blocks on its mailbox; ready-queue
+                // tracking would only grow the queue and contend its lock.
+                endpoint.untrack_ready();
+                let profiler = profilers.get_mut(rank).and_then(Option::take);
+                let builder = std::thread::Builder::new()
+                    .name(format!("node-{rank}"))
+                    .stack_size(32 * 1024 * 1024);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut interp = Interp::new(program).with_dist(DistState::new(endpoint));
+                        if let Some(p) = profiler {
+                            interp = interp.with_profiler(p.sink, p.sample_interval);
+                        }
+                        let mut error = None;
+                        let stats;
+                        if rank == 0 {
+                            if let Err(e) = ExecutionStarter::start(&mut interp) {
+                                error = Some(e);
+                            }
+                            // Execution ends when main returns on the launch node; the
+                            // shutdown broadcast is bookkeeping and not part of the
+                            // measured execution.
+                            stats = stats_of(&interp, rank);
+                            MessageExchange::broadcast_shutdown(&mut interp);
+                        } else {
+                            MessageExchange::serve(&mut interp);
+                            stats = stats_of(&interp, rank);
+                        }
+                        (stats, interp.statics_snapshot(), error)
+                    })
+                    .expect("spawn node thread");
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        });
+
+    let wall = start.elapsed();
+    let error = results.iter().find_map(|(_, _, e)| e.clone());
+    let final_statics = results
+        .first()
+        .map(|(_, s, _)| s.clone())
+        .unwrap_or_default();
+    assemble_report(
+        results.into_iter().map(|(s, _, _)| s).collect(),
+        final_statics,
+        error,
+        wall,
+    )
+}

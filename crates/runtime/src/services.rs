@@ -41,6 +41,12 @@ impl MpiService {
     pub fn endpoint(&mut self, rank: usize) -> crate::net::MpiEndpoint {
         self.world.take_endpoint(rank)
     }
+
+    /// The transport's shared ready queue: the ranks with undelivered packets, in
+    /// send order. The event-driven schedulers pop it for O(1) delivery per packet.
+    pub fn ready_queue(&self) -> std::sync::Arc<crate::net::ReadyQueue> {
+        self.world.ready_queue()
+    }
 }
 
 /// The Execution Starter: invokes the application entry point on the launch node.

@@ -1,11 +1,15 @@
 //! Run a workload under each of the six profiler metrics (Section 6) and print the
-//! collected data plus the overhead of each metric relative to the disabled baseline.
+//! collected data plus the overhead of each metric relative to the disabled baseline,
+//! then profile a **cooperative distributed run** and print each node's hot methods —
+//! the call stack travels with every parked continuation, so sampling attribution is
+//! exact even while a node interleaves its root computation with served callbacks.
 //!
 //! Run with: `cargo run --example profile_run`
 
+use autodist::{Distributor, DistributorConfig, NodeProfiler};
 use autodist_profiler::overhead::measure_overheads;
 use autodist_profiler::{Metric, Profiler};
-use autodist_runtime::cluster::run_centralized_profiled;
+use autodist_runtime::cluster::{run_centralized_profiled, ClusterConfig, Schedule};
 
 fn main() {
     // Large enough that each run takes a few milliseconds: overhead percentages are
@@ -30,6 +34,47 @@ fn main() {
         }
         println!();
     }
+
+    println!("==== per-node hot methods (cooperative distributed run) ====");
+    let distributor = Distributor::new(DistributorConfig::default());
+    let plan = distributor
+        .try_distribute(&workload.program)
+        .expect("distribution pipeline");
+    let nodes = plan.node_programs.len();
+    let mut profilers = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..nodes {
+        let (profiler, handle) = Profiler::new(Some(Metric::HotMethods));
+        profilers.push(Some(NodeProfiler::new(
+            Box::new(profiler),
+            Profiler::sample_interval(Some(Metric::HotMethods)),
+        )));
+        handles.push(handle);
+    }
+    let report = plan.execute_profiled(
+        &ClusterConfig {
+            schedule: Schedule::Inline,
+            ..ClusterConfig::paper_testbed()
+        },
+        profilers,
+    );
+    assert!(report.is_ok(), "{:?}", report.error);
+    for (rank, handle) in handles.iter().enumerate() {
+        let data = handle.lock();
+        println!(
+            "node {rank}: {} samples over {} instructions",
+            data.samples, report.per_node[rank].instructions
+        );
+        for (method, count) in data.hottest_methods(3) {
+            let program = &plan.node_programs[rank].program;
+            let m = program.method(method);
+            println!(
+                "  {:<40} {count}",
+                format!("{}.{}", program.class(m.class).name, m.name)
+            );
+        }
+    }
+    println!();
 
     println!("==== overhead comparison (Table 3 methodology) ====");
     let workloads = vec![

@@ -166,7 +166,11 @@ fn deep_cross_node_recursion_overflows_cleanly() {
     ";
     let program = compile_source(src).expect("deep recursion compiles");
     let pins = [("Main", 0), ("Ping", 0), ("Pong", 1)];
-    for schedule in [Schedule::Inline, Schedule::Threaded] {
+    for schedule in [
+        Schedule::Inline,
+        Schedule::Threaded,
+        Schedule::Pool { threads: 2 },
+    ] {
         let report = run_pinned(&program, &pins, 2, schedule);
         let err = report
             .error
@@ -222,4 +226,8 @@ fn three_node_ring_is_schedule_invariant() {
         Some(&Value::Int(17))
     );
     assert!(inline.total_messages() > 0);
+    // The work-stealing pool runs the same event-driven core: full parity too, even
+    // though every hop of this placement crosses the node ring.
+    let pool = run_pinned(&program, &pins, 3, Schedule::Pool { threads: 3 });
+    assert_parity(&pool, &threaded);
 }

@@ -1,0 +1,186 @@
+//! Profiler parity across schedulers.
+//!
+//! With the interpreter call stack stored per `Continuation`, the sampling profiler
+//! attaches to cooperative distributed runs — something the interpreter-global stack
+//! could not support (its contents above the live prefix mixed frames of unrelated
+//! parked continuations). These tests pin the resulting guarantees on the Table 1
+//! workloads:
+//!
+//! * **Attribution parity** — a per-node sampling profiler attached to a
+//!   [`Schedule::Inline`] run observes exactly the same per-node samples (hot-method
+//!   counts, hence ranking) as one attached to a [`Schedule::Threaded`] run: per-node
+//!   instruction streams are identical, and both schedulers now sample the running
+//!   continuation's own stack.
+//! * **Pool determinism** — [`Schedule::Pool`] runs deliver deterministic virtual
+//!   times, message counts and results, identical to the inline scheduler's.
+//!
+//! CI runs this test binary under the deadlock watchdog (see
+//! `.github/workflows/ci.yml`): the pool scheduler's worst failure mode is a hang.
+
+use autodist::{Distributor, DistributorConfig, NodeProfiler};
+use autodist_profiler::{Metric, ProfileHandle, Profiler};
+use autodist_runtime::cluster::{ClusterConfig, Schedule};
+use autodist_runtime::ExecutionReport;
+
+/// Attaches one `HotMethods` sampling profiler per node and executes the plan.
+fn run_profiled(
+    plan: &autodist::DistributionPlan,
+    nodes: usize,
+    schedule: Schedule,
+) -> (ExecutionReport, Vec<ProfileHandle>) {
+    let mut profilers = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..nodes {
+        let (profiler, handle) = Profiler::new(Some(Metric::HotMethods));
+        profilers.push(Some(NodeProfiler::new(
+            Box::new(profiler),
+            Profiler::sample_interval(Some(Metric::HotMethods)),
+        )));
+        handles.push(handle);
+    }
+    let config = ClusterConfig {
+        schedule,
+        ..ClusterConfig::paper_testbed()
+    };
+    (plan.execute_profiled(&config, profilers), handles)
+}
+
+/// The sampling profiler attaches to cooperative distributed runs and agrees with
+/// thread-per-node execution sample for sample: per-node hot-method maps (counts
+/// included, so the ranking too) are identical on every Table 1 workload.
+#[test]
+fn inline_and_threaded_sampling_attribution_agree_per_node() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    for w in autodist_workloads::table1_workloads(1) {
+        let plan = distributor.try_distribute(&w.program).expect("pipeline");
+        let nodes = plan.node_programs.len();
+        let (inline_report, inline_handles) = run_profiled(&plan, nodes, Schedule::Inline);
+        let (threaded_report, threaded_handles) = run_profiled(&plan, nodes, Schedule::Threaded);
+        assert!(
+            inline_report.is_ok(),
+            "{}: {:?}",
+            w.name,
+            inline_report.error
+        );
+        assert!(
+            threaded_report.is_ok(),
+            "{}: {:?}",
+            w.name,
+            threaded_report.error
+        );
+
+        let mut sampled_somewhere = false;
+        for (rank, (i, t)) in inline_handles
+            .iter()
+            .zip(threaded_handles.iter())
+            .enumerate()
+        {
+            let inline_data = i.lock();
+            let threaded_data = t.lock();
+            assert_eq!(
+                inline_data.samples, threaded_data.samples,
+                "{}: node {rank} sample counts diverge",
+                w.name
+            );
+            assert_eq!(
+                inline_data.hot_methods, threaded_data.hot_methods,
+                "{}: node {rank} hot-method attribution diverges",
+                w.name
+            );
+            assert_eq!(
+                inline_data.hottest_methods(5),
+                threaded_data.hottest_methods(5),
+                "{}: node {rank} hot-method ranking diverges",
+                w.name
+            );
+            sampled_somewhere |= inline_data.samples > 0;
+        }
+        assert!(
+            sampled_somewhere,
+            "{}: the cooperative run produced no samples at all — the profiler did \
+             not attach",
+            w.name
+        );
+    }
+}
+
+/// Hot-path sampling on a cooperative run attributes samples to the node actually
+/// burning the instructions: distribute a workload whose hot loop is served remotely
+/// and check the serving node collects samples while parked continuations on the
+/// launch node do not pollute its stacks.
+#[test]
+fn cooperative_sampling_attributes_work_to_the_serving_node() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let w = autodist_workloads::method_bench(60);
+    let plan = distributor.try_distribute(&w.program).expect("pipeline");
+    let nodes = plan.node_programs.len();
+    let (report, handles) = run_profiled(&plan, nodes, Schedule::Inline);
+    assert!(report.is_ok(), "{:?}", report.error);
+    // Per-node sample totals must mirror per-node instruction shares: any node that
+    // executed a meaningful share of instructions must have collected samples.
+    let interval = Profiler::sample_interval(Some(Metric::HotMethods));
+    for (stats, handle) in report.per_node.iter().zip(handles.iter()) {
+        let samples = handle.lock().samples;
+        if stats.instructions > 4 * interval {
+            assert!(
+                samples > 0,
+                "node {} executed {} instructions but collected no samples",
+                stats.node,
+                stats.instructions
+            );
+        }
+    }
+}
+
+/// Pool runs produce deterministic virtual times: two runs under the same
+/// configuration agree with each other and with the inline scheduler, on every
+/// Table 1 workload.
+#[test]
+fn pool_runs_are_deterministic_on_table1_workloads() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    for w in autodist_workloads::table1_workloads(1) {
+        let plan = distributor.try_distribute(&w.program).expect("pipeline");
+        let inline = plan.execute(&ClusterConfig {
+            schedule: Schedule::Inline,
+            ..ClusterConfig::paper_testbed()
+        });
+        let pool_config = ClusterConfig {
+            schedule: Schedule::Pool { threads: 4 },
+            ..ClusterConfig::paper_testbed()
+        };
+        let first = plan.execute(&pool_config);
+        let second = plan.execute(&pool_config);
+        for pool in [&first, &second] {
+            assert!(pool.is_ok(), "{}: {:?}", w.name, pool.error);
+            assert_eq!(
+                pool.virtual_time_us, inline.virtual_time_us,
+                "{}: pool virtual time must equal the inline scheduler's",
+                w.name
+            );
+            assert_eq!(pool.total_messages(), inline.total_messages(), "{}", w.name);
+            assert_eq!(pool.total_bytes(), inline.total_bytes(), "{}", w.name);
+            assert_eq!(pool.final_statics, inline.final_statics, "{}", w.name);
+        }
+    }
+}
+
+/// A sampling profiler attached to a pool run collects the same per-node samples as
+/// the inline scheduler: worker interleaving never changes what each node executes.
+#[test]
+fn pool_sampling_matches_inline_sampling() {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let w = autodist_workloads::bank(30);
+    let plan = distributor.try_distribute(&w.program).expect("pipeline");
+    let nodes = plan.node_programs.len();
+    let (inline_report, inline_handles) = run_profiled(&plan, nodes, Schedule::Inline);
+    let (pool_report, pool_handles) = run_profiled(&plan, nodes, Schedule::Pool { threads: 3 });
+    assert!(inline_report.is_ok(), "{:?}", inline_report.error);
+    assert!(pool_report.is_ok(), "{:?}", pool_report.error);
+    for (rank, (i, p)) in inline_handles.iter().zip(pool_handles.iter()).enumerate() {
+        assert_eq!(
+            i.lock().hot_methods,
+            p.lock().hot_methods,
+            "node {rank} attribution diverges between inline and pool"
+        );
+    }
+}

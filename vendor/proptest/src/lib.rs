@@ -4,9 +4,14 @@
 //! trait with `prop_map`, range and tuple strategies, a character-class subset of
 //! regex string strategies, [`strategy::Just`], `prop_oneof!`, `any::<T>()`,
 //! `collection::vec`, and the `proptest!` / `prop_assert!` macros. Sampling is
-//! deterministic (seeded per test from the test's name) and there is **no
-//! shrinking** — a failing case reports the panic from the raw inputs. Case count
-//! defaults to 64 and honours `PROPTEST_CASES` like the real crate.
+//! deterministic (seeded per test from the test's name) and basic **shrinking** is
+//! supported: integer strategies shrink toward the range start (or zero), `Vec`
+//! strategies drop and shrink elements, and tuples shrink one component at a time —
+//! a failing case is greedily minimized before being re-run uncaught, so the test
+//! fails with the smallest found reproducer instead of the raw sampled inputs.
+//! Mapped (`prop_map`) and union (`prop_oneof!`) strategies do not shrink (the
+//! mapping cannot be inverted); their failing cases are reported as drawn. Case
+//! count defaults to 64 and honours `PROPTEST_CASES` like the real crate.
 
 pub mod test_runner {
     /// Deterministic SplitMix64 generator used for all sampling.
@@ -48,14 +53,21 @@ pub mod strategy {
     use std::marker::PhantomData;
     use std::ops::Range;
 
-    /// A generator of test values. Unlike the real crate there is no shrinking: a
-    /// strategy is just a sampling function.
+    /// A generator of test values with optional shrinking. Values are `Clone` so a
+    /// failing case can be re-run while it is minimized.
     pub trait Strategy {
         /// The type of generated values.
-        type Value;
+        type Value: Clone;
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes strictly "smaller" candidates for a failing value, most
+        /// aggressive first. The default is no shrinking (e.g. mapped strategies,
+        /// whose mapping cannot be inverted).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -77,10 +89,13 @@ pub mod strategy {
     /// A heap-allocated, type-erased strategy.
     pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
 
-    impl<V> Strategy for BoxedStrategy<V> {
+    impl<V: Clone> Strategy for BoxedStrategy<V> {
         type Value = V;
         fn sample(&self, rng: &mut TestRng) -> V {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            (**self).shrink(value)
         }
     }
 
@@ -100,7 +115,7 @@ pub mod strategy {
         f: F,
     }
 
-    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
         type Value = O;
         fn sample(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.sample(rng))
@@ -123,7 +138,7 @@ pub mod strategy {
         }
     }
 
-    impl<V> Strategy for Union<V> {
+    impl<V: Clone> Strategy for Union<V> {
         type Value = V;
         fn sample(&self, rng: &mut TestRng) -> V {
             let i = rng.below(self.options.len());
@@ -141,6 +156,18 @@ pub mod strategy {
                     let offset = (rng.next_u64() as u128 % width) as i128;
                     (self.start as i128 + offset) as $t
                 }
+                /// Shrinks toward the range start: the start itself, the midpoint,
+                /// and the predecessor — the usual bisection ladder.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let (s, v) = (self.start as i128, *value as i128);
+                    let mut out = Vec::new();
+                    for cand in [s, s + (v - s) / 2, v - 1] {
+                        if cand >= s && cand < v && !out.contains(&(cand as $t)) {
+                            out.push(cand as $t);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -151,6 +178,17 @@ pub mod strategy {
         type Value = f64;
         fn sample(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.unit_f64() * (self.end - self.start)
+        }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let mut out = Vec::new();
+            if *value != self.start {
+                out.push(self.start);
+                let mid = self.start + (value - self.start) / 2.0;
+                if mid != *value && mid != self.start {
+                    out.push(mid);
+                }
+            }
+            out
         }
     }
 
@@ -169,15 +207,37 @@ pub mod strategy {
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$i.sample(rng),)+)
                 }
+                /// Shrinks one component at a time, the others held fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$i.shrink(&value.$i) {
+                            let mut next = value.clone();
+                            next.$i = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         )*};
     }
 
     tuple_strategy! {
+        (A.0)
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    }
+
+    /// The empty strategy tuple, so `proptest!` accepts argument-less properties
+    /// (the macro builds one composite strategy over all declared arguments).
+    impl Strategy for () {
+        type Value = ();
+        fn sample(&self, _rng: &mut TestRng) {}
     }
 
     /// Generates with [`super::arbitrary::Arbitrary`]; see [`super::arbitrary::any`].
@@ -188,6 +248,9 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink()
+        }
     }
 }
 
@@ -197,9 +260,18 @@ pub mod arbitrary {
     use std::marker::PhantomData;
 
     /// Types with a canonical full-domain strategy.
-    pub trait Arbitrary {
+    pub trait Arbitrary: Clone {
         /// Draws an unconstrained value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Proposes smaller candidates for a failing value (see
+        /// [`super::strategy::Strategy::shrink`]); defaults to none.
+        fn shrink(&self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            Vec::new()
+        }
     }
 
     /// The strategy for any `T: Arbitrary` (`any::<u64>()`, ...).
@@ -213,15 +285,61 @@ pub mod arbitrary {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
                 }
+                /// Shrinks toward zero: zero itself, the half, the predecessor (in
+                /// magnitude).
+                fn shrink(&self) -> Vec<$t> {
+                    let v = *self;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        for cand in [0, v / 2, v - v.signum()] {
+                            if cand != v && !out.contains(&cand) {
+                                out.push(cand);
+                            }
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
 
-    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+    int_arbitrary!(i8, i16, i32, i64, isize);
+
+    macro_rules! uint_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                /// Shrinks toward zero: zero itself, the half, the predecessor.
+                fn shrink(&self) -> Vec<$t> {
+                    let v = *self;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        for cand in [0, v / 2, v - 1] {
+                            if cand != v && !out.contains(&cand) {
+                                out.push(cand);
+                            }
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    uint_arbitrary!(u8, u16, u32, u64, usize);
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -255,6 +373,37 @@ pub mod collection {
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.len.start + rng.below(self.len.end - self.len.start);
             (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+        /// Shrinks the length first (halving, then single removals), then the
+        /// elements in place — never below the strategy's minimum length.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Bounds the O(n²) single-removal / per-element candidate lists.
+            const MAX_POSITIONS: usize = 24;
+            let min = self.len.start;
+            let n = value.len();
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            if n > min {
+                let keep = (n / 2).max(min);
+                if keep < n {
+                    out.push(value[..keep].to_vec());
+                    out.push(value[n - keep..].to_vec());
+                }
+                if n <= MAX_POSITIONS {
+                    for i in 0..n {
+                        let mut next = value.clone();
+                        next.remove(i);
+                        out.push(next);
+                    }
+                }
+            }
+            for i in 0..n.min(MAX_POSITIONS) {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -335,6 +484,102 @@ pub mod string {
     }
 }
 
+pub mod shrink {
+    //! The failing-case minimizer behind the `proptest!` macro.
+
+    use super::strategy::Strategy;
+    use std::cell::Cell;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Once;
+
+    thread_local! {
+        /// Set while a shrink probe runs so its (expected) panics do not spam the
+        /// default hook's backtrace output.
+        static SILENT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    static HOOK: Once = Once::new();
+
+    fn install_hook() {
+        HOOK.call_once(|| {
+            let previous = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if !SILENT.with(|s| s.get()) {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    /// Runs `f` and reports whether it panicked, without printing the panic (the
+    /// minimizer re-runs failing bodies many times; only the final minimized run is
+    /// allowed to unwind loudly). Thread-local, so concurrently failing tests on
+    /// other threads still report normally.
+    pub fn fails(f: impl FnOnce()) -> bool {
+        install_hook();
+        let was = SILENT.with(|s| s.replace(true));
+        let failed = panic::catch_unwind(AssertUnwindSafe(f)).is_err();
+        SILENT.with(|s| s.set(was));
+        failed
+    }
+
+    /// The case loop behind the `proptest!` macro: sample `cases` values, probe each
+    /// one, and on the first failure minimize it and re-run it uncaught so the test
+    /// fails with the smallest found reproducer's own panic message.
+    pub fn run_cases<S: Strategy>(
+        strategy: &S,
+        rng: &mut super::test_runner::TestRng,
+        cases: u32,
+        name: &str,
+        run: impl Fn(S::Value),
+    ) {
+        for case in 0..cases {
+            let values = strategy.sample(rng);
+            if fails(|| run(values.clone())) {
+                let check = |v: &S::Value| fails(|| run(v.clone()));
+                let (minimized, steps) = minimize(strategy, values, &check);
+                eprintln!(
+                    "proptest: {name} failed on case {case}; re-running the case \
+                     minimized by {steps} shrink step(s)"
+                );
+                run(minimized);
+                unreachable!(
+                    "proptest: the minimized case for {name} no longer fails \
+                     (flaky property)"
+                );
+            }
+        }
+    }
+
+    /// Greedy minimization: repeatedly replace the failing value with its first
+    /// still-failing shrink candidate until no candidate fails (or the re-run budget
+    /// is exhausted). Returns the minimized value and the number of accepted shrink
+    /// steps.
+    pub fn minimize<S: Strategy>(
+        strategy: &S,
+        mut current: S::Value,
+        check: &impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, usize) {
+        let mut steps = 0usize;
+        let mut budget = 512usize;
+        'outer: while budget > 0 {
+            for candidate in strategy.shrink(&current) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if check(&candidate) {
+                    current = candidate;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, steps)
+    }
+}
+
 pub mod prelude {
     pub use crate as prop;
     pub use crate::arbitrary::any;
@@ -366,7 +611,9 @@ macro_rules! prop_assert_eq {
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }` becomes a
 /// `#[test]` that samples its arguments `PROPTEST_CASES` times (default 64) from a
-/// deterministic per-test seed.
+/// deterministic per-test seed. A failing case is greedily **minimized** through the
+/// strategies' [`crate::strategy::Strategy::shrink`] candidates, then re-run uncaught
+/// so the test fails with the smallest found reproducer's own panic message.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
@@ -382,10 +629,19 @@ macro_rules! proptest {
                     seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(byte as u64);
                 }
                 let mut rng = $crate::test_runner::TestRng::deterministic(seed);
-                for _case in 0..cases {
-                    $(let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng);)*
-                    $body
-                }
+                // One composite strategy over all arguments (component samples draw
+                // in declaration order, so the RNG stream matches per-arg sampling).
+                let strategy = ($($strategy,)*);
+                $crate::shrink::run_cases(
+                    &strategy,
+                    &mut rng,
+                    cases,
+                    stringify!($name),
+                    |values| {
+                        let ($($arg,)*) = values;
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -446,5 +702,83 @@ mod tests {
             let chosen = if flag { items.len() } else { small };
             prop_assert!(chosen < 5);
         }
+    }
+
+    #[test]
+    fn integer_ranges_minimize_to_the_smallest_failing_value() {
+        // Property "v < 70" fails for v in [70, 1000): the minimizer must walk all
+        // the way down to the boundary case 70.
+        let strategy = 0i64..1000;
+        let check = |v: &i64| *v >= 70;
+        let (min, steps) = crate::shrink::minimize(&strategy, 912, &check);
+        assert_eq!(min, 70, "greedy shrink reaches the boundary");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn arbitrary_integers_minimize_toward_zero() {
+        let strategy = any::<i64>();
+        let check = |v: &i64| *v != 0; // everything nonzero fails
+        let (min, _) = crate::shrink::minimize(&strategy, -987_654, &check);
+        assert_eq!(min, -1, "shrinks in magnitude toward zero");
+        let (min_pos, _) = crate::shrink::minimize(&strategy, 40_000, &check);
+        assert_eq!(min_pos, 1);
+    }
+
+    #[test]
+    fn vectors_minimize_length_and_elements() {
+        // Property "no element is >= 50" — a single offending element suffices to
+        // fail, so the minimized case is the one-element vector [50].
+        let strategy = prop::collection::vec(0i64..1000, 0..12);
+        let check = |v: &Vec<i64>| v.iter().any(|&x| x >= 50);
+        let failing = vec![3, 912, 77, 4, 500, 61];
+        let (min, _) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, vec![50], "one element, shrunk to the boundary");
+    }
+
+    #[test]
+    fn vector_shrinking_respects_the_minimum_length() {
+        let strategy = prop::collection::vec(0i64..10, 2..6);
+        let check = |_: &Vec<i64>| true; // everything "fails"
+        let (min, _) = crate::shrink::minimize(&strategy, vec![9, 9, 9, 9, 9], &check);
+        assert_eq!(min, vec![0, 0], "length floor 2, elements at range start");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let strategy = (0i64..100, 0i64..100);
+        // Fails whenever the first component is at least 10; the second is noise.
+        let check = |v: &(i64, i64)| v.0 >= 10;
+        let (min, _) = crate::shrink::minimize(&strategy, (73, 42), &check);
+        assert_eq!(min, (10, 0), "both components minimized independently");
+    }
+
+    #[test]
+    fn shrink_probes_do_not_unwind_into_the_caller() {
+        assert!(crate::shrink::fails(|| panic!("expected")));
+        assert!(!crate::shrink::fails(|| {}));
+    }
+
+    /// End-to-end through the macro's driver: a failing property panics with the
+    /// *minimized* case's own message, not the raw sampled one. (The one panic this
+    /// test prints is the deliberate final re-run.)
+    #[test]
+    fn run_cases_panics_with_the_minimized_case() {
+        let strategy = (0i64..1000,);
+        let mut rng = TestRng::deterministic(42);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::shrink::run_cases(&strategy, &mut rng, 64, "demo", |(v,)| {
+                assert!(v < 70, "boom at {v}");
+            });
+        }));
+        let payload = result.expect_err("the property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert! message");
+        assert!(
+            msg.contains("boom at 70"),
+            "expected the minimized boundary case 70, got: {msg}"
+        );
     }
 }
