@@ -7,7 +7,7 @@
 //! change and compare `totals.suite_wall_ms` and the per-workload `*_virtual_us`
 //! fields, which must be byte-identical across purely mechanical interpreter changes
 //! (see the README's "Performance" section for the schema and the committed
-//! `BENCH_pr3.json` … `BENCH_pr5.json` baselines).
+//! `BENCH_pr3.json` … `BENCH_pr6.json` baselines).
 //!
 //! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
 //!            [--repeats N] [--scale N] [--out FILE] [--quick]`
@@ -18,7 +18,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr5.json".to_string();
+    let mut out = "BENCH_pr6.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +62,16 @@ fn main() -> Result<(), PipelineError> {
     println!();
     for m in &report.micro {
         println!("micro {:<28} {:>12.2} us", m.name, m.median_us);
+    }
+    println!();
+    for c in &report.census {
+        println!(
+            "census {:<27} {:>6} -> {:>6} ops static, dispatch reduction {:>5.1}%",
+            c.name,
+            c.static_.unfused_ops,
+            c.static_.fused_ops,
+            c.dynamic.dispatch_reduction_pct()
+        );
     }
     println!();
     println!(

@@ -5,11 +5,15 @@
 //! **median wall time** and the (deterministic) **virtual time**, and (b) the
 //! microbenchmark areas mirroring the criterion benches (analysis, partitioning,
 //! rewrite+codegen, runtime) plus a raw **op-dispatch** probe of the explicit-stack
-//! interpreter and the **message-delivery** probe of the transport's ready queue (two
-//! fabric widths — their agreement is the O(1)-per-packet delivery property). The
+//! interpreter (fused and, as the A/B control, `_nofuse`), the deep
+//! **arithmetic/conditional chain** family from [`crate::microbench`], and the
+//! **message-delivery** probe of the transport's ready queue (two fabric widths —
+//! their agreement is the O(1)-per-packet delivery property). An **op census**
+//! section records, per Table 1 workload and chain microbench, the superinstruction
+//! counts the fusion pass emits and the dynamic dispatch reduction it buys. The
 //! result serialises to a small hand-rolled JSON document (the build environment has
 //! no serde_json) whose schema is documented in the README's "Performance" section;
-//! committed snapshots (`BENCH_pr3.json` … `BENCH_pr5.json`) are the baselines
+//! committed snapshots (`BENCH_pr3.json` … `BENCH_pr6.json`) are the baselines
 //! future perf PRs diff against.
 
 use std::time::Instant;
@@ -17,12 +21,15 @@ use std::time::Instant;
 use autodist::{Distributor, DistributorConfig, PipelineResult};
 use autodist_codegen::rewrite::rewrite_for_node;
 use autodist_ir::frontend::compile_source;
+use autodist_ir::layout::LayoutOptions;
 use autodist_partition::{partition, PartitionConfig};
 use autodist_runtime::cluster::ClusterConfig;
 use autodist_runtime::interp::Interp;
 use autodist_runtime::net::{MpiWorld, NetworkConfig, PacketKind};
 use autodist_runtime::wire::{AccessKind, Request, WireValue};
 use bytes::Bytes;
+
+use crate::microbench::{self, OpCensus, ARITH_CHAIN_DEEP, COND_CHAIN_DEEP};
 
 /// Measurements for one workload.
 #[derive(Clone, Debug)]
@@ -65,6 +72,9 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadReport>,
     /// Micro-benchmark areas.
     pub micro: Vec<MicroReport>,
+    /// Fusion census (static superinstruction counts + dynamic dispatch reduction)
+    /// per Table 1 workload and chain microbench.
+    pub census: Vec<OpCensus>,
 }
 
 use autodist_profiler::overhead::median;
@@ -84,10 +94,26 @@ fn median_wall_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
 /// Pure op-dispatch probe: a tight integer loop whose body never leaves the decoded-op
 /// dispatch loop (no allocation, no calls, no strings), interpreted on a pre-built
 /// [`Interp`] so layout construction is excluded. Reports the median cost of 1000
-/// executed ops in microseconds — the direct measure of the explicit-stack loop the
-/// `Insn` → [`autodist_ir::layout::Op`] pre-decode feeds.
-fn measure_op_dispatch(repeats: usize) -> f64 {
-    let src = "class Main {
+/// executed **seed** ops in microseconds — the direct measure of the explicit-stack
+/// loop the `Insn` → [`autodist_ir::layout::Op`] pre-decode feeds. `opts` selects
+/// the fused stream or the one-to-one decode (the `_nofuse` A/B control); the
+/// normalisation constant counts seed ops either way, so the two figures compare
+/// like for like.
+fn measure_dispatch_src(src: &str, repeats: usize, opts: LayoutOptions) -> f64 {
+    let program = compile_source(src).expect("dispatch probe compiles");
+    // Deterministic seed-op count for the normalisation (fusion-independent:
+    // `instructions` counts seed widths even through superinstructions).
+    let ops = microbench::executed_seed_ops(&program);
+    let entry = program.entry.expect("probe has an entry point");
+    let mut interp = Interp::new_with_options(&program, opts);
+    let per_run_us =
+        median_wall_ms(repeats.max(3), || interp.invoke(entry, Vec::new()).unwrap()) * 1e3;
+    per_run_us * 1000.0 / ops as f64
+}
+
+/// The classic op-dispatch probe body (kept verbatim across PRs so the
+/// `op_dispatch_1k_ops` area stays comparable with committed baselines).
+const OP_DISPATCH_SRC: &str = "class Main {
         static int sink;
         static void main() {
             int acc = 7;
@@ -99,15 +125,6 @@ fn measure_op_dispatch(repeats: usize) -> f64 {
             sink = acc;
         }
     }";
-    let program = compile_source(src).expect("dispatch probe compiles");
-    // Deterministic op count for the normalisation, from the centralized report.
-    let ops = autodist_runtime::cluster::run_centralized(&program, 1.0).per_node[0].instructions;
-    let entry = program.entry.expect("probe has an entry point");
-    let mut interp = Interp::new(&program);
-    let per_run_us =
-        median_wall_ms(repeats.max(3), || interp.invoke(entry, Vec::new()).unwrap()) * 1e3;
-    per_run_us * 1000.0 / ops as f64
-}
 
 /// Ready-queue delivery probe: `nodes` endpoints on one simulated fabric, 1000
 /// request packets fanned out from rank 0, then delivered by popping ready ranks off
@@ -189,7 +206,27 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         },
         MicroReport {
             name: "op_dispatch_1k_ops".to_string(),
-            median_us: measure_op_dispatch(repeats),
+            median_us: measure_dispatch_src(OP_DISPATCH_SRC, repeats, LayoutOptions::default()),
+        },
+        // The same probe on the one-to-one decode: the A/B control isolating the
+        // superinstruction win from everything else in the loop.
+        MicroReport {
+            name: "op_dispatch_1k_ops_nofuse".to_string(),
+            median_us: measure_dispatch_src(
+                OP_DISPATCH_SRC,
+                repeats,
+                LayoutOptions { fuse: false },
+            ),
+        },
+        // Deep chain family: pattern-dense bodies measuring the fused loop's
+        // upper bound (per 1k seed ops, like the dispatch probe).
+        MicroReport {
+            name: "arith_chain_deep".to_string(),
+            median_us: measure_dispatch_src(ARITH_CHAIN_DEEP, repeats, LayoutOptions::default()),
+        },
+        MicroReport {
+            name: "cond_chain_deep".to_string(),
+            median_us: measure_dispatch_src(COND_CHAIN_DEEP, repeats, LayoutOptions::default()),
         },
         // Per-packet delivery cost through the ready queue at two fabric widths: the
         // two numbers agreeing is the O(1)-per-packet property (delivery cost does
@@ -219,12 +256,28 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         },
     ];
 
+    // Fusion census: deterministic counts (no timing), so the committed artifact
+    // doubles as a regression check on the fusion pass's coverage.
+    let mut census = Vec::new();
+    for w in autodist_workloads::table1_workloads(scale) {
+        census.push(microbench::census(&w.name, &w.program));
+    }
+    census.push(microbench::census(
+        "arith_chain_deep",
+        &microbench::compile_chain(ARITH_CHAIN_DEEP),
+    ));
+    census.push(microbench::census(
+        "cond_chain_deep",
+        &microbench::compile_chain(COND_CHAIN_DEEP),
+    ));
+
     Ok(BenchReport {
         schema_version: 1,
         scale,
         repeats,
         workloads,
         micro,
+        census,
     })
 }
 
@@ -280,6 +333,29 @@ impl BenchReport {
                 json_string(&m.name),
                 m.median_us,
                 if i + 1 < self.micro.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"op_census\": [\n");
+        for (i, c) in self.census.iter().enumerate() {
+            let supers = c
+                .static_
+                .super_counts
+                .iter()
+                .map(|(k, n)| format!("{}: {}", json_string(k), n))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"unfused_ops\": {}, \"fused_ops\": {}, \
+                 \"supers\": {{{}}}, \"instructions\": {}, \"dispatches\": {}, \
+                 \"dispatch_reduction_pct\": {:.1}}}{}\n",
+                json_string(&c.name),
+                c.static_.unfused_ops,
+                c.static_.fused_ops,
+                supers,
+                c.dynamic.instructions,
+                c.dynamic.dispatches,
+                c.dynamic.dispatch_reduction_pct(),
+                if i + 1 < self.census.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n  \"totals\": {\n");

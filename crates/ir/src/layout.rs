@@ -28,6 +28,19 @@
 //! and `u32` branch targets. The interpreter's dispatch loop runs over `Op`s and never
 //! touches a string or a resolution table; the original [`FieldRef`]s survive inside
 //! the ops only for the proxy/remote slow paths, where the *name* is the wire protocol.
+//!
+//! After decoding, a **fusion pass** (on by default, toggled by
+//! [`LayoutOptions::fuse`]) rewrites each op stream, collapsing the dominant
+//! pairs/triples the frontend emits — local/local and local/constant arithmetic,
+//! compare-and-branch heads of loops and `if`s, the `i = i + K` increment idiom, and
+//! implicit-`this` field reads — into superinstructions that read locals directly
+//! instead of round-tripping the operand stack. A fusion window never spans a branch
+//! target (a branch landing mid-pattern blocks fusion), branch targets are remapped
+//! onto the shortened stream, and [`MethodOps::src_pc`] maps every fused pc back to
+//! the seed pc so fault coordinates stay identical to the unfused stream. Each
+//! superinstruction is *accounted* as its constituent seed ops: the interpreter
+//! charges [`Op::fused_width`] virtual-clock ticks and instruction counts for it, so
+//! virtual time is bit-identical with fusion on or off.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -71,11 +84,17 @@ impl ArrayInit {
 
 /// One pre-decoded instruction of the compact op format the interpreter executes.
 ///
-/// Ops are in 1:1 correspondence with the [`Insn`]s of the method body (so branch
-/// targets carry over unchanged, as `u32`), but every name-carrying payload is already
-/// resolved: field accesses carry their dense slot, invokes carry the argument count,
-/// the callee selector and whether the call site expects a pushed result, and string
-/// constants are indices into the shared constant pool ([`ProgramLayout::const_strs`]).
+/// The decode pass produces ops in 1:1 correspondence with the [`Insn`]s of the
+/// method body (so branch targets carry over unchanged, as `u32`), but every
+/// name-carrying payload is already resolved: field accesses carry their dense slot,
+/// invokes carry the argument count, the callee selector and whether the call site
+/// expects a pushed result, and string constants are indices into the shared constant
+/// pool ([`ProgramLayout::const_strs`]).
+///
+/// The fusion pass then optionally collapses hot sequences into the superinstruction
+/// variants grouped at the end of the enum ([`Op::IncLocal`] and friends); after
+/// fusion, one op stands for [`Op::fused_width`] seed instructions and branch targets
+/// index the shortened stream.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Op {
     /// Push an integer constant.
@@ -157,6 +176,66 @@ pub enum Op {
     Return,
     /// Pop a value and return it.
     ReturnValue,
+
+    // --- Superinstructions (produced only by the fusion pass, never by decode) ---
+    /// `Load a; Load b; Bin op` — push `locals[a] op locals[b]`, no stack traffic
+    /// for the operands.
+    LoadLoadBin(u16, u16, BinOp),
+    /// `Load n; ConstInt k; Bin op` — push `locals[n] op k`.
+    LoadConstBin(u16, i64, BinOp),
+    /// `Bin op; Store n` — pop `rhs`, `lhs`; store `lhs op rhs` into local `n`.
+    BinStore(BinOp, u16),
+    /// `Load n; IfCmp op t` — pop `lhs`; branch to `t` if `lhs op locals[n]`.
+    LoadIfCmp(CmpOp, u16, u32),
+    /// `Load a; Load b; IfCmp op t` — branch to `t` if `locals[a] op locals[b]`,
+    /// no stack traffic at all (the dominant loop/`if` head shape).
+    IfCmpFused(CmpOp, u16, u16, u32),
+    /// `Load n; ConstInt k; IfCmp op t` — branch to `t` if `locals[n] op k` (the
+    /// `while (i < LITERAL)` head shape).
+    LoadConstIfCmp(CmpOp, u16, i64, u32),
+    /// `Load n; ConstInt k; Bin Add; Store n` — `locals[n] += k`, the frontend's
+    /// lowering of `i = i + K`.
+    IncLocal(u16, i64),
+    /// `Load n; GetField` — push the field at `slot` of the object in local `n`
+    /// (implicit-`this` field reads load local 0).
+    LoadFieldGet {
+        /// Local holding the object reference.
+        local: u16,
+        /// Pre-resolved dense instance slot ([`NO_SLOT`] if unresolvable).
+        slot: u32,
+        /// The original field reference (slow paths + diagnostics).
+        fr: FieldRef,
+    },
+    /// `PutField; Pop` — pop value and object reference, store the field, then pop
+    /// one more stack value.
+    PutFieldPop {
+        /// Pre-resolved dense instance slot ([`NO_SLOT`] if unresolvable).
+        slot: u32,
+        /// The original field reference (slow paths + diagnostics).
+        fr: FieldRef,
+    },
+}
+
+impl Op {
+    /// How many seed instructions this op stands for: 1 for every decoded op,
+    /// the collapsed sequence length for superinstructions. The interpreter charges
+    /// exactly this many virtual-clock ticks and instruction counts per execution,
+    /// which is what keeps virtual time bit-identical with fusion on or off.
+    #[inline]
+    pub fn fused_width(&self) -> u32 {
+        match self {
+            Op::IncLocal(..) => 4,
+            Op::LoadLoadBin(..)
+            | Op::LoadConstBin(..)
+            | Op::IfCmpFused(..)
+            | Op::LoadConstIfCmp(..) => 3,
+            Op::BinStore(..)
+            | Op::LoadIfCmp(..)
+            | Op::LoadFieldGet { .. }
+            | Op::PutFieldPop { .. } => 2,
+            _ => 1,
+        }
+    }
 }
 
 /// The decoded body of one method (empty iff the bytecode body is empty, i.e. the
@@ -164,10 +243,43 @@ pub enum Op {
 /// an activation without consulting the [`Program`].
 #[derive(Clone, Debug, Default)]
 pub struct MethodOps {
-    /// The decoded ops, 1:1 with the method's `body`.
+    /// The decoded (and, by default, fused) ops of the method body.
     pub ops: Vec<Op>,
+    /// Fused pc → seed pc of the first collapsed instruction. Empty when the stream
+    /// is 1:1 with the bytecode (fusion off, or nothing fused in this method), in
+    /// which case the mapping is the identity. Faults report seed coordinates
+    /// through this map, so diagnostics are stable under fusion.
+    pub src_pc: Vec<u32>,
     /// Local variable slots (including parameters and `this`).
     pub locals: u16,
+}
+
+impl MethodOps {
+    /// Seed-bytecode pc of the instruction at fused pc `pc` (identity when the
+    /// stream was not shortened).
+    #[inline]
+    pub fn seed_pc(&self, pc: usize) -> u32 {
+        match self.src_pc.get(pc) {
+            Some(&s) => s,
+            None => pc as u32,
+        }
+    }
+}
+
+/// Knobs for [`ProgramLayout::build_with`]. `Default` is what the runtime uses:
+/// fusion on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Run the superinstruction fusion pass over every decoded method body.
+    /// Off yields the 1:1 decode (used by benches to A/B dispatch cost and by the
+    /// parity test suite).
+    pub fuse: bool,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions { fuse: true }
+    }
 }
 
 /// The field layout and dispatch table of one class.
@@ -219,8 +331,13 @@ pub struct ProgramLayout {
 }
 
 impl ProgramLayout {
-    /// Runs the resolution pass over `program`.
+    /// Runs the resolution pass over `program` with the default options (fusion on).
     pub fn build(program: &Program) -> ProgramLayout {
+        Self::build_with(program, LayoutOptions::default())
+    }
+
+    /// Runs the resolution pass over `program`.
+    pub fn build_with(program: &Program, opts: LayoutOptions) -> ProgramLayout {
         // Selectors: one per distinct method name.
         let mut selector_of_name: HashMap<&str, u32> = HashMap::new();
         let mut selectors = Vec::with_capacity(program.methods.len());
@@ -327,13 +444,22 @@ impl ProgramLayout {
         let method_ops: Vec<MethodOps> = program
             .methods
             .iter()
-            .map(|m| MethodOps {
-                locals: m.locals,
-                ops: m
+            .map(|m| {
+                let decoded: Vec<Op> = m
                     .body
                     .iter()
                     .map(|insn| layout.decode_insn(program, insn, &mut pool))
-                    .collect(),
+                    .collect();
+                let (ops, src_pc) = if opts.fuse {
+                    fuse_ops(decoded)
+                } else {
+                    (decoded, Vec::new())
+                };
+                MethodOps {
+                    ops,
+                    src_pc,
+                    locals: m.locals,
+                }
             })
             .collect();
         layout.method_ops = method_ops;
@@ -490,6 +616,103 @@ impl ProgramLayout {
     pub fn slot_count(&self, class: ClassId) -> usize {
         self.classes[class.0 as usize].slot_count()
     }
+}
+
+/// The superinstruction fusion pass over one decoded method body.
+///
+/// Walks the stream front to back, greedily collapsing the longest matching window
+/// at each pc. A window is only fusible when no branch target lands *strictly
+/// inside* it — a mid-pattern target must keep its instruction addressable, so the
+/// window stays unfused. Branch targets (including targets equal to the body
+/// length, i.e. "fall off the end") are then remapped onto the shortened stream.
+///
+/// Returns the fused ops plus the fused-pc → seed-pc map ([`MethodOps::src_pc`]);
+/// the map comes back empty when nothing fused, signalling identity.
+fn fuse_ops(ops: Vec<Op>) -> (Vec<Op>, Vec<u32>) {
+    let n = ops.len();
+    // Seed-coordinate branch-target set. `n + 1` entries: a target may legally be
+    // one past the last instruction.
+    let mut is_target = vec![false; n + 1];
+    for op in &ops {
+        match op {
+            Op::IfCmp(_, t) | Op::If(_, t) | Op::Goto(t) => is_target[*t as usize] = true,
+            _ => {}
+        }
+    }
+
+    let mut fused: Vec<Op> = Vec::with_capacity(n);
+    let mut src_pc: Vec<u32> = Vec::with_capacity(n);
+    let mut old_to_new = vec![0u32; n + 1];
+    let mut pc = 0usize;
+    while pc < n {
+        // No target may land inside the window; the window start itself is fine.
+        let free = |k: usize| (pc + 1..pc + k).all(|j| !is_target[j]);
+        let (op, width) = match &ops[pc..] {
+            [Op::Load(a), Op::ConstInt(k), Op::Bin(BinOp::Add), Op::Store(d), ..]
+                if a == d && free(4) =>
+            {
+                (Op::IncLocal(*d, *k), 4)
+            }
+            [Op::Load(a), Op::Load(b), Op::Bin(op), ..] if free(3) => {
+                (Op::LoadLoadBin(*a, *b, *op), 3)
+            }
+            [Op::Load(a), Op::Load(b), Op::IfCmp(c, t), ..] if free(3) => {
+                (Op::IfCmpFused(*c, *a, *b, *t), 3)
+            }
+            [Op::Load(a), Op::ConstInt(k), Op::Bin(op), ..] if free(3) => {
+                (Op::LoadConstBin(*a, *k, *op), 3)
+            }
+            [Op::Load(a), Op::ConstInt(k), Op::IfCmp(c, t), ..] if free(3) => {
+                (Op::LoadConstIfCmp(*c, *a, *k, *t), 3)
+            }
+            [Op::Load(a), Op::IfCmp(c, t), ..] if free(2) => (Op::LoadIfCmp(*c, *a, *t), 2),
+            [Op::Load(a), Op::GetField { slot, fr }, ..] if free(2) => (
+                Op::LoadFieldGet {
+                    local: *a,
+                    slot: *slot,
+                    fr: *fr,
+                },
+                2,
+            ),
+            [Op::Bin(op), Op::Store(d), ..] if free(2) => (Op::BinStore(*op, *d), 2),
+            [Op::PutField { slot, fr }, Op::Pop, ..] if free(2) => (
+                Op::PutFieldPop {
+                    slot: *slot,
+                    fr: *fr,
+                },
+                2,
+            ),
+            [op, ..] => (op.clone(), 1),
+            [] => unreachable!("loop condition guarantees pc < n"),
+        };
+        // Interior pcs are never branch targets (checked above), so only the window
+        // start needs a mapping; fill the whole window anyway to keep the map total.
+        for entry in &mut old_to_new[pc..pc + width] {
+            *entry = fused.len() as u32;
+        }
+        src_pc.push(pc as u32);
+        fused.push(op);
+        pc += width;
+    }
+    old_to_new[n] = fused.len() as u32;
+
+    if fused.len() == n {
+        // Nothing fused: the stream is 1:1, targets are unchanged, the map is
+        // the identity.
+        return (fused, Vec::new());
+    }
+    for op in &mut fused {
+        match op {
+            Op::IfCmp(_, t)
+            | Op::If(_, t)
+            | Op::Goto(t)
+            | Op::LoadIfCmp(_, _, t)
+            | Op::IfCmpFused(_, _, _, t)
+            | Op::LoadConstIfCmp(_, _, _, t) => *t = old_to_new[*t as usize],
+            _ => {}
+        }
+    }
+    (fused, src_pc)
 }
 
 #[cfg(test)]
@@ -664,6 +887,144 @@ mod tests {
         assert_eq!(ops[5], Op::Goto(0));
         assert_eq!(layout.ops(m).locals, p.method(m).locals);
         assert!(layout.ops(m).ops.is_empty(), "abstract body decodes empty");
+    }
+
+    /// `i = 0; while (i < 10) { i = i + 1; }` — the loop head fuses to
+    /// `LoadConstIfCmp`, the increment to `IncLocal`, and both branch targets are
+    /// remapped onto the shortened stream.
+    #[test]
+    fn fusion_collapses_the_increment_loop_idiom() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![], Type::Void, true);
+        p.method_mut(m).body = vec![
+            Insn::Const(Const::Int(0)),
+            Insn::Store(0),
+            Insn::Load(0), // loop head, target of the Goto
+            Insn::Const(Const::Int(10)),
+            Insn::IfCmp(CmpOp::Ge, 10),
+            Insn::Load(0),
+            Insn::Const(Const::Int(1)),
+            Insn::Bin(BinOp::Add),
+            Insn::Store(0),
+            Insn::Goto(2),
+            Insn::Return,
+        ];
+        let layout = ProgramLayout::build(&p);
+        let mops = layout.ops(m);
+        assert_eq!(
+            mops.ops,
+            vec![
+                Op::ConstInt(0),
+                Op::Store(0),
+                Op::LoadConstIfCmp(CmpOp::Ge, 0, 10, 5),
+                Op::IncLocal(0, 1),
+                Op::Goto(2),
+                Op::Return,
+            ]
+        );
+        assert_eq!(mops.src_pc, vec![0, 1, 2, 5, 9, 10]);
+        assert_eq!(mops.seed_pc(3), 5);
+        let width_sum: u32 = mops.ops.iter().map(Op::fused_width).sum();
+        assert_eq!(width_sum as usize, p.method(m).body.len());
+    }
+
+    #[test]
+    fn branch_target_landing_mid_pattern_blocks_fusion() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![Type::Int], Type::Int, true);
+        // The Goto lands on the ConstInt *inside* the Load/Const/Bin window, so the
+        // window must stay unfused and the whole stream 1:1.
+        p.method_mut(m).body = vec![
+            Insn::Goto(2),
+            Insn::Load(0),
+            Insn::Const(Const::Int(1)),
+            Insn::Bin(BinOp::Add),
+            Insn::ReturnValue,
+        ];
+        let layout = ProgramLayout::build(&p);
+        let mops = layout.ops(m);
+        assert_eq!(
+            mops.ops,
+            vec![
+                Op::Goto(2),
+                Op::Load(0),
+                Op::ConstInt(1),
+                Op::Bin(BinOp::Add),
+                Op::ReturnValue,
+            ]
+        );
+        assert!(mops.src_pc.is_empty(), "identity map when nothing fused");
+        assert_eq!(mops.seed_pc(3), 3);
+    }
+
+    #[test]
+    fn branch_target_on_a_window_start_does_not_block_fusion() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![Type::Int], Type::Int, true);
+        p.method_mut(m).body = vec![
+            Insn::Goto(1),
+            Insn::Load(0),
+            Insn::Const(Const::Int(1)),
+            Insn::Bin(BinOp::Add),
+            Insn::ReturnValue,
+        ];
+        let layout = ProgramLayout::build(&p);
+        let mops = layout.ops(m);
+        assert_eq!(
+            mops.ops,
+            vec![
+                Op::Goto(1),
+                Op::LoadConstBin(0, 1, BinOp::Add),
+                Op::ReturnValue,
+            ]
+        );
+        assert_eq!(mops.src_pc, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn fusion_remaps_targets_one_past_the_end() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![Type::Int, Type::Int], Type::Int, true);
+        p.method_mut(m).body = vec![
+            Insn::Load(0),
+            Insn::Load(1),
+            Insn::IfCmp(CmpOp::Eq, 5), // branches one past the last instruction
+            Insn::Load(0),
+            Insn::ReturnValue,
+        ];
+        let layout = ProgramLayout::build(&p);
+        let mops = layout.ops(m);
+        assert_eq!(
+            mops.ops,
+            vec![
+                Op::IfCmpFused(CmpOp::Eq, 0, 1, 3),
+                Op::Load(0),
+                Op::ReturnValue,
+            ]
+        );
+        assert_eq!(mops.src_pc, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn fuse_off_yields_the_one_to_one_decode() {
+        let mut p = Program::new();
+        let a = p.add_class("A", None);
+        let m = p.add_method(a, "m", vec![], Type::Int, true);
+        p.method_mut(m).body = vec![
+            Insn::Load(0),
+            Insn::Const(Const::Int(1)),
+            Insn::Bin(BinOp::Add),
+            Insn::ReturnValue,
+        ];
+        let layout = ProgramLayout::build_with(&p, LayoutOptions { fuse: false });
+        let mops = layout.ops(m);
+        assert_eq!(mops.ops.len(), p.method(m).body.len());
+        assert!(mops.src_pc.is_empty());
+        assert!(mops.ops.iter().all(|op| op.fused_width() == 1));
     }
 
     #[test]

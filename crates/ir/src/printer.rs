@@ -12,11 +12,16 @@
 //!
 //! [`print_bytecode`] produces a `javap`-style listing used by the Figure 8/9
 //! transformation demonstrations.
+//!
+//! [`print_decoded`] renders what the interpreter actually executes: the decoded —
+//! and, by default, fused — [`Op`] stream of a method, annotating every
+//! superinstruction with the seed-instruction range it collapsed.
 
 use std::fmt::Write as _;
 
 use crate::bytecode::{Insn, InvokeKind};
-use crate::program::{MethodId, Program};
+use crate::layout::{Op, ProgramLayout, NO_SLOT};
+use crate::program::{FieldRef, MethodId, Program};
 use crate::quad::{BlockId, Quad, QuadMethod};
 
 /// Formats a block id the way the paper does, tagging entry/exit.
@@ -211,11 +216,125 @@ pub fn format_insn(program: &Program, insn: &Insn) -> String {
     }
 }
 
+/// Renders a method's decoded (and, with the default layout options, fused) op
+/// stream, one op per line. Superinstructions are annotated with the seed pc range
+/// they collapsed, read off [`crate::layout::MethodOps::src_pc`].
+pub fn print_decoded(program: &Program, layout: &ProgramLayout, method: MethodId) -> String {
+    let m = program.method(method);
+    let mops = layout.ops(method);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {}.{} decoded: {} ops for {} insns",
+        program.class(m.class).name,
+        m.name,
+        mops.ops.len(),
+        m.body.len()
+    );
+    for (pc, op) in mops.ops.iter().enumerate() {
+        let width = op.fused_width();
+        if width > 1 {
+            let seed = mops.seed_pc(pc);
+            let _ = writeln!(
+                out,
+                "{pc:>4}: {}  ; insns {}..={}",
+                format_op(program, layout, op),
+                seed,
+                seed + width - 1
+            );
+        } else {
+            let _ = writeln!(out, "{pc:>4}: {}", format_op(program, layout, op));
+        }
+    }
+    out
+}
+
+/// Renders a single decoded op. Superinstruction mnemonics carry a suffix naming
+/// their operand sources: `.l` = one local, `.ll` = two locals, `.lc` = local and
+/// constant.
+pub fn format_op(program: &Program, layout: &ProgramLayout, op: &Op) -> String {
+    let field = |fr: &FieldRef| {
+        format!(
+            "{}.{}",
+            program.class(fr.class).name,
+            program.field(*fr).name
+        )
+    };
+    let slot = |s: u32| {
+        if s == NO_SLOT {
+            "-".to_string()
+        } else {
+            s.to_string()
+        }
+    };
+    match op {
+        Op::ConstInt(v) => format!("const.i {v}"),
+        Op::ConstFloat(v) => format!("const.f {v}"),
+        Op::ConstBool(v) => format!("const.b {v}"),
+        Op::ConstStr(i) => format!("const.s {:?}", &**layout.const_str(*i)),
+        Op::ConstNull => "const.null".to_string(),
+        Op::Load(n) => format!("load {n}"),
+        Op::Store(n) => format!("store {n}"),
+        Op::Dup => "dup".to_string(),
+        Op::Pop => "pop".to_string(),
+        Op::Swap => "swap".to_string(),
+        Op::Bin(op) => op.mnemonic().to_lowercase(),
+        Op::Un(op) => op.mnemonic().to_lowercase(),
+        Op::IfCmp(c, t) => format!("if_cmp{} {t}", c.mnemonic().to_lowercase()),
+        Op::If(c, t) => format!("if{} {t}", c.mnemonic().to_lowercase()),
+        Op::Goto(t) => format!("goto {t}"),
+        Op::New(c) => format!("new {}", program.class(*c).name),
+        Op::NewArray(init) => format!("newarray {init:?}"),
+        Op::ArrayLoad => "aaload".to_string(),
+        Op::ArrayStore => "aastore".to_string(),
+        Op::ArrayLength => "arraylength".to_string(),
+        Op::GetField { slot: s, fr } => format!("getfield [{}] {}", slot(*s), field(fr)),
+        Op::PutField { slot: s, fr } => format!("putfield [{}] {}", slot(*s), field(fr)),
+        Op::GetStatic(s) => format!("getstatic [{}]", slot(*s)),
+        Op::PutStatic(s) => format!("putstatic [{}]", slot(*s)),
+        Op::Invoke {
+            kind,
+            target,
+            nargs,
+            push_ret,
+            ..
+        } => {
+            let callee = program.method(*target);
+            let cname = &program.class(callee.class).name;
+            let k = match kind {
+                InvokeKind::Virtual => "invokevirtual",
+                InvokeKind::Static => "invokestatic",
+                InvokeKind::Special => "invokespecial",
+            };
+            let ret = if *push_ret { " -> push" } else { "" };
+            format!("{k} {cname}.{}:({nargs}){ret}", callee.name)
+        }
+        Op::Return => "return".to_string(),
+        Op::ReturnValue => "vreturn".to_string(),
+        Op::LoadLoadBin(a, b, op) => format!("{}.ll {a}, {b}", op.mnemonic().to_lowercase()),
+        Op::LoadConstBin(n, k, op) => format!("{}.lc {n}, {k}", op.mnemonic().to_lowercase()),
+        Op::BinStore(op, n) => format!("{}.store {n}", op.mnemonic().to_lowercase()),
+        Op::LoadIfCmp(c, n, t) => format!("if_cmp{}.l {n}, {t}", c.mnemonic().to_lowercase()),
+        Op::IfCmpFused(c, a, b, t) => {
+            format!("if_cmp{}.ll {a}, {b}, {t}", c.mnemonic().to_lowercase())
+        }
+        Op::LoadConstIfCmp(c, n, k, t) => {
+            format!("if_cmp{}.lc {n}, {k}, {t}", c.mnemonic().to_lowercase())
+        }
+        Op::IncLocal(n, k) => format!("inc {n}, {k}"),
+        Op::LoadFieldGet { local, slot: s, fr } => {
+            format!("getfield.l {local} [{}] {}", slot(*s), field(fr))
+        }
+        Op::PutFieldPop { slot: s, fr } => format!("putfield.pop [{}] {}", slot(*s), field(fr)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
     use crate::bytecode::CmpOp;
+    use crate::layout::LayoutOptions;
     use crate::lower::lower_method;
     use crate::program::Type;
 
@@ -262,6 +381,44 @@ mod tests {
         for (_, q) in qm.iter_quads() {
             let s = format_quad(&p, q);
             assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn decoded_listing_shows_superinstructions_with_seed_ranges() {
+        let (p, id) = example();
+        let layout = ProgramLayout::build(&p);
+        let listing = print_decoded(&p, &layout, id);
+        // The example body fuses its compare-and-branch and its increment idiom.
+        assert!(listing.contains("Example.ex decoded:"), "{listing}");
+        assert!(listing.contains("if_cmple.lc 1, 2,"), "{listing}");
+        assert!(listing.contains("inc 1, 1"), "{listing}");
+        // Superinstructions are annotated with the seed insn range they collapsed.
+        assert!(listing.contains("; insns 2..=4"), "{listing}");
+        assert!(listing.contains("; insns 5..=8"), "{listing}");
+    }
+
+    #[test]
+    fn unfused_decoded_listing_has_one_line_per_insn() {
+        let (p, id) = example();
+        let layout = ProgramLayout::build_with(&p, LayoutOptions { fuse: false });
+        let listing = print_decoded(&p, &layout, id);
+        let body_len = p.method(id).body.len();
+        // Header line plus one line per decoded op, none annotated.
+        assert_eq!(listing.lines().count(), body_len + 1, "{listing}");
+        assert!(!listing.contains("; insns"), "{listing}");
+        assert!(listing.contains("load 1"), "{listing}");
+    }
+
+    #[test]
+    fn every_decoded_op_formats_without_panic() {
+        let (p, id) = example();
+        for opts in [LayoutOptions { fuse: true }, LayoutOptions { fuse: false }] {
+            let layout = ProgramLayout::build_with(&p, opts);
+            for op in &layout.ops(id).ops {
+                let s = format_op(&p, &layout, op);
+                assert!(!s.is_empty());
+            }
         }
     }
 }

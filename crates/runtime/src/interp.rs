@@ -33,7 +33,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use autodist_ir::bytecode::{BinOp, CmpOp, InvokeKind, UnOp};
-use autodist_ir::layout::{ArrayInit, Op, ProgramLayout, NO_SLOT};
+use autodist_ir::layout::{ArrayInit, LayoutOptions, Op, ProgramLayout, NO_SLOT};
 use autodist_ir::program::{ClassId, FieldRef, MethodId, Program, Type};
 
 use bytes::Bytes;
@@ -48,8 +48,13 @@ pub const DEPENDENT_OBJECT_CLASS: &str = "rt/DependentObject";
 /// Execution statistics collected by the interpreter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecCounters {
-    /// Bytecode instructions executed.
+    /// Bytecode instructions executed. Superinstructions count as their seed width
+    /// ([`Op::fused_width`]), so this is identical with fusion on or off.
     pub instructions: u64,
+    /// Dispatch-loop iterations: superinstructions count **once**. The dynamic
+    /// fusion win of a run is `instructions / dispatches`; the two are equal when
+    /// fusion is off.
+    pub dispatches: u64,
     /// Objects and arrays allocated.
     pub allocations: u64,
     /// Bytes allocated (approximate resident sizes).
@@ -217,6 +222,14 @@ enum ResumeAction {
     Push,
     /// Discard the response (void calls, field writes).
     Drop,
+    /// Discard the response, then pop one operand: a fused `PutField; Pop`
+    /// superinstruction parked on the field write mid-pattern, so the trailing
+    /// `Pop` still owes its stack effect. `pop_pc` is the seed pc of that `Pop`
+    /// (its underflow coordinate).
+    DropThenPop {
+        /// Seed pc of the collapsed `Pop`, for the underflow fault.
+        pop_pc: u32,
+    },
     /// `NEW` response: bind the remote identity into the proxy object's
     /// home/remoteId/className slots (when the proxy is a bindable local object).
     NewProxy {
@@ -370,12 +383,19 @@ pub struct Interp<'p> {
 
 impl<'p> Interp<'p> {
     /// Creates an interpreter for a centralized run at speed 1.0. This runs the
-    /// program-load-time resolution pass ([`ProgramLayout::build`]), after which the
-    /// interpret loop performs no string clone and no map probe per field or method
-    /// access.
+    /// program-load-time resolution pass ([`ProgramLayout::build`]) with the default
+    /// options (superinstruction fusion on), after which the interpret loop performs
+    /// no string clone and no map probe per field or method access.
     pub fn new(program: &'p Program) -> Self {
+        Self::new_with_options(program, LayoutOptions::default())
+    }
+
+    /// [`Self::new`] with explicit layout options — `fuse: false` yields the 1:1
+    /// decoded stream (benches A/B the dispatch cost; the parity suite compares the
+    /// two executions instruction for instruction).
+    pub fn new_with_options(program: &'p Program, opts: LayoutOptions) -> Self {
         let dep_class = program.class_by_name(DEPENDENT_OBJECT_CLASS);
-        let layout = Arc::new(ProgramLayout::build(program));
+        let layout = Arc::new(ProgramLayout::build_with(program, opts));
         let mut class_defaults: Vec<Vec<Value>> = layout
             .classes
             .iter()
@@ -641,6 +661,30 @@ impl<'p> Interp<'p> {
             ResumeAction::Drop => {
                 let _ = self.unmarshal(w);
             }
+            ResumeAction::DropThenPop { pop_pc } => {
+                let _ = self.unmarshal(w);
+                // The collapsed trailing Pop would have been its own dispatch in the
+                // unfused stream, executed after the response arrived: charge it
+                // identically before applying its stack effect.
+                self.counters.instructions += 1;
+                self.counters.dispatches += 1;
+                self.clock_us += self.instr_cost_us / self.speed;
+                if self.sample_interval > 0 {
+                    let stack = std::mem::take(&mut task.call_stack);
+                    self.tick_sample(&stack);
+                    task.call_stack = stack;
+                }
+                let frame = task
+                    .frames
+                    .last_mut()
+                    .expect("parked continuation has a frame");
+                let method = frame.method;
+                if frame.stack.pop().is_none() {
+                    let e =
+                        self.unwind_frames(task, ExecError::StackUnderflow { pc: pop_pc, method });
+                    return TaskOutcome::Done(Err(e));
+                }
+            }
             ResumeAction::NewProxy { proxy, class_name } => match self.unmarshal(w) {
                 Value::Ref(ObjRef::Remote { node, id }) => {
                     if let Some(h) = proxy {
@@ -685,6 +729,7 @@ impl<'p> Interp<'p> {
         // that can observe them (remote accesses, the profiler, blocking dispatch).
         let mut clock = self.clock_us;
         let mut executed: u64 = 0;
+        let mut dispatched: u64 = 0;
 
         /// Control transfer out of the current activation.
         enum Transfer {
@@ -703,10 +748,15 @@ impl<'p> Interp<'p> {
                 let Some(frame) = frames.last_mut() else {
                     self.clock_us = clock;
                     self.counters.instructions += executed;
+                    self.counters.dispatches += dispatched;
                     return TaskOutcome::Done(Ok(Value::Null));
                 };
                 let method = frame.method;
-                let ops: &[Op] = &layout.method_ops[method.0 as usize].ops;
+                let mops = &layout.method_ops[method.0 as usize];
+                let ops: &[Op] = &mops.ops;
+                // Fused pc → seed pc (empty = identity). Fault coordinates always
+                // report seed pcs, so diagnostics are stable under fusion.
+                let src_pc: &[u32] = &mops.src_pc;
                 let mut pc = frame.pc as usize;
 
                 // Flushes the register accumulators into `self` (required before any
@@ -715,9 +765,11 @@ impl<'p> Interp<'p> {
                     () => {{
                         self.clock_us = clock;
                         self.counters.instructions += executed;
+                        self.counters.dispatches += dispatched;
                         #[allow(unused_assignments)]
                         {
                             executed = 0;
+                            dispatched = 0;
                         }
                     }};
                 }
@@ -726,16 +778,60 @@ impl<'p> Interp<'p> {
                         break Transfer::Fail($e)
                     };
                 }
-                macro_rules! pop {
-                    () => {
+                // Seed-bytecode pc of the op at fused pc `$pc`.
+                macro_rules! seed_pc {
+                    ($pc:expr) => {
+                        match src_pc.get($pc) {
+                            Some(&s) => s,
+                            None => $pc as u32,
+                        }
+                    };
+                }
+                // Pops with an underflow coordinate `$off` seed instructions into
+                // the current op's collapsed window (0 for every 1:1 op).
+                macro_rules! pop_at {
+                    ($off:expr) => {
                         match frame.stack.pop() {
                             Some(v) => v,
                             None => {
                                 break Transfer::Fail(ExecError::StackUnderflow {
-                                    pc: pc as u32,
+                                    pc: seed_pc!(pc) + $off,
                                     method,
                                 })
                             }
+                        }
+                    };
+                }
+                macro_rules! pop {
+                    () => {
+                        pop_at!(0)
+                    };
+                }
+                // Charges `$extra` additional seed instructions for a
+                // superinstruction (the loop header already charged the first).
+                // Deliberately `$extra` *sequential* clock increments — not one
+                // multiplied add — so the f64 clock is bit-identical to the unfused
+                // execution, and one sampling tick per seed instruction so profiler
+                // samples land on the same instruction boundaries.
+                macro_rules! charge {
+                    ($extra:expr) => {
+                        for _ in 0..$extra {
+                            executed += 1;
+                            clock += unit_cost;
+                            if sampling {
+                                self.tick_sample(call_stack);
+                            }
+                        }
+                    };
+                }
+                // Reads local `$n` like the seed `Load` does: out-of-range slots
+                // read as null (the seed op resizes, but a longer locals vector is
+                // not observable — every accessor handles short vectors).
+                macro_rules! local {
+                    ($n:expr) => {
+                        match frame.locals.get($n as usize) {
+                            Some(v) => v.clone(),
+                            None => Value::Null,
                         }
                     };
                 }
@@ -774,6 +870,7 @@ impl<'p> Interp<'p> {
                     if pc >= ops.len() {
                         break Transfer::Finish(Value::Null);
                     }
+                    dispatched += 1;
                     executed += 1;
                     clock += unit_cost;
                     if sampling {
@@ -804,7 +901,7 @@ impl<'p> Interp<'p> {
                         Op::Dup => match frame.stack.last().cloned() {
                             Some(v) => frame.stack.push(v),
                             None => fail!(ExecError::StackUnderflow {
-                                pc: pc as u32,
+                                pc: seed_pc!(pc),
                                 method,
                             }),
                         },
@@ -815,7 +912,7 @@ impl<'p> Interp<'p> {
                             let len = frame.stack.len();
                             if len < 2 {
                                 fail!(ExecError::StackUnderflow {
-                                    pc: pc as u32,
+                                    pc: seed_pc!(pc),
                                     method,
                                 });
                             }
@@ -826,30 +923,10 @@ impl<'p> Interp<'p> {
                             let lhs = pop!();
                             // Fast path: integer arithmetic stays inside the loop.
                             if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
-                                let (a, b) = (*a, *b);
-                                let r = match op {
-                                    BinOp::Add => a.wrapping_add(b),
-                                    BinOp::Sub => a.wrapping_sub(b),
-                                    BinOp::Mul => a.wrapping_mul(b),
-                                    BinOp::Div => {
-                                        if b == 0 {
-                                            fail!(ExecError::DivisionByZero);
-                                        }
-                                        a.wrapping_div(b)
-                                    }
-                                    BinOp::Rem => {
-                                        if b == 0 {
-                                            fail!(ExecError::DivisionByZero);
-                                        }
-                                        a.wrapping_rem(b)
-                                    }
-                                    BinOp::And => a & b,
-                                    BinOp::Or => a | b,
-                                    BinOp::Xor => a ^ b,
-                                    BinOp::Shl => a.wrapping_shl(b as u32),
-                                    BinOp::Shr => a.wrapping_shr(b as u32),
-                                };
-                                frame.stack.push(Value::Int(r));
+                                match int_bin(*op, *a, *b) {
+                                    Ok(r) => frame.stack.push(Value::Int(r)),
+                                    Err(e) => fail!(e),
+                                }
                             } else {
                                 match self.binop(*op, lhs, rhs) {
                                     Ok(v) => frame.stack.push(v),
@@ -1119,7 +1196,7 @@ impl<'p> Interp<'p> {
                             let nargs = *nargs as usize;
                             if frame.stack.len() < nargs {
                                 fail!(ExecError::StackUnderflow {
-                                    pc: pc as u32,
+                                    pc: seed_pc!(pc),
                                     method,
                                 });
                             }
@@ -1253,6 +1330,223 @@ impl<'p> Interp<'p> {
                             let v = pop!();
                             break Transfer::Finish(v);
                         }
+
+                        // --- Superinstructions. Grouped so the whole dispatch stays
+                        // one jump table; each arm reads its operands straight from
+                        // the locals, charges its full seed width up front
+                        // (`charge!` = width − 1 extra ticks), and reproduces the
+                        // seed sequence's faults at their seed coordinates.
+                        Op::LoadLoadBin(a, b, op) => {
+                            charge!(2);
+                            let lhs = local!(*a);
+                            let rhs = local!(*b);
+                            if let (Value::Int(x), Value::Int(y)) = (&lhs, &rhs) {
+                                match int_bin(*op, *x, *y) {
+                                    Ok(r) => frame.stack.push(Value::Int(r)),
+                                    Err(e) => fail!(e),
+                                }
+                            } else {
+                                match self.binop(*op, lhs, rhs) {
+                                    Ok(v) => frame.stack.push(v),
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                        }
+                        Op::LoadConstBin(n, k, op) => {
+                            charge!(2);
+                            let lhs = local!(*n);
+                            if let Value::Int(x) = &lhs {
+                                match int_bin(*op, *x, *k) {
+                                    Ok(r) => frame.stack.push(Value::Int(r)),
+                                    Err(e) => fail!(e),
+                                }
+                            } else {
+                                match self.binop(*op, lhs, Value::Int(*k)) {
+                                    Ok(v) => frame.stack.push(v),
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                        }
+                        Op::BinStore(op, n) => {
+                            // The seed Bin carries every fault; the Store is only
+                            // charged (and run) once the Bin succeeded, exactly like
+                            // the unfused stream.
+                            let rhs = pop!();
+                            let lhs = pop!();
+                            let v = if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                                match int_bin(*op, *a, *b) {
+                                    Ok(r) => Value::Int(r),
+                                    Err(e) => fail!(e),
+                                }
+                            } else {
+                                match self.binop(*op, lhs, rhs) {
+                                    Ok(v) => v,
+                                    Err(e) => fail!(e),
+                                }
+                            };
+                            charge!(1);
+                            let idx = *n as usize;
+                            if idx >= frame.locals.len() {
+                                frame.locals.resize(idx + 1, Value::Null);
+                            }
+                            frame.locals[idx] = v;
+                        }
+                        Op::LoadIfCmp(op, n, target) => {
+                            charge!(1);
+                            // Seed order: the stack value is `lhs`, the loaded local
+                            // the popped-last `rhs`. The pop is the seed IfCmp's
+                            // (offset 1 into the window).
+                            let lhs = pop_at!(1);
+                            let rhs = local!(*n);
+                            let taken = if let (Value::Int(a), Value::Int(b)) = (&lhs, &rhs) {
+                                op.eval_ord(a.cmp(b))
+                            } else {
+                                compare(*op, &lhs, &rhs)
+                            };
+                            if taken {
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        Op::IfCmpFused(op, a, b, target) => {
+                            charge!(2);
+                            let lhs = local!(*a);
+                            let rhs = local!(*b);
+                            let taken = if let (Value::Int(x), Value::Int(y)) = (&lhs, &rhs) {
+                                op.eval_ord(x.cmp(y))
+                            } else {
+                                compare(*op, &lhs, &rhs)
+                            };
+                            if taken {
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        Op::LoadConstIfCmp(op, n, k, target) => {
+                            charge!(2);
+                            let lhs = local!(*n);
+                            let taken = if let Value::Int(x) = &lhs {
+                                op.eval_ord(x.cmp(k))
+                            } else {
+                                compare(*op, &lhs, &Value::Int(*k))
+                            };
+                            if taken {
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        Op::IncLocal(n, k) => {
+                            // Charge Load/Const/Bin up front (they precede the only
+                            // fault point, the Bin); the Store is charged once the
+                            // add succeeded.
+                            charge!(2);
+                            let idx = *n as usize;
+                            if idx >= frame.locals.len() {
+                                frame.locals.resize(idx + 1, Value::Null);
+                            }
+                            let v = if let Value::Int(x) = &frame.locals[idx] {
+                                Value::Int(x.wrapping_add(*k))
+                            } else {
+                                let lhs = frame.locals[idx].clone();
+                                match self.binop(BinOp::Add, lhs, Value::Int(*k)) {
+                                    Ok(v) => v,
+                                    Err(e) => fail!(e),
+                                }
+                            };
+                            charge!(1);
+                            frame.locals[idx] = v;
+                        }
+                        Op::LoadFieldGet { local, slot, fr } => {
+                            charge!(1);
+                            let obj = local!(*local);
+                            // Fast path: local non-proxy object, as in GetField.
+                            if let Value::Ref(ObjRef::Local(h)) = &obj {
+                                if let HeapObject::Object { class, fields } =
+                                    &self.heap[*h as usize]
+                                {
+                                    if Some(*class) != self.dep_class {
+                                        frame.stack.push(
+                                            fields
+                                                .get(*slot as usize)
+                                                .cloned()
+                                                .unwrap_or(Value::Null),
+                                        );
+                                        pc += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            if coop {
+                                match self.remote_field_target(&obj, *fr) {
+                                    Ok(Some(target)) => {
+                                        let name: &str = &program.field(*fr).name;
+                                        park!(
+                                            self.remote_send(
+                                                target,
+                                                AccessKind::GetField,
+                                                name,
+                                                vec![]
+                                            ),
+                                            ResumeAction::Push
+                                        );
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                            let v = call!(self.get_field(obj, *fr));
+                            frame.stack.push(v);
+                        }
+                        Op::PutFieldPop { slot, fr } => {
+                            // Every PutField fault (underflow, null receiver) fires
+                            // with only the PutField's own charge; the trailing Pop
+                            // is charged right before its own stack effect.
+                            let val = pop!();
+                            let obj = pop!();
+                            // Fast path: local non-proxy object, then the collapsed
+                            // trailing Pop (underflow coordinate = seed pc + 1).
+                            if let Value::Ref(ObjRef::Local(h)) = &obj {
+                                if let HeapObject::Object { class, fields } =
+                                    &mut self.heap[*h as usize]
+                                {
+                                    if Some(*class) != self.dep_class {
+                                        if let Some(cell) = fields.get_mut(*slot as usize) {
+                                            *cell = val;
+                                        }
+                                        charge!(1);
+                                        let _ = pop_at!(1);
+                                        pc += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            if coop {
+                                match self.remote_field_target(&obj, *fr) {
+                                    Ok(Some(target)) => {
+                                        let name: &str = &program.field(*fr).name;
+                                        // The write parks mid-pattern: the resume
+                                        // action owes the trailing Pop (and its
+                                        // underflow fault) after dropping the reply.
+                                        park!(
+                                            self.remote_send(
+                                                target,
+                                                AccessKind::PutField,
+                                                name,
+                                                vec![val]
+                                            ),
+                                            ResumeAction::DropThenPop {
+                                                pop_pc: seed_pc!(pc) + 1,
+                                            }
+                                        );
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => fail!(e),
+                                }
+                            }
+                            call!(self.put_field(obj, *fr, val));
+                            charge!(1);
+                            let _ = pop_at!(1);
+                        }
                     }
                     pc += 1;
                 }
@@ -1267,7 +1561,9 @@ impl<'p> Interp<'p> {
                     if self.profiler.is_some() {
                         self.clock_us = clock;
                         self.counters.instructions += executed;
+                        self.counters.dispatches += dispatched;
                         executed = 0;
+                        dispatched = 0;
                     }
                     let done = frames.pop().expect("finished frame exists");
                     call_stack.pop();
@@ -1283,6 +1579,7 @@ impl<'p> Interp<'p> {
                         None => {
                             self.clock_us = clock;
                             self.counters.instructions += executed;
+                            self.counters.dispatches += dispatched;
                             return TaskOutcome::Done(Ok(v));
                         }
                     }
@@ -1296,6 +1593,7 @@ impl<'p> Interp<'p> {
                 Transfer::Fail(e) => {
                     self.clock_us = clock;
                     self.counters.instructions += executed;
+                    self.counters.dispatches += dispatched;
                     let e = self.unwind_parts(frames, call_stack, e);
                     return TaskOutcome::Done(Err(e));
                 }
@@ -2446,6 +2744,35 @@ fn default_value(ty: &Type) -> Value {
         Type::Bool => Value::Bool(false),
         _ => Value::Null,
     }
+}
+
+/// Integer fast path of [`Op::Bin`] and the fused arithmetic superinstructions:
+/// wrapping semantics, division faults. Kept `inline(always)` so every dispatch arm
+/// folds it into straight-line code instead of a call.
+#[inline(always)]
+fn int_bin(op: BinOp, a: i64, b: i64) -> Result<i64, ExecError> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+    })
 }
 
 /// Evaluates a comparison between two values.

@@ -1,32 +1,40 @@
 //! Decoded-op round-trip properties.
 //!
 //! The interpreter no longer executes [`Insn`] directly: `ProgramLayout::build`
-//! decodes every method body once into the compact [`Op`] format and the
-//! explicit-stack dispatch loop runs over that. These tests pin the decode down from
-//! two sides:
+//! decodes every method body once into the compact [`Op`] format (and, by default,
+//! fuses hot sequences into superinstructions) and the explicit-stack dispatch loop
+//! runs over that. These tests pin the pipeline down from three sides:
 //!
-//! * **structurally** — ops stay 1:1 with the bytecode for every Table 1 workload:
-//!   branch targets carry over unchanged, constant-pool indices resolve to the
-//!   original literals, field ops keep their `FieldRef` and agree with the layout's
-//!   slot resolution, invokes keep their static target and selector;
+//! * **structurally** — the unfused decode stays 1:1 with the bytecode for every
+//!   Table 1 workload: branch targets carry over unchanged, constant-pool indices
+//!   resolve to the original literals, field ops keep their `FieldRef` and agree with
+//!   the layout's slot resolution, invokes keep their static target and selector; and
+//!   the fused stream accounts for every seed instruction exactly once
+//!   ([`Op::fused_width`] partitions the body) with a consistent `src_pc` map;
 //! * **semantically** — random integer-machine bodies (including deliberately
 //!   unbalanced stacks reached through forward branches) execute identically under
 //!   the decoded-op interpreter and a direct reference evaluation of the seed `Insn`
-//!   semantics, down to the exact fault (`StackUnderflow` coordinates included).
+//!   semantics, down to the exact fault (`StackUnderflow` coordinates included);
+//! * **fusion parity** — the same programs (Table 1 workloads, random bodies, and
+//!   hand-built mid-pattern branch cases) produce bit-identical results, faults,
+//!   virtual clocks and instruction counts with `LayoutOptions::fuse` on and off.
 
 use autodist_ir::bytecode::{BinOp, CmpOp, Const, Insn, UnOp};
-use autodist_ir::layout::{Op, ProgramLayout, NO_SLOT};
+use autodist_ir::layout::{LayoutOptions, Op, ProgramLayout, NO_SLOT};
 use autodist_ir::program::{MethodId, Program, Type};
 use autodist_runtime::interp::{ExecError, Interp};
 use autodist_runtime::value::Value;
 use proptest::prelude::*;
 
-/// Every method body of every Table 1 workload decodes 1:1: same length, branch
-/// targets preserved verbatim, names resolved consistently with the layout tables.
+const NOFUSE: LayoutOptions = LayoutOptions { fuse: false };
+
+/// Every method body of every Table 1 workload decodes 1:1 when fusion is off: same
+/// length, branch targets preserved verbatim, names resolved consistently with the
+/// layout tables.
 #[test]
 fn decode_is_one_to_one_for_all_workloads() {
     for w in autodist_workloads::table1_workloads(1) {
-        let layout = ProgramLayout::build(&w.program);
+        let layout = ProgramLayout::build_with(&w.program, NOFUSE);
         for m in &w.program.methods {
             let mops = layout.ops(m.id);
             assert_eq!(
@@ -84,6 +92,53 @@ fn decode_is_one_to_one_for_all_workloads() {
                 // payload-free or value-carrying op whose variant correspondence is
                 // covered by the semantic property below.
                 let _ = pc;
+            }
+        }
+    }
+}
+
+/// The fused stream of every Table 1 method partitions the seed body exactly:
+/// widths sum to the bytecode length, `src_pc` walks the window starts in lockstep,
+/// and every remapped branch target lands on a fused instruction boundary (or one
+/// past the end).
+#[test]
+fn fusion_partitions_every_workload_body_and_remaps_targets() {
+    for w in autodist_workloads::table1_workloads(1) {
+        let layout = ProgramLayout::build(&w.program);
+        for m in &w.program.methods {
+            let mops = layout.ops(m.id);
+            let widths: Vec<u32> = mops.ops.iter().map(Op::fused_width).collect();
+            let total: u32 = widths.iter().sum();
+            assert_eq!(
+                total as usize,
+                m.body.len(),
+                "{}: fused widths must partition {}",
+                w.name,
+                m.name
+            );
+            if !mops.src_pc.is_empty() {
+                assert_eq!(mops.src_pc.len(), mops.ops.len());
+                let mut seed = 0u32;
+                for (i, w_i) in widths.iter().enumerate() {
+                    assert_eq!(mops.src_pc[i], seed, "src_pc walks the window starts");
+                    seed += w_i;
+                }
+            }
+            for op in &mops.ops {
+                if let Op::IfCmp(_, t)
+                | Op::If(_, t)
+                | Op::Goto(t)
+                | Op::LoadIfCmp(_, _, t)
+                | Op::IfCmpFused(_, _, _, t)
+                | Op::LoadConstIfCmp(_, _, _, t) = op
+                {
+                    assert!(
+                        *t as usize <= mops.ops.len(),
+                        "{}: remapped target out of range in {}",
+                        w.name,
+                        m.name
+                    );
+                }
             }
         }
     }
@@ -298,10 +353,195 @@ fn reference_eval(body: &[Insn], args: [i64; 4], method: MethodId) -> Result<Val
     }
 }
 
+/// One probe run under explicit layout options: the outcome plus the accounting the
+/// parity suite compares bit-for-bit (virtual clock, instruction count) and the
+/// dispatch count (which fusion is allowed — expected — to shrink).
+fn run_probe(
+    program: &Program,
+    probe: MethodId,
+    args: [i64; 4],
+    opts: LayoutOptions,
+) -> (Result<Value, ExecError>, f64, u64, u64) {
+    let mut interp = Interp::new_with_options(program, opts);
+    let got = interp.invoke(probe, args.iter().map(|&v| Value::Int(v)).collect());
+    (
+        got,
+        interp.clock_us,
+        interp.counters.instructions,
+        interp.counters.dispatches,
+    )
+}
+
+/// Asserts fused and unfused executions of `body` agree with each other (and with
+/// the reference evaluation) on outcome, virtual clock (bitwise) and instruction
+/// count, for one argument vector.
+fn assert_fusion_parity(body: &[Insn], args: [i64; 4]) {
+    let (program, probe) = build_probe(body.to_vec());
+    let expected = reference_eval(body, args, probe);
+    let (fused, fclock, finstr, fdisp) = run_probe(&program, probe, args, LayoutOptions::default());
+    let (plain, uclock, uinstr, udisp) = run_probe(&program, probe, args, NOFUSE);
+    assert_eq!(fused, expected, "fused run diverged from the reference");
+    assert_eq!(plain, expected, "unfused run diverged from the reference");
+    assert_eq!(
+        fclock.to_bits(),
+        uclock.to_bits(),
+        "virtual clock must be bit-identical under fusion ({fclock} vs {uclock})"
+    );
+    assert_eq!(finstr, uinstr, "instruction counts must match under fusion");
+    assert!(
+        fdisp <= udisp,
+        "fusion must never add dispatches ({fdisp} > {udisp})"
+    );
+    assert_eq!(
+        udisp, uinstr,
+        "unfused dispatches are 1:1 with instructions"
+    );
+}
+
+/// A conditional branch lands *inside* a would-be `Load/Const/Bin` window, so the
+/// window must stay unfused — and the underflow reached through that join reports
+/// the same pc either way.
+#[test]
+fn branch_into_mid_pattern_executes_identically() {
+    let body = vec![
+        Insn::Load(0),
+        Insn::If(CmpOp::Gt, 3), // a0 > 0: join at the ConstInt with an empty stack
+        Insn::Load(1),
+        Insn::Const(Const::Int(5)), // mid-pattern branch target
+        Insn::Bin(BinOp::Add),
+        Insn::ReturnValue,
+    ];
+    let (program, probe) = build_probe(body.clone());
+    let fused = ProgramLayout::build(&program);
+    assert_eq!(
+        fused.ops(probe).ops.len(),
+        body.len(),
+        "mid-pattern target must block fusion"
+    );
+    // a0 > 0 joins mid-pattern and underflows at the Bin (pc 4); a0 <= 0 takes the
+    // straight line and returns a1 + 5.
+    assert_fusion_parity(&body, [1, 7, 0, 0]);
+    assert_fusion_parity(&body, [-1, 7, 0, 0]);
+}
+
+/// A branch to a *window start* keeps the window fusible (`Bin; Store` becomes
+/// `BinStore`), and an underflow inside the fused op reports the seed pc of the
+/// component that popped.
+#[test]
+fn underflow_inside_a_fused_window_reports_the_seed_pc() {
+    let body = vec![
+        Insn::Load(0),
+        Insn::If(CmpOp::Gt, 4), // a0 > 0: jump straight to the Bin, stack empty
+        Insn::Load(1),
+        Insn::Load(2),
+        Insn::Bin(BinOp::Add), // fuses with the Store below
+        Insn::Store(3),
+        Insn::Load(3),
+        Insn::ReturnValue,
+    ];
+    let (program, probe) = build_probe(body.clone());
+    let fused = ProgramLayout::build(&program);
+    assert!(
+        fused
+            .ops(probe)
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::BinStore(..))),
+        "window-start branch target must not block fusion"
+    );
+    let (got, ..) = run_probe(&program, probe, [1, 0, 0, 0], LayoutOptions::default());
+    assert_eq!(
+        got,
+        Err(ExecError::StackUnderflow {
+            pc: 4,
+            method: probe
+        }),
+        "fault pc must be the seed Bin's, not the fused op's"
+    );
+    assert_fusion_parity(&body, [1, 2, 3, 0]);
+    assert_fusion_parity(&body, [-1, 2, 3, 0]);
+}
+
+/// `Load; IfCmp` fuses to `LoadIfCmp`, whose lhs pop is the seed IfCmp's stack
+/// effect — an empty stack underflows at the IfCmp's seed pc (offset 1 into the
+/// window), identically to the unfused run.
+#[test]
+fn load_ifcmp_underflow_reports_the_ifcmp_seed_pc() {
+    let body = vec![
+        Insn::Load(0),
+        Insn::IfCmp(CmpOp::Eq, 3), // lhs pop underflows: nothing below the load
+        Insn::Const(Const::Int(1)),
+        Insn::ReturnValue,
+    ];
+    let (program, probe) = build_probe(body.clone());
+    let fused = ProgramLayout::build(&program);
+    assert!(
+        fused
+            .ops(probe)
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::LoadIfCmp(..))),
+        "expected the Load/IfCmp pair to fuse"
+    );
+    let (got, ..) = run_probe(&program, probe, [1, 0, 0, 0], LayoutOptions::default());
+    assert_eq!(
+        got,
+        Err(ExecError::StackUnderflow {
+            pc: 1,
+            method: probe
+        })
+    );
+    assert_fusion_parity(&body, [1, 0, 0, 0]);
+}
+
+/// Every Table 1 workload runs entry-to-exit with identical results, statics,
+/// virtual clocks (bitwise) and instruction counts with fusion on and off — and
+/// fusion strictly reduces dispatch-loop iterations on every one of them.
+#[test]
+fn table1_workloads_execute_identically_with_fuse_on_and_off() {
+    for w in autodist_workloads::table1_workloads(1) {
+        let run = |opts: LayoutOptions| {
+            let mut interp = Interp::new_with_options(&w.program, opts);
+            let r = interp.run_entry();
+            let statics = interp.statics_snapshot();
+            (
+                r,
+                statics,
+                interp.clock_us,
+                interp.counters.instructions,
+                interp.counters.dispatches,
+            )
+        };
+        let (fr, fstatics, fclock, finstr, fdisp) = run(LayoutOptions::default());
+        let (ur, ustatics, uclock, uinstr, udisp) = run(NOFUSE);
+        assert_eq!(fr, ur, "{}: result differs under fusion", w.name);
+        assert_eq!(
+            fstatics, ustatics,
+            "{}: statics differ under fusion",
+            w.name
+        );
+        assert_eq!(
+            fclock.to_bits(),
+            uclock.to_bits(),
+            "{}: virtual clock differs under fusion ({fclock} vs {uclock})",
+            w.name
+        );
+        assert_eq!(finstr, uinstr, "{}: instruction count differs", w.name);
+        assert!(
+            fdisp < udisp,
+            "{}: fusion should shorten the dispatch stream ({fdisp} vs {udisp})",
+            w.name
+        );
+    }
+}
+
 proptest! {
     /// Random integer-machine bodies produce the same outcome — value or typed
     /// fault, including the faulting pc — through the decode + explicit-stack loop
-    /// as through direct evaluation of the bytecode.
+    /// (fused *and* unfused) as through direct evaluation of the bytecode, with
+    /// bit-identical virtual clocks and instruction counts between the two layouts.
+    /// The generated bodies branch forward into arbitrary offsets, so targets land
+    /// mid-pattern routinely and exercise the fusion blocker.
     #[test]
     fn random_int_bodies_execute_identically(
         tokens in prop::collection::vec((0u8..64, -9i64..10, any::<u8>()), 0..80),
@@ -312,20 +552,20 @@ proptest! {
     ) {
         let body = materialize(&tokens);
         let (program, probe) = build_probe(body.clone());
-        let layout = ProgramLayout::build(&program);
-        prop_assert_eq!(layout.ops(probe).ops.len(), body.len());
+        let unfused = ProgramLayout::build_with(&program, NOFUSE);
+        prop_assert_eq!(unfused.ops(probe).ops.len(), body.len());
+        let fused = ProgramLayout::build(&program);
+        let widths: u32 = fused.ops(probe).ops.iter().map(Op::fused_width).sum();
+        prop_assert_eq!(widths as usize, body.len());
 
-        let expected = reference_eval(&body, [a0, a1, a2, a3], probe);
-        let mut interp = Interp::new(&program);
-        let got = interp.invoke(
-            probe,
-            vec![
-                Value::Int(a0),
-                Value::Int(a1),
-                Value::Int(a2),
-                Value::Int(a3),
-            ],
-        );
-        prop_assert_eq!(got, expected);
+        let args = [a0, a1, a2, a3];
+        let expected = reference_eval(&body, args, probe);
+        let (fgot, fclock, finstr, fdisp) = run_probe(&program, probe, args, LayoutOptions::default());
+        let (ugot, uclock, uinstr, udisp) = run_probe(&program, probe, args, NOFUSE);
+        prop_assert_eq!(fgot, expected.clone());
+        prop_assert_eq!(ugot, expected);
+        prop_assert_eq!(fclock.to_bits(), uclock.to_bits());
+        prop_assert_eq!(finstr, uinstr);
+        prop_assert!(fdisp <= udisp);
     }
 }

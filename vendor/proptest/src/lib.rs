@@ -9,8 +9,12 @@
 //! strategies drop and shrink elements, and tuples shrink one component at a time —
 //! a failing case is greedily minimized before being re-run uncaught, so the test
 //! fails with the smallest found reproducer instead of the raw sampled inputs.
-//! Mapped (`prop_map`) and union (`prop_oneof!`) strategies do not shrink (the
-//! mapping cannot be inverted); their failing cases are reported as drawn. Case
+//! Mapped (`prop_map`) strategies shrink **through the mapping**: the strategy
+//! remembers the pre-image of the value it last produced, shrinks that through the
+//! inner strategy, and maps the candidates — the minimizer reports accepted
+//! candidates back via [`strategy::Strategy::accept_shrink`] so the stored
+//! pre-image tracks the current failing value. Union (`prop_oneof!`) strategies
+//! still do not shrink (which alternative produced a value is not recorded). Case
 //! count defaults to 64 and honours `PROPTEST_CASES` like the real crate.
 
 pub mod test_runner {
@@ -63,18 +67,33 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
         /// Proposes strictly "smaller" candidates for a failing value, most
-        /// aggressive first. The default is no shrinking (e.g. mapped strategies,
-        /// whose mapping cannot be inverted).
+        /// aggressive first. The default is no shrinking (e.g. union strategies,
+        /// which do not record which alternative produced a value).
         fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
             Vec::new()
         }
 
+        /// Informs the strategy that the minimizer accepted candidate `index`
+        /// from the most recent `shrink(prev)` call. Stateless strategies ignore
+        /// this (the default). Stateful ones — [`Map`], which tracks the
+        /// pre-image of the current failing value — use it to advance their
+        /// internal state; composite strategies (tuples) route the call to the
+        /// component that owns the index.
+        fn accept_shrink(&self, _prev: &Self::Value, _index: usize) {}
+
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
-            Self: Sized,
+            Self: Sized + Strategy,
         {
-            Map { inner: self, f }
+            Map {
+                inner: self,
+                f,
+                state: std::cell::RefCell::new(MapState {
+                    current: None,
+                    candidates: Vec::new(),
+                }),
+            }
         }
 
         /// Type-erases the strategy (used by `prop_oneof!`).
@@ -97,6 +116,9 @@ pub mod strategy {
         fn shrink(&self, value: &V) -> Vec<V> {
             (**self).shrink(value)
         }
+        fn accept_shrink(&self, prev: &V, index: usize) {
+            (**self).accept_shrink(prev, index)
+        }
     }
 
     /// Always produces a clone of the given value.
@@ -110,15 +132,63 @@ pub mod strategy {
     }
 
     /// The result of [`Strategy::prop_map`].
-    pub struct Map<S, F> {
+    ///
+    /// Shrinks **through the mapping**: the mapping itself cannot be inverted, so
+    /// the strategy remembers the pre-image of the value it last sampled (or last
+    /// had accepted via [`Strategy::accept_shrink`]), asks the inner strategy to
+    /// shrink that, and maps the candidates. The candidate pre-images are kept so
+    /// an accepted index can be resolved back to its pre-image.
+    ///
+    /// Limitation: the state is per-strategy, not per-value, so a `Map` used as a
+    /// `collection::vec` *element* shrinks only the most recently sampled element
+    /// correctly; other elements' candidate lists may come from a stale pre-image.
+    /// Every candidate is re-validated against the property before acceptance, so
+    /// this degrades shrink quality, never correctness of the final reproducer's
+    /// failure.
+    pub struct Map<S: Strategy, F> {
         inner: S,
         f: F,
+        state: std::cell::RefCell<MapState<S::Value>>,
+    }
+
+    pub(crate) struct MapState<V> {
+        pub(crate) current: Option<V>,
+        pub(crate) candidates: Vec<V>,
     }
 
     impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
         type Value = O;
         fn sample(&self, rng: &mut TestRng) -> O {
-            (self.f)(self.inner.sample(rng))
+            let pre = self.inner.sample(rng);
+            let mut st = self.state.borrow_mut();
+            st.current = Some(pre.clone());
+            st.candidates.clear();
+            drop(st);
+            (self.f)(pre)
+        }
+        fn shrink(&self, _value: &O) -> Vec<O> {
+            let pre = match self.state.borrow().current.clone() {
+                Some(pre) => pre,
+                None => return Vec::new(),
+            };
+            let pre_candidates = self.inner.shrink(&pre);
+            let out = pre_candidates.iter().cloned().map(&self.f).collect();
+            self.state.borrow_mut().candidates = pre_candidates;
+            out
+        }
+        fn accept_shrink(&self, _prev: &O, index: usize) {
+            let mut st = self.state.borrow_mut();
+            if let Some(accepted) = st.candidates.get(index).cloned() {
+                // Let a stateful inner strategy (e.g. a nested Map) advance too;
+                // our candidate list is index-aligned with the inner shrink list.
+                if let Some(prev_pre) = st.current.take() {
+                    drop(st);
+                    self.inner.accept_shrink(&prev_pre, index);
+                    st = self.state.borrow_mut();
+                }
+                st.current = Some(accepted);
+                st.candidates.clear();
+            }
         }
     }
 
@@ -218,6 +288,22 @@ pub mod strategy {
                         }
                     )+
                     out
+                }
+                /// Routes the accepted index to the component that produced it by
+                /// recomputing the per-component candidate counts (shrink is
+                /// deterministic, so the recomputed lists line up with the ones
+                /// the minimizer iterated).
+                fn accept_shrink(&self, prev: &Self::Value, index: usize) {
+                    let mut idx = index;
+                    $(
+                        let count = self.$i.shrink(&prev.$i).len();
+                        if idx < count {
+                            self.$i.accept_shrink(&prev.$i, idx);
+                            return;
+                        }
+                        idx -= count;
+                    )+
+                    let _ = idx;
                 }
             }
         )*};
@@ -563,12 +649,16 @@ pub mod shrink {
         let mut steps = 0usize;
         let mut budget = 512usize;
         'outer: while budget > 0 {
-            for candidate in strategy.shrink(&current) {
+            for (idx, candidate) in strategy.shrink(&current).into_iter().enumerate() {
                 if budget == 0 {
                     break 'outer;
                 }
                 budget -= 1;
                 if check(&candidate) {
+                    // Stateful strategies (prop_map) advance their pre-image to
+                    // the accepted candidate's; must happen before `current`
+                    // changes so `prev` still names the value that was shrunk.
+                    strategy.accept_shrink(&current, idx);
                     current = candidate;
                     steps += 1;
                     continue 'outer;
@@ -751,6 +841,82 @@ mod tests {
         let check = |v: &(i64, i64)| v.0 >= 10;
         let (min, _) = crate::shrink::minimize(&strategy, (73, 42), &check);
         assert_eq!(min, (10, 0), "both components minimized independently");
+    }
+
+    /// Samples until `check` flags a failing value, mirroring how `run_cases`
+    /// hands `minimize` a value the strategy just produced (so `prop_map` state
+    /// holds that value's pre-image).
+    fn sample_failing<S: Strategy>(
+        strategy: &S,
+        rng: &mut TestRng,
+        check: impl Fn(&S::Value) -> bool,
+    ) -> S::Value {
+        loop {
+            let v = Strategy::sample(strategy, rng);
+            if check(&v) {
+                return v;
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_strategies_shrink_through_the_mapping() {
+        // Doubling maps [0, 1000) onto the even numbers; "fails at >= 140" must
+        // minimize to the boundary 140 — reachable only by shrinking the
+        // pre-image (70), since no integer shrink of the raw output stays even.
+        let strategy = (0i64..1000).prop_map(|v| v * 2);
+        let check = |v: &i64| *v >= 140;
+        let mut rng = TestRng::deterministic(7);
+        let failing = sample_failing(&strategy, &mut rng, check);
+        let (min, steps) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, 140, "shrunk through the mapping to the boundary");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn nested_maps_shrink_through_both_mappings() {
+        let strategy = (0i64..100).prop_map(|v| v + 1).prop_map(|v| v * 2);
+        // Outputs are 2*(v+1) for v in [0, 100); fails at >= 12, so the smallest
+        // failing output is 12 (pre-image chain v = 5).
+        let check = |v: &i64| *v >= 12;
+        let mut rng = TestRng::deterministic(8);
+        let failing = sample_failing(&strategy, &mut rng, check);
+        let (min, _) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, 12, "both pre-images advanced in lock step");
+    }
+
+    #[test]
+    fn tuples_route_accepted_shrinks_to_the_mapped_component() {
+        let strategy = ((0i64..100).prop_map(|v| v * 2), 0i64..100);
+        // Fails whenever the mapped component is at least 10; smallest even
+        // failing value is 10, and the second component is noise shrunk to 0.
+        let check = |v: &(i64, i64)| v.0 >= 10;
+        let mut rng = TestRng::deterministic(9);
+        let failing = sample_failing(&strategy, &mut rng, check);
+        let (min, _) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, (10, 0));
+    }
+
+    /// End-to-end through the macro's driver: the reported reproducer for a
+    /// mapped strategy is minimized, not raw — and stays in the map's image.
+    #[test]
+    fn run_cases_minimizes_mapped_strategies() {
+        let strategy = ((0i64..1000).prop_map(|v| v * 3),);
+        let mut rng = TestRng::deterministic(43);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::shrink::run_cases(&strategy, &mut rng, 64, "demo_map", |(v,)| {
+                assert!(v < 30, "boom at {v}");
+            });
+        }));
+        let payload = result.expect_err("the property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert! message");
+        assert!(
+            msg.contains("boom at 30"),
+            "expected the minimized multiple-of-3 boundary case 30, got: {msg}"
+        );
     }
 
     #[test]
