@@ -1,13 +1,15 @@
 //! Machine-readable performance report: the Table 1 workload suite (centralized vs
 //! distributed, median wall time + virtual time) plus the micro-bench areas —
 //! including the op-dispatch probe of the explicit-stack interpreter and the
-//! message-delivery probe of the transport's ready queue — written as JSON.
+//! message-delivery probe of the transport's ready queue — and the serving areas
+//! (closed-loop requests/sec + p50/p99 latency per schedule), written as JSON.
 //!
 //! This is the baseline artifact all perf PRs diff against: run it before and after a
-//! change and compare `totals.suite_wall_ms` and the per-workload `*_virtual_us`
-//! fields, which must be byte-identical across purely mechanical interpreter changes
-//! (see the README's "Performance" section for the schema and the committed
-//! `BENCH_pr3.json` … `BENCH_pr6.json` baselines).
+//! change and compare `totals.suite_wall_ms`, the per-workload `*_virtual_us`
+//! fields, which must be byte-identical across purely mechanical interpreter changes,
+//! and the `serving` section's `requests_per_sec` per schedule (see the README's
+//! "Performance" section for the schema and the committed `BENCH_pr3.json` …
+//! `BENCH_pr7.json` baselines).
 //!
 //! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
 //!            [--repeats N] [--scale N] [--out FILE] [--quick]`
@@ -18,7 +20,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr6.json".to_string();
+    let mut out = "BENCH_pr7.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,6 +73,13 @@ fn main() -> Result<(), PipelineError> {
             c.static_.unfused_ops,
             c.static_.fused_ops,
             c.dynamic.dispatch_reduction_pct()
+        );
+    }
+    println!();
+    for s in &report.serving {
+        println!(
+            "serving {:<10} threads {:>2} conc {:>3} reqs {:>4} ingress {:>3} us  {:>9.1} req/s  p50 {:>9.1} us  p99 {:>9.1} us  ok {}",
+            s.name, s.threads, s.concurrency, s.requests, s.ingress_us, s.requests_per_sec, s.p50_us, s.p99_us, s.all_ok
         );
     }
     println!();

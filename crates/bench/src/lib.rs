@@ -21,6 +21,7 @@ use autodist_workloads::Workload;
 
 pub mod microbench;
 pub mod report;
+pub mod serving;
 
 /// One row of the Figure 11 experiment.
 #[derive(Clone, Debug)]

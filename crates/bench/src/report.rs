@@ -10,11 +10,14 @@
 //! **message-delivery** probe of the transport's ready queue (two fabric widths —
 //! their agreement is the O(1)-per-packet delivery property). An **op census**
 //! section records, per Table 1 workload and chain microbench, the superinstruction
-//! counts the fusion pass emits and the dynamic dispatch reduction it buys. The
-//! result serialises to a small hand-rolled JSON document (the build environment has
-//! no serde_json) whose schema is documented in the README's "Performance" section;
-//! committed snapshots (`BENCH_pr3.json` … `BENCH_pr6.json`) are the baselines
-//! future perf PRs diff against.
+//! counts the fusion pass emits and the dynamic dispatch reduction it buys. A
+//! **serving** section drives the closed-loop load generator ([`crate::serving`])
+//! over a Table 1 mix under `Inline` and `Pool { 1 | 4 | 16 }`, reporting
+//! requests/sec and p50/p99 latency. The result serialises to a small hand-rolled
+//! JSON document (the build environment has no serde_json) whose schema is
+//! documented in the README's "Performance" section; committed snapshots
+//! (`BENCH_pr3.json` … `BENCH_pr7.json`) are the baselines future perf PRs diff
+//! against.
 
 use std::time::Instant;
 
@@ -30,6 +33,7 @@ use autodist_runtime::wire::{AccessKind, Request, WireValue};
 use bytes::Bytes;
 
 use crate::microbench::{self, OpCensus, ARITH_CHAIN_DEEP, COND_CHAIN_DEEP};
+use crate::serving::{self, ServingArea};
 
 /// Measurements for one workload.
 #[derive(Clone, Debug)]
@@ -75,6 +79,9 @@ pub struct BenchReport {
     /// Fusion census (static superinstruction counts + dynamic dispatch reduction)
     /// per Table 1 workload and chain microbench.
     pub census: Vec<OpCensus>,
+    /// Serving-mode throughput/latency areas (closed-loop load generator over a
+    /// Table 1 mix under `Inline` and `Pool { 1 | 4 | 16 }`).
+    pub serving: Vec<ServingArea>,
 }
 
 use autodist_profiler::overhead::median;
@@ -127,12 +134,18 @@ const OP_DISPATCH_SRC: &str = "class Main {
     }";
 
 /// Ready-queue delivery probe: `nodes` endpoints on one simulated fabric, 1000
-/// request packets fanned out from rank 0, then delivered by popping ready ranks off
-/// the transport's shared queue and draining exactly those mailboxes — the
-/// event-driven schedulers' delivery path. Reports the median cost **per packet** in
-/// microseconds; because the sender enqueues each packet's destination at send time,
-/// the figure is independent of the fabric width (the pre-ready-queue design paid an
-/// O(nodes) mailbox sweep per delivery batch instead).
+/// request packets fanned out from rank 0, each delivered immediately by popping
+/// its ready key off the transport's shared queue and receiving **exactly one
+/// packet per popped key** — the event-driven schedulers' real delivery discipline
+/// (`deliver_one`). Reports the median cost **per packet** in microseconds; because
+/// the sender enqueues each packet's destination at send time, the figure is
+/// independent of the fabric width (the pre-ready-queue design paid an O(nodes)
+/// mailbox sweep per delivery batch instead). Send and delivery interleave so every
+/// mailbox stays at depth <= 1: an earlier version fanned out all 1000 sends before
+/// draining whole mailboxes per pop, which gave the narrow fabric ~66-deep
+/// mailboxes (forcing channel-segment allocations the wide fabric never hit) and
+/// amortised the wide fabric's pops over fuller batches — so `_256n` reported
+/// *faster* than `_16n` despite identical per-packet semantics.
 fn measure_message_delivery(repeats: usize, nodes: usize) -> f64 {
     const PACKETS: usize = 1000;
     assert!(nodes >= 2, "the delivery probe fans out from rank 0");
@@ -140,13 +153,12 @@ fn measure_message_delivery(repeats: usize, nodes: usize) -> f64 {
     let ready = world.ready_queue();
     let mut endpoints: Vec<_> = (0..nodes).map(|r| world.take_endpoint(r)).collect();
     let per_run_us = median_wall_ms(repeats.max(3), || {
+        let mut delivered = 0usize;
         for i in 0..PACKETS {
             let to = 1 + (i % (nodes - 1));
             endpoints[0].send(to, PacketKind::Request, Bytes::from_static(b"ping"), 0.0);
-        }
-        let mut delivered = 0usize;
-        while let Some(rank) = ready.pop() {
-            while endpoints[rank].try_recv().is_some() {
+            let (_root, rank) = ready.pop().expect("send marked its destination ready");
+            if endpoints[rank as usize].try_recv().is_some() {
                 delivered += 1;
             }
         }
@@ -271,6 +283,12 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         &microbench::compile_chain(COND_CHAIN_DEEP),
     ));
 
+    // Serving mode: the closed-loop load generator under each schedule of
+    // interest. The first wall-clock (not virtual-time) comparison in the report —
+    // pool workers overlap the modelled blocking ingress with interpretation (and,
+    // on multi-core machines, the interpretation itself across requests).
+    let serving = serving::measure_serving(scale, repeats)?;
+
     Ok(BenchReport {
         schema_version: 1,
         scale,
@@ -278,6 +296,7 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         workloads,
         micro,
         census,
+        serving,
     })
 }
 
@@ -358,6 +377,24 @@ impl BenchReport {
                 if i + 1 < self.census.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"serving\": [\n");
+        for (i, s) in self.serving.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"threads\": {}, \"concurrency\": {}, \
+                 \"requests\": {}, \"ingress_us\": {}, \"requests_per_sec\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"all_ok\": {}}}{}\n",
+                json_string(&s.name),
+                s.threads,
+                s.concurrency,
+                s.requests,
+                s.ingress_us,
+                s.requests_per_sec,
+                s.p50_us,
+                s.p99_us,
+                s.all_ok,
+                if i + 1 < self.serving.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ],\n  \"totals\": {\n");
         out.push_str(&format!(
             "    \"centralized_wall_ms\": {:.4},\n    \"distributed_wall_ms\": {:.4},\n    \
@@ -418,6 +455,9 @@ mod tests {
         assert!(json.contains("\"heapsort\""));
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"message_delivery_256n\""));
+        assert!(json.contains("\"serving\""));
+        assert!(json.contains("\"pool_4\""));
+        assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"suite_wall_ms\""));
     }
 

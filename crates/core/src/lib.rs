@@ -34,8 +34,10 @@ use autodist_partition::{partition, Graph, GraphBuilder, Method, PartitionConfig
 use autodist_runtime::cluster::{
     run_centralized, run_distributed_profiled, ClusterConfig, ExecutionReport, Schedule,
 };
+use autodist_runtime::serve::run_serving;
 
 pub use autodist_runtime::cluster::NodeProfiler;
+pub use autodist_runtime::serve::{RequestReport, ServeOptions, ServerApp, ServingReport};
 pub use error::{Phase, PipelineError, PipelineResult};
 pub use stats::{GraphStats, PhaseTimings, Table1Row};
 
@@ -198,6 +200,34 @@ impl DistributionPlan {
     /// instead of an error field inside the report.
     pub fn try_execute(&self, cluster: &ClusterConfig) -> PipelineResult<ExecutionReport> {
         PipelineError::check_report(self.execute(cluster))
+    }
+
+    /// Prepares this plan for serving: the per-node programs are interned into
+    /// shared layouts **once**, and every request the server admits instantiates
+    /// its interpreters over them. Hand the result to [`run_serving`] — directly or
+    /// via [`DistributionPlan::serve`] — possibly alongside apps prepared from
+    /// other plans for a mixed workload.
+    pub fn prepare_server(&self, cluster: &ClusterConfig) -> ServerApp {
+        ServerApp::prepare(self.programs(), cluster.network.clone())
+    }
+
+    /// Serves `requests` root computations of this plan as a closed-loop server:
+    /// up to `opts.concurrency` requests are in flight at once, each over its own
+    /// request-scoped world (virtual clocks, channels, correlation ids), scheduled
+    /// per `opts.schedule` (`Pool { threads }` for parallel serving, anything else
+    /// drives the loop on the calling thread). The returned [`ServingReport`]
+    /// carries one full per-request [`ExecutionReport`] per request plus the
+    /// aggregate requests/sec and latency-percentile view; each request's virtual
+    /// time, messages and final statics are byte-identical to
+    /// [`DistributionPlan::execute`] on the same plan.
+    pub fn serve(
+        &self,
+        cluster: &ClusterConfig,
+        requests: usize,
+        opts: &ServeOptions,
+    ) -> ServingReport {
+        let app = self.prepare_server(cluster);
+        run_serving(std::slice::from_ref(&app), &vec![0; requests], opts)
     }
 
     /// Total number of program points rewritten across all node copies.
@@ -494,6 +524,35 @@ mod tests {
         match Distributor::compile("class Main { static void main() { int = ; } }") {
             Err(e @ PipelineError::Parse(_)) => assert_eq!(e.phase(), Phase::Frontend),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serving_a_plan_matches_single_execution_per_request() {
+        let w = workloads::bank(10);
+        let distributor = Distributor::new(DistributorConfig::default());
+        let plan = distributor.distribute(&w.program);
+        let cluster = ClusterConfig::paper_testbed();
+        let single = plan.execute(&cluster);
+        assert!(single.is_ok(), "{:?}", single.error);
+        let serving = plan.serve(
+            &cluster,
+            6,
+            &ServeOptions {
+                concurrency: 4,
+                schedule: Schedule::Pool { threads: 2 },
+                ..ServeOptions::default()
+            },
+        );
+        assert!(serving.is_ok());
+        assert_eq!(serving.requests.len(), 6);
+        assert!(serving.requests_per_sec() > 0.0);
+        for req in &serving.requests {
+            assert_eq!(req.report.virtual_time_us, single.virtual_time_us);
+            assert_eq!(
+                req.report.final_statics.get("Main::checksum"),
+                single.final_statics.get("Main::checksum")
+            );
         }
     }
 

@@ -394,8 +394,16 @@ impl<'p> Interp<'p> {
     /// decoded stream (benches A/B the dispatch cost; the parity suite compares the
     /// two executions instruction for instruction).
     pub fn new_with_options(program: &'p Program, opts: LayoutOptions) -> Self {
+        Self::with_layout(program, Arc::new(ProgramLayout::build_with(program, opts)))
+    }
+
+    /// Creates an interpreter over a **pre-built, shared** layout. The layout build
+    /// (decoding, fusion, interning) is the expensive part of interpreter
+    /// construction; the serving scheduler builds it once per placed program and
+    /// every admitted request's interpreters share the `Arc`. `layout` must have
+    /// been built from this `program`.
+    pub fn with_layout(program: &'p Program, layout: Arc<ProgramLayout>) -> Self {
         let dep_class = program.class_by_name(DEPENDENT_OBJECT_CLASS);
-        let layout = Arc::new(ProgramLayout::build_with(program, opts));
         let mut class_defaults: Vec<Vec<Value>> = layout
             .classes
             .iter()

@@ -21,11 +21,15 @@
 //! * [`cluster`] — the driver configuration and reporting surface: runs a distributed
 //!   (or centralized) execution and reports virtual time, wall time and traffic
 //!   statistics.
+//! * [`serve`] — serving mode: the cluster as a server admitting N concurrent root
+//!   computations, each over its own request-scoped world (clocks, channels,
+//!   correlation ids) while all requests share one ready queue and worker pool.
 
 pub mod cluster;
 pub mod interp;
 pub mod net;
 pub mod sched;
+pub mod serve;
 pub mod services;
 pub mod value;
 pub mod wire;
@@ -36,5 +40,6 @@ pub use cluster::{
 };
 pub use interp::{Continuation, ExecCounters, ExecError, Interp, ProfilerSink, TaskOutcome};
 pub use net::{MpiEndpoint, MpiWorld, NetworkConfig, ReadyQueue};
+pub use serve::{run_serving, RequestReport, ServeOptions, ServerApp, ServingReport};
 pub use value::{HeapObject, ObjRef, Value};
 pub use wire::{AccessKind, Request, Response, WireValue};

@@ -103,21 +103,31 @@ pub struct Packet {
     pub arrival_time_us: f64,
 }
 
-/// The transport's shared **ready queue**: the ranks that have undelivered packets,
-/// in send order.
+/// A ready-queue entry: `(root, rank)`.
 ///
-/// The sender of a packet knows its destination, so it enqueues the destination rank
+/// `root` identifies the root computation (the serving request) the packet belongs
+/// to; single-root runs use root 0 throughout. `rank` is the destination node. The
+/// serving scheduler uses the root to find the request-scoped node set a popped
+/// entry must be delivered to; the single-root schedulers ignore it.
+pub type ReadyKey = (u32, u32);
+
+/// The transport's shared **ready queue**: `(root, rank)` keys for the nodes that
+/// have undelivered packets, in send order.
+///
+/// The sender of a packet knows its destination, so it enqueues the destination key
 /// here at send time — delivery in the event-driven schedulers is then O(1) per
-/// packet (pop a rank, drain that node's mailbox) instead of an O(nodes) `try_recv`
-/// sweep over every mailbox per batch. A rank may appear more than once (one entry
-/// per packet); popping a rank whose mailbox was already drained is a cheap no-op.
+/// packet (pop a key, drain that node's mailbox) instead of an O(nodes) `try_recv`
+/// sweep over every mailbox per batch. A key may appear more than once (one entry
+/// per packet); popping a key whose mailbox was already drained is a cheap no-op.
 ///
 /// The queue is shared by every endpoint of a world and is thread-safe so the
 /// work-stealing pool scheduler can use it as its global injector; the cooperative
-/// inline scheduler pops from it without contention.
+/// inline scheduler pops from it without contention. In serving mode one queue is
+/// shared by *many* per-request worlds, so continuations from different requests
+/// interleave freely on the same pool.
 #[derive(Default)]
 pub struct ReadyQueue {
-    queue: Mutex<VecDeque<usize>>,
+    queue: Mutex<VecDeque<ReadyKey>>,
     ready: Condvar,
     /// Threads currently blocked in [`ReadyQueue::wait_for_ready`]. Pushes only
     /// notify when this is non-zero: a condvar notify is a futex syscall, and the
@@ -127,10 +137,10 @@ pub struct ReadyQueue {
 }
 
 impl ReadyQueue {
-    /// Enqueues `rank` as having a deliverable packet and wakes one waiter, if any.
-    pub fn push(&self, rank: usize) {
+    /// Enqueues `key` as having a deliverable packet and wakes one waiter, if any.
+    pub fn push(&self, key: ReadyKey) {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(rank);
+        q.push_back(key);
         drop(q);
         // Waiters register under the queue lock before blocking, so this load after
         // the unlock cannot miss one: either the waiter saw our entry, or it
@@ -140,17 +150,17 @@ impl ReadyQueue {
         }
     }
 
-    /// Pops the oldest ready rank, if any.
-    pub fn pop(&self) -> Option<usize> {
+    /// Pops the oldest ready key, if any.
+    pub fn pop(&self) -> Option<ReadyKey> {
         self.queue
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop_front()
     }
 
-    /// Pops up to `n` ready ranks in one lock acquisition (used by pool workers to
+    /// Pops up to `n` ready keys in one lock acquisition (used by pool workers to
     /// refill their local run queues in a batch).
-    pub fn pop_batch(&self, n: usize) -> Vec<usize> {
+    pub fn pop_batch(&self, n: usize) -> Vec<ReadyKey> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         let take = n.min(q.len());
         q.drain(..take).collect()
@@ -197,11 +207,26 @@ pub struct MpiWorld {
     receivers: Vec<Option<Receiver<Packet>>>,
     config: NetworkConfig,
     ready: Arc<ReadyQueue>,
+    /// Root-computation id stamped on every ready-queue key (0 outside serving).
+    root: u32,
 }
 
 impl MpiWorld {
     /// Creates the interconnect for `n` nodes.
     pub fn new(n: usize, config: NetworkConfig) -> Self {
+        Self::with_ready(n, config, Arc::new(ReadyQueue::default()), 0)
+    }
+
+    /// Creates a *request-scoped* interconnect that feeds an externally shared ready
+    /// queue, stamping every enqueued key with `root`. The serving scheduler builds
+    /// one such world per admitted request so continuations from different requests
+    /// interleave on one queue while their channels, clocks, and correlation ids
+    /// stay fully isolated.
+    pub fn new_serving(n: usize, config: NetworkConfig, ready: Arc<ReadyQueue>, root: u32) -> Self {
+        Self::with_ready(n, config, ready, root)
+    }
+
+    fn with_ready(n: usize, config: NetworkConfig, ready: Arc<ReadyQueue>, root: u32) -> Self {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -213,7 +238,8 @@ impl MpiWorld {
             senders,
             receivers,
             config,
-            ready: Arc::new(ReadyQueue::default()),
+            ready,
+            root,
         }
     }
 
@@ -239,6 +265,7 @@ impl MpiWorld {
             receiver: rx,
             config: self.config.clone(),
             ready: Arc::clone(&self.ready),
+            root: self.root,
             track_ready: true,
             messages_sent: 0,
             bytes_sent: 0,
@@ -259,9 +286,11 @@ pub struct MpiEndpoint {
     receiver: Receiver<Packet>,
     /// The shared cost model.
     pub config: NetworkConfig,
-    /// The world's shared ready queue; sends enqueue the destination rank while
+    /// The world's shared ready queue; sends enqueue `(root, destination)` while
     /// `track_ready` holds.
     ready: Arc<ReadyQueue>,
+    /// Root-computation id stamped on ready-queue keys (0 outside serving).
+    root: u32,
     /// `false` opts this endpoint out of ready-queue tracking (thread-per-node
     /// execution blocks on its mailbox and never drains the queue — tracking would
     /// only grow it and contend the shared lock).
@@ -326,7 +355,7 @@ impl MpiEndpoint {
         // The sender knows the destination: mark the rank ready so event-driven
         // schedulers deliver in O(1) per packet (no mailbox sweep).
         if self.track_ready {
-            self.ready.push(to);
+            self.ready.push((self.root, to as u32));
         }
         clock_us + self.config.latency_us * 0.1
     }
@@ -451,8 +480,8 @@ mod tests {
         a.send(1, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
         a.send(2, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
         assert_eq!(ready.len(), 3, "one entry per packet");
-        assert_eq!(ready.pop(), Some(2));
-        assert_eq!(ready.pop_batch(8), vec![1, 2]);
+        assert_eq!(ready.pop(), Some((0, 2)));
+        assert_eq!(ready.pop_batch(8), vec![(0, 1), (0, 2)]);
         assert_eq!(ready.pop(), None);
     }
 
@@ -460,9 +489,28 @@ mod tests {
     fn ready_queue_wait_observes_pushed_entries() {
         let ready = std::sync::Arc::new(ReadyQueue::default());
         assert!(!ready.wait_for_ready(Duration::from_millis(5)));
-        ready.push(7);
+        ready.push((0, 7));
         assert!(ready.wait_for_ready(Duration::from_millis(5)));
-        assert_eq!(ready.pop(), Some(7));
+        assert_eq!(ready.pop(), Some((0, 7)));
+    }
+
+    #[test]
+    fn serving_worlds_tag_ready_keys_with_their_root() {
+        let shared = std::sync::Arc::new(ReadyQueue::default());
+        let mut w3 = MpiWorld::new_serving(2, NetworkConfig::uniform(2), Arc::clone(&shared), 3);
+        let mut w9 = MpiWorld::new_serving(2, NetworkConfig::uniform(2), Arc::clone(&shared), 9);
+        let mut a3 = w3.take_endpoint(0);
+        let mut a9 = w9.take_endpoint(0);
+        a3.send(1, PacketKind::Request, Bytes::from_static(b"x"), 0.0);
+        a9.send(1, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
+        a3.send(1, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
+        assert_eq!(shared.pop(), Some((3, 1)), "keys interleave on one queue");
+        assert_eq!(shared.pop(), Some((9, 1)));
+        assert_eq!(shared.pop(), Some((3, 1)));
+        // Channels stay per-world: w9's node 1 sees only its own packet.
+        let mut b9 = w9.take_endpoint(1);
+        assert_eq!(&b9.recv().data[..], b"y");
+        assert!(b9.try_recv().is_none());
     }
 
     #[test]

@@ -36,13 +36,13 @@ use autodist_ir::program::Program;
 
 use crate::cluster::{stats_of, ClusterConfig, ExecutionReport, NodeProfiler, NodeStats};
 use crate::interp::{Continuation, DistState, ExecError, Interp, ServeOutcome, TaskOutcome};
-use crate::net::{PacketKind, ReadyQueue};
+use crate::net::{PacketKind, ReadyKey, ReadyQueue};
 use crate::services::{ExecutionStarter, MessageExchange, MpiService};
 use crate::value::Value;
 use crate::wire::Response;
 
 /// What to do with a cooperative task's result once its bottom frame returns.
-enum TaskDone {
+pub(crate) enum TaskDone {
     /// The Execution Starter's `main` on the launch node: its result ends the run.
     Root,
     /// A serving computation: reply to `to` for request `req_id`. `reply_override`
@@ -57,7 +57,7 @@ enum TaskDone {
 
 /// A cooperative computation: the interpreter-level continuation plus its completion
 /// action.
-struct CoopTask {
+pub(crate) struct CoopTask {
     cont: Continuation,
     done: TaskDone,
 }
@@ -70,9 +70,20 @@ struct CoopTask {
 /// handful of parked computations (one per live cross-node recursion level, bounded
 /// by the call-depth guard), and the park/resume pair sits on the per-message hot
 /// path where two SipHash probes cost more than a short scan.
-struct CoopNode<'p> {
-    interp: Interp<'p>,
+pub(crate) struct CoopNode<'p> {
+    pub(crate) interp: Interp<'p>,
     parked: Vec<(u64, CoopTask)>,
+}
+
+impl<'p> CoopNode<'p> {
+    /// Wraps `interp` with an empty parked set (used by the serving scheduler, which
+    /// builds request-scoped nodes itself).
+    pub(crate) fn from_interp(interp: Interp<'p>) -> Self {
+        CoopNode {
+            interp,
+            parked: Vec::new(),
+        }
+    }
 }
 
 impl CoopNode<'_> {
@@ -117,7 +128,7 @@ impl CoopNode<'_> {
     /// Returns the root result when the root computation completes. The ready queue
     /// holds exactly one entry per packet, so each popped entry delivers exactly one
     /// packet — the hot path never pays a trailing empty mailbox probe.
-    fn deliver_one(&mut self) -> Option<Result<Value, ExecError>> {
+    pub(crate) fn deliver_one(&mut self) -> Option<Result<Value, ExecError>> {
         let pkt = self.interp.poll_packet()?;
         match pkt.kind {
             PacketKind::Request => {
@@ -175,7 +186,7 @@ fn build_nodes<'p>(
 
 /// The Execution Starter: launches `main` as the root continuation on the launch
 /// node. Returns the root result if it completed without ever parking.
-fn seed_root(node: &mut CoopNode<'_>) -> Option<Result<Value, ExecError>> {
+pub(crate) fn seed_root(node: &mut CoopNode<'_>) -> Option<Result<Value, ExecError>> {
     match node.interp.program.entry {
         None => Some(Err(ExecError::NoEntry)),
         Some(entry) => match node.interp.task_for(entry, Vec::new()) {
@@ -193,7 +204,7 @@ fn seed_root(node: &mut CoopNode<'_>) -> Option<Result<Value, ExecError>> {
 /// round trip (the communication style is request/response), so node 0's final clock
 /// is the execution time the paper measures. This is the single statement of that
 /// rule, shared by every scheduler.
-fn assemble_report(
+pub(crate) fn assemble_report(
     per_node: Vec<NodeStats>,
     final_statics: BTreeMap<String, Value>,
     error: Option<ExecError>,
@@ -254,15 +265,16 @@ pub(crate) fn run_inline(
 
     let mut root_result = seed_root(&mut nodes[0]);
 
-    // The scheduler proper: pop the next ready rank off the transport's queue and
+    // The scheduler proper: pop the next ready key off the transport's queue and
     // deliver that node's oldest packet — resuming a parked continuation (response)
     // or spawning a serving task (request) — until the root computation completes.
+    // Single-root runs have exactly one root (0), so the key's root half is ignored.
     // Exactly one logical control flow exists at any moment (the communication style
     // is synchronous request/response), so an empty queue before the root completes
     // can only mean a scheduler bug: surface it instead of hanging.
     while root_result.is_none() {
         match ready.pop() {
-            Some(rank) => root_result = nodes[rank].deliver_one(),
+            Some((_root, rank)) => root_result = nodes[rank as usize].deliver_one(),
             None => {
                 root_result = Some(Err(ExecError::RemoteFailure(
                     "cooperative scheduler stalled: no deliverable message and the root \
@@ -283,8 +295,8 @@ struct PoolShared<'s, 'p> {
     nodes: &'s [Mutex<CoopNode<'p>>],
     /// The global injector: the transport's ready queue.
     ready: &'s ReadyQueue,
-    /// Per-worker local run queues of ready ranks (stolen from the back).
-    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Per-worker local run queues of ready keys (stolen from the back).
+    locals: Vec<Mutex<VecDeque<ReadyKey>>>,
     /// The root computation's result, set exactly once.
     root: Mutex<Option<Result<Value, ExecError>>>,
     /// Set once `root` is; checked by every worker iteration.
@@ -334,36 +346,36 @@ fn pool_worker(shared: &PoolShared<'_, '_>, id: usize) {
     let mut last_epoch = None;
     while !shared.done.load(Ordering::SeqCst) {
         shared.active.fetch_add(1, Ordering::SeqCst);
-        let mut rank = shared.locals[id]
+        let mut key = shared.locals[id]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop_front();
-        if rank.is_none() {
+        if key.is_none() {
             let batch = shared.ready.pop_batch(BATCH);
             let mut it = batch.into_iter();
-            rank = it.next();
+            key = it.next();
             shared.locals[id]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .extend(it);
         }
-        if rank.is_none() {
+        if key.is_none() {
             for victim in 0..shared.locals.len() {
                 if victim == id {
                     continue;
                 }
-                rank = shared.locals[victim]
+                key = shared.locals[victim]
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .pop_back();
-                if rank.is_some() {
+                if key.is_some() {
                     break;
                 }
             }
         }
-        match rank {
-            Some(r) => {
-                let completed = shared.nodes[r]
+        match key {
+            Some((_root, r)) => {
+                let completed = shared.nodes[r as usize]
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .deliver_one();

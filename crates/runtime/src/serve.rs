@@ -1,0 +1,653 @@
+//! Serving mode: the cluster as a server admitting N concurrent root computations.
+//!
+//! Every scheduler before this module drives exactly one root computation (`main` on
+//! node 0). Serving mode turns the cluster into a closed-loop server: an ingress
+//! admits up to `concurrency` requests at a time, each request is a full root
+//! computation over its **own request-scoped world** — fresh channels, fresh virtual
+//! clocks, fresh correlation ids, fresh per-node interpreters — while all requests
+//! share one transport [`ReadyQueue`] and one worker pool. A ready-queue key is
+//! `(root, rank)`: the root half routes a popped entry to the owning request's node
+//! set, so serving continuations from different requests interleave freely on the
+//! same workers (the work-stealing pool finally buys wall-clock, not just
+//! determinism cross-checks).
+//!
+//! Isolation is what makes the results reproducible: a request's virtual clocks and
+//! message counts depend only on its own packet order, which its private FIFO
+//! channels and the synchronous request/response protocol fix regardless of how
+//! many other requests are in flight or how workers interleave. N concurrent
+//! requests therefore produce byte-identical per-request [`ExecutionReport`]s to
+//! running the same requests one at a time (pinned by `tests/serving_parity.rs`).
+//!
+//! The expensive part of spinning up a request — decoding, fusing and interning the
+//! placed programs into a [`ProgramLayout`] — is hoisted into [`ServerApp::prepare`]
+//! and shared by every request via `Arc`, so admission cost is just interpreter
+//! state (empty heap, default statics) plus channel setup.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use autodist_ir::layout::ProgramLayout;
+use autodist_ir::program::Program;
+
+use crate::cluster::{stats_of, ExecutionReport, Schedule};
+use crate::interp::{DistState, ExecError, Interp};
+use crate::net::{MpiWorld, NetworkConfig, PacketKind, ReadyQueue};
+use crate::sched::{assemble_report, seed_root, CoopNode};
+use crate::services::MessageExchange;
+use crate::value::Value;
+
+/// A *prepared* application the server can instantiate per request: the placed
+/// per-node programs plus their pre-built (shared) layouts and the cost model.
+pub struct ServerApp {
+    programs: Vec<Program>,
+    layouts: Vec<Arc<ProgramLayout>>,
+    network: NetworkConfig,
+}
+
+impl ServerApp {
+    /// Builds the per-node layouts once; every admitted request's interpreters share
+    /// them. `programs[rank]` must be the copy rewritten for `rank`, and the network
+    /// must describe exactly `programs.len()` nodes.
+    pub fn prepare(programs: Vec<Program>, network: NetworkConfig) -> Self {
+        assert_eq!(
+            programs.len(),
+            network.nodes(),
+            "one placed program per network node"
+        );
+        let layouts = programs
+            .iter()
+            .map(|p| Arc::new(ProgramLayout::build(p)))
+            .collect();
+        ServerApp {
+            programs,
+            layouts,
+            network,
+        }
+    }
+
+    /// Number of virtual nodes a request of this app spans.
+    pub fn nodes(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+/// Ingress configuration for [`run_serving`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Maximum number of requests in flight at once (the closed-loop load
+    /// generator's window). Clamped to at least 1.
+    pub concurrency: usize,
+    /// Worker scheduling. `Pool { threads }` spawns that many serve workers;
+    /// everything else (`Auto`/`Inline`/`Threaded`) drives the whole closed loop on
+    /// the calling thread — serving has no thread-per-node path, so `Threaded`
+    /// degrades to inline.
+    pub schedule: Schedule,
+    /// Modelled *wall-clock* cost of reading one request off the wire before it is
+    /// admitted (a blocking-ingress model: the admitting worker sleeps this long,
+    /// like a thread-per-connection server blocked in `read`). Zero (the default)
+    /// admits instantly. The serving bench sets this to the paper testbed's one-way
+    /// latency so the single-threaded server serialises request reads while a
+    /// worker pool overlaps them — the throughput gap this opens is real
+    /// concurrency, not core-count-dependent parallelism. Virtual clocks are
+    /// unaffected either way (ingress happens before the request's world exists).
+    pub ingress_wait: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            concurrency: 16,
+            schedule: Schedule::Auto,
+            ingress_wait: Duration::ZERO,
+        }
+    }
+}
+
+/// The outcome of one served request.
+#[derive(Debug)]
+pub struct RequestReport {
+    /// Position in the submitted sequence (also the request's root id).
+    pub index: usize,
+    /// Index into the `apps` slice this request instantiated.
+    pub app: usize,
+    /// Wall-clock latency from admission to completion, in microseconds.
+    pub latency_us: f64,
+    /// The request's full execution report — virtual time, per-node traffic and
+    /// final statics are byte-identical to running the request alone.
+    pub report: ExecutionReport,
+}
+
+/// The load generator's aggregate view of one serving run.
+#[derive(Debug)]
+pub struct ServingReport {
+    /// The admission window the run used.
+    pub concurrency: usize,
+    /// Worker threads (1 for inline scheduling).
+    pub threads: usize,
+    /// Wall-clock time of the whole run in milliseconds.
+    pub wall_time_ms: f64,
+    /// Per-request outcomes, in submission order.
+    pub requests: Vec<RequestReport>,
+}
+
+impl ServingReport {
+    /// Completed requests per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_time_ms <= 0.0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 / (self.wall_time_ms / 1e3)
+    }
+
+    /// Nearest-rank latency percentile in microseconds (`q` in 0..=1).
+    pub fn latency_percentile_us(&self, q: f64) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.requests.iter().map(|r| r.latency_us).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).max(1) - 1;
+        lat[rank.min(lat.len() - 1)]
+    }
+
+    /// `true` when every request completed without a runtime fault.
+    pub fn is_ok(&self) -> bool {
+        self.requests.iter().all(|r| r.report.is_ok())
+    }
+}
+
+/// One admitted, in-flight request: its request-scoped node set plus timing.
+struct LiveReq<'p> {
+    index: usize,
+    app: usize,
+    nodes: Vec<Mutex<CoopNode<'p>>>,
+    started: Instant,
+}
+
+/// Admission window state, guarded by one lock so claim-and-count is atomic.
+struct AdmitState {
+    next: usize,
+    in_flight: usize,
+}
+
+/// Shared state of one serving run.
+struct ServeShared<'s> {
+    apps: &'s [ServerApp],
+    sequence: &'s [usize],
+    /// The one ready queue every request-scoped world feeds.
+    ready: Arc<ReadyQueue>,
+    /// Live requests by root id. A root's entry is inserted *before* its root
+    /// computation is seeded (the first send races with other workers' pops) and
+    /// removed on completion.
+    live: Mutex<HashMap<u32, Arc<LiveReq<'s>>>>,
+    admit: Mutex<AdmitState>,
+    /// Per-request outcomes, indexed by submission order.
+    results: Mutex<Vec<Option<RequestReport>>>,
+    completed: AtomicUsize,
+    /// Workers currently claiming or processing work (see the pool scheduler's
+    /// stall detector for the protocol).
+    active: AtomicUsize,
+    /// Delivery epoch: bumped after every delivered packet and every admission.
+    deliveries: AtomicUsize,
+    concurrency: usize,
+    /// Modelled wire-read cost paid by the admitting worker per request.
+    ingress_wait: Duration,
+}
+
+impl<'s> ServeShared<'s> {
+    /// Admits requests until the window is full or the sequence is exhausted.
+    fn try_admit(&self) {
+        loop {
+            let index = {
+                let mut adm = self.admit.lock().unwrap_or_else(|e| e.into_inner());
+                if adm.next >= self.sequence.len() || adm.in_flight >= self.concurrency {
+                    return;
+                }
+                adm.in_flight += 1;
+                let index = adm.next;
+                adm.next += 1;
+                index
+            };
+            self.admit_one(index);
+        }
+    }
+
+    /// Instantiates request `index`: a fresh world over the shared ready queue
+    /// (keys tagged with the request's root id), fresh per-node interpreters over
+    /// the app's shared layouts, then the root computation seeded on node 0.
+    fn admit_one(&self, index: usize) {
+        if !self.ingress_wait.is_zero() {
+            // Blocking ingress: this worker is "in read(2)" on the request's
+            // connection for the modelled wire time. Other workers keep serving.
+            std::thread::sleep(self.ingress_wait);
+        }
+        let app_idx = self.sequence[index];
+        let app = &self.apps[app_idx];
+        let root = index as u32;
+        let n = app.programs.len();
+        let mut world =
+            MpiWorld::new_serving(n, app.network.clone(), Arc::clone(&self.ready), root);
+        let mut nodes = Vec::with_capacity(n);
+        for (rank, program) in app.programs.iter().enumerate() {
+            let endpoint = world.take_endpoint(rank);
+            let interp = Interp::with_layout(program, Arc::clone(&app.layouts[rank]))
+                .with_dist(DistState::new(endpoint).with_coop());
+            nodes.push(Mutex::new(CoopNode::from_interp(interp)));
+        }
+        let live = Arc::new(LiveReq {
+            index,
+            app: app_idx,
+            nodes,
+            started: Instant::now(),
+        });
+        // Register before seeding: the root's first send enqueues a key another
+        // worker may pop immediately, and that worker must find the node set.
+        self.live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(root, Arc::clone(&live));
+        let seeded = {
+            let mut node0 = live.nodes[0].lock().unwrap_or_else(|e| e.into_inner());
+            seed_root(&mut node0)
+        };
+        self.deliveries.fetch_add(1, Ordering::SeqCst);
+        if let Some(res) = seeded {
+            // The request never parked (e.g. a single-node placement): complete it
+            // inline and let the admission loop continue refilling the window.
+            self.complete(root, &live, res);
+        }
+    }
+
+    /// Finishes request `root`: per-request epilogue, result slot, window refill.
+    fn complete(&self, root: u32, live: &LiveReq<'s>, res: Result<Value, ExecError>) {
+        self.live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&root);
+        let latency = live.started.elapsed();
+        let report = finalize_request(live, res, latency);
+        let outcome = RequestReport {
+            index: live.index,
+            app: live.app,
+            latency_us: latency.as_secs_f64() * 1e6,
+            report,
+        };
+        self.results.lock().unwrap_or_else(|e| e.into_inner())[live.index] = Some(outcome);
+        self.admit
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .in_flight -= 1;
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        // Wake idle workers: the freed window slot admits the next request.
+        self.ready.notify_all();
+    }
+
+    /// Fails every request still live or unadmitted after a stall (idempotent —
+    /// several workers may trip the detector at once).
+    fn fail_remaining(&self) {
+        let stall = || {
+            ExecError::RemoteFailure(
+                "serving scheduler stalled: no deliverable message, an open admission \
+                 window and incomplete requests"
+                    .into(),
+            )
+        };
+        let stalled: Vec<(u32, Arc<LiveReq<'s>>)> = {
+            let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+            live.drain().collect()
+        };
+        for (_root, live) in stalled {
+            let latency = live.started.elapsed();
+            let outcome = RequestReport {
+                index: live.index,
+                app: live.app,
+                latency_us: latency.as_secs_f64() * 1e6,
+                report: assemble_report(Vec::new(), BTreeMap::new(), Some(stall()), latency),
+            };
+            self.results.lock().unwrap_or_else(|e| e.into_inner())[live.index] = Some(outcome);
+            self.admit
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .in_flight -= 1;
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        loop {
+            let index = {
+                let mut adm = self.admit.lock().unwrap_or_else(|e| e.into_inner());
+                if adm.next >= self.sequence.len() {
+                    break;
+                }
+                let index = adm.next;
+                adm.next += 1;
+                index
+            };
+            let outcome = RequestReport {
+                index,
+                app: self.sequence[index],
+                latency_us: 0.0,
+                report: assemble_report(Vec::new(), BTreeMap::new(), Some(stall()), Duration::ZERO),
+            };
+            self.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(outcome);
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// Per-request epilogue, mirroring the single-root schedulers' `finish_coop`:
+/// snapshot the launch node, deliver the shutdown broadcast (bookkeeping, not part
+/// of the measured execution) and assemble the report. The launch node's endpoint
+/// stops ready-queue tracking first — the request is over, so its shutdown packets
+/// must not enqueue keys other workers would pop and find dead.
+fn finalize_request(
+    live: &LiveReq<'_>,
+    root_res: Result<Value, ExecError>,
+    latency: Duration,
+) -> ExecutionReport {
+    let error = root_res.err();
+    let mut node0 = live.nodes[0].lock().unwrap_or_else(|e| e.into_inner());
+    let stats0 = stats_of(&node0.interp, 0);
+    let final_statics = node0.interp.statics_snapshot();
+    if let Some(dist) = node0.interp.dist.as_mut() {
+        dist.endpoint.untrack_ready();
+    }
+    MessageExchange::broadcast_shutdown(&mut node0.interp);
+    drop(node0);
+    let mut per_node = vec![stats0];
+    for (rank, slot) in live.nodes.iter().enumerate().skip(1) {
+        let mut node = slot.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(pkt) = node.interp.poll_packet() {
+            if pkt.kind == PacketKind::Request {
+                let _ = node.interp.accept_request(pkt.from, pkt.req_id, pkt.data);
+            }
+        }
+        per_node.push(stats_of(&node.interp, rank));
+    }
+    assemble_report(per_node, final_statics, error, latency)
+}
+
+/// One serve worker: admit while the window has room, then pop a `(root, rank)` key
+/// and deliver that request-scoped node's oldest packet. Requests complete on
+/// whichever worker delivers their final response.
+fn serve_worker(shared: &ServeShared<'_>) {
+    /// Consecutive quiet idle checks before a stall is declared (the same
+    /// three-signal protocol as the single-root pool's detector).
+    const STALL_STRIKES: u32 = 3;
+    let idle_wait = Duration::from_millis(2);
+    let total = shared.sequence.len();
+    let mut strikes = 0u32;
+    let mut last_epoch = None;
+    while shared.completed.load(Ordering::SeqCst) < total {
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.try_admit();
+        match shared.ready.pop() {
+            Some((root, rank)) => {
+                let live = shared
+                    .live
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get(&root)
+                    .cloned();
+                // A key for a root no longer live is stale (its request already
+                // completed); under synchronous request/response this cannot
+                // happen, but skipping is the safe answer regardless.
+                if let Some(live) = live {
+                    let completed = live.nodes[rank as usize]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .deliver_one();
+                    if let Some(res) = completed {
+                        shared.complete(root, &live, res);
+                    }
+                }
+                shared.deliveries.fetch_add(1, Ordering::SeqCst);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                strikes = 0;
+            }
+            None => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                if shared.completed.load(Ordering::SeqCst) >= total {
+                    break;
+                }
+                if shared.ready.wait_for_ready(idle_wait) {
+                    strikes = 0;
+                    continue;
+                }
+                // Stall detection, as in the single-root pool: across several
+                // consecutive quiet checks live work must show up in the queue,
+                // keep `active` non-zero, or advance the delivery epoch.
+                let epoch = shared.deliveries.load(Ordering::SeqCst);
+                let quiet = shared.completed.load(Ordering::SeqCst) < total
+                    && shared.active.load(Ordering::SeqCst) == 0
+                    && shared.ready.is_empty()
+                    && last_epoch == Some(epoch);
+                last_epoch = Some(epoch);
+                strikes = if quiet { strikes + 1 } else { 0 };
+                if strikes >= STALL_STRIKES {
+                    shared.fail_remaining();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the closed-loop server: `sequence[i]` names the app request `i`
+/// instantiates, at most `opts.concurrency` requests are in flight at once, and the
+/// run ends when every request has completed. Returns per-request reports (in
+/// submission order) plus the aggregate throughput/latency view.
+pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) -> ServingReport {
+    assert!(!apps.is_empty(), "at least one prepared app");
+    assert!(
+        sequence.iter().all(|&i| i < apps.len()),
+        "sequence indexes into apps"
+    );
+    let concurrency = opts.concurrency.max(1);
+    let threads = match opts.schedule {
+        Schedule::Pool { threads } => threads.max(1),
+        _ => 1,
+    };
+    let start = Instant::now();
+    let shared = ServeShared {
+        apps,
+        sequence,
+        ready: Arc::new(ReadyQueue::default()),
+        live: Mutex::new(HashMap::new()),
+        admit: Mutex::new(AdmitState {
+            next: 0,
+            in_flight: 0,
+        }),
+        results: Mutex::new((0..sequence.len()).map(|_| None).collect()),
+        completed: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        deliveries: AtomicUsize::new(0),
+        concurrency,
+        ingress_wait: opts.ingress_wait,
+    };
+    if threads > 1 {
+        std::thread::scope(|scope| {
+            for id in 0..threads {
+                let shared = &shared;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{id}"))
+                    .spawn_scoped(scope, move || serve_worker(shared))
+                    .expect("spawn serve worker");
+            }
+        });
+    } else {
+        serve_worker(&shared);
+    }
+    let wall = start.elapsed();
+    let requests = shared
+        .results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every request completed or failed"))
+        .collect();
+    ServingReport {
+        concurrency,
+        threads,
+        wall_time_ms: wall.as_secs_f64() * 1e3,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_distributed, ClusterConfig};
+    use autodist_codegen::rewrite::{rewrite_for_node, ClassPlacement};
+    use autodist_ir::frontend::compile_source;
+    use std::collections::BTreeMap as Map;
+
+    const PING_SRC: &str = r#"
+        class Worker {
+            int bounce(int x) { return x * 2 + 1; }
+        }
+        class Main {
+            static int result;
+            static void main() {
+                Worker w = new Worker();
+                int acc = 0;
+                int i = 0;
+                while (i < 20) {
+                    acc = acc + w.bounce(i);
+                    i = i + 1;
+                }
+                result = acc;
+            }
+        }
+    "#;
+
+    fn ping_app() -> ServerApp {
+        let p = compile_source(PING_SRC).unwrap();
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Worker").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let programs: Vec<Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        ServerApp::prepare(programs, NetworkConfig::paper_testbed())
+    }
+
+    fn ping_single_run() -> ExecutionReport {
+        let p = compile_source(PING_SRC).unwrap();
+        let mut home = Map::new();
+        home.insert(p.class_by_name("Main").unwrap(), 0);
+        home.insert(p.class_by_name("Worker").unwrap(), 1);
+        let placement = ClassPlacement { home, nparts: 2 };
+        let programs: Vec<Program> = (0..2)
+            .map(|n| rewrite_for_node(&p, &placement, n).program)
+            .collect();
+        run_distributed(&programs, &ClusterConfig::paper_testbed())
+    }
+
+    fn assert_matches_single(report: &ServingReport, single: &ExecutionReport) {
+        assert!(report.is_ok(), "{:?}", report.requests[0].report.error);
+        for req in &report.requests {
+            assert_eq!(
+                req.report.virtual_time_us, single.virtual_time_us,
+                "request {} virtual time differs from a solo run",
+                req.index
+            );
+            assert_eq!(req.report.total_messages(), single.total_messages());
+            assert_eq!(req.report.total_bytes(), single.total_bytes());
+            assert_eq!(
+                req.report.final_statics.get("Main::result"),
+                single.final_statics.get("Main::result")
+            );
+        }
+    }
+
+    #[test]
+    fn inline_serving_matches_solo_runs_at_any_concurrency() {
+        let app = ping_app();
+        let single = ping_single_run();
+        assert!(single.is_ok(), "{:?}", single.error);
+        for concurrency in [1, 7] {
+            let report = run_serving(
+                std::slice::from_ref(&app),
+                &[0; 12],
+                &ServeOptions {
+                    concurrency,
+                    schedule: Schedule::Inline,
+                    ..ServeOptions::default()
+                },
+            );
+            assert_eq!(report.requests.len(), 12);
+            assert_matches_single(&report, &single);
+            assert!(report.requests_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pool_serving_matches_solo_runs() {
+        let app = ping_app();
+        let single = ping_single_run();
+        let report = run_serving(
+            std::slice::from_ref(&app),
+            &[0; 24],
+            &ServeOptions {
+                concurrency: 16,
+                schedule: Schedule::Pool { threads: 4 },
+                ..ServeOptions::default()
+            },
+        );
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.requests.len(), 24);
+        assert_matches_single(&report, &single);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let app = ping_app();
+        let report = run_serving(
+            std::slice::from_ref(&app),
+            &[0; 10],
+            &ServeOptions {
+                concurrency: 4,
+                schedule: Schedule::Inline,
+                ..ServeOptions::default()
+            },
+        );
+        let p50 = report.latency_percentile_us(0.50);
+        let p99 = report.latency_percentile_us(0.99);
+        assert!(p50 > 0.0);
+        assert!(p99 >= p50);
+        assert!(report.requests.iter().all(|r| r.latency_us > 0.0));
+    }
+
+    #[test]
+    fn serving_mixes_apps_and_reports_per_request_apps() {
+        let app = ping_app();
+        let single_node = {
+            let p = compile_source(PING_SRC).unwrap();
+            let placement = ClassPlacement::centralized(1);
+            let programs = vec![rewrite_for_node(&p, &placement, 0).program];
+            ServerApp::prepare(programs, NetworkConfig::uniform(1))
+        };
+        let apps = [app, single_node];
+        let sequence = [0, 1, 0, 1, 0];
+        let report = run_serving(
+            &apps,
+            &sequence,
+            &ServeOptions {
+                concurrency: 3,
+                schedule: Schedule::Inline,
+                ..ServeOptions::default()
+            },
+        );
+        assert!(report.is_ok());
+        for (i, req) in report.requests.iter().enumerate() {
+            assert_eq!(req.index, i);
+            assert_eq!(req.app, sequence[i]);
+        }
+        // The single-node requests never message; the split ones do.
+        assert_eq!(report.requests[1].report.total_messages(), 0);
+        assert!(report.requests[0].report.total_messages() > 0);
+    }
+}

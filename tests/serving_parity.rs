@@ -1,0 +1,131 @@
+//! Serving-vs-sequential parity: concurrent root computations stay isolated.
+//!
+//! Serving mode admits N concurrent requests onto one shared ready queue, each with
+//! its own request-scoped world (channels, virtual clocks, correlation ids). The
+//! property: no matter how requests interleave — inline on one thread or across a
+//! worker pool — every request's [`ExecutionReport`] must be **byte-identical** to
+//! running the same distributed program alone: same virtual time, same message and
+//! byte counts, same final statics (checksum). Any cross-request leakage (a shared
+//! clock, a misrouted packet, a stolen continuation delivered to the wrong world)
+//! shows up as a drifting virtual clock or a wrong checksum.
+//!
+//! CI runs this test binary under a watchdog timeout (see `.github/workflows/ci.yml`)
+//! so a serving-scheduler stall fails fast instead of hanging the job.
+
+use autodist::{DistributionPlan, Distributor, DistributorConfig, ServeOptions};
+use autodist_runtime::cluster::{ClusterConfig, Schedule};
+use autodist_runtime::serve::run_serving;
+use autodist_runtime::value::Value;
+use autodist_workloads::Workload;
+
+/// The workload mix every test serves: three Table 1 programs with distinct
+/// communication shapes, kept small so the full matrix stays in CI smoke budget.
+fn mix() -> Vec<Workload> {
+    vec![
+        autodist_workloads::bank(12),
+        autodist_workloads::method_bench(60),
+        autodist_workloads::crypt(120),
+    ]
+}
+
+struct Reference {
+    plan: DistributionPlan,
+    virtual_time_us: f64,
+    messages: u64,
+    bytes: u64,
+    checksum: Option<Value>,
+}
+
+/// Distributes each workload and records its solo (sequential) execution report —
+/// the byte-exact yardstick every served request is held to.
+fn references() -> Vec<Reference> {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let cluster = ClusterConfig::paper_testbed();
+    mix()
+        .into_iter()
+        .map(|w| {
+            let plan = distributor.distribute(&w.program);
+            let solo = plan.execute(&cluster);
+            assert!(solo.is_ok(), "{}: solo run fails: {:?}", w.name, solo.error);
+            Reference {
+                virtual_time_us: solo.virtual_time_us,
+                messages: solo.total_messages(),
+                bytes: solo.total_bytes(),
+                checksum: solo.final_statics.get("Main::checksum").cloned(),
+                plan,
+            }
+        })
+        .collect()
+}
+
+/// Serves `requests` round-robin over the mix under `schedule` and checks every
+/// request against its app's sequential reference.
+fn assert_serving_parity(refs: &[Reference], schedule: Schedule, concurrency: usize) {
+    let cluster = ClusterConfig::paper_testbed();
+    let apps: Vec<_> = refs
+        .iter()
+        .map(|r| r.plan.prepare_server(&cluster))
+        .collect();
+    let requests = 24usize;
+    let sequence: Vec<usize> = (0..requests).map(|i| i % apps.len()).collect();
+    let report = run_serving(
+        &apps,
+        &sequence,
+        &ServeOptions {
+            concurrency,
+            schedule,
+            ..ServeOptions::default()
+        },
+    );
+    assert!(report.is_ok(), "{schedule:?}: every request completes");
+    assert_eq!(report.requests.len(), requests);
+    for (i, req) in report.requests.iter().enumerate() {
+        // Results come back in submission order with the app the sequence named.
+        assert_eq!(req.index, i);
+        assert_eq!(req.app, sequence[i]);
+        assert!(req.latency_us > 0.0);
+        let reference = &refs[req.app];
+        let ctx = format!(
+            "{schedule:?} conc {concurrency} request {i} app {}",
+            req.app
+        );
+        assert!(
+            (req.report.virtual_time_us - reference.virtual_time_us).abs() < 1e-9,
+            "{ctx}: virtual clock drifted: {} vs solo {}",
+            req.report.virtual_time_us,
+            reference.virtual_time_us
+        );
+        assert_eq!(req.report.total_messages(), reference.messages, "{ctx}");
+        assert_eq!(req.report.total_bytes(), reference.bytes, "{ctx}");
+        assert_eq!(
+            req.report.final_statics.get("Main::checksum").cloned(),
+            reference.checksum,
+            "{ctx}: checksum"
+        );
+    }
+}
+
+/// One worker thread, many in-flight requests: pure interleaving, no parallelism.
+#[test]
+fn inline_serving_is_byte_identical_to_sequential() {
+    let refs = references();
+    for concurrency in [1, 16] {
+        assert_serving_parity(&refs, Schedule::Inline, concurrency);
+    }
+}
+
+/// Worker pools: requests additionally migrate across OS threads mid-flight.
+#[test]
+fn pool_serving_is_byte_identical_to_sequential() {
+    let refs = references();
+    assert_serving_parity(&refs, Schedule::Pool { threads: 1 }, 16);
+    assert_serving_parity(&refs, Schedule::Pool { threads: 4 }, 16);
+}
+
+/// The window is a real bound: serving the whole sequence at concurrency 1 must
+/// still complete (degenerates to back-to-back sequential execution).
+#[test]
+fn pool_serving_at_window_one_degenerates_to_sequential() {
+    let refs = references();
+    assert_serving_parity(&refs, Schedule::Pool { threads: 4 }, 1);
+}

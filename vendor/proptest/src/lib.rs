@@ -14,7 +14,9 @@
 //! inner strategy, and maps the candidates — the minimizer reports accepted
 //! candidates back via [`strategy::Strategy::accept_shrink`] so the stored
 //! pre-image tracks the current failing value. Union (`prop_oneof!`) strategies
-//! still do not shrink (which alternative produced a value is not recorded). Case
+//! shrink **within the chosen alternative**: sampling records which alternative
+//! produced the value, shrinking delegates to it, and `accept_shrink` is forwarded
+//! so stateful alternatives (nested `prop_map`) advance their pre-image too. Case
 //! count defaults to 64 and honours `PROPTEST_CASES` like the real crate.
 
 pub mod test_runner {
@@ -193,8 +195,18 @@ pub mod strategy {
     }
 
     /// Chooses uniformly among type-erased alternatives (`prop_oneof!`).
+    ///
+    /// Shrinks **within the chosen alternative**: sampling records which
+    /// alternative produced the value, `shrink` delegates to that alternative, and
+    /// [`Strategy::accept_shrink`] is forwarded to it so stateful alternatives
+    /// (e.g. a `prop_map`) advance their own pre-image state. The *choice* itself
+    /// never shrinks — a candidate from a different alternative would not be a
+    /// smaller version of the failing value, just a different one. Same
+    /// per-strategy (not per-value) state caveat as [`Map`].
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
+        /// Index of the alternative that produced the most recent sample.
+        chosen: std::cell::Cell<Option<usize>>,
     }
 
     impl<V> Union<V> {
@@ -204,7 +216,10 @@ pub mod strategy {
                 !options.is_empty(),
                 "prop_oneof! needs at least one strategy"
             );
-            Union { options }
+            Union {
+                options,
+                chosen: std::cell::Cell::new(None),
+            }
         }
     }
 
@@ -212,7 +227,19 @@ pub mod strategy {
         type Value = V;
         fn sample(&self, rng: &mut TestRng) -> V {
             let i = rng.below(self.options.len());
+            self.chosen.set(Some(i));
             self.options[i].sample(rng)
+        }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            match self.chosen.get() {
+                Some(i) => self.options[i].shrink(value),
+                None => Vec::new(),
+            }
+        }
+        fn accept_shrink(&self, prev: &V, index: usize) {
+            if let Some(i) = self.chosen.get() {
+                self.options[i].accept_shrink(prev, index);
+            }
         }
     }
 
@@ -916,6 +943,55 @@ mod tests {
         assert!(
             msg.contains("boom at 30"),
             "expected the minimized multiple-of-3 boundary case 30, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn oneof_minimizes_within_the_chosen_alternative() {
+        // Only the second alternative can produce a failing value (>= 150), so the
+        // minimizer must shrink within that alternative's range down to the
+        // boundary — and never jump to the other alternative's (passing) values.
+        let strategy = prop_oneof![0i64..10, 100i64..1000];
+        let check = |v: &i64| *v >= 150;
+        let mut rng = TestRng::deterministic(11);
+        let failing = sample_failing(&strategy, &mut rng, check);
+        let (min, steps) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, 150, "shrunk within the chosen alternative");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn oneof_forwards_accepted_shrinks_to_mapped_alternatives() {
+        // The failing values (>= 140) are even, so they come from the mapped
+        // alternative; reaching the boundary 140 requires the Union to forward
+        // accept_shrink so the Map's pre-image walks down to 70.
+        let strategy = prop_oneof![Just(1i64), (0i64..1000).prop_map(|v| v * 2)];
+        let check = |v: &i64| *v >= 140;
+        let mut rng = TestRng::deterministic(12);
+        let failing = sample_failing(&strategy, &mut rng, check);
+        let (min, _) = crate::shrink::minimize(&strategy, failing, &check);
+        assert_eq!(min, 140, "shrunk through the alternative's mapping");
+    }
+
+    /// End-to-end through the macro's driver: a failing `prop_oneof!` case is
+    /// reported minimized to its alternative's boundary.
+    #[test]
+    fn run_cases_minimizes_oneof_strategies() {
+        let strategy = (prop_oneof![0i64..50, 500i64..1000],);
+        let mut rng = TestRng::deterministic(44);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::shrink::run_cases(&strategy, &mut rng, 64, "demo_oneof", |(v,)| {
+                assert!(v < 500, "boom at {v}");
+            });
+        }));
+        let payload = result.expect_err("the property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert! message");
+        assert!(
+            msg.contains("boom at 500"),
+            "expected the minimized second-alternative boundary 500, got: {msg}"
         );
     }
 
