@@ -9,7 +9,7 @@
 //! fields, which must be byte-identical across purely mechanical interpreter changes,
 //! and the `serving` section's `requests_per_sec` per schedule (see the README's
 //! "Performance" section for the schema and the committed `BENCH_pr3.json` …
-//! `BENCH_pr7.json` baselines).
+//! `BENCH_pr8.json` baselines).
 //!
 //! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
 //!            [--repeats N] [--scale N] [--out FILE] [--quick]`
@@ -20,7 +20,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr7.json".to_string();
+    let mut out = "BENCH_pr8.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +80,13 @@ fn main() -> Result<(), PipelineError> {
         println!(
             "serving {:<10} threads {:>2} conc {:>3} reqs {:>4} ingress {:>3} us  {:>9.1} req/s  p50 {:>9.1} us  p99 {:>9.1} us  ok {}",
             s.name, s.threads, s.concurrency, s.requests, s.ingress_us, s.requests_per_sec, s.p50_us, s.p99_us, s.all_ok
+        );
+    }
+    println!();
+    for a in &report.fault_overhead {
+        println!(
+            "fault_overhead {:<16} off {:>8.3} ms  quiet {:>8.3} ms  overhead {:>6.1}%  virt-identical {}  traffic-identical {}",
+            a.name, a.off_wall_ms, a.quiet_wall_ms, a.overhead_pct, a.virtual_identical, a.messages_identical
         );
     }
     println!();

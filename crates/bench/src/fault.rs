@@ -1,0 +1,106 @@
+//! Fault-injection overhead areas: proof that the transport's fault wrapper is
+//! free when faults are off and within noise when a *quiet* plan is attached.
+//!
+//! Two configurations per workload, both on the paper testbed under the inline
+//! scheduler:
+//!
+//! * **off** — `ClusterConfig.faults = None`, the pre-fault-layer hot path (one
+//!   `Option::is_some` branch per send).
+//! * **quiet** — a seeded [`FaultPlan`] with every probability at zero: packets
+//!   are sequenced, screened through the receive window and counted, but nothing
+//!   is injected.
+//!
+//! The deterministic halves of the comparison are exact: `virtual_identical` and
+//! `messages_identical` must be `true` (a quiet plan that shifts a virtual clock
+//! or a message count is a correctness bug, and `tests/chaos.rs` fails before
+//! this bench does). The wall-clock half (`overhead_pct`) is the measured price
+//! of sequencing + screening; the committed artifact pins it near zero, the CI
+//! smoke run only sanity-checks it (wall clocks wobble on shared runners).
+
+use autodist::{Distributor, DistributorConfig, PipelineResult};
+use autodist_runtime::cluster::ClusterConfig;
+use autodist_runtime::net::FaultPlan;
+
+use crate::report::median_wall_ms;
+
+/// One workload's off-vs-quiet comparison.
+#[derive(Clone, Debug)]
+pub struct FaultOverheadArea {
+    /// Workload name (Table 1 row).
+    pub name: String,
+    /// Median wall time with faults disabled, milliseconds.
+    pub off_wall_ms: f64,
+    /// Median wall time under a quiet plan, milliseconds.
+    pub quiet_wall_ms: f64,
+    /// `(quiet - off) / off`, percent (noise-level on a quiet runner).
+    pub overhead_pct: f64,
+    /// Virtual clocks byte-identical between the two runs (must be `true`).
+    pub virtual_identical: bool,
+    /// Message and byte counts identical between the two runs (must be `true`).
+    pub messages_identical: bool,
+}
+
+/// Measures the off-vs-quiet pair for a chatty and a bulk-transfer Table 1
+/// workload (the wrapper's cost scales with message count, so `method` is the
+/// worst case and `crypt` the amortised one).
+pub fn measure_fault_overhead(
+    scale: usize,
+    repeats: usize,
+) -> PipelineResult<Vec<FaultOverheadArea>> {
+    let distributor = Distributor::new(DistributorConfig::default());
+    let workloads = vec![
+        autodist_workloads::method_bench(300 * scale.max(1)),
+        autodist_workloads::crypt(400 * scale.max(1)),
+    ];
+    let off_cluster = ClusterConfig::paper_testbed();
+    let quiet_cluster = ClusterConfig {
+        faults: Some(FaultPlan::quiet(0x000F_F1CE)),
+        ..ClusterConfig::paper_testbed()
+    };
+    let mut areas = Vec::new();
+    for w in workloads {
+        let plan = distributor.try_distribute(&w.program)?;
+        let off = plan.try_execute(&off_cluster)?;
+        let quiet = plan.try_execute(&quiet_cluster)?;
+        let off_wall_ms = median_wall_ms(repeats, || plan.execute(&off_cluster));
+        let quiet_wall_ms = median_wall_ms(repeats, || plan.execute(&quiet_cluster));
+        areas.push(FaultOverheadArea {
+            name: w.name.clone(),
+            off_wall_ms,
+            quiet_wall_ms,
+            overhead_pct: if off_wall_ms > 0.0 {
+                (quiet_wall_ms - off_wall_ms) / off_wall_ms * 100.0
+            } else {
+                0.0
+            },
+            virtual_identical: off.virtual_time_us == quiet.virtual_time_us,
+            messages_identical: off.total_messages() == quiet.total_messages()
+                && off.total_bytes() == quiet.total_bytes(),
+        });
+    }
+    Ok(areas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plans_are_deterministically_invisible() {
+        let areas = measure_fault_overhead(1, 1).expect("measurement");
+        assert_eq!(areas.len(), 2);
+        for a in &areas {
+            assert!(
+                a.virtual_identical,
+                "{}: quiet plan moved a virtual clock",
+                a.name
+            );
+            assert!(
+                a.messages_identical,
+                "{}: quiet plan changed traffic",
+                a.name
+            );
+            assert!(a.off_wall_ms > 0.0 && a.quiet_wall_ms > 0.0);
+        }
+    }
+}

@@ -19,6 +19,7 @@ use autodist::{Distributor, DistributorConfig, PipelineResult, Table1Row};
 use autodist_runtime::cluster::ClusterConfig;
 use autodist_workloads::Workload;
 
+pub mod fault;
 pub mod microbench;
 pub mod report;
 pub mod serving;

@@ -16,8 +16,10 @@
 //! requests/sec and p50/p99 latency. The result serialises to a small hand-rolled
 //! JSON document (the build environment has no serde_json) whose schema is
 //! documented in the README's "Performance" section; committed snapshots
-//! (`BENCH_pr3.json` … `BENCH_pr7.json`) are the baselines future perf PRs diff
-//! against.
+//! (`BENCH_pr3.json` … `BENCH_pr8.json`) are the baselines future perf PRs diff
+//! against. A **fault_overhead** section compares faults-off against quiet-plan
+//! runs ([`crate::fault`]), pinning the fault wrapper's deterministic identity
+//! and measuring its wall-clock price.
 
 use std::time::Instant;
 
@@ -32,6 +34,7 @@ use autodist_runtime::net::{MpiWorld, NetworkConfig, PacketKind};
 use autodist_runtime::wire::{AccessKind, Request, WireValue};
 use bytes::Bytes;
 
+use crate::fault::{self, FaultOverheadArea};
 use crate::microbench::{self, OpCensus, ARITH_CHAIN_DEEP, COND_CHAIN_DEEP};
 use crate::serving::{self, ServingArea};
 
@@ -82,12 +85,15 @@ pub struct BenchReport {
     /// Serving-mode throughput/latency areas (closed-loop load generator over a
     /// Table 1 mix under `Inline` and `Pool { 1 | 4 | 16 }`).
     pub serving: Vec<ServingArea>,
+    /// Fault-layer cost areas: faults-off vs quiet-plan wall time per workload,
+    /// with the deterministic identity checks (virtual clocks, traffic counts).
+    pub fault_overhead: Vec<FaultOverheadArea>,
 }
 
 use autodist_profiler::overhead::median;
 
 /// Times `f` `repeats` times and returns the median duration in milliseconds.
-fn median_wall_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+pub(crate) fn median_wall_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
     let runs: Vec<f64> = (0..repeats.max(1))
         .map(|_| {
             let t = Instant::now();
@@ -289,6 +295,9 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
     // on multi-core machines, the interpretation itself across requests).
     let serving = serving::measure_serving(scale, repeats)?;
 
+    // Fault layer: the wrapper must be free when off and invisible when quiet.
+    let fault_overhead = fault::measure_fault_overhead(scale, repeats)?;
+
     Ok(BenchReport {
         schema_version: 1,
         scale,
@@ -297,6 +306,7 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         micro,
         census,
         serving,
+        fault_overhead,
     })
 }
 
@@ -395,6 +405,25 @@ impl BenchReport {
                 if i + 1 < self.serving.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"fault_overhead\": [\n");
+        for (i, a) in self.fault_overhead.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"off_wall_ms\": {:.4}, \"quiet_wall_ms\": {:.4}, \
+                 \"overhead_pct\": {:.1}, \"virtual_identical\": {}, \
+                 \"messages_identical\": {}}}{}\n",
+                json_string(&a.name),
+                a.off_wall_ms,
+                a.quiet_wall_ms,
+                a.overhead_pct,
+                a.virtual_identical,
+                a.messages_identical,
+                if i + 1 < self.fault_overhead.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("  ],\n  \"totals\": {\n");
         out.push_str(&format!(
             "    \"centralized_wall_ms\": {:.4},\n    \"distributed_wall_ms\": {:.4},\n    \
@@ -458,6 +487,8 @@ mod tests {
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"pool_4\""));
         assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.contains("\"fault_overhead\""));
+        assert!(json.contains("\"virtual_identical\": true"));
         assert!(json.contains("\"suite_wall_ms\""));
     }
 

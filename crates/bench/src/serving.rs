@@ -101,6 +101,7 @@ fn measure_area(
         concurrency: CONCURRENCY,
         schedule,
         ingress_wait: Duration::from_micros(INGRESS_US),
+        ..ServeOptions::default()
     };
     let mut runs: Vec<ServingReport> = (0..repeats.max(1))
         .map(|_| run_serving(apps, sequence, &opts))

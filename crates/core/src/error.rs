@@ -13,7 +13,7 @@ use autodist_ir::frontend::ParseError;
 use autodist_ir::lower::LowerError;
 use autodist_ir::verify::VerifyError;
 use autodist_runtime::cluster::ExecutionReport;
-use autodist_runtime::interp::ExecError;
+use autodist_runtime::interp::{ExecError, TransportStall};
 
 /// Convenience alias used by the fallible pipeline entry points.
 pub type PipelineResult<T> = Result<T, PipelineError>;
@@ -81,6 +81,12 @@ pub enum PipelineError {
     Exec(ExecError),
     /// A distributed run failed: the launch node's report carried this typed fault.
     Runtime(ExecError),
+    /// The transport layer stalled: messages were sent but never became
+    /// deliverable, and the scheduler's diagnosis names the ranks with sequence
+    /// gaps and the continuations parked on unanswered requests. Split out from
+    /// [`PipelineError::Runtime`] so callers can distinguish "the program
+    /// faulted" from "the network under it failed" without string matching.
+    Transport(TransportStall),
     /// The pipeline configuration is invalid (e.g. zero nodes).
     Config(String),
 }
@@ -93,7 +99,9 @@ impl PipelineError {
             PipelineError::Lower(_) | PipelineError::Codegen(_) => Phase::Codegen,
             PipelineError::Verify { .. } => Phase::Verify,
             PipelineError::Partition(_) => Phase::Partition,
-            PipelineError::Exec(_) | PipelineError::Runtime(_) => Phase::Runtime,
+            PipelineError::Exec(_) | PipelineError::Runtime(_) | PipelineError::Transport(_) => {
+                Phase::Runtime
+            }
             PipelineError::Config(_) => Phase::Config,
         }
     }
@@ -102,6 +110,7 @@ impl PipelineError {
     /// through the unified type.
     pub fn check_report(report: ExecutionReport) -> PipelineResult<ExecutionReport> {
         match report.error {
+            Some(ExecError::Transport(ref stall)) => Err(PipelineError::Transport(stall.clone())),
             Some(ref e) => Err(PipelineError::Runtime(e.clone())),
             None => Ok(report),
         }
@@ -128,6 +137,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Codegen(m) => write!(f, "{m}"),
             PipelineError::Exec(e) => write!(f, "{e}"),
             PipelineError::Runtime(e) => write!(f, "{e}"),
+            PipelineError::Transport(stall) => write!(f, "{stall}"),
             PipelineError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
@@ -207,21 +217,40 @@ mod tests {
     }
 
     #[test]
+    fn transport_stalls_surface_as_their_own_variant() {
+        let stall = TransportStall {
+            gapped: vec![1],
+            parked: vec![(0, 7)],
+        };
+        let report = ExecutionReport {
+            error: Some(ExecError::Transport(stall.clone())),
+            ..Default::default()
+        };
+        match PipelineError::check_report(report) {
+            Err(PipelineError::Transport(s)) => {
+                assert_eq!(s, stall);
+                let e = PipelineError::Transport(s);
+                assert_eq!(e.phase(), Phase::Runtime);
+                assert!(e.to_string().contains("transport"));
+            }
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn check_report_splits_on_the_error_field() {
         let ok = ExecutionReport {
             virtual_time_us: 1.0,
             wall_time_ms: 1.0,
-            per_node: vec![],
-            final_statics: Default::default(),
             error: None,
+            ..Default::default()
         };
         assert!(PipelineError::check_report(ok).is_ok());
         let bad = ExecutionReport {
             virtual_time_us: 1.0,
             wall_time_ms: 1.0,
-            per_node: vec![],
-            final_statics: Default::default(),
             error: Some(ExecError::UnknownMethod("f".into())),
+            ..Default::default()
         };
         match PipelineError::check_report(bad) {
             Err(PipelineError::Runtime(e)) => {

@@ -18,7 +18,7 @@ use std::time::Instant;
 use autodist_ir::program::Program;
 
 use crate::interp::{ExecError, Interp, ProfilerSink};
-use crate::net::NetworkConfig;
+use crate::net::{FaultPlan, FaultSummary, NetworkConfig};
 use crate::sched;
 use crate::services::ExecutionStarter;
 use crate::value::Value;
@@ -56,6 +56,9 @@ pub struct ClusterConfig {
     pub network: NetworkConfig,
     /// Node-to-thread scheduling policy.
     pub schedule: Schedule,
+    /// Optional deterministic fault-injection plan wrapping the transport (see
+    /// [`FaultPlan`]). `None` — the default — leaves the hot path untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -64,7 +67,14 @@ impl ClusterConfig {
         ClusterConfig {
             network: NetworkConfig::paper_testbed(),
             schedule: Schedule::Auto,
+            faults: None,
         }
+    }
+
+    /// This configuration with a fault plan attached.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -107,6 +117,10 @@ pub struct ExecutionReport {
     pub final_statics: BTreeMap<String, Value>,
     /// The typed runtime fault if execution failed.
     pub error: Option<ExecError>,
+    /// Fault-layer activity of the run, when a [`FaultPlan`] was attached (`None`
+    /// for fault-free runs — the report stays byte-identical to the pre-fault
+    /// surface).
+    pub faults: Option<FaultSummary>,
 }
 
 impl ExecutionReport {
@@ -183,6 +197,7 @@ pub fn run_centralized_profiled(
         per_node: vec![stats_of(&interp, 0)],
         final_statics: interp.statics_snapshot(),
         error: result.err(),
+        faults: None,
     }
 }
 
@@ -492,6 +507,7 @@ mod tests {
         let config = ClusterConfig {
             network: NetworkConfig::uniform(1),
             schedule: Schedule::Pool { threads: 4 },
+            faults: None,
         };
         let report = run_distributed(std::slice::from_ref(&copy), &config);
         assert!(report.is_ok(), "{:?}", report.error);
@@ -522,6 +538,7 @@ mod tests {
         let config = ClusterConfig {
             network: NetworkConfig::uniform(nodes),
             schedule: Schedule::Inline,
+            faults: None,
         };
         let report = run_distributed(&copies, &config);
         assert!(report.is_ok(), "{:?}", report.error);

@@ -38,7 +38,7 @@ use autodist_ir::program::{ClassId, FieldRef, MethodId, Program, Type};
 
 use bytes::Bytes;
 
-use crate::net::{MpiEndpoint, Packet, PacketKind};
+use crate::net::{LossReason, LostPacket, MpiEndpoint, Packet, PacketKind, RecvStall};
 use crate::value::{HeapObject, ObjRef, Value};
 use crate::wire::{AccessKind, Request, Response, WireValue};
 
@@ -122,8 +122,79 @@ pub enum ExecError {
     RemoteFailure(String),
     /// A remote operation was attempted without a distributed runtime attached.
     NotDistributed,
+    /// A packet was permanently lost in transit (fault-injection drop beyond its
+    /// retry budget): the virtual-time delivery deadline fired and the computation
+    /// waiting on the packet cannot complete.
+    MessageTimeout {
+        /// Sender rank of the lost packet.
+        src: usize,
+        /// Destination rank it never reached.
+        dst: usize,
+        /// Correlation id of the request it belonged to.
+        request: u64,
+    },
+    /// A rank was killed by the fault plan while the computation depended on it.
+    NodeDown {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// The run quiesced with work outstanding and no recorded packet loss: a
+    /// transport-level stall, carrying the diagnosis of its shape instead of
+    /// tripping an external watchdog.
+    Transport(TransportStall),
     /// Anything else.
     Unsupported(String),
+}
+
+/// The shape of a transport stall: what the delivery-deadline diagnosis saw when it
+/// declared the run stuck (which ranks still held undeliverable traffic, which
+/// continuations were parked on which outstanding requests).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportStall {
+    /// Ranks whose sequence windows still buffered packets behind a gap.
+    pub gapped: Vec<usize>,
+    /// Parked continuations as `(rank, req_id)`: rank's computation is waiting on
+    /// the response to `req_id`.
+    pub parked: Vec<(usize, u64)>,
+}
+
+/// Maps a recorded packet loss to its typed execution error: a killed rank is
+/// [`ExecError::NodeDown`], anything else a [`ExecError::MessageTimeout`].
+pub fn loss_to_error(loss: LostPacket) -> ExecError {
+    match loss.reason {
+        LossReason::NodeDown(rank) => ExecError::NodeDown { rank },
+        LossReason::Dropped => ExecError::MessageTimeout {
+            src: loss.from,
+            dst: loss.to,
+            request: loss.req_id,
+        },
+    }
+}
+
+/// Maps a transport receive stall (thread-per-node path) to its typed error.
+pub fn stall_to_error(stall: RecvStall) -> ExecError {
+    match stall {
+        RecvStall::Lost(loss) => loss_to_error(loss),
+        RecvStall::Quiet => ExecError::Transport(TransportStall::default()),
+    }
+}
+
+impl fmt::Display for TransportStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transport stall")?;
+        if !self.gapped.is_empty() {
+            write!(f, "; sequence gaps on ranks {:?}", self.gapped)?;
+        }
+        if self.parked.is_empty() {
+            write!(f, "; no parked continuations")?;
+        } else {
+            write!(f, "; parked continuations (rank, request):")?;
+            for (rank, req) in &self.parked {
+                write!(f, " ({rank}, #{req})")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -147,6 +218,13 @@ impl fmt::Display for ExecError {
             }
             ExecError::RemoteFailure(e) => write!(f, "remote failure: {e}"),
             ExecError::NotDistributed => write!(f, "remote access without a distributed runtime"),
+            ExecError::MessageTimeout { src, dst, request } => write!(
+                f,
+                "message timeout: packet for request #{request} from rank {src} to rank {dst} \
+                 was lost and never delivered"
+            ),
+            ExecError::NodeDown { rank } => write!(f, "node down: rank {rank} was killed"),
+            ExecError::Transport(stall) => write!(f, "{stall}"),
             ExecError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
         }
     }
@@ -2460,7 +2538,13 @@ impl<'p> Interp<'p> {
             req_id
         };
         loop {
-            let pkt = self.dist.as_mut().unwrap().endpoint.recv();
+            // With a fault plan attached the screened receive bounds this wait: a
+            // lost packet or a dead link surfaces as a typed error instead of
+            // blocking the thread forever.
+            let pkt = match self.dist.as_mut().unwrap().endpoint.recv_screened() {
+                Ok(pkt) => pkt,
+                Err(stall) => return Err(stall_to_error(stall)),
+            };
             if let Some(v) = self.absorb(pkt, req_id)? {
                 return Ok(v);
             }

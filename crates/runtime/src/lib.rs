@@ -38,8 +38,13 @@ pub use cluster::{
     run_centralized, run_distributed, run_distributed_profiled, ClusterConfig, ExecutionReport,
     NodeProfiler, NodeStats, Schedule,
 };
-pub use interp::{Continuation, ExecCounters, ExecError, Interp, ProfilerSink, TaskOutcome};
-pub use net::{MpiEndpoint, MpiWorld, NetworkConfig, ReadyQueue};
+pub use interp::{
+    Continuation, ExecCounters, ExecError, Interp, ProfilerSink, TaskOutcome, TransportStall,
+};
+pub use net::{
+    FaultPlan, FaultState, FaultSummary, KillNode, LinkProbs, LossReason, LostPacket, MpiEndpoint,
+    MpiWorld, NetworkConfig, ReadyQueue, RecvStall,
+};
 pub use serve::{run_serving, RequestReport, ServeOptions, ServerApp, ServingReport};
 pub use value::{HeapObject, ObjRef, Value};
 pub use wire::{AccessKind, Request, Response, WireValue};

@@ -10,9 +10,11 @@
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use crate::wire::{SeqVerdict, SeqWindow};
 
 /// The cost model for the simulated cluster.
 #[derive(Clone, Debug)]
@@ -72,6 +74,307 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Per-link fault probabilities of a [`FaultPlan`]. Each probability is rolled
+/// independently per packet from the plan's seed, so a given `(seed, link, seq)`
+/// always meets the same fate regardless of schedule or wall-clock interleaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkProbs {
+    /// Probability one transmission attempt of a packet is dropped. Each drop
+    /// triggers a retransmission after the retry backoff until
+    /// [`FaultPlan::max_retries`] is exhausted — then the packet is *lost* and the
+    /// delivery deadline surfaces a typed error.
+    pub drop: f64,
+    /// Probability a packet is sent twice (the receiver's sequence window
+    /// suppresses the copy).
+    pub duplicate: f64,
+    /// Probability a packet swaps sequence order with the next packet on its link
+    /// (the receiver's sequence window re-sorts the pair; if the partner never
+    /// comes, the delivery deadline repairs the gap).
+    pub reorder: f64,
+    /// Probability a packet's arrival is delayed by [`FaultPlan::delay_us`].
+    pub delay: f64,
+}
+
+/// A kill-node event: rank `rank` stops communicating at virtual time
+/// `at_virtual_us` — packets sent to it that would arrive after that instant, and
+/// packets it would send after its own clock passes it, are lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KillNode {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Virtual time of death in microseconds.
+    pub at_virtual_us: f64,
+}
+
+/// A deterministic fault schedule for one world, reproducible from its seed.
+///
+/// The plan wraps every sequenced [`MpiEndpoint`] send (correlated request/response
+/// traffic; shutdown broadcasts and other `req_id == 0` control messages are exempt
+/// — losing a fire-and-forget control packet would model nothing the protocol
+/// waits on). Disabled (no plan attached) costs one branch per send/receive and
+/// leaves every byte of the execution report untouched.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// PRNG seed: every probabilistic decision is a pure function of
+    /// `(seed, from, to, seq, salt)`.
+    pub seed: u64,
+    /// Default per-link fault probabilities.
+    pub probs: LinkProbs,
+    /// Per-link overrides, keyed `(from, to)` (consulted before `probs`).
+    pub links: Vec<(usize, usize, LinkProbs)>,
+    /// Extra virtual delay injected by a delay fault, in microseconds.
+    pub delay_us: f64,
+    /// Retransmission attempts after a dropped transmission before the packet is
+    /// declared lost.
+    pub max_retries: u32,
+    /// Virtual ack-timeout backoff charged per retransmission, in microseconds.
+    pub retry_backoff_us: f64,
+    /// Deterministically lose the n-th sequenced packet of the world (0-based,
+    /// counted across all endpoints in send order), retries notwithstanding.
+    /// This is the "drop any single packet" probe.
+    pub drop_exact: Option<u64>,
+    /// Kill one rank at a virtual time.
+    pub kill_node: Option<KillNode>,
+    /// Wall-clock poll quantum for the thread-per-node blocking receive path, in
+    /// milliseconds (the event-driven schedulers use virtual-time quiescence
+    /// instead and never wait on this).
+    pub poll_interval_ms: u64,
+    /// Quiet polls before the thread-per-node path declares a transport stall.
+    pub poll_strikes: u32,
+}
+
+/// Decision salts keeping each fault class's rolls independent for the same packet.
+const SALT_REORDER: u64 = 1;
+const SALT_DELAY: u64 = 2;
+const SALT_DUPLICATE: u64 = 3;
+const SALT_DROP_BASE: u64 = 16;
+
+impl FaultPlan {
+    /// A plan with every fault disabled: the full recovery machinery (sequence
+    /// numbers, windows, deadline checks) engaged but injecting nothing. Executions
+    /// under a quiet plan must be byte-identical to running with no plan at all.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            probs: LinkProbs::default(),
+            links: Vec::new(),
+            delay_us: 0.0,
+            max_retries: 3,
+            retry_backoff_us: 450.0,
+            drop_exact: None,
+            kill_node: None,
+            poll_interval_ms: 25,
+            poll_strikes: 40,
+        }
+    }
+
+    /// A plan that loses exactly the `n`-th sequenced packet (0-based, world send
+    /// order) and nothing else.
+    pub fn drop_packet(n: u64) -> Self {
+        FaultPlan {
+            drop_exact: Some(n),
+            ..FaultPlan::quiet(0)
+        }
+    }
+
+    /// A plan that kills `rank` at virtual time `at_virtual_us` and injects nothing
+    /// else.
+    pub fn kill(rank: usize, at_virtual_us: f64) -> Self {
+        FaultPlan {
+            kill_node: Some(KillNode {
+                rank,
+                at_virtual_us,
+            }),
+            ..FaultPlan::quiet(0)
+        }
+    }
+
+    /// Sets the default per-attempt drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.probs.drop = p;
+        self
+    }
+
+    /// Sets the default duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.probs.duplicate = p;
+        self
+    }
+
+    /// Sets the default reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.probs.reorder = p;
+        self
+    }
+
+    /// Sets the default delay probability and the injected delay.
+    pub fn with_delay(mut self, p: f64, delay_us: f64) -> Self {
+        self.probs.delay = p;
+        self.delay_us = delay_us;
+        self
+    }
+
+    /// Overrides the fault probabilities of one directed link.
+    pub fn with_link(mut self, from: usize, to: usize, probs: LinkProbs) -> Self {
+        self.links.push((from, to, probs));
+        self
+    }
+
+    /// The probabilities governing the directed link `from -> to`.
+    pub fn link_probs(&self, from: usize, to: usize) -> LinkProbs {
+        self.links
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(self.probs)
+    }
+
+    /// Deterministic roll in `[0, 1)` for one decision about one packet.
+    fn roll(&self, from: usize, to: usize, seq: u64, salt: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((from as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((to as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(seq.wrapping_mul(0x94d0_49bb_1331_11eb))
+            .wrapping_add(salt.wrapping_mul(0xd6e8_feb8_6659_fd93));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a packet was declared permanently undeliverable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossReason {
+    /// Every transmission attempt (original plus retries) was dropped.
+    Dropped,
+    /// The packet crossed a killed rank (the carried value is that rank).
+    NodeDown(usize),
+}
+
+/// The record of one permanently lost packet — the delivery-deadline diagnosis
+/// surfaces these as typed errors instead of letting the run stall.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LostPacket {
+    /// Sender rank.
+    pub from: usize,
+    /// Destination rank.
+    pub to: usize,
+    /// Correlation id of the request the packet belonged to.
+    pub req_id: u64,
+    /// Request or response.
+    pub kind: PacketKind,
+    /// Why it was lost.
+    pub reason: LossReason,
+}
+
+/// Aggregate fault-layer activity of one world (attached to the execution report so
+/// tests can assert a plan actually injected something).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Transmission attempts dropped (including retried ones).
+    pub dropped_attempts: u64,
+    /// Logical packets permanently lost (drop beyond retries, or a killed rank).
+    pub lost: u64,
+    /// Retransmissions that eventually delivered their packet.
+    pub retries: u64,
+    /// Duplicate copies injected.
+    pub duplicated: u64,
+    /// Duplicate copies suppressed by receivers' sequence windows.
+    pub suppressed: u64,
+    /// Packets sent out of sequence order.
+    pub reordered: u64,
+    /// Packets delayed.
+    pub delayed: u64,
+    /// Sequence gaps repaired at the delivery deadline.
+    pub repaired: u64,
+}
+
+/// Shared runtime state of one world's fault plan: the plan itself, the global
+/// sequenced-send counter (for [`FaultPlan::drop_exact`]) and the loss ledger the
+/// schedulers' delivery-deadline diagnosis reads.
+pub struct FaultState {
+    plan: FaultPlan,
+    sequenced_sends: AtomicU64,
+    lost: Mutex<Vec<LostPacket>>,
+    dropped_attempts: AtomicU64,
+    retries: AtomicU64,
+    duplicated: AtomicU64,
+    suppressed: AtomicU64,
+    reordered: AtomicU64,
+    delayed: AtomicU64,
+    repaired: AtomicU64,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            sequenced_sends: AtomicU64::new(0),
+            lost: Mutex::new(Vec::new()),
+            dropped_attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this world runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn record_loss(&self, loss: LostPacket) {
+        self.lost
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(loss);
+    }
+
+    /// The first permanently lost packet, if any. Under the synchronous
+    /// request/response protocol a single lost packet dooms its computation, so the
+    /// first loss is the diagnosis.
+    pub fn first_loss(&self) -> Option<LostPacket> {
+        self.lost
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .first()
+            .copied()
+    }
+
+    /// Every recorded loss (for the transport-stall diagnosis).
+    pub fn losses(&self) -> Vec<LostPacket> {
+        self.lost.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Snapshot of the fault-layer activity counters.
+    pub fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            dropped_attempts: self.dropped_attempts.load(Ordering::Relaxed),
+            lost: self.lost.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            retries: self.retries.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            suppressed: self.suppressed.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why a fault-aware blocking receive gave up (thread-per-node path).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecvStall {
+    /// A packet of this world was permanently lost; the carried record names it.
+    Lost(LostPacket),
+    /// The link stayed quiet past every deadline with no recorded loss.
+    Quiet,
+}
+
 /// Whether a packet carries a request or a response (nested requests are served while
 /// waiting for a response, so receivers must be able to tell them apart).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +399,11 @@ pub struct Packet {
     /// the byte cost model) and is what lets the cooperative scheduler park an
     /// in-flight computation as a continuation keyed by its outstanding request.
     pub req_id: u64,
+    /// Per-link sequence number, 1-based, assigned by the fault layer so receivers
+    /// can suppress duplicates and re-sort reorders. Like `req_id` it is transport
+    /// metadata (no byte cost); 0 means *unsequenced* — no fault plan is active or
+    /// the packet is exempt control traffic — and bypasses the sequence window.
+    pub seq: u64,
     /// Encoded payload.
     pub data: Bytes,
     /// The sender's virtual clock (µs) *after* accounting for the transfer, i.e. the
@@ -209,6 +517,8 @@ pub struct MpiWorld {
     ready: Arc<ReadyQueue>,
     /// Root-computation id stamped on every ready-queue key (0 outside serving).
     root: u32,
+    /// Shared fault-plan state, if fault injection is enabled for this world.
+    faults: Option<Arc<FaultState>>,
 }
 
 impl MpiWorld {
@@ -240,7 +550,22 @@ impl MpiWorld {
             config,
             ready,
             root,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan: every endpoint taken afterwards sequences its
+    /// correlated sends and runs them through the plan's injection rolls. Call
+    /// before [`MpiWorld::take_endpoint`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(FaultState::new(plan)));
+        self
+    }
+
+    /// The shared fault state, when a plan is attached (one per world — serving mode
+    /// therefore isolates faults per request).
+    pub fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.faults.clone()
     }
 
     /// The shared ready queue fed by every endpoint of this world.
@@ -258,9 +583,10 @@ impl MpiWorld {
         let rx = self.receivers[rank]
             .take()
             .expect("endpoint already taken for this rank");
+        let n = self.senders.len();
         MpiEndpoint {
             rank,
-            size: self.senders.len(),
+            size: n,
             senders: self.senders.clone(),
             receiver: rx,
             config: self.config.clone(),
@@ -272,6 +598,46 @@ impl MpiWorld {
             messages_received: 0,
             bytes_received: 0,
             next_req_id: 0,
+            faults: self
+                .faults
+                .as_ref()
+                .map(|state| EndpointFaults::new(Arc::clone(state), n)),
+        }
+    }
+}
+
+/// A sender-side sequencing slot for one directed link.
+#[derive(Clone, Copy, Debug, Default)]
+struct TxLink {
+    /// Sequence numbers handed out so far on this link.
+    issued: u64,
+    /// A sequence number a reorder fault "borrowed": the reordered packet took
+    /// `issued + 1`, and the *next* packet on the link inherits this smaller number
+    /// — the pair travels swapped without any packet being held back (holding a
+    /// packet until a successor exists would deadlock the synchronous protocol).
+    owed: Option<u64>,
+}
+
+/// Per-endpoint fault machinery: the world-shared [`FaultState`] plus this
+/// endpoint's sender-side sequencers and receiver-side reassembly windows.
+struct EndpointFaults {
+    state: Arc<FaultState>,
+    /// Outgoing sequencing per destination rank.
+    tx: Vec<TxLink>,
+    /// Incoming reassembly window per source rank.
+    rx: Vec<SeqWindow<Packet>>,
+    /// Packets released by a window in bulk (a gap fill or a repair), awaiting pickup
+    /// by the next receive call.
+    pending: VecDeque<Packet>,
+}
+
+impl EndpointFaults {
+    fn new(state: Arc<FaultState>, n: usize) -> Self {
+        EndpointFaults {
+            state,
+            tx: vec![TxLink::default(); n],
+            rx: (0..n).map(|_| SeqWindow::default()).collect(),
+            pending: VecDeque::new(),
         }
     }
 }
@@ -305,6 +671,9 @@ pub struct MpiEndpoint {
     pub bytes_received: u64,
     /// Next outgoing request correlation id (ids are unique per endpoint).
     next_req_id: u64,
+    /// Fault-injection machinery, present only when the world has a [`FaultPlan`] —
+    /// the disabled hot path pays a single `is_some` branch per send and receive.
+    faults: Option<EndpointFaults>,
 }
 
 impl MpiEndpoint {
@@ -341,11 +710,18 @@ impl MpiEndpoint {
         let arrival = clock_us + transfer;
         self.messages_sent += 1;
         self.bytes_sent += data.len() as u64;
+        // Correlated traffic goes through the fault layer when a plan is attached;
+        // `req_id == 0` control messages (shutdown broadcasts) are exempt so the
+        // protocol's fire-and-forget teardown stays reliable.
+        if self.faults.is_some() && req_id != 0 {
+            return self.send_faulted(to, kind, req_id, data, clock_us, arrival);
+        }
         let pkt = Packet {
             from: self.rank,
             to,
             kind,
             req_id,
+            seq: 0,
             data,
             arrival_time_us: arrival,
         };
@@ -360,6 +736,154 @@ impl MpiEndpoint {
         clock_us + self.config.latency_us * 0.1
     }
 
+    /// The fault-layer send path: sequences the packet, then rolls kill, drop/retry,
+    /// delay and duplication from the plan's seed. Counters were already charged by
+    /// [`MpiEndpoint::send_with_id`] — faults only move `arrival_time_us` (retries,
+    /// delays) or suppress/replicate physical transmission, so with every
+    /// probability at zero the execution is byte-identical to running unfaulted.
+    fn send_faulted(
+        &mut self,
+        to: usize,
+        kind: PacketKind,
+        req_id: u64,
+        data: Bytes,
+        clock_us: f64,
+        mut arrival: f64,
+    ) -> f64 {
+        let ret = clock_us + self.config.latency_us * 0.1;
+        let state = Arc::clone(&self.faults.as_ref().expect("fault plan present").state);
+        let plan = state.plan();
+        let probs = plan.link_probs(self.rank, to);
+        let logical = state.sequenced_sends.fetch_add(1, Ordering::Relaxed);
+
+        // Sequence the packet, honouring a pending reorder swap: a reordered packet
+        // takes its successor's number and "owes" its own to the next send on the
+        // link, so the pair travels swapped without holding any packet back.
+        let link = &mut self.faults.as_mut().expect("fault plan present").tx[to];
+        let seq = if let Some(owed) = link.owed.take() {
+            owed
+        } else {
+            link.issued += 1;
+            let mine = link.issued;
+            if probs.reorder > 0.0 && plan.roll(self.rank, to, mine, SALT_REORDER) < probs.reorder {
+                link.owed = Some(mine);
+                link.issued = mine + 1;
+                state.reordered.fetch_add(1, Ordering::Relaxed);
+                mine + 1
+            } else {
+                mine
+            }
+        };
+
+        // A killed rank loses everything that would reach it after its death and
+        // everything it would itself send past it.
+        if let Some(k) = plan.kill_node {
+            let dead = (k.rank == to && arrival >= k.at_virtual_us)
+                || (k.rank == self.rank && clock_us >= k.at_virtual_us);
+            if dead {
+                state.record_loss(LostPacket {
+                    from: self.rank,
+                    to,
+                    req_id,
+                    kind,
+                    reason: LossReason::NodeDown(k.rank),
+                });
+                // Wake the destination anyway: an event-driven scheduler pops the
+                // key, finds nothing, quiesces, and the delivery deadline turns the
+                // recorded loss into a typed error instead of a hang.
+                if self.track_ready {
+                    self.ready.push((self.root, to as u32));
+                }
+                return ret;
+            }
+        }
+
+        // The "drop any single packet" probe loses exactly one logical packet, in
+        // world send order, retries notwithstanding.
+        if plan.drop_exact == Some(logical) {
+            state
+                .dropped_attempts
+                .fetch_add(1 + plan.max_retries as u64, Ordering::Relaxed);
+            state.record_loss(LostPacket {
+                from: self.rank,
+                to,
+                req_id,
+                kind,
+                reason: LossReason::Dropped,
+            });
+            if self.track_ready {
+                self.ready.push((self.root, to as u32));
+            }
+            return ret;
+        }
+
+        // Drop/retry: every transmission attempt rolls independently; the first
+        // surviving attempt delivers late by the accumulated ack-timeout backoff,
+        // and a packet whose every attempt drops is lost.
+        if probs.drop > 0.0 {
+            let mut survived = None;
+            for attempt in 0..=plan.max_retries {
+                if plan.roll(self.rank, to, seq, SALT_DROP_BASE + attempt as u64) < probs.drop {
+                    state.dropped_attempts.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    survived = Some(attempt);
+                    break;
+                }
+            }
+            match survived {
+                Some(0) => {}
+                Some(attempt) => {
+                    state.retries.fetch_add(attempt as u64, Ordering::Relaxed);
+                    arrival += attempt as f64 * plan.retry_backoff_us;
+                }
+                None => {
+                    state.record_loss(LostPacket {
+                        from: self.rank,
+                        to,
+                        req_id,
+                        kind,
+                        reason: LossReason::Dropped,
+                    });
+                    if self.track_ready {
+                        self.ready.push((self.root, to as u32));
+                    }
+                    return ret;
+                }
+            }
+        }
+
+        if probs.delay > 0.0 && plan.roll(self.rank, to, seq, SALT_DELAY) < probs.delay {
+            arrival += plan.delay_us;
+            state.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let duplicate = probs.duplicate > 0.0
+            && plan.roll(self.rank, to, seq, SALT_DUPLICATE) < probs.duplicate;
+        let pkt = Packet {
+            from: self.rank,
+            to,
+            kind,
+            req_id,
+            seq,
+            data,
+            arrival_time_us: arrival,
+        };
+        if duplicate {
+            state.duplicated.fetch_add(1, Ordering::Relaxed);
+            let _ = self.senders[to].send(pkt.clone());
+            // One ready-queue entry per *physical* packet keeps the pop-one
+            // deliver-one invariant; the receiver's window suppresses the copy.
+            if self.track_ready {
+                self.ready.push((self.root, to as u32));
+            }
+        }
+        let _ = self.senders[to].send(pkt);
+        if self.track_ready {
+            self.ready.push((self.root, to as u32));
+        }
+        ret
+    }
+
     /// Opts this endpoint out of ready-queue tracking (see
     /// [`MpiEndpoint::track_ready`]). Called by the thread-per-node scheduler, whose
     /// blocking receives make the queue dead weight.
@@ -368,7 +892,9 @@ impl MpiEndpoint {
     }
 
     /// Blocking receive. Returns the packet; the caller is responsible for advancing
-    /// its clock to at least `arrival_time_us`.
+    /// its clock to at least `arrival_time_us`. With a fault plan attached, use
+    /// [`MpiEndpoint::recv_screened`] instead — a lost packet would block this
+    /// forever.
     pub fn recv(&mut self) -> Packet {
         let pkt = self.receiver.recv().expect("cluster channel closed");
         self.messages_received += 1;
@@ -376,30 +902,214 @@ impl MpiEndpoint {
         pkt
     }
 
-    /// Non-blocking receive, used by the cooperative cluster scheduler to drain a
-    /// node's mailbox without parking the worker thread.
-    pub fn try_recv(&mut self) -> Option<Packet> {
-        match self.receiver.try_recv() {
-            Ok(pkt) => {
-                self.messages_received += 1;
-                self.bytes_received += pkt.data.len() as u64;
-                Some(pkt)
+    /// Fault-aware blocking receive for the thread-per-node path: polls the mailbox
+    /// on the plan's wall-clock quantum, screens arrivals through the sequence
+    /// window, and gives up with a typed [`RecvStall`] when a packet of this world
+    /// is recorded lost or the link stays quiet past the plan's strike budget —
+    /// bounded termination instead of a hang. Without a plan it degenerates to
+    /// [`MpiEndpoint::recv`].
+    pub fn recv_screened(&mut self) -> Result<Packet, RecvStall> {
+        if self.faults.is_none() {
+            return Ok(self.recv());
+        }
+        if let Some(p) = self.take_pending() {
+            return Ok(p);
+        }
+        let (interval_ms, strikes) = {
+            let plan = self
+                .faults
+                .as_ref()
+                .expect("fault plan present")
+                .state
+                .plan();
+            (plan.poll_interval_ms, plan.poll_strikes)
+        };
+        let mut quiet = 0u32;
+        loop {
+            match self
+                .receiver
+                .recv_timeout(Duration::from_millis(interval_ms))
+            {
+                Ok(pkt) => {
+                    quiet = 0;
+                    if let Some(p) = self.screen(pkt) {
+                        return Ok(p);
+                    }
+                }
+                Err(_) => {
+                    if let Some(loss) = self
+                        .faults
+                        .as_ref()
+                        .expect("fault plan present")
+                        .state
+                        .first_loss()
+                    {
+                        return Err(RecvStall::Lost(loss));
+                    }
+                    // The quantum passed with the link quiet: any sequence gap is a
+                    // packet that is not coming (or a reorder whose partner is late
+                    // — the skipped-seq memory keeps a premature repair harmless).
+                    if self.repair_gaps() > 0 {
+                        if let Some(p) = self.take_pending() {
+                            return Ok(p);
+                        }
+                    }
+                    quiet += 1;
+                    if quiet >= strikes {
+                        return Err(RecvStall::Quiet);
+                    }
+                }
             }
-            Err(_) => None,
         }
     }
 
-    /// Receive with a timeout, used by serve loops to notice shutdown.
+    /// Non-blocking receive, used by the cooperative cluster scheduler to drain a
+    /// node's mailbox without parking the worker thread. With a fault plan attached,
+    /// arrivals are screened through the per-link sequence window (duplicates
+    /// suppressed, reorders buffered), so `None` may also mean "a physical packet
+    /// arrived but nothing is deliverable yet".
+    pub fn try_recv(&mut self) -> Option<Packet> {
+        if self.faults.is_none() {
+            return match self.receiver.try_recv() {
+                Ok(pkt) => {
+                    self.messages_received += 1;
+                    self.bytes_received += pkt.data.len() as u64;
+                    Some(pkt)
+                }
+                Err(_) => None,
+            };
+        }
+        if let Some(p) = self.take_pending() {
+            return Some(p);
+        }
+        let pkt = self.receiver.try_recv().ok()?;
+        self.screen(pkt)
+    }
+
+    /// Receive with a timeout, used by serve loops to notice shutdown. Screened like
+    /// [`MpiEndpoint::try_recv`] when a fault plan is attached; a timeout
+    /// additionally repairs any sequence gap so a server parked behind a lost
+    /// predecessor packet still drains its buffer.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Packet> {
+        if self.faults.is_some() {
+            if let Some(p) = self.take_pending() {
+                return Some(p);
+            }
+        }
         match self.receiver.recv_timeout(timeout) {
             Ok(pkt) => {
-                self.messages_received += 1;
-                self.bytes_received += pkt.data.len() as u64;
-                Some(pkt)
+                if self.faults.is_some() {
+                    self.screen(pkt)
+                } else {
+                    self.messages_received += 1;
+                    self.bytes_received += pkt.data.len() as u64;
+                    Some(pkt)
+                }
             }
-            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Timeout) => {
+                if self.faults.is_some() && self.repair_gaps() > 0 {
+                    return self.take_pending();
+                }
+                None
+            }
             Err(RecvTimeoutError::Disconnected) => None,
         }
+    }
+
+    /// Pops a packet previously released by a sequence window (gap fill or repair),
+    /// charging the receive counters at the moment of logical delivery.
+    fn take_pending(&mut self) -> Option<Packet> {
+        let pkt = self
+            .faults
+            .as_mut()
+            .expect("fault plan present")
+            .pending
+            .pop_front()?;
+        self.messages_received += 1;
+        self.bytes_received += pkt.data.len() as u64;
+        Some(pkt)
+    }
+
+    /// Screens one physical arrival through the per-link sequence window. Returns
+    /// the packet when it is logically deliverable now; `None` for suppressed
+    /// duplicates and buffered reorders. A delivery that closes a gap releases the
+    /// buffered run into the pending queue and pushes one self ready-key per
+    /// released packet (their original keys were consumed when they buffered).
+    fn screen(&mut self, pkt: Packet) -> Option<Packet> {
+        if pkt.seq == 0 {
+            // Exempt control traffic travels unsequenced.
+            self.messages_received += 1;
+            self.bytes_received += pkt.data.len() as u64;
+            return Some(pkt);
+        }
+        let from = pkt.from;
+        let seq = pkt.seq;
+        let f = self.faults.as_mut().expect("fault plan present");
+        match f.rx[from].offer(seq, pkt) {
+            SeqVerdict::Deliver(p) => {
+                let mut released = 0;
+                while let Some(next) = f.rx[from].pop_ready() {
+                    f.pending.push_back(next);
+                    released += 1;
+                }
+                if self.track_ready {
+                    for _ in 0..released {
+                        self.ready.push((self.root, self.rank as u32));
+                    }
+                }
+                self.messages_received += 1;
+                self.bytes_received += p.data.len() as u64;
+                Some(p)
+            }
+            SeqVerdict::Duplicate => {
+                f.state.suppressed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            SeqVerdict::Buffered => None,
+        }
+    }
+
+    /// Skips the sequence gap in front of every buffered run on this endpoint (the
+    /// delivery deadline passed — the missing packets are not coming). Released
+    /// packets queue for the next receive call, with one self ready-key each.
+    /// Returns how many packets were released. No-op without a fault plan.
+    pub fn repair_gaps(&mut self) -> usize {
+        let Some(f) = self.faults.as_mut() else {
+            return 0;
+        };
+        let mut released = 0;
+        for w in f.rx.iter_mut() {
+            if w.has_gap() {
+                let n = w.repair();
+                if n > 0 {
+                    f.state.repaired.fetch_add(1, Ordering::Relaxed);
+                    while let Some(p) = w.pop_ready() {
+                        f.pending.push_back(p);
+                        released += 1;
+                    }
+                }
+            }
+        }
+        if self.track_ready {
+            for _ in 0..released {
+                self.ready.push((self.root, self.rank as u32));
+            }
+        }
+        released
+    }
+
+    /// `true` when packets are buffered behind a sequence gap on any of this
+    /// endpoint's links (candidates for [`MpiEndpoint::repair_gaps`]).
+    pub fn has_sequence_gap(&self) -> bool {
+        self.faults
+            .as_ref()
+            .map(|f| f.rx.iter().any(|w| w.has_gap()))
+            .unwrap_or(false)
+    }
+
+    /// The world-shared fault state, when a plan is attached.
+    pub fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.faults.as_ref().map(|f| Arc::clone(&f.state))
     }
 }
 
@@ -519,5 +1229,236 @@ mod tests {
         assert_eq!(cfg.nodes(), 2);
         assert!(cfg.speed_of(1) > cfg.speed_of(0));
         assert_eq!(cfg.speed_of(99), 1.0);
+    }
+
+    #[test]
+    fn quiet_fault_plan_changes_nothing_but_sequence_stamps() {
+        let mut plain = MpiWorld::new(2, NetworkConfig::uniform(2));
+        let mut faulted =
+            MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(FaultPlan::quiet(42));
+        let mut pa = plain.take_endpoint(0);
+        let mut pb = plain.take_endpoint(1);
+        let mut fa = faulted.take_endpoint(0);
+        let mut fb = faulted.take_endpoint(1);
+        let (pc, pid) = pa.send_request(1, Bytes::from_static(b"payload"), 10.0);
+        let (fc, fid) = fa.send_request(1, Bytes::from_static(b"payload"), 10.0);
+        assert_eq!(pc, fc, "sender clock identical under a quiet plan");
+        assert_eq!(pid, fid);
+        let pp = pb.recv();
+        let fp = fb.try_recv().expect("screened delivery");
+        assert_eq!(pp.arrival_time_us, fp.arrival_time_us, "arrival identical");
+        assert_eq!(pp.seq, 0, "no plan: unsequenced");
+        assert_eq!(fp.seq, 1, "plan: sequencing engaged");
+        assert_eq!(pb.messages_received, fb.messages_received);
+        assert_eq!(pb.bytes_received, fb.bytes_received);
+        let summary = faulted.fault_state().unwrap().summary();
+        assert_eq!(
+            summary,
+            FaultSummary::default(),
+            "quiet plan injects nothing"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_suppressed_transparently() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2))
+            .with_fault_plan(FaultPlan::quiet(7).with_duplicate(1.0));
+        let ready = world.ready_queue();
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        a.send_request(1, Bytes::from_static(b"once"), 0.0);
+        assert_eq!(ready.len(), 2, "one ready key per physical packet");
+        let first = b.try_recv().expect("first copy delivers");
+        assert_eq!(&first.data[..], b"once");
+        assert!(b.try_recv().is_none(), "second copy suppressed");
+        assert_eq!(b.messages_received, 1, "logical receive counted once");
+        let summary = state.summary();
+        assert_eq!(summary.duplicated, 1);
+        assert_eq!(summary.suppressed, 1);
+    }
+
+    #[test]
+    fn reordered_packets_are_buffered_and_released_in_sequence() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(
+            FaultPlan::quiet(3).with_link(
+                0,
+                1,
+                LinkProbs {
+                    reorder: 1.0,
+                    ..LinkProbs::default()
+                },
+            ),
+        );
+        let ready = world.ready_queue();
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        a.send_request(1, Bytes::from_static(b"first"), 0.0);
+        a.send_request(1, Bytes::from_static(b"second"), 0.0);
+        // The wire carries (seq 2, "first") then (seq 1, "second"): the window
+        // buffers seq 2, then releases both in sequence order.
+        let p1 = b.try_recv();
+        assert!(p1.is_none(), "out-of-order packet buffered behind the gap");
+        let p2 = b.try_recv().expect("gap filler delivers immediately");
+        assert_eq!(&p2.data[..], b"second");
+        let p3 = b.try_recv().expect("buffered packet released behind it");
+        assert_eq!(&p3.data[..], b"first");
+        assert_eq!(state.summary().reordered, 1);
+        // Two send keys plus one self-key for the released buffer entry.
+        assert_eq!(ready.len(), 3);
+    }
+
+    #[test]
+    fn drop_exact_loses_one_packet_and_records_it() {
+        let mut world =
+            MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(FaultPlan::drop_packet(1));
+        let ready = world.ready_queue();
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        let (_, id0) = a.send_request(1, Bytes::from_static(b"kept"), 0.0);
+        let (_, id1) = a.send_request(1, Bytes::from_static(b"lost"), 0.0);
+        assert_eq!(b.try_recv().map(|p| p.req_id), Some(id0));
+        assert!(b.try_recv().is_none(), "second packet never arrives");
+        let loss = state.first_loss().expect("loss recorded");
+        assert_eq!(loss.req_id, id1);
+        assert_eq!(loss.reason, LossReason::Dropped);
+        assert_eq!((loss.from, loss.to), (0, 1));
+        // One key for the delivered packet, one *wake-up* key for the lost one so
+        // the event-driven schedulers quiesce and diagnose instead of sleeping.
+        assert_eq!(ready.len(), 2);
+    }
+
+    #[test]
+    fn dropped_attempts_retry_with_backoff_until_delivery() {
+        // drop = 0.5 over many packets: some deliver first try, some retry. The
+        // retried ones arrive exactly `attempts * backoff` later than the base
+        // transfer time, and none is lost (max_retries high enough at p=0.5 for
+        // this sample size to make an all-drops run astronomically unlikely... but
+        // the seed is fixed, so the outcome is simply deterministic).
+        let plan = FaultPlan {
+            max_retries: 60,
+            ..FaultPlan::quiet(11).with_drop(0.5)
+        };
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(plan);
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        let base = a.config.transfer_time_us(1);
+        for _ in 0..32 {
+            a.send_request(1, Bytes::from_static(b"x"), 0.0);
+        }
+        let mut delivered = 0;
+        let mut late = 0;
+        while let Some(p) = b.try_recv() {
+            delivered += 1;
+            let extra = p.arrival_time_us - base;
+            let steps = extra / 450.0;
+            assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "lateness is a whole number of backoff steps, got {extra}"
+            );
+            if extra > 0.0 {
+                late += 1;
+            }
+        }
+        assert_eq!(delivered, 32, "every packet eventually delivers");
+        assert!(late > 0, "seed 11 at p=0.5 retries at least one packet");
+        let summary = state.summary();
+        assert!(summary.retries > 0);
+        assert!(summary.dropped_attempts >= summary.retries);
+        assert_eq!(summary.lost, 0);
+    }
+
+    #[test]
+    fn killed_rank_loses_traffic_past_its_death() {
+        let mut world =
+            MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(FaultPlan::kill(1, 500.0));
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        // Arrival 0.0 + transfer (~150µs) < 500: delivered.
+        a.send_request(1, Bytes::from_static(b"early"), 0.0);
+        assert!(b.try_recv().is_some());
+        // Arrival 450 + transfer > 500: the packet dies with the node.
+        a.send_request(1, Bytes::from_static(b"late"), 450.0);
+        assert!(b.try_recv().is_none());
+        let loss = state.first_loss().expect("recorded");
+        assert_eq!(loss.reason, LossReason::NodeDown(1));
+        // The dead rank can no longer send either.
+        b.send_request(0, Bytes::from_static(b"ghost"), 600.0);
+        assert!(a.try_recv().is_none());
+        assert_eq!(state.summary().lost, 2);
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::quiet(seed).with_drop(0.3).with_delay(0.3, 900.0);
+            let mut world = MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(plan);
+            let mut a = world.take_endpoint(0);
+            let mut b = world.take_endpoint(1);
+            for _ in 0..16 {
+                a.send_request(1, Bytes::from_static(b"d"), 0.0);
+            }
+            let mut arrivals = Vec::new();
+            while let Some(p) = b.try_recv() {
+                arrivals.push((p.seq, p.arrival_time_us.to_bits()));
+            }
+            (arrivals, world.fault_state().unwrap().summary())
+        };
+        let (a1, s1) = run(99);
+        let (a2, s2) = run(99);
+        assert_eq!(a1, a2, "same seed, same fate, bit for bit");
+        assert_eq!(s1, s2);
+        let (a3, _) = run(100);
+        assert_ne!(a1, a3, "different seed takes a different schedule");
+    }
+
+    #[test]
+    fn recv_screened_surfaces_losses_instead_of_hanging() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(FaultPlan {
+            poll_interval_ms: 1,
+            poll_strikes: 3,
+            ..FaultPlan::drop_packet(0)
+        });
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        let (_, id) = a.send_request(1, Bytes::from_static(b"gone"), 0.0);
+        match b.recv_screened() {
+            Err(RecvStall::Lost(loss)) => assert_eq!(loss.req_id, id),
+            other => panic!("expected a typed loss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_gaps_releases_buffers_and_still_accepts_late_packets() {
+        let mut world = MpiWorld::new(2, NetworkConfig::uniform(2)).with_fault_plan(
+            FaultPlan::quiet(0).with_link(
+                0,
+                1,
+                LinkProbs {
+                    reorder: 1.0,
+                    ..LinkProbs::default()
+                },
+            ),
+        );
+        let state = world.fault_state().unwrap();
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        a.send_request(1, Bytes::from_static(b"swapped"), 0.0);
+        // Only the reordered packet (seq 2) is on the wire; seq 1 is owed to a
+        // send that never happens — the receiver sees a permanent gap.
+        assert!(b.try_recv().is_none());
+        assert!(b.has_sequence_gap());
+        assert_eq!(b.repair_gaps(), 1, "deadline repair releases the buffer");
+        let p = b.try_recv().expect("released packet delivers");
+        assert_eq!(&p.data[..], b"swapped");
+        assert_eq!(state.summary().repaired, 1);
+        // A late packet for the skipped number is delivered, not suppressed.
+        a.send_request(1, Bytes::from_static(b"latecomer"), 0.0);
+        let late = b.try_recv().expect("skipped seq still delivered late");
+        assert_eq!(&late.data[..], b"latecomer");
     }
 }

@@ -35,7 +35,10 @@ use std::time::{Duration, Instant};
 use autodist_ir::program::Program;
 
 use crate::cluster::{stats_of, ClusterConfig, ExecutionReport, NodeProfiler, NodeStats};
-use crate::interp::{Continuation, DistState, ExecError, Interp, ServeOutcome, TaskOutcome};
+use crate::interp::{
+    loss_to_error, Continuation, DistState, ExecError, Interp, ServeOutcome, TaskOutcome,
+    TransportStall,
+};
 use crate::net::{PacketKind, ReadyKey, ReadyQueue};
 use crate::services::{ExecutionStarter, MessageExchange, MpiService};
 use crate::value::Value;
@@ -161,6 +164,66 @@ impl CoopNode<'_> {
     }
 }
 
+/// What the delivery-deadline recovery decided about a quiesced run.
+pub(crate) enum Recovery {
+    /// The run is doomed: finish with this typed error.
+    Fail(ExecError),
+    /// Sequence gaps were repaired and buffered packets released (with fresh ready
+    /// keys): resume delivering.
+    Repaired,
+}
+
+/// The **virtual-time delivery deadline**, shared by the event-driven schedulers.
+///
+/// An empty ready queue before the root completes is the cooperative protocol's
+/// quiescence point: under fault-free execution exactly one logical control flow is
+/// live at any moment, so quiescence used to be an unconditional scheduler bug.
+/// With a fault plan it is the moment every virtual clock has advanced past any
+/// packet still owed — the deadline. In order:
+///
+/// 1. a recorded packet loss → the typed error ([`ExecError::MessageTimeout`] /
+///    [`ExecError::NodeDown`]); under the synchronous request/response protocol a
+///    single lost packet dooms the computation;
+/// 2. a sequence gap on some rank (a reorder whose partner is still owed) → repair
+///    it and resume;
+/// 3. neither → a typed [`ExecError::Transport`] diagnosis naming which ranks hold
+///    undeliverable traffic and which continuations are parked on which requests —
+///    a genuine deadlock reports its shape instead of tripping the CI watchdog.
+pub(crate) fn recover_or_diagnose(mut nodes: Vec<&mut CoopNode<'_>>) -> Recovery {
+    let fault_state = nodes
+        .first()
+        .and_then(|n| n.interp.dist.as_ref())
+        .and_then(|d| d.endpoint.fault_state());
+    if let Some(state) = &fault_state {
+        if let Some(loss) = state.first_loss() {
+            return Recovery::Fail(loss_to_error(loss));
+        }
+    }
+    let mut released = 0;
+    for node in nodes.iter_mut() {
+        if let Some(d) = node.interp.dist.as_mut() {
+            released += d.endpoint.repair_gaps();
+        }
+    }
+    if released > 0 {
+        return Recovery::Repaired;
+    }
+    let mut stall = TransportStall::default();
+    for node in nodes.iter() {
+        let Some(d) = node.interp.dist.as_ref() else {
+            continue;
+        };
+        let rank = d.endpoint.rank;
+        if d.endpoint.has_sequence_gap() {
+            stall.gapped.push(rank);
+        }
+        for (req_id, _) in &node.parked {
+            stall.parked.push((rank, *req_id));
+        }
+    }
+    Recovery::Fail(ExecError::Transport(stall))
+}
+
 /// Builds the per-rank cooperative nodes, attaching any per-node profiler sinks.
 fn build_nodes<'p>(
     programs: &'p [Program],
@@ -217,6 +280,7 @@ pub(crate) fn assemble_report(
         per_node,
         final_statics,
         error,
+        faults: None,
     }
 }
 
@@ -245,7 +309,15 @@ fn finish_coop(
     for (rank, node) in nodes.iter().enumerate().skip(1) {
         per_node.push(stats_of(&node.interp, rank));
     }
-    assemble_report(per_node, final_statics, error, wall)
+    let faults = nodes[0]
+        .interp
+        .dist
+        .as_ref()
+        .and_then(|d| d.endpoint.fault_state())
+        .map(|s| s.summary());
+    let mut report = assemble_report(per_node, final_statics, error, wall);
+    report.faults = faults;
+    report
 }
 
 /// Cooperative single-threaded distributed execution (see
@@ -259,7 +331,11 @@ pub(crate) fn run_inline(
     profilers: Vec<Option<NodeProfiler>>,
 ) -> ExecutionReport {
     let start = Instant::now();
-    let mut mpi = MpiService::init(programs.len(), config.network.clone());
+    let mut mpi = MpiService::init_with_faults(
+        programs.len(),
+        config.network.clone(),
+        config.faults.clone(),
+    );
     let ready = mpi.ready_queue();
     let mut nodes = build_nodes(programs, &mut mpi, profilers);
 
@@ -269,19 +345,16 @@ pub(crate) fn run_inline(
     // deliver that node's oldest packet — resuming a parked continuation (response)
     // or spawning a serving task (request) — until the root computation completes.
     // Single-root runs have exactly one root (0), so the key's root half is ignored.
-    // Exactly one logical control flow exists at any moment (the communication style
-    // is synchronous request/response), so an empty queue before the root completes
-    // can only mean a scheduler bug: surface it instead of hanging.
+    // An empty queue before the root completes is the virtual-time delivery
+    // deadline: the recovery either repairs a sequence gap and resumes, or ends the
+    // run with a typed error (lost packet, dead node, or a stall diagnosis).
     while root_result.is_none() {
         match ready.pop() {
             Some((_root, rank)) => root_result = nodes[rank as usize].deliver_one(),
-            None => {
-                root_result = Some(Err(ExecError::RemoteFailure(
-                    "cooperative scheduler stalled: no deliverable message and the root \
-                     computation has not completed"
-                        .into(),
-                )))
-            }
+            None => match recover_or_diagnose(nodes.iter_mut().collect()) {
+                Recovery::Repaired => {}
+                Recovery::Fail(e) => root_result = Some(Err(e)),
+            },
         }
     }
 
@@ -413,11 +486,19 @@ fn pool_worker(shared: &PoolShared<'_, '_>, id: usize) {
                 last_epoch = Some(epoch);
                 strikes = if quiet { strikes + 1 } else { 0 };
                 if strikes >= STALL_STRIKES {
-                    shared.finish(Err(ExecError::RemoteFailure(
-                        "cooperative pool stalled: no deliverable message and the root \
-                         computation has not completed"
-                            .into(),
-                    )));
+                    // The pool's delivery deadline: every worker idle and every
+                    // queue empty across STALL_STRIKES checks. `active == 0` held,
+                    // so locking the full node set here cannot deadlock a working
+                    // sibling — at worst a freshly woken one briefly waits.
+                    let mut guards: Vec<_> = shared
+                        .nodes
+                        .iter()
+                        .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+                        .collect();
+                    match recover_or_diagnose(guards.iter_mut().map(|g| &mut **g).collect()) {
+                        Recovery::Repaired => strikes = 0,
+                        Recovery::Fail(e) => shared.finish(Err(e)),
+                    }
                 }
             }
         }
@@ -435,7 +516,11 @@ pub(crate) fn run_pool(
 ) -> ExecutionReport {
     let threads = threads.max(1);
     let start = Instant::now();
-    let mut mpi = MpiService::init(programs.len(), config.network.clone());
+    let mut mpi = MpiService::init_with_faults(
+        programs.len(),
+        config.network.clone(),
+        config.faults.clone(),
+    );
     let ready = mpi.ready_queue();
     let mut plain_nodes = build_nodes(programs, &mut mpi, profilers);
 
@@ -484,7 +569,9 @@ pub(crate) fn run_threaded(
 ) -> ExecutionReport {
     let nodes = programs.len();
     let start = Instant::now();
-    let mut mpi = MpiService::init(nodes, config.network.clone());
+    let mut mpi =
+        MpiService::init_with_faults(nodes, config.network.clone(), config.faults.clone());
+    let fault_state = mpi.fault_state();
 
     let mut endpoints: Vec<_> = (0..nodes).map(|r| Some(mpi.endpoint(r))).collect();
 
@@ -538,10 +625,12 @@ pub(crate) fn run_threaded(
         .first()
         .map(|(_, s, _)| s.clone())
         .unwrap_or_default();
-    assemble_report(
+    let mut report = assemble_report(
         results.into_iter().map(|(s, _, _)| s).collect(),
         final_statics,
         error,
         wall,
-    )
+    );
+    report.faults = fault_state.map(|s| s.summary());
+    report
 }

@@ -32,9 +32,9 @@ use autodist_ir::layout::ProgramLayout;
 use autodist_ir::program::Program;
 
 use crate::cluster::{stats_of, ExecutionReport, Schedule};
-use crate::interp::{DistState, ExecError, Interp};
-use crate::net::{MpiWorld, NetworkConfig, PacketKind, ReadyQueue};
-use crate::sched::{assemble_report, seed_root, CoopNode};
+use crate::interp::{DistState, ExecError, Interp, TransportStall};
+use crate::net::{FaultPlan, MpiWorld, NetworkConfig, PacketKind, ReadyQueue};
+use crate::sched::{assemble_report, recover_or_diagnose, seed_root, CoopNode, Recovery};
 use crate::services::MessageExchange;
 use crate::value::Value;
 
@@ -93,6 +93,12 @@ pub struct ServeOptions {
     /// concurrency, not core-count-dependent parallelism. Virtual clocks are
     /// unaffected either way (ingress happens before the request's world exists).
     pub ingress_wait: Duration,
+    /// Per-request fault plans, keyed by submission index. A listed request's
+    /// world is built with [`MpiWorld::with_fault_plan`], so injected faults are
+    /// scoped to that request alone: its report carries the typed error and fault
+    /// counters while every other request stays byte-identical to a solo run
+    /// (pinned by `tests/serving_parity.rs`). Unlisted requests pay nothing.
+    pub faults: Vec<(usize, FaultPlan)>,
 }
 
 impl Default for ServeOptions {
@@ -101,6 +107,7 @@ impl Default for ServeOptions {
             concurrency: 16,
             schedule: Schedule::Auto,
             ingress_wait: Duration::ZERO,
+            faults: Vec::new(),
         }
     }
 }
@@ -194,6 +201,8 @@ struct ServeShared<'s> {
     concurrency: usize,
     /// Modelled wire-read cost paid by the admitting worker per request.
     ingress_wait: Duration,
+    /// Fault plans by submission index (see [`ServeOptions::faults`]).
+    faults: &'s [(usize, FaultPlan)],
 }
 
 impl<'s> ServeShared<'s> {
@@ -229,6 +238,9 @@ impl<'s> ServeShared<'s> {
         let n = app.programs.len();
         let mut world =
             MpiWorld::new_serving(n, app.network.clone(), Arc::clone(&self.ready), root);
+        if let Some((_, plan)) = self.faults.iter().find(|(i, _)| *i == index) {
+            world = world.with_fault_plan(plan.clone());
+        }
         let mut nodes = Vec::with_capacity(n);
         for (rank, program) in app.programs.iter().enumerate() {
             let endpoint = world.take_endpoint(rank);
@@ -284,16 +296,45 @@ impl<'s> ServeShared<'s> {
         self.ready.notify_all();
     }
 
+    /// Recovery pass when the stall detector fires: every request still live at
+    /// global quiescence is stuck (an un-faulted request always has a deliverable
+    /// packet under the synchronous protocol), so diagnose each one against *its
+    /// own* request-scoped fault state. Fault-implicated requests complete through
+    /// the normal path with their typed error — freeing their window slot so the
+    /// remaining sequence keeps flowing — and sequence gaps left by late packets
+    /// are repaired in place. Returns `true` if anything progressed (the caller
+    /// resets its strike counter); `false` means a genuinely quiet stall and the
+    /// caller falls back to [`ServeShared::fail_remaining`].
+    fn handle_stall(&self) -> bool {
+        let stalled: Vec<(u32, Arc<LiveReq<'s>>)> = {
+            let live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+            live.iter().map(|(r, l)| (*r, Arc::clone(l))).collect()
+        };
+        let mut progressed = false;
+        for (root, live) in stalled {
+            let action = {
+                let mut guards: Vec<_> = live
+                    .nodes
+                    .iter()
+                    .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+                    .collect();
+                recover_or_diagnose(guards.iter_mut().map(|g| &mut **g).collect())
+            };
+            match action {
+                Recovery::Repaired => progressed = true,
+                Recovery::Fail(e) => {
+                    self.complete(root, &live, Err(e));
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
     /// Fails every request still live or unadmitted after a stall (idempotent —
     /// several workers may trip the detector at once).
     fn fail_remaining(&self) {
-        let stall = || {
-            ExecError::RemoteFailure(
-                "serving scheduler stalled: no deliverable message, an open admission \
-                 window and incomplete requests"
-                    .into(),
-            )
-        };
+        let stall = || ExecError::Transport(TransportStall::default());
         let stalled: Vec<(u32, Arc<LiveReq<'s>>)> = {
             let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
             live.drain().collect()
@@ -350,6 +391,12 @@ fn finalize_request(
     let mut node0 = live.nodes[0].lock().unwrap_or_else(|e| e.into_inner());
     let stats0 = stats_of(&node0.interp, 0);
     let final_statics = node0.interp.statics_snapshot();
+    let faults = node0
+        .interp
+        .dist
+        .as_ref()
+        .and_then(|d| d.endpoint.fault_state())
+        .map(|s| s.summary());
     if let Some(dist) = node0.interp.dist.as_mut() {
         dist.endpoint.untrack_ready();
     }
@@ -365,7 +412,9 @@ fn finalize_request(
         }
         per_node.push(stats_of(&node.interp, rank));
     }
-    assemble_report(per_node, final_statics, error, latency)
+    let mut report = assemble_report(per_node, final_statics, error, latency);
+    report.faults = faults;
+    report
 }
 
 /// One serve worker: admit while the window has room, then pop a `(root, rank)` key
@@ -426,6 +475,11 @@ fn serve_worker(shared: &ServeShared<'_>) {
                 last_epoch = Some(epoch);
                 strikes = if quiet { strikes + 1 } else { 0 };
                 if strikes >= STALL_STRIKES {
+                    if shared.handle_stall() {
+                        strikes = 0;
+                        last_epoch = None;
+                        continue;
+                    }
                     shared.fail_remaining();
                     break;
                 }
@@ -465,6 +519,7 @@ pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) 
         deliveries: AtomicUsize::new(0),
         concurrency,
         ingress_wait: opts.ingress_wait,
+        faults: &opts.faults,
     };
     if threads > 1 {
         std::thread::scope(|scope| {

@@ -15,9 +15,10 @@
 //! [`crate::interp`] and [`crate::net`].
 
 use crate::interp::{ExecError, Interp};
-use crate::net::{MpiWorld, NetworkConfig, PacketKind};
+use crate::net::{FaultPlan, FaultState, MpiWorld, NetworkConfig, PacketKind};
 use crate::value::Value;
 use crate::wire::Request;
+use std::sync::Arc;
 
 /// The MPI service: owns the simulated communication world.
 pub struct MpiService {
@@ -30,6 +31,21 @@ impl MpiService {
         MpiService {
             world: MpiWorld::new(nodes, config),
         }
+    }
+
+    /// Initialises the MPI working environment with an optional fault plan wrapping
+    /// every endpoint's correlated sends.
+    pub fn init_with_faults(nodes: usize, config: NetworkConfig, plan: Option<FaultPlan>) -> Self {
+        let mut world = MpiWorld::new(nodes, config);
+        if let Some(plan) = plan {
+            world = world.with_fault_plan(plan);
+        }
+        MpiService { world }
+    }
+
+    /// The world's shared fault state, when a plan is attached.
+    pub fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.world.fault_state()
     }
 
     /// World size.

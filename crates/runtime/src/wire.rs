@@ -280,6 +280,119 @@ impl Response {
     }
 }
 
+/// What a [`SeqWindow`] decided about an offered packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SeqVerdict<T> {
+    /// The packet is the next expected one (or a late packet the window already
+    /// repaired over): hand it to the application now.
+    Deliver(T),
+    /// A copy of a sequence number already delivered (or already buffered):
+    /// suppressed — idempotent delivery absorbs duplicates.
+    Duplicate,
+    /// Ahead of the expected sequence number: buffered until the gap fills (or the
+    /// delivery deadline repairs over it).
+    Buffered,
+}
+
+/// The receiver half of the transport's recovery protocol: a per-link in-order
+/// delivery window over sequence-numbered packets.
+///
+/// Packets carry a per-link sequence number (transport metadata, like the
+/// correlation id — it does not count against the byte cost model). The window
+/// delivers exactly once and in sequence order: duplicates are suppressed,
+/// reordered packets are buffered until their predecessors arrive. When a
+/// predecessor will never arrive (the scheduler's virtual-time delivery deadline
+/// has passed with the link quiet), [`SeqWindow::repair`] skips the gap and
+/// releases the buffer — a late packet that shows up for a skipped number is still
+/// delivered (at-least-once below, exactly-once above).
+#[derive(Debug)]
+pub struct SeqWindow<T> {
+    /// Next sequence number owed to the application (numbering starts at 1;
+    /// sequence 0 marks unsequenced control traffic and never reaches a window).
+    next: u64,
+    /// Out-of-order packets, keyed by sequence number.
+    pending: std::collections::BTreeMap<u64, T>,
+    /// Sequence numbers skipped by [`SeqWindow::repair`]: packets below `next` that
+    /// are owed delivery if they ever arrive (everything else below `next` is a
+    /// duplicate).
+    skipped: Vec<u64>,
+}
+
+impl<T> Default for SeqWindow<T> {
+    fn default() -> Self {
+        SeqWindow {
+            next: 1,
+            pending: std::collections::BTreeMap::new(),
+            skipped: Vec::new(),
+        }
+    }
+}
+
+impl<T> SeqWindow<T> {
+    /// Screens one arriving packet.
+    pub fn offer(&mut self, seq: u64, value: T) -> SeqVerdict<T> {
+        if seq == self.next {
+            self.next += 1;
+            SeqVerdict::Deliver(value)
+        } else if seq > self.next {
+            match self.pending.entry(seq) {
+                std::collections::btree_map::Entry::Occupied(_) => SeqVerdict::Duplicate,
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(value);
+                    SeqVerdict::Buffered
+                }
+            }
+        } else if let Some(i) = self.skipped.iter().position(|&s| s == seq) {
+            self.skipped.swap_remove(i);
+            SeqVerdict::Deliver(value)
+        } else {
+            SeqVerdict::Duplicate
+        }
+    }
+
+    /// Releases the next in-order buffered packet, if the gap before it has closed.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let value = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(value)
+    }
+
+    /// Number of buffered packets deliverable right now without further arrivals
+    /// (the consecutive run starting at the expected sequence number).
+    pub fn ready_run(&self) -> usize {
+        let mut n = self.next;
+        let mut run = 0;
+        while self.pending.contains_key(&n) {
+            run += 1;
+            n += 1;
+        }
+        run
+    }
+
+    /// `true` when packets are buffered behind a sequence gap.
+    pub fn has_gap(&self) -> bool {
+        !self.pending.is_empty() && !self.pending.contains_key(&self.next)
+    }
+
+    /// The delivery deadline passed with this link quiet: skip the gap in front of
+    /// the buffer so the buffered packets become deliverable. Skipped numbers are
+    /// remembered — a late packet for one is still delivered, not suppressed.
+    /// Returns how many buffered packets the repair released.
+    pub fn repair(&mut self) -> usize {
+        let Some((&first, _)) = self.pending.iter().next() else {
+            return 0;
+        };
+        if first <= self.next {
+            return self.ready_run();
+        }
+        for s in self.next..first {
+            self.skipped.push(s);
+        }
+        self.next = first;
+        self.ready_run()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +472,44 @@ mod tests {
             args: vec![WireValue::Str("Mérchants € 銀行".to_string())],
         };
         assert_eq!(Request::decode(r.encode()), r);
+    }
+
+    #[test]
+    fn seq_window_delivers_in_order_and_suppresses_duplicates() {
+        let mut w = SeqWindow::default();
+        assert_eq!(w.offer(1, "a"), SeqVerdict::Deliver("a"));
+        assert_eq!(w.offer(1, "a"), SeqVerdict::Duplicate, "retransmitted copy");
+        assert_eq!(w.offer(2, "b"), SeqVerdict::Deliver("b"));
+        assert!(w.pop_ready().is_none());
+    }
+
+    #[test]
+    fn seq_window_buffers_reordered_packets_until_the_gap_fills() {
+        let mut w = SeqWindow::default();
+        assert_eq!(w.offer(2, "b"), SeqVerdict::Buffered);
+        assert_eq!(w.offer(2, "b"), SeqVerdict::Duplicate, "buffered copy");
+        assert!(w.has_gap());
+        assert_eq!(w.ready_run(), 0);
+        assert_eq!(w.offer(1, "a"), SeqVerdict::Deliver("a"));
+        assert_eq!(w.ready_run(), 1);
+        assert_eq!(w.pop_ready(), Some("b"));
+        assert!(!w.has_gap());
+    }
+
+    #[test]
+    fn seq_window_repair_skips_gaps_but_still_accepts_late_packets() {
+        let mut w = SeqWindow::default();
+        assert_eq!(w.offer(3, "c"), SeqVerdict::Buffered);
+        assert_eq!(w.offer(4, "d"), SeqVerdict::Buffered);
+        // Delivery deadline passed: seqs 1 and 2 are skipped, the buffer releases.
+        assert_eq!(w.repair(), 2);
+        assert_eq!(w.pop_ready(), Some("c"));
+        assert_eq!(w.pop_ready(), Some("d"));
+        // A late packet for a skipped number is delivered, not suppressed...
+        assert_eq!(w.offer(2, "b"), SeqVerdict::Deliver("b"));
+        // ...exactly once: a second copy is a duplicate again.
+        assert_eq!(w.offer(2, "b"), SeqVerdict::Duplicate);
+        // Repair with no buffered packets is a no-op.
+        assert_eq!(w.repair(), 0);
     }
 }

@@ -17,6 +17,9 @@
 use autodist_ir::frontend::compile_source;
 use autodist_ir::Program;
 
+mod gen;
+pub use gen::{generated, GenConfig, GeneratedWorkload};
+
 /// The array-element flavour of the Create benchmark (the paper's Table 3 rows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CreateKind {

@@ -58,6 +58,7 @@ fn main() -> Result<(), PipelineError> {
                 concurrency: CONCURRENCY,
                 schedule,
                 ingress_wait: Duration::from_micros(cluster.network.latency_us as u64),
+                ..ServeOptions::default()
             },
         );
         assert!(report.is_ok(), "every request completes");

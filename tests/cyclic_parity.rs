@@ -47,7 +47,14 @@ fn run_pinned(
     } else {
         NetworkConfig::uniform(nodes)
     };
-    run_distributed(&copies, &ClusterConfig { network, schedule })
+    run_distributed(
+        &copies,
+        &ClusterConfig {
+            network,
+            schedule,
+            faults: None,
+        },
+    )
 }
 
 /// Asserts that two reports from the same placement are indistinguishable: results,

@@ -14,8 +14,10 @@
 
 use autodist::{DistributionPlan, Distributor, DistributorConfig, ServeOptions};
 use autodist_runtime::cluster::{ClusterConfig, Schedule};
+use autodist_runtime::net::FaultPlan;
 use autodist_runtime::serve::run_serving;
 use autodist_runtime::value::Value;
+use autodist_runtime::ExecError;
 use autodist_workloads::Workload;
 
 /// The workload mix every test serves: three Table 1 programs with distinct
@@ -128,4 +130,70 @@ fn pool_serving_is_byte_identical_to_sequential() {
 fn pool_serving_at_window_one_degenerates_to_sequential() {
     let refs = references();
     assert_serving_parity(&refs, Schedule::Pool { threads: 4 }, 1);
+}
+
+/// Per-request fault isolation: one request of a mixed serving run has its link
+/// killed mid-flight. That request must complete with a typed [`ExecError`] in
+/// its report (freeing its window slot — the run still drains), while the other
+/// 23 requests stay **byte-identical** to their solo references, under both the
+/// inline worker and a pool.
+#[test]
+fn killed_request_fails_typed_while_the_rest_stay_byte_identical() {
+    let refs = references();
+    let cluster = ClusterConfig::paper_testbed();
+    let apps: Vec<_> = refs
+        .iter()
+        .map(|r| r.plan.prepare_server(&cluster))
+        .collect();
+    let requests = 24usize;
+    let victim = 5usize;
+    let sequence: Vec<usize> = (0..requests).map(|i| i % apps.len()).collect();
+    for schedule in [Schedule::Inline, Schedule::Pool { threads: 4 }] {
+        let report = run_serving(
+            &apps,
+            &sequence,
+            &ServeOptions {
+                concurrency: 8,
+                schedule,
+                faults: vec![(victim, FaultPlan::kill(1, 300.0))],
+                ..ServeOptions::default()
+            },
+        );
+        assert_eq!(report.requests.len(), requests);
+        for (i, req) in report.requests.iter().enumerate() {
+            assert_eq!(req.index, i);
+            let reference = &refs[req.app];
+            let ctx = format!("{schedule:?} request {i} app {}", req.app);
+            if i == victim {
+                match req.report.error {
+                    Some(ExecError::NodeDown { rank }) => assert_eq!(rank, 1, "{ctx}"),
+                    ref other => {
+                        panic!("{ctx}: expected a typed NodeDown for the killed request, got {other:?}")
+                    }
+                }
+                let faults = req
+                    .report
+                    .faults
+                    .expect("faulted request carries a summary");
+                assert!(faults.lost > 0, "{ctx}: the kill lost traffic");
+                continue;
+            }
+            // Everyone else: byte-identical to the solo reference, as if the
+            // faulted request never shared the server with them.
+            assert!(req.report.is_ok(), "{ctx}: {:?}", req.report.error);
+            assert!(
+                (req.report.virtual_time_us - reference.virtual_time_us).abs() < 1e-9,
+                "{ctx}: virtual clock drifted: {} vs solo {}",
+                req.report.virtual_time_us,
+                reference.virtual_time_us
+            );
+            assert_eq!(req.report.total_messages(), reference.messages, "{ctx}");
+            assert_eq!(req.report.total_bytes(), reference.bytes, "{ctx}");
+            assert_eq!(
+                req.report.final_statics.get("Main::checksum").cloned(),
+                reference.checksum,
+                "{ctx}: checksum"
+            );
+        }
+    }
 }
