@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use autodist_ir::program::{ClassId, Program};
 
-use crate::odg::OdgNode;
+use crate::odg::{ObjectDependenceGraph, OdgEdgeKind, OdgNode};
 
 /// A (memory, CPU, battery) weight vector, the multi-constraint node weight used by the
 /// partitioner.
@@ -155,6 +155,48 @@ impl WeightModel {
     }
 }
 
+/// Re-weights an existing ODG in place from live profile measurements, without
+/// re-running any pointer or type analysis: the graph's *shape* (nodes, edges,
+/// labels) is the static analysis result and stays; only the weights — what the
+/// partitioner balances and cuts — are replaced.
+///
+/// * **Node weights**: CPU becomes `1 + invocations(class)` (the live hot-method
+///   load attributed to the class the node instantiates), memory becomes the
+///   live allocated bytes when observed (falling back to the static estimate),
+///   battery stays proportional to CPU as elsewhere in the model.
+/// * **Use-edge weights**: each edge is scaled by `1 + invocations(callee
+///   class)` on top of its static byte estimate, so edges *into* hot classes
+///   become expensive to cut and the partitioner co-locates hot call chains.
+///
+/// This is the serving-mode adaptation path: the epoch controller drains an
+/// aggregate profile, calls this, and re-runs the partitioner on the result.
+pub fn reweigh_odg(odg: &mut ObjectDependenceGraph, profile: &ProfileData) {
+    let invocations = |class: ClassId| profile.invocation_counts.get(&class).copied().unwrap_or(0);
+    for (node, weight) in odg.nodes.iter().zip(odg.node_weights.iter_mut()) {
+        let class = node.class();
+        let cpu = 1 + invocations(class);
+        let memory = profile
+            .alloc_bytes
+            .get(&class)
+            .copied()
+            .unwrap_or(weight.memory)
+            .max(1);
+        *weight = ResourceVector {
+            memory,
+            cpu,
+            battery: cpu.div_ceil(2),
+        };
+    }
+    let callee_class: Vec<ClassId> = odg.nodes.iter().map(|n| n.class()).collect();
+    for edge in &mut odg.edges {
+        if edge.kind != OdgEdgeKind::Use {
+            continue;
+        }
+        let heat = 1 + invocations(callee_class[edge.to.0 as usize]);
+        edge.weight = edge.weight.max(1).saturating_mul(heat);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +300,49 @@ mod tests {
             }
         );
         assert_eq!(a.as_array(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn reweigh_replaces_node_weights_and_scales_hot_use_edges() {
+        use crate::odg::{ObjectDependenceGraph, OdgEdge, OdgNodeId};
+        let (_p, small, big) = tiny_program();
+        let mut odg = ObjectDependenceGraph::default();
+        for (i, class) in [small, big].into_iter().enumerate() {
+            odg.nodes.push(OdgNode::Object {
+                site: AllocSiteId(i as u32),
+                class,
+                multiplicity: Multiplicity::Single,
+            });
+            odg.node_weights.push(ResourceVector::unit());
+            odg.labels.push(format!("n{i}"));
+        }
+        odg.edges.push(OdgEdge {
+            from: OdgNodeId(0),
+            to: OdgNodeId(1),
+            kind: OdgEdgeKind::Use,
+            weight: 3,
+        });
+        odg.edges.push(OdgEdge {
+            from: OdgNodeId(0),
+            to: OdgNodeId(1),
+            kind: OdgEdgeKind::Create,
+            weight: 3,
+        });
+        let mut profile = ProfileData::default();
+        profile.invocation_counts.insert(big, 100);
+        profile.alloc_bytes.insert(big, 4096);
+        reweigh_odg(&mut odg, &profile);
+        // The cold node keeps its static memory, gets baseline CPU 1.
+        assert_eq!(odg.node_weights[0].cpu, 1);
+        assert_eq!(odg.node_weights[0].memory, 1);
+        // The hot node carries the live load.
+        assert_eq!(odg.node_weights[1].cpu, 101);
+        assert_eq!(odg.node_weights[1].memory, 4096);
+        assert_eq!(odg.node_weights[1].battery, 51);
+        // The use edge into the hot class is now expensive to cut...
+        assert_eq!(odg.edges[0].weight, 3 * 101);
+        // ...while non-use edges (not partition input) are untouched.
+        assert_eq!(odg.edges[1].weight, 3);
     }
 
     #[test]

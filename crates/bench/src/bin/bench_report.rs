@@ -9,7 +9,10 @@
 //! fields, which must be byte-identical across purely mechanical interpreter changes,
 //! and the `serving` section's `requests_per_sec` per schedule (see the README's
 //! "Performance" section for the schema and the committed `BENCH_pr3.json` …
-//! `BENCH_pr8.json` baselines).
+//! `BENCH_pr9.json` baselines). The `adaptive_serving` section A/Bs static vs
+//! adaptive placement on the skewed generated workload; its deterministic
+//! `adaptive_messages < static_messages` comparison is the CI guard on the
+//! online repartition loop.
 //!
 //! Usage: `cargo run --release -p autodist-bench --bin bench_report -- \
 //!            [--repeats N] [--scale N] [--out FILE] [--quick]`
@@ -20,7 +23,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr8.json".to_string();
+    let mut out = "BENCH_pr9.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,6 +85,12 @@ fn main() -> Result<(), PipelineError> {
             s.name, s.threads, s.concurrency, s.requests, s.ingress_us, s.requests_per_sec, s.p50_us, s.p99_us, s.all_ok
         );
     }
+    println!();
+    let a = &report.adaptive_serving;
+    println!(
+        "adaptive_serving reqs {:>3} epoch {:>3}  static {:>5} msgs {:>9.1} req/s  adaptive {:>5} msgs {:>9.1} req/s  swaps {}  ok {}  checksums {}",
+        a.requests, a.epoch_requests, a.static_messages, a.static_rps, a.adaptive_messages, a.adaptive_rps, a.placement_swaps, a.all_ok, a.checksums_match
+    );
     println!();
     for a in &report.fault_overhead {
         println!(

@@ -13,10 +13,14 @@
 //! counts the fusion pass emits and the dynamic dispatch reduction it buys. A
 //! **serving** section drives the closed-loop load generator ([`crate::serving`])
 //! over a Table 1 mix under `Inline` and `Pool { 1 | 4 | 16 }`, reporting
-//! requests/sec and p50/p99 latency. The result serialises to a small hand-rolled
-//! JSON document (the build environment has no serde_json) whose schema is
-//! documented in the README's "Performance" section; committed snapshots
-//! (`BENCH_pr3.json` … `BENCH_pr8.json`) are the baselines future perf PRs diff
+//! requests/sec, p50/p99 latency, and (deterministic) cross-node message/byte
+//! totals. An **adaptive_serving** section A/Bs the affinity-skewed generated
+//! workload with adaptation off vs. on (the epoch controller's profile-driven
+//! repartition), reporting both arms' message volume and throughput — the CI guard
+//! asserts `adaptive_messages < static_messages`. The result serialises to a small
+//! hand-rolled JSON document (the build environment has no serde_json) whose
+//! schema is documented in the README's "Performance" section; committed snapshots
+//! (`BENCH_pr3.json` … `BENCH_pr9.json`) are the baselines future perf PRs diff
 //! against. A **fault_overhead** section compares faults-off against quiet-plan
 //! runs ([`crate::fault`]), pinning the fault wrapper's deterministic identity
 //! and measuring its wall-clock price.
@@ -36,7 +40,7 @@ use bytes::Bytes;
 
 use crate::fault::{self, FaultOverheadArea};
 use crate::microbench::{self, OpCensus, ARITH_CHAIN_DEEP, COND_CHAIN_DEEP};
-use crate::serving::{self, ServingArea};
+use crate::serving::{self, AdaptiveServingArea, ServingArea};
 
 /// Measurements for one workload.
 #[derive(Clone, Debug)]
@@ -85,6 +89,9 @@ pub struct BenchReport {
     /// Serving-mode throughput/latency areas (closed-loop load generator over a
     /// Table 1 mix under `Inline` and `Pool { 1 | 4 | 16 }`).
     pub serving: Vec<ServingArea>,
+    /// Static-vs-adaptive placement A/B on the affinity-skewed generated workload
+    /// (`Inline`, concurrency 1, so the message totals are exact and CI-guardable).
+    pub adaptive_serving: AdaptiveServingArea,
     /// Fault-layer cost areas: faults-off vs quiet-plan wall time per workload,
     /// with the deterministic identity checks (virtual clocks, traffic counts).
     pub fault_overhead: Vec<FaultOverheadArea>,
@@ -295,6 +302,10 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
     // on multi-core machines, the interpretation itself across requests).
     let serving = serving::measure_serving(scale, repeats)?;
 
+    // Adaptive placement: the same closed loop on the skewed generated workload,
+    // with and without the online profile → repartition controller.
+    let adaptive_serving = serving::measure_adaptive_serving(repeats)?;
+
     // Fault layer: the wrapper must be free when off and invisible when quiet.
     let fault_overhead = fault::measure_fault_overhead(scale, repeats)?;
 
@@ -306,6 +317,7 @@ pub fn measure(scale: usize, repeats: usize) -> PipelineResult<BenchReport> {
         micro,
         census,
         serving,
+        adaptive_serving,
         fault_overhead,
     })
 }
@@ -392,7 +404,8 @@ impl BenchReport {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"threads\": {}, \"concurrency\": {}, \
                  \"requests\": {}, \"ingress_us\": {}, \"requests_per_sec\": {:.1}, \
-                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"all_ok\": {}}}{}\n",
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"messages\": {}, \
+                 \"bytes\": {}, \"all_ok\": {}}}{}\n",
                 json_string(&s.name),
                 s.threads,
                 s.concurrency,
@@ -401,11 +414,35 @@ impl BenchReport {
                 s.requests_per_sec,
                 s.p50_us,
                 s.p99_us,
+                s.messages,
+                s.bytes,
                 s.all_ok,
                 if i + 1 < self.serving.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ],\n  \"fault_overhead\": [\n");
+        let a = &self.adaptive_serving;
+        out.push_str(&format!(
+            "  ],\n  \"adaptive_serving\": {{\n    \"requests\": {}, \
+             \"epoch_requests\": {}, \"comm_wait_us\": {},\n    \
+             \"static_messages\": {}, \
+             \"static_bytes\": {}, \"static_rps\": {:.1},\n    \
+             \"adaptive_messages\": {}, \"adaptive_bytes\": {}, \
+             \"adaptive_rps\": {:.1},\n    \"placement_swaps\": {}, \
+             \"all_ok\": {}, \"checksums_match\": {}\n  }},\n",
+            a.requests,
+            a.epoch_requests,
+            a.comm_wait_us,
+            a.static_messages,
+            a.static_bytes,
+            a.static_rps,
+            a.adaptive_messages,
+            a.adaptive_bytes,
+            a.adaptive_rps,
+            a.placement_swaps,
+            a.all_ok,
+            a.checksums_match
+        ));
+        out.push_str("  \"fault_overhead\": [\n");
         for (i, a) in self.fault_overhead.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"off_wall_ms\": {:.4}, \"quiet_wall_ms\": {:.4}, \
@@ -487,6 +524,15 @@ mod tests {
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"pool_4\""));
         assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.contains("\"adaptive_serving\""));
+        assert!(json.contains("\"static_messages\""));
+        assert!(json.contains("\"placement_swaps\""));
+        assert!(
+            report.adaptive_serving.adaptive_messages < report.adaptive_serving.static_messages,
+            "adaptation reduces cross-node message volume on the skewed workload"
+        );
+        assert!(report.adaptive_serving.all_ok);
+        assert!(report.adaptive_serving.checksums_match);
         assert!(json.contains("\"fault_overhead\""));
         assert!(json.contains("\"virtual_identical\": true"));
         assert!(json.contains("\"suite_wall_ms\""));

@@ -21,9 +21,14 @@
 //! The committed baseline's CI guard checks the hardware-independent half:
 //! pool-4 requests/sec must stay above inline.
 
-use autodist::{Distributor, DistributorConfig, PipelineResult, ServeOptions, ServerApp};
+use autodist::{
+    AdaptOptions, Distributor, DistributorConfig, PipelineResult, PlanReplanner, Replanner,
+    ServeOptions, ServerApp,
+};
 use autodist_runtime::cluster::{ClusterConfig, Schedule};
 use autodist_runtime::serve::{run_serving, ServingReport};
+use autodist_workloads::GenConfig;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Requests per serving area measurement.
@@ -55,6 +60,12 @@ pub struct ServingArea {
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
+    /// Total cross-node messages over the median run's requests (deterministic:
+    /// identical across runs and schedules — the comm-volume metric the adaptive
+    /// A/B diffs).
+    pub messages: u64,
+    /// Total cross-node bytes over the median run's requests (deterministic).
+    pub bytes: u64,
     /// `true` when every request of the median run completed without a fault.
     pub all_ok: bool,
 }
@@ -121,8 +132,143 @@ fn measure_area(
         requests_per_sec: median.requests_per_sec(),
         p50_us: median.latency_percentile_us(0.50),
         p99_us: median.latency_percentile_us(0.99),
+        messages: median.total_messages(),
+        bytes: median.total_bytes(),
         all_ok: median.is_ok(),
     }
+}
+
+/// The static-vs-adaptive A/B comparison on the affinity-skewed generated
+/// workload: same requests, same admission order, same schedule — the only
+/// difference is whether `ServeOptions::adapt` carries a [`PlanReplanner`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveServingArea {
+    /// Requests served by each arm.
+    pub requests: usize,
+    /// Epoch length the adaptive arm repartitions at.
+    pub epoch_requests: usize,
+    /// Modelled wall-clock wire-stall cost per cross-node message, microseconds
+    /// (paid identically by both arms; see `ServeOptions::comm_wait`).
+    pub comm_wait_us: u64,
+    /// Cross-node messages under the static (build-time) placement.
+    pub static_messages: u64,
+    /// Cross-node bytes under the static placement.
+    pub static_bytes: u64,
+    /// Requests/sec of the static arm (median run).
+    pub static_rps: f64,
+    /// Cross-node messages with online adaptation enabled.
+    pub adaptive_messages: u64,
+    /// Cross-node bytes with online adaptation enabled.
+    pub adaptive_bytes: u64,
+    /// Requests/sec of the adaptive arm (median run).
+    pub adaptive_rps: f64,
+    /// Placement swaps the epoch controller committed during the adaptive run.
+    pub placement_swaps: usize,
+    /// `true` when every request of both arms completed without a fault.
+    pub all_ok: bool,
+    /// `true` when every adaptive request produced the same root checksum as the
+    /// static request at the same sequence position (adaptation must never change
+    /// results, only where they are computed).
+    pub checksums_match: bool,
+}
+
+/// The canonical skewed workload the adaptive A/B serves: a generated app whose
+/// call affinity concentrates on one hot chain (`affinity_skew: 8.0`), so the
+/// build-time balanced placement pays 8 cross-node messages per request while the
+/// profile-driven replan co-locates the chain down to 2.
+pub fn adaptive_workload_config() -> GenConfig {
+    GenConfig {
+        width: 4,
+        depth: 3,
+        fan_out: 2,
+        affinity_skew: 8.0,
+        ..GenConfig::default()
+    }
+}
+
+/// Requests per adaptive A/B arm.
+pub const ADAPTIVE_REQUESTS: usize = 32;
+/// Epoch length for the adaptive arm: the controller observes the first epoch
+/// under the static placement, then repartitions for the remaining requests.
+pub const ADAPTIVE_EPOCH: usize = 16;
+
+/// Measures the adaptive-placement A/B: the skewed workload served twice under
+/// `Schedule::Inline`, concurrency 1 (fully deterministic admission order, so the
+/// message totals are exact and CI can guard on them), once with `adapt: None`
+/// and once with a fresh [`PlanReplanner`] per run.
+pub fn measure_adaptive_serving(repeats: usize) -> PipelineResult<AdaptiveServingArea> {
+    let generated = autodist_workloads::generated(&adaptive_workload_config());
+    let distributor = Distributor::new(DistributorConfig::default());
+    let cluster = ClusterConfig::paper_testbed();
+    let plan = distributor.try_distribute(&generated.workload.program)?;
+    let apps = vec![plan.prepare_server(&cluster)];
+    let sequence = vec![0usize; ADAPTIVE_REQUESTS];
+
+    // No modelled ingress here (identical in both arms, it would only dilute the
+    // signal); instead both arms pay the testbed's one-way wire latency per
+    // cross-node message as wall-clock (`comm_wait`) — on the real cluster every
+    // internode round-trip stalls the requesting node, so a placement that moves
+    // fewer messages serves more requests per second. The per-message price is
+    // identical in both arms; only the message counts differ.
+    let base_opts = ServeOptions {
+        concurrency: 1,
+        schedule: Schedule::Inline,
+        comm_wait: Duration::from_micros(INGRESS_US),
+        ..ServeOptions::default()
+    };
+    let adaptive_opts = || {
+        // A fresh replanner per run: the controller's learned placement must not
+        // leak across repeats, so every adaptive run starts from the static plan.
+        let mut planner = PlanReplanner::new();
+        planner.add_plan(
+            &distributor.config,
+            &generated.workload.program,
+            &plan,
+            &cluster,
+        );
+        ServeOptions {
+            adapt: Some(
+                AdaptOptions::new(Arc::new(planner) as Arc<dyn Replanner>)
+                    .with_epoch(ADAPTIVE_EPOCH),
+            ),
+            ..base_opts.clone()
+        }
+    };
+
+    let run_arm = |mk_opts: &dyn Fn() -> ServeOptions| -> ServingReport {
+        let mut runs: Vec<ServingReport> = (0..repeats.max(1))
+            .map(|_| run_serving(&apps, &sequence, &mk_opts()))
+            .collect();
+        runs.sort_by(|a, b| {
+            a.requests_per_sec()
+                .partial_cmp(&b.requests_per_sec())
+                .expect("throughput is finite")
+        });
+        runs.swap_remove(runs.len() / 2)
+    };
+
+    let static_run = run_arm(&|| base_opts.clone());
+    let adaptive_run = run_arm(&adaptive_opts);
+    let checksums_match = static_run.requests.len() == adaptive_run.requests.len()
+        && static_run
+            .requests
+            .iter()
+            .zip(adaptive_run.requests.iter())
+            .all(|(s, a)| s.report.final_statics == a.report.final_statics);
+    Ok(AdaptiveServingArea {
+        requests: ADAPTIVE_REQUESTS,
+        epoch_requests: ADAPTIVE_EPOCH,
+        comm_wait_us: INGRESS_US,
+        static_messages: static_run.total_messages(),
+        static_bytes: static_run.total_bytes(),
+        static_rps: static_run.requests_per_sec(),
+        adaptive_messages: adaptive_run.total_messages(),
+        adaptive_bytes: adaptive_run.total_bytes(),
+        adaptive_rps: adaptive_run.requests_per_sec(),
+        placement_swaps: adaptive_run.placement_swaps,
+        all_ok: static_run.is_ok() && adaptive_run.is_ok(),
+        checksums_match,
+    })
 }
 
 /// Measures the full serving section: the same closed loop under `Inline` and

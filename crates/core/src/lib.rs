@@ -16,6 +16,7 @@
 //! Phase timings are recorded (the paper's Table 2), graph statistics are exposed (the
 //! paper's Table 1) and both graphs can be exported in VCG or DOT form (Figures 3/4).
 
+pub mod adapt;
 pub mod error;
 pub mod stats;
 pub mod viz;
@@ -36,6 +37,8 @@ use autodist_runtime::cluster::{
 };
 use autodist_runtime::serve::run_serving;
 
+pub use adapt::PlanReplanner;
+pub use autodist_runtime::adapt::{AdaptOptions, EpochProfile, Replanner};
 pub use autodist_runtime::cluster::NodeProfiler;
 pub use autodist_runtime::serve::{RequestReport, ServeOptions, ServerApp, ServingReport};
 pub use error::{Phase, PipelineError, PipelineResult};
@@ -239,6 +242,23 @@ impl DistributionPlan {
     }
 }
 
+/// Builds the partitioner input graph from an ODG: one vertex per ODG node with
+/// its 3-constraint resource vector (each component floored at 1), one weighted
+/// undirected edge per use relation. Shared by the offline pipeline
+/// ([`Distributor::odg_graph`]) and the adaptive replanner, which calls it on a
+/// re-weighted clone of the same ODG.
+pub fn odg_partition_graph(odg: &ObjectDependenceGraph) -> Graph {
+    let (weights, edges) = odg.partition_input();
+    let mut gb = GraphBuilder::new(odg.node_count(), 3);
+    for (i, w) in weights.iter().enumerate() {
+        gb.set_weight(i, &w.as_array().map(|x| x.max(1)));
+    }
+    for (a, b, w) in edges {
+        gb.add_edge(a, b, w);
+    }
+    gb.build()
+}
+
 /// The automatic distribution pipeline.
 pub struct Distributor {
     /// Configuration.
@@ -267,15 +287,7 @@ impl Distributor {
 
     /// Builds the partitioner input graph from an ODG.
     pub fn odg_graph(&self, odg: &ObjectDependenceGraph) -> Graph {
-        let (weights, edges) = odg.partition_input();
-        let mut gb = GraphBuilder::new(odg.node_count(), 3);
-        for (i, w) in weights.iter().enumerate() {
-            gb.set_weight(i, &w.as_array().map(|x| x.max(1)));
-        }
-        for (a, b, w) in edges {
-            gb.add_edge(a, b, w);
-        }
-        gb.build()
+        odg_partition_graph(odg)
     }
 
     /// Compiles MiniJava-style source straight into a [`Program`], reporting parse

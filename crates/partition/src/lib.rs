@@ -182,6 +182,34 @@ fn enforce_min_parallelism(graph: &Graph, assignment: &mut [usize], config: &Par
     }
 }
 
+/// Repartitions `graph` with a warm start: runs a fresh partitioning *and*
+/// evaluates the incumbent assignment `hint` under the (re-weighted) graph, then
+/// returns whichever cuts less edge weight. The adaptive serving loop calls this
+/// with the currently installed placement as the hint, which guarantees the
+/// result is never worse than what is already running — a fresh multilevel run
+/// on freshly re-weighted edges can legitimately lose to an incumbent that the
+/// previous round already optimised.
+///
+/// A hint of the wrong length, or naming parts outside `0..nparts`, is ignored
+/// (the fresh partitioning wins by default). The hint is re-subjected to the
+/// `min_parallelism` floor, so a collapsed incumbent cannot sneak past it.
+pub fn repartition(graph: &Graph, config: &PartitionConfig, hint: &[usize]) -> Partitioning {
+    let fresh = partition(graph, config);
+    let valid =
+        hint.len() == graph.vertex_count() && hint.iter().all(|&p| p < config.nparts.max(1));
+    if !valid {
+        return fresh;
+    }
+    let mut warm = hint.to_vec();
+    enforce_min_parallelism(graph, &mut warm, config);
+    let warm = summarize(graph, warm, config.nparts);
+    if warm.edgecut < fresh.edgecut {
+        warm
+    } else {
+        fresh
+    }
+}
+
 /// Computes the quality metrics for an existing assignment.
 pub fn summarize(graph: &Graph, assignment: Vec<usize>, nparts: usize) -> Partitioning {
     let edgecut = graph.edge_cut(&assignment);
@@ -335,6 +363,56 @@ mod tests {
         let g = b.build();
         let p = partition(&g, &PartitionConfig::kway(4));
         assert_eq!(p.assignment, vec![0], "one vertex can only fill one part");
+    }
+
+    #[test]
+    fn repartition_keeps_a_better_incumbent() {
+        // Hand the optimal bisection of the two-cluster graph as the hint but
+        // configure a naive method whose fresh run cuts far more: the warm start
+        // must win.
+        let g = two_clusters();
+        let cfg = PartitionConfig::naive(2);
+        let hint: Vec<usize> = (0..16).map(|v| v / 8).collect();
+        let p = repartition(&g, &cfg, &hint);
+        assert_eq!(p.edgecut, 1, "the incumbent bisection is kept");
+        assert_eq!(p.assignment, hint);
+    }
+
+    #[test]
+    fn repartition_abandons_a_worse_incumbent() {
+        // An alternating incumbent cuts almost every clique edge; the fresh
+        // multilevel run must replace it.
+        let g = two_clusters();
+        let cfg = PartitionConfig::kway(2);
+        let hint: Vec<usize> = (0..16).map(|v| v % 2).collect();
+        let p = repartition(&g, &cfg, &hint);
+        assert_eq!(p.edgecut, 1, "the fresh run wins over the bad incumbent");
+    }
+
+    #[test]
+    fn repartition_ignores_invalid_hints() {
+        let g = two_clusters();
+        let cfg = PartitionConfig::kway(2);
+        let fresh = partition(&g, &cfg);
+        // Wrong length.
+        assert_eq!(repartition(&g, &cfg, &[0; 3]), fresh);
+        // Part index out of range.
+        let bad: Vec<usize> = (0..16).map(|_| 7).collect();
+        assert_eq!(repartition(&g, &cfg, &bad), fresh);
+    }
+
+    #[test]
+    fn repartition_re_enforces_min_parallelism_on_the_hint() {
+        // A collapsed incumbent (everything on part 0) would have edgecut 0 and
+        // always "win" — unless the floor is re-applied to it first.
+        let g = two_clusters();
+        let cfg = PartitionConfig::kway(2);
+        let p = repartition(&g, &cfg, &[0; 16]);
+        let mut counts = [0usize; 2];
+        for &a in &p.assignment {
+            counts[a] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
     }
 
     #[test]

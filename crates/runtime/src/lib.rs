@@ -24,7 +24,11 @@
 //! * [`serve`] — serving mode: the cluster as a server admitting N concurrent root
 //!   computations, each over its own request-scoped world (clocks, channels,
 //!   correlation ids) while all requests share one ready queue and worker pool.
+//! * [`adapt`] — adaptive placement: an epoch controller that feeds live serving
+//!   profiles back into a caller-supplied [`adapt::Replanner`] and swaps better
+//!   placements in for subsequently admitted requests.
 
+pub mod adapt;
 pub mod cluster;
 pub mod interp;
 pub mod net;
@@ -34,6 +38,7 @@ pub mod services;
 pub mod value;
 pub mod wire;
 
+pub use adapt::{AdaptOptions, EpochProfile, Replanner};
 pub use cluster::{
     run_centralized, run_distributed, run_distributed_profiled, ClusterConfig, ExecutionReport,
     NodeProfiler, NodeStats, Schedule,

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use autodist_ir::layout::ProgramLayout;
 use autodist_ir::program::Program;
 
+use crate::adapt::{AdaptOptions, AdaptState, SnapshotArena};
 use crate::cluster::{stats_of, ExecutionReport, Schedule};
 use crate::interp::{DistState, ExecError, Interp, TransportStall};
 use crate::net::{FaultPlan, MpiWorld, NetworkConfig, PacketKind, ReadyQueue};
@@ -41,9 +42,9 @@ use crate::value::Value;
 /// A *prepared* application the server can instantiate per request: the placed
 /// per-node programs plus their pre-built (shared) layouts and the cost model.
 pub struct ServerApp {
-    programs: Vec<Program>,
-    layouts: Vec<Arc<ProgramLayout>>,
-    network: NetworkConfig,
+    pub(crate) programs: Vec<Program>,
+    pub(crate) layouts: Vec<Arc<ProgramLayout>>,
+    pub(crate) network: NetworkConfig,
 }
 
 impl ServerApp {
@@ -93,12 +94,29 @@ pub struct ServeOptions {
     /// concurrency, not core-count-dependent parallelism. Virtual clocks are
     /// unaffected either way (ingress happens before the request's world exists).
     pub ingress_wait: Duration,
+    /// Modelled *wall-clock* cost per cross-node message a request exchanged,
+    /// paid by the completing worker (the wire-stall counterpart of
+    /// [`ingress_wait`](Self::ingress_wait): on a real testbed every internode
+    /// round-trip stalls the requesting node for the wire time, which the
+    /// simulator otherwise charges to the *virtual* clock only). Zero (the
+    /// default) completes instantly — serving stays byte- and wall-identical to
+    /// the pre-adaptation server. The adaptive bench area sets this so a
+    /// placement that moves fewer messages wins real throughput, exactly as it
+    /// would on the paper's cluster; both A/B arms pay the same per-message
+    /// price. Virtual clocks are unaffected either way.
+    pub comm_wait: Duration,
     /// Per-request fault plans, keyed by submission index. A listed request's
     /// world is built with [`MpiWorld::with_fault_plan`], so injected faults are
     /// scoped to that request alone: its report carries the typed error and fault
     /// counters while every other request stays byte-identical to a solo run
     /// (pinned by `tests/serving_parity.rs`). Unlisted requests pay nothing.
     pub faults: Vec<(usize, FaultPlan)>,
+    /// Adaptive placement (see [`crate::adapt`]): when set, the server accumulates
+    /// live per-request traffic and profile data and repartitions between requests
+    /// at epoch boundaries. `None` (the default) is zero-cost — no sinks are
+    /// attached, no state is kept, and serving is byte-identical to a server
+    /// without the feature (like `faults`).
+    pub adapt: Option<AdaptOptions>,
 }
 
 impl Default for ServeOptions {
@@ -107,7 +125,9 @@ impl Default for ServeOptions {
             concurrency: 16,
             schedule: Schedule::Auto,
             ingress_wait: Duration::ZERO,
+            comm_wait: Duration::ZERO,
             faults: Vec::new(),
+            adapt: None,
         }
     }
 }
@@ -135,6 +155,9 @@ pub struct ServingReport {
     pub threads: usize,
     /// Wall-clock time of the whole run in milliseconds.
     pub wall_time_ms: f64,
+    /// Placements the adaptive epoch controller installed during the run
+    /// (0 when adaptation is off or the planner never improved on the seed).
+    pub placement_swaps: usize,
     /// Per-request outcomes, in submission order.
     pub requests: Vec<RequestReport>,
 }
@@ -162,6 +185,19 @@ impl ServingReport {
     /// `true` when every request completed without a runtime fault.
     pub fn is_ok(&self) -> bool {
         self.requests.iter().all(|r| r.report.is_ok())
+    }
+
+    /// Total cross-node messages over all requests (virtual-time deterministic).
+    pub fn total_messages(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| r.report.total_messages())
+            .sum()
+    }
+
+    /// Total cross-node bytes over all requests.
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.report.total_bytes()).sum()
     }
 }
 
@@ -201,8 +237,14 @@ struct ServeShared<'s> {
     concurrency: usize,
     /// Modelled wire-read cost paid by the admitting worker per request.
     ingress_wait: Duration,
+    /// Modelled wire-stall cost paid by the completing worker per cross-node
+    /// message of the finished request.
+    comm_wait: Duration,
     /// Fault plans by submission index (see [`ServeOptions::faults`]).
     faults: &'s [(usize, FaultPlan)],
+    /// Adaptive-placement epoch controller (see [`crate::adapt`]); `None` keeps
+    /// the admission and completion paths identical to a server without it.
+    adapt: Option<AdaptState<'s>>,
 }
 
 impl<'s> ServeShared<'s> {
@@ -233,7 +275,15 @@ impl<'s> ServeShared<'s> {
             std::thread::sleep(self.ingress_wait);
         }
         let app_idx = self.sequence[index];
-        let app = &self.apps[app_idx];
+        // Adaptive placement: admit under the app's *current* placement — the seed
+        // one the caller passed in, or whichever the epoch controller last
+        // installed. The choice is sealed at admission; a later swap never touches
+        // this request.
+        let app = self
+            .adapt
+            .as_ref()
+            .and_then(|a| a.current(app_idx))
+            .unwrap_or(&self.apps[app_idx]);
         let root = index as u32;
         let n = app.programs.len();
         let mut world =
@@ -241,11 +291,29 @@ impl<'s> ServeShared<'s> {
         if let Some((_, plan)) = self.faults.iter().find(|(i, _)| *i == index) {
             world = world.with_fault_plan(plan.clone());
         }
+        // The planner's sinks are observational (they record, never steer), so
+        // attaching them leaves virtual time and traffic byte-identical — but the
+        // instrumentation costs wall-clock, so only an epoch's profiled prefix of
+        // admissions carries them (relative per-class weights need a sample, not
+        // the whole epoch).
+        let profiled = self
+            .adapt
+            .as_ref()
+            .is_some_and(|adapt| adapt.admit_profiled(app_idx));
         let mut nodes = Vec::with_capacity(n);
         for (rank, program) in app.programs.iter().enumerate() {
             let endpoint = world.take_endpoint(rank);
-            let interp = Interp::with_layout(program, Arc::clone(&app.layouts[rank]))
+            let mut interp = Interp::with_layout(program, Arc::clone(&app.layouts[rank]))
                 .with_dist(DistState::new(endpoint).with_coop());
+            if profiled {
+                if let Some((sink, interval)) = self
+                    .adapt
+                    .as_ref()
+                    .and_then(|adapt| adapt.profiler_for(app_idx, rank))
+                {
+                    interp = interp.with_profiler(sink, interval);
+                }
+            }
             nodes.push(Mutex::new(CoopNode::from_interp(interp)));
         }
         let live = Arc::new(LiveReq {
@@ -280,6 +348,19 @@ impl<'s> ServeShared<'s> {
             .remove(&root);
         let latency = live.started.elapsed();
         let report = finalize_request(live, res, latency);
+        if !self.comm_wait.is_zero() {
+            // Modelled wire stalls: this worker is "on the wire" for the request's
+            // cross-node traffic (the measured latency above excludes it; only
+            // throughput sees the cost, which is what the stall steals on a real
+            // testbed's closed loop).
+            let messages = report.total_messages().min(u32::MAX as u64) as u32;
+            std::thread::sleep(self.comm_wait * messages);
+        }
+        // Feed the completed request into the epoch controller *after* its report
+        // is sealed: adaptation can only influence requests admitted later.
+        if let Some(adapt) = self.adapt.as_ref() {
+            adapt.observe(live.app, live.nodes.len(), &report);
+        }
         let outcome = RequestReport {
             index: live.index,
             app: live.app,
@@ -401,6 +482,10 @@ fn finalize_request(
         dist.endpoint.untrack_ready();
     }
     MessageExchange::broadcast_shutdown(&mut node0.interp);
+    // Dropping a planner-attached sink flushes its per-request tallies into the
+    // planner's shared aggregate, so the epoch controller (which runs right after
+    // this epilogue) decides on a profile that includes the finishing request.
+    drop(node0.interp.take_profiler());
     drop(node0);
     let mut per_node = vec![stats0];
     for (rank, slot) in live.nodes.iter().enumerate().skip(1) {
@@ -410,6 +495,7 @@ fn finalize_request(
                 let _ = node.interp.accept_request(pkt.from, pkt.req_id, pkt.data);
             }
         }
+        drop(node.interp.take_profiler());
         per_node.push(stats_of(&node.interp, rank));
     }
     let mut report = assemble_report(per_node, final_statics, error, latency);
@@ -504,6 +590,10 @@ pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) 
         _ => 1,
     };
     let start = Instant::now();
+    // Declared before `shared` so it outlives every borrow the epoch controller
+    // hands out (locals drop in reverse declaration order): placements installed
+    // mid-run live here until the serving run itself ends.
+    let adapt_arena = SnapshotArena::default();
     let shared = ServeShared {
         apps,
         sequence,
@@ -519,7 +609,12 @@ pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) 
         deliveries: AtomicUsize::new(0),
         concurrency,
         ingress_wait: opts.ingress_wait,
+        comm_wait: opts.comm_wait,
         faults: &opts.faults,
+        adapt: opts
+            .adapt
+            .as_ref()
+            .map(|o| AdaptState::new(o, &adapt_arena, apps.len())),
     };
     if threads > 1 {
         std::thread::scope(|scope| {
@@ -535,6 +630,7 @@ pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) 
         serve_worker(&shared);
     }
     let wall = start.elapsed();
+    let placement_swaps = shared.adapt.as_ref().map_or(0, |a| a.swaps());
     let requests = shared
         .results
         .into_inner()
@@ -546,6 +642,7 @@ pub fn run_serving(apps: &[ServerApp], sequence: &[usize], opts: &ServeOptions) 
         concurrency,
         threads,
         wall_time_ms: wall.as_secs_f64() * 1e3,
+        placement_swaps,
         requests,
     }
 }
@@ -674,6 +771,102 @@ mod tests {
         assert!(p50 > 0.0);
         assert!(p99 >= p50);
         assert!(report.requests.iter().all(|r| r.latency_us > 0.0));
+    }
+
+    /// A planner that, on its first consultation, moves every class onto node 0
+    /// (still spanning two virtual nodes, so the placement shape is unchanged —
+    /// only the homes move). Later requests then bounce locally: zero messages.
+    struct Colocate {
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl crate::adapt::Replanner for Colocate {
+        fn replan(&self, profile: &crate::adapt::EpochProfile) -> Option<ServerApp> {
+            assert!(profile.requests > 0);
+            if self.fired.swap(true, Ordering::SeqCst) {
+                return None;
+            }
+            assert!(profile.messages > 0, "the split placement messages");
+            let p = compile_source(PING_SRC).unwrap();
+            let mut home = Map::new();
+            home.insert(p.class_by_name("Main").unwrap(), 0);
+            home.insert(p.class_by_name("Worker").unwrap(), 0);
+            let placement = ClassPlacement { home, nparts: 2 };
+            let programs: Vec<Program> = (0..2)
+                .map(|n| rewrite_for_node(&p, &placement, n).program)
+                .collect();
+            Some(ServerApp::prepare(programs, NetworkConfig::paper_testbed()))
+        }
+    }
+
+    /// The epoch swap end to end: 8 requests under the seed split placement, a
+    /// repartition at the epoch boundary, then 8 more under the co-located
+    /// placement — byte-identical per-placement reports, fewer messages after.
+    #[test]
+    fn epoch_boundary_swaps_placement_for_later_requests() {
+        use crate::adapt::AdaptOptions;
+        let app = ping_app();
+        let single = ping_single_run();
+        let planner = Arc::new(Colocate {
+            fired: std::sync::atomic::AtomicBool::new(false),
+        });
+        let report = run_serving(
+            std::slice::from_ref(&app),
+            &[0; 16],
+            &ServeOptions {
+                concurrency: 1,
+                schedule: Schedule::Inline,
+                adapt: Some(AdaptOptions::new(planner).with_epoch(8)),
+                ..ServeOptions::default()
+            },
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.placement_swaps, 1);
+        for req in &report.requests[..8] {
+            assert_eq!(req.report.virtual_time_us, single.virtual_time_us);
+            assert_eq!(req.report.total_messages(), single.total_messages());
+        }
+        for req in &report.requests[8..] {
+            assert_eq!(
+                req.report.total_messages(),
+                0,
+                "request {} should run co-located",
+                req.index
+            );
+            assert_eq!(
+                req.report.final_statics.get("Main::result"),
+                single.final_statics.get("Main::result"),
+                "the swap must not change results"
+            );
+        }
+        assert!(report.total_messages() < 16 * single.total_messages());
+    }
+
+    /// A planner that always declines keeps the run byte-identical to `adapt:
+    /// None` — and the observational sinks it never attaches cost nothing.
+    #[test]
+    fn declining_planner_changes_nothing() {
+        use crate::adapt::{AdaptOptions, EpochProfile, Replanner};
+        struct Decline;
+        impl Replanner for Decline {
+            fn replan(&self, _p: &EpochProfile) -> Option<ServerApp> {
+                None
+            }
+        }
+        let app = ping_app();
+        let single = ping_single_run();
+        let report = run_serving(
+            std::slice::from_ref(&app),
+            &[0; 12],
+            &ServeOptions {
+                concurrency: 4,
+                schedule: Schedule::Inline,
+                adapt: Some(AdaptOptions::new(Arc::new(Decline)).with_epoch(4)),
+                ..ServeOptions::default()
+            },
+        );
+        assert_eq!(report.placement_swaps, 0);
+        assert_matches_single(&report, &single);
     }
 
     #[test]

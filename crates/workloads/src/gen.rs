@@ -39,6 +39,12 @@ pub struct GenConfig {
     pub payload: usize,
     /// Root calls `Main` drives through each level-0 class.
     pub iterations: usize,
+    /// Phased traffic for [`phased`]: `(requests, affinity_skew_target)` pairs.
+    /// Each phase serves `requests` requests of a variant of this config whose
+    /// `affinity_skew` is the phase's target — so generated serving traffic
+    /// shifts its hot-object affinity mid-run, deterministically per seed. Empty
+    /// (the default) means unphased; [`generated`] ignores this field.
+    pub phase: Vec<(usize, f64)>,
 }
 
 impl Default for GenConfig {
@@ -51,6 +57,7 @@ impl Default for GenConfig {
             affinity_skew: 0.0,
             payload: 8,
             iterations: 4,
+            phase: Vec::new(),
         }
     }
 }
@@ -239,6 +246,50 @@ pub fn generated(cfg: &GenConfig) -> GeneratedWorkload {
     }
 }
 
+/// A phased serving workload: one generated app per distinct affinity target
+/// plus the request sequence that shifts traffic between them mid-run.
+#[derive(Clone, Debug)]
+pub struct PhasedWorkload {
+    /// One generated variant per *distinct* skew target, in first-use order.
+    pub apps: Vec<GeneratedWorkload>,
+    /// `sequence[i]` indexes into `apps`: the app request `i` instantiates.
+    /// Phase boundaries are exactly where the ISSUE's "traffic shifts its
+    /// hot-object affinity" happens.
+    pub sequence: Vec<usize>,
+}
+
+/// Expands `cfg.phase` into serving traffic: per phase, a variant of `cfg` with
+/// `affinity_skew` set to the phase's target (phases with equal targets share
+/// one app), contributing that phase's request count to the sequence. With an
+/// empty `phase` the whole thing degenerates to one app and zero requests.
+/// Deterministic: same config (seed included), same apps and sequence.
+pub fn phased(cfg: &GenConfig) -> PhasedWorkload {
+    let mut apps = Vec::new();
+    let mut targets: Vec<f64> = Vec::new();
+    let mut sequence = Vec::new();
+    let phases: &[(usize, f64)] = if cfg.phase.is_empty() {
+        &[(0, cfg.affinity_skew)]
+    } else {
+        &cfg.phase
+    };
+    for &(requests, target) in phases {
+        let app = match targets.iter().position(|&t| t == target) {
+            Some(i) => i,
+            None => {
+                apps.push(generated(&GenConfig {
+                    affinity_skew: target,
+                    phase: Vec::new(),
+                    ..cfg.clone()
+                }));
+                targets.push(target);
+                apps.len() - 1
+            }
+        };
+        sequence.extend(std::iter::repeat_n(app, requests));
+    }
+    PhasedWorkload { apps, sequence }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +379,35 @@ mod tests {
             skewed.edges.iter().filter(|&&(_, (_, c))| c == 0).count(),
             skewed.edges.len()
         );
+    }
+
+    #[test]
+    fn phased_shares_apps_across_equal_targets_and_orders_the_sequence() {
+        let cfg = GenConfig {
+            width: 4,
+            fan_out: 3,
+            phase: vec![(3, 0.0), (5, 8.0), (2, 0.0)],
+            ..GenConfig::default()
+        };
+        let p = phased(&cfg);
+        assert_eq!(p.apps.len(), 2, "two distinct skew targets, two apps");
+        let mut expected = vec![0; 3];
+        expected.extend([1; 5]);
+        expected.extend([0; 2]);
+        assert_eq!(p.sequence, expected);
+        // Phase apps really differ in wiring (skew 8 funnels to low indices).
+        assert_ne!(p.apps[0].edges, p.apps[1].edges);
+        // Determinism: the same config reproduces the same traffic.
+        let q = phased(&cfg);
+        assert_eq!(p.sequence, q.sequence);
+        assert_eq!(p.apps[1].edges, q.apps[1].edges);
+    }
+
+    #[test]
+    fn phased_without_phases_degenerates_to_one_idle_app() {
+        let p = phased(&GenConfig::default());
+        assert_eq!(p.apps.len(), 1);
+        assert!(p.sequence.is_empty());
     }
 
     #[test]

@@ -320,6 +320,7 @@ proptest! {
             affinity_skew: skew,
             payload,
             iterations: 2,
+            ..GenConfig::default()
         });
         let centralized = run_centralized(&g.workload.program, 1.0);
         prop_assert!(centralized.is_ok(), "{:?}", centralized.error);
