@@ -23,7 +23,7 @@ use autodist_bench::report::measure;
 fn main() -> Result<(), PipelineError> {
     let mut repeats = 5usize;
     let mut scale = 1usize;
-    let mut out = "BENCH_pr9.json".to_string();
+    let mut out = "BENCH_pr10.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -321,6 +321,9 @@ pub struct ProgramLayout {
     pub static_types: Vec<Type>,
     /// Selector per [`MethodId`] (methods with the same name share a selector).
     selectors: Vec<u32>,
+    /// Interned method names, indexed by [`MethodId`]. Cold error paths (unknown
+    /// method) carry one of these `Arc`s instead of cloning the `String`.
+    method_names: Vec<Arc<str>>,
     /// Total number of selectors (vtable width).
     pub selector_count: usize,
     /// Pre-decoded op bodies, indexed by [`MethodId`].
@@ -328,6 +331,13 @@ pub struct ProgramLayout {
     /// Interned string constants referenced by [`Op::ConstStr`], deduplicated across
     /// the whole program (one allocation per distinct literal, cloned by refcount).
     pub const_strs: Vec<Arc<str>>,
+    /// Stable structural hash of the *shape* tables — class names and superclass
+    /// links, field names/types/staticness, method names/signatures and declaring
+    /// classes — but **not** method bodies or local counts. Per-node program
+    /// rewrites only touch bodies, so every node of a placement computes the same
+    /// fingerprint; two layouts agreeing on it assign identical class ids, field
+    /// slots and selectors, which is what licenses the slot-addressed wire frames.
+    fingerprint: u64,
 }
 
 impl ProgramLayout {
@@ -347,6 +357,11 @@ impl ProgramLayout {
             selectors.push(sel);
         }
         let selector_count = selector_of_name.len();
+        let method_names: Vec<Arc<str>> = program
+            .methods
+            .iter()
+            .map(|m| Arc::from(m.name.as_str()))
+            .collect();
 
         let mut classes: Vec<ClassLayout> = (0..program.classes.len())
             .map(|_| ClassLayout::default())
@@ -433,9 +448,11 @@ impl ProgramLayout {
             static_names,
             static_types,
             selectors,
+            method_names,
             selector_count,
             method_ops: Vec::new(),
             const_strs: Vec::new(),
+            fingerprint: shape_fingerprint(program),
         };
 
         // Decode pass: every Insn body becomes a dense op body against the freshly
@@ -577,6 +594,13 @@ impl ProgramLayout {
         self.selectors[method.0 as usize]
     }
 
+    /// The interned name of `method`: cloning the returned `Arc` is a refcount bump,
+    /// not a string copy.
+    #[inline]
+    pub fn method_name(&self, method: MethodId) -> &Arc<str> {
+        &self.method_names[method.0 as usize]
+    }
+
     /// Virtual dispatch: the method bound in `class`'s vtable for `target`'s selector.
     /// This is the interned equivalent of `Program::resolve_method(class, name)`.
     #[inline]
@@ -616,6 +640,90 @@ impl ProgramLayout {
     pub fn slot_count(&self, class: ClassId) -> usize {
         self.classes[class.0 as usize].slot_count()
     }
+
+    /// The structural shape fingerprint (see the field doc). Two layouts with equal
+    /// fingerprints resolve every class id, field slot and selector identically, so
+    /// a peer presenting the same fingerprint may address us by dense ids.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a over the program's shape tables. Hand-rolled (not `DefaultHasher`) so the
+/// value is stable across Rust versions and processes — it travels on the wire.
+struct ShapeHasher(u64);
+
+impl ShapeHasher {
+    fn new() -> ShapeHasher {
+        ShapeHasher(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_be_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+    fn ty(&mut self, t: &Type) {
+        match t {
+            Type::Int => self.u8(1),
+            Type::Float => self.u8(2),
+            Type::Bool => self.u8(3),
+            Type::Str => self.u8(4),
+            Type::Void => self.u8(5),
+            Type::Ref(c) => {
+                self.u8(6);
+                self.u64(u64::from(c.0));
+            }
+            Type::Array(elem) => {
+                self.u8(7);
+                self.ty(elem);
+            }
+        }
+    }
+}
+
+/// Hashes everything that determines id assignment (class ids, field slots,
+/// selectors, static slots) and deliberately nothing else: method bodies and local
+/// counts are per-node rewrite targets and must not perturb the fingerprint.
+fn shape_fingerprint(program: &Program) -> u64 {
+    let mut h = ShapeHasher::new();
+    h.u64(program.classes.len() as u64);
+    for class in &program.classes {
+        h.str(&class.name);
+        match class.super_class {
+            Some(sup) => h.u64(u64::from(sup.0) + 1),
+            None => h.u64(0),
+        }
+        h.u64(class.fields.len() as u64);
+        for f in &class.fields {
+            h.str(&f.name);
+            h.u8(u8::from(f.is_static));
+            h.ty(&f.ty);
+        }
+    }
+    h.u64(program.methods.len() as u64);
+    for m in &program.methods {
+        h.str(&m.name);
+        h.u64(u64::from(m.class.0));
+        h.u8(u8::from(m.is_static));
+        h.u64(m.params.len() as u64);
+        for p in &m.params {
+            h.ty(p);
+        }
+        h.ty(&m.ret);
+    }
+    h.0
 }
 
 /// The superinstruction fusion pass over one decoded method body.
@@ -1025,6 +1133,39 @@ mod tests {
         assert_eq!(mops.ops.len(), p.method(m).body.len());
         assert!(mops.src_pc.is_empty());
         assert!(mops.ops.iter().all(|op| op.fused_width() == 1));
+    }
+
+    #[test]
+    fn fingerprint_ignores_bodies_but_sees_shape() {
+        let base = sample();
+        let fp = ProgramLayout::build(&base).fingerprint();
+        assert_eq!(
+            ProgramLayout::build(&sample()).fingerprint(),
+            fp,
+            "identical programs agree"
+        );
+
+        // Body rewrites (what rewrite_for_node does per node) leave it unchanged.
+        let mut bodied = sample();
+        let m = {
+            let a = bodied.class_by_name("A").unwrap();
+            bodied.find_method(a, "m").unwrap()
+        };
+        bodied.method_mut(m).body = vec![Insn::Const(Const::Int(1)), Insn::Pop, Insn::Return];
+        bodied.method_mut(m).locals = 7;
+        assert_eq!(ProgramLayout::build(&bodied).fingerprint(), fp);
+
+        // Any shape change — a new field, a renamed method — perturbs it.
+        let mut extra_field = sample();
+        let a = extra_field.class_by_name("A").unwrap();
+        extra_field.add_field(a, "w", Type::Int, false);
+        assert_ne!(ProgramLayout::build(&extra_field).fingerprint(), fp);
+
+        let mut renamed = sample();
+        let a = renamed.class_by_name("A").unwrap();
+        let m = renamed.find_method(a, "m").unwrap();
+        renamed.method_mut(m).name = "m2".into();
+        assert_ne!(ProgramLayout::build(&renamed).fingerprint(), fp);
     }
 
     #[test]

@@ -59,6 +59,15 @@ pub struct ClusterConfig {
     /// Optional deterministic fault-injection plan wrapping the transport (see
     /// [`FaultPlan`]). `None` — the default — leaves the hot path untouched.
     pub faults: Option<FaultPlan>,
+    /// Disables per-link ready-key coalescing in the cooperative schedulers.
+    /// Coalescing is a transport detail — virtual times, message counts, and
+    /// checksums are identical either way — so this exists for the A/B parity
+    /// tests pinning exactly that, not for tuning.
+    pub no_coalesce: bool,
+    /// Disables per-link encode-buffer recycling. Like [`Self::no_coalesce`]
+    /// this is an A/B control for the parity suites, not a tuning knob — the
+    /// pool only changes wall-clock allocation behaviour.
+    pub no_buffer_pool: bool,
 }
 
 impl ClusterConfig {
@@ -68,6 +77,8 @@ impl ClusterConfig {
             network: NetworkConfig::paper_testbed(),
             schedule: Schedule::Auto,
             faults: None,
+            no_coalesce: false,
+            no_buffer_pool: false,
         }
     }
 
@@ -507,7 +518,7 @@ mod tests {
         let config = ClusterConfig {
             network: NetworkConfig::uniform(1),
             schedule: Schedule::Pool { threads: 4 },
-            faults: None,
+            ..Default::default()
         };
         let report = run_distributed(std::slice::from_ref(&copy), &config);
         assert!(report.is_ok(), "{:?}", report.error);
@@ -538,7 +549,7 @@ mod tests {
         let config = ClusterConfig {
             network: NetworkConfig::uniform(nodes),
             schedule: Schedule::Inline,
-            faults: None,
+            ..Default::default()
         };
         let report = run_distributed(&copies, &config);
         assert!(report.is_ok(), "{:?}", report.error);

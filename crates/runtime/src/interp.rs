@@ -40,7 +40,7 @@ use bytes::Bytes;
 
 use crate::net::{LossReason, LostPacket, MpiEndpoint, Packet, PacketKind, RecvStall};
 use crate::value::{HeapObject, ObjRef, Value};
-use crate::wire::{AccessKind, Request, Response, WireValue};
+use crate::wire::{AccessKind, Request, Response, WireError, WireValue};
 
 /// Name of the proxy class injected by the communication rewriter.
 pub const DEPENDENT_OBJECT_CLASS: &str = "rt/DependentObject";
@@ -106,8 +106,9 @@ pub enum ExecError {
     },
     /// No such field on the receiver.
     UnknownField(String),
-    /// No such method on the receiver class.
-    UnknownMethod(String),
+    /// No such method on the receiver class. Carries the interned method name
+    /// (cloning an `Arc<str>` keeps the miss path allocation-free).
+    UnknownMethod(Arc<str>),
     /// Call depth limit exceeded.
     StackOverflow,
     /// The operand stack was popped while empty (a verifier escape; never raised for
@@ -142,8 +143,17 @@ pub enum ExecError {
     /// transport-level stall, carrying the diagnosis of its shape instead of
     /// tripping an external watchdog.
     Transport(TransportStall),
+    /// A frame failed to decode (or failed the layout-fingerprint handshake):
+    /// the typed wire error, surfaced instead of a wrong-slot dispatch.
+    Wire(WireError),
     /// Anything else.
     Unsupported(String),
+}
+
+impl From<WireError> for ExecError {
+    fn from(e: WireError) -> Self {
+        ExecError::Wire(e)
+    }
 }
 
 /// The shape of a transport stall: what the delivery-deadline diagnosis saw when it
@@ -225,6 +235,7 @@ impl fmt::Display for ExecError {
             ),
             ExecError::NodeDown { rank } => write!(f, "node down: rank {rank} was killed"),
             ExecError::Transport(stall) => write!(f, "{stall}"),
+            ExecError::Wire(e) => write!(f, "wire error: {e}"),
             ExecError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
         }
     }
@@ -247,23 +258,37 @@ pub struct DistState {
     /// cluster scheduler: remote operations then *park* the running frame stack
     /// instead of blocking the OS thread in a round trip.
     pub coop: bool,
+    /// Per-destination: whether the one-time fingerprint hello already went out
+    /// on that link (it precedes the first slot-addressed frame we send there).
+    hello_sent: Vec<bool>,
+    /// Per-source: whether that peer's hello matched our layout fingerprint.
+    /// Slot-addressed frames from unverified peers are rejected, never dispatched.
+    peer_ok: Vec<bool>,
 }
 
 impl DistState {
     /// Wraps an endpoint.
     pub fn new(endpoint: MpiEndpoint) -> Self {
+        let n = endpoint.size;
         DistState {
             endpoint,
             exports: Vec::new(),
             export_ids: HashMap::new(),
             shutdown: false,
             coop: false,
+            hello_sent: vec![false; n],
+            peer_ok: vec![false; n],
         }
     }
 
-    /// Marks this node as scheduled cooperatively (continuation mode).
+    /// Marks this node as scheduled cooperatively (continuation mode). Cooperative
+    /// nodes batch ready-key publication per destination link: the packets still
+    /// enter the channels at send time (sequence numbers, fault rolls and arrival
+    /// times are unchanged), but the scheduler observes one coalesced wake per
+    /// link per scheduling step.
     pub fn with_coop(mut self) -> Self {
         self.coop = true;
+        self.endpoint.set_coalescing(true);
         self
     }
 
@@ -376,6 +401,53 @@ pub enum ServeOutcome {
     },
 }
 
+/// How the member of an outgoing remote access is addressed at the wire boundary:
+/// by pre-resolved id (slot-addressed v2 frames) with the name kept for the v1
+/// fallback and for virtual-time charging, or by name only (dynamic accesses the
+/// layout cannot pre-resolve).
+#[derive(Clone, Copy)]
+enum WireMember<'a> {
+    /// Instance field: declaring-class slot + name. Superclass-prefix layout makes
+    /// the slot valid on the receiver's runtime subclass.
+    Field(u32, &'a str),
+    /// Method: global selector + name (the receiver resolves through its vtable,
+    /// which agrees with name-based resolution by construction).
+    Method(u32, &'a str),
+    /// Name-only member (e.g. `DependentObject.access` with a computed name).
+    Dynamic(&'a str),
+    /// Array accesses carry no member; v1 frames send the empty name.
+    None,
+}
+
+impl<'a> WireMember<'a> {
+    /// The member name as v1 would send it (also the charged name length).
+    fn name(&self) -> &'a str {
+        match self {
+            WireMember::Field(_, n) | WireMember::Method(_, n) | WireMember::Dynamic(n) => n,
+            WireMember::None => "",
+        }
+    }
+
+    /// The dense id a v2 frame carries, if one is known.
+    fn id(&self) -> Option<u32> {
+        match self {
+            WireMember::Field(s, _) | WireMember::Method(s, _) => Some(*s),
+            WireMember::Dynamic(_) => None,
+            WireMember::None => Some(0),
+        }
+    }
+}
+
+/// The member of a parked remote invoke: the statically known callee (name and
+/// selector both come from the method tables, so nothing is cloned), or a
+/// dynamic name.
+enum MemberAddr {
+    /// Statically known callee method.
+    Method(MethodId),
+    /// Dynamic member name (DependentObject.access).
+    Name(String),
+}
+
 /// Decision produced for invoke sites that leave the fast path under cooperative
 /// scheduling (proxies, remote receivers, the DependentObject protocol).
 enum SlowInvoke {
@@ -383,7 +455,7 @@ enum SlowInvoke {
     Remote {
         target_ref: ObjRef,
         kind: AccessKind,
-        member: String,
+        member: MemberAddr,
         args: Vec<Value>,
         push: bool,
     },
@@ -457,6 +529,11 @@ pub struct Interp<'p> {
     /// Recycled (locals, operand stack) frame vectors, so method invocation does not
     /// allocate on the hot path.
     frame_pool: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Scratch for marshalling outgoing argument lists (recycled across sends so a
+    /// steady-state remote access allocates no per-message vector).
+    wire_out: Vec<WireValue>,
+    /// Scratch for decoding incoming v2 value lists (recycled across frames).
+    wire_vals: Vec<WireValue>,
 }
 
 impl<'p> Interp<'p> {
@@ -524,6 +601,8 @@ impl<'p> Interp<'p> {
             dep_class,
             proxy_slots,
             frame_pool: Vec::new(),
+            wire_out: Vec::new(),
+            wire_vals: Vec::new(),
         }
     }
 
@@ -1117,7 +1196,7 @@ impl<'p> Interp<'p> {
                                         self.remote_send(
                                             r,
                                             AccessKind::GetElement,
-                                            "",
+                                            WireMember::None,
                                             vec![Value::Int(i)]
                                         ),
                                         ResumeAction::Push
@@ -1159,7 +1238,7 @@ impl<'p> Interp<'p> {
                                         self.remote_send(
                                             r,
                                             AccessKind::PutElement,
-                                            "",
+                                            WireMember::None,
                                             vec![Value::Int(i), val]
                                         ),
                                         ResumeAction::Drop
@@ -1173,7 +1252,12 @@ impl<'p> Interp<'p> {
                             if coop {
                                 if let Value::Ref(r @ ObjRef::Remote { .. }) = arr {
                                     park!(
-                                        self.remote_send(r, AccessKind::ArrayLength, "", vec![]),
+                                        self.remote_send(
+                                            r,
+                                            AccessKind::ArrayLength,
+                                            WireMember::None,
+                                            vec![]
+                                        ),
                                         ResumeAction::Push
                                     );
                                 }
@@ -1205,11 +1289,15 @@ impl<'p> Interp<'p> {
                                 match self.remote_field_target(&obj, *fr) {
                                     Ok(Some(target)) => {
                                         let name: &str = &program.field(*fr).name;
+                                        let wm = match layout.field_slot(*fr) {
+                                            Some(slot) => WireMember::Field(slot, name),
+                                            None => WireMember::Dynamic(name),
+                                        };
                                         park!(
                                             self.remote_send(
                                                 target,
                                                 AccessKind::GetField,
-                                                name,
+                                                wm,
                                                 vec![]
                                             ),
                                             ResumeAction::Push
@@ -1243,11 +1331,15 @@ impl<'p> Interp<'p> {
                                 match self.remote_field_target(&obj, *fr) {
                                     Ok(Some(target)) => {
                                         let name: &str = &program.field(*fr).name;
+                                        let wm = match layout.field_slot(*fr) {
+                                            Some(slot) => WireMember::Field(slot, name),
+                                            None => WireMember::Dynamic(name),
+                                        };
                                         park!(
                                             self.remote_send(
                                                 target,
                                                 AccessKind::PutField,
-                                                name,
+                                                wm,
                                                 vec![val]
                                             ),
                                             ResumeAction::Drop
@@ -1302,7 +1394,7 @@ impl<'p> Interp<'p> {
                                                 _ => match layout.resolve_selector(c, *sel) {
                                                     Some(m) => m,
                                                     None => fail!(ExecError::UnknownMethod(
-                                                        program.method(*target).name.clone(),
+                                                        layout.method_name(*target).clone(),
                                                     )),
                                                 },
                                             });
@@ -1348,8 +1440,15 @@ impl<'p> Interp<'p> {
                                         args,
                                         push,
                                     }) => {
+                                        let wm = match &member {
+                                            MemberAddr::Method(m) => WireMember::Method(
+                                                layout.selector(*m),
+                                                &program.method(*m).name,
+                                            ),
+                                            MemberAddr::Name(n) => WireMember::Dynamic(n.as_str()),
+                                        };
                                         park!(
-                                            self.remote_send(target_ref, kind, &member, args),
+                                            self.remote_send(target_ref, kind, wm, args),
                                             if push {
                                                 ResumeAction::Push
                                             } else {
@@ -1566,11 +1665,15 @@ impl<'p> Interp<'p> {
                                 match self.remote_field_target(&obj, *fr) {
                                     Ok(Some(target)) => {
                                         let name: &str = &program.field(*fr).name;
+                                        let wm = match layout.field_slot(*fr) {
+                                            Some(slot) => WireMember::Field(slot, name),
+                                            None => WireMember::Dynamic(name),
+                                        };
                                         park!(
                                             self.remote_send(
                                                 target,
                                                 AccessKind::GetField,
-                                                name,
+                                                wm,
                                                 vec![]
                                             ),
                                             ResumeAction::Push
@@ -1610,6 +1713,10 @@ impl<'p> Interp<'p> {
                                 match self.remote_field_target(&obj, *fr) {
                                     Ok(Some(target)) => {
                                         let name: &str = &program.field(*fr).name;
+                                        let wm = match layout.field_slot(*fr) {
+                                            Some(slot) => WireMember::Field(slot, name),
+                                            None => WireMember::Dynamic(name),
+                                        };
                                         // The write parks mid-pattern: the resume
                                         // action owes the trailing Pop (and its
                                         // underflow fault) after dropping the reply.
@@ -1617,7 +1724,7 @@ impl<'p> Interp<'p> {
                                             self.remote_send(
                                                 target,
                                                 AccessKind::PutField,
-                                                name,
+                                                wm,
                                                 vec![val]
                                             ),
                                             ResumeAction::DropThenPop {
@@ -1748,7 +1855,7 @@ impl<'p> Interp<'p> {
                     Ok(SlowInvoke::Remote {
                         target_ref: remote,
                         kind: k,
-                        member: callee.name.clone(),
+                        member: MemberAddr::Method(target),
                         args,
                         push: push_ret,
                     })
@@ -1773,7 +1880,7 @@ impl<'p> Interp<'p> {
                 Ok(SlowInvoke::Remote {
                     target_ref: r,
                     kind: k,
-                    member: callee.name.clone(),
+                    member: MemberAddr::Method(target),
                     args,
                     push: push_ret,
                 })
@@ -1828,14 +1935,14 @@ impl<'p> Interp<'p> {
                 Ok(SlowInvoke::Remote {
                     target_ref,
                     kind,
-                    member,
+                    member: MemberAddr::Name(member),
                     args: call_args,
                     push: push_ret,
                 })
             }
-            other => Err(ExecError::UnknownMethod(format!(
-                "rt/DependentObject.{other}"
-            ))),
+            other => Err(ExecError::UnknownMethod(
+                format!("rt/DependentObject.{other}").into(),
+            )),
         }
     }
 
@@ -2052,7 +2159,11 @@ impl<'p> Interp<'p> {
                         let target = self.proxy_target(h)?;
                         let program = self.program;
                         let name: &'p str = &program.field(fr).name;
-                        return self.remote_access(target, AccessKind::GetField, name, vec![]);
+                        let wm = match self.layout.field_slot(fr) {
+                            Some(slot) => WireMember::Field(slot, name),
+                            None => WireMember::Dynamic(name),
+                        };
+                        return self.remote_access_wm(target, AccessKind::GetField, wm, vec![]);
                     }
                     Ok(self
                         .layout
@@ -2066,7 +2177,11 @@ impl<'p> Interp<'p> {
             Value::Ref(r @ ObjRef::Remote { .. }) => {
                 let program = self.program;
                 let name: &'p str = &program.field(fr).name;
-                self.remote_access(r, AccessKind::GetField, name, vec![])
+                let wm = match self.layout.field_slot(fr) {
+                    Some(slot) => WireMember::Field(slot, name),
+                    None => WireMember::Dynamic(name),
+                };
+                self.remote_access_wm(r, AccessKind::GetField, wm, vec![])
             }
             Value::Null => Err(ExecError::NullPointer(format!(
                 "read of field {}",
@@ -2085,7 +2200,11 @@ impl<'p> Interp<'p> {
                         let target = self.proxy_target(h)?;
                         let program = self.program;
                         let name: &'p str = &program.field(fr).name;
-                        self.remote_access(target, AccessKind::PutField, name, vec![val])?;
+                        let wm = match self.layout.field_slot(fr) {
+                            Some(slot) => WireMember::Field(slot, name),
+                            None => WireMember::Dynamic(name),
+                        };
+                        self.remote_access_wm(target, AccessKind::PutField, wm, vec![val])?;
                         return Ok(());
                     }
                     if let Some(cell) = self
@@ -2102,7 +2221,11 @@ impl<'p> Interp<'p> {
             Value::Ref(r @ ObjRef::Remote { .. }) => {
                 let program = self.program;
                 let name: &'p str = &program.field(fr).name;
-                self.remote_access(r, AccessKind::PutField, name, vec![val])?;
+                let wm = match self.layout.field_slot(fr) {
+                    Some(slot) => WireMember::Field(slot, name),
+                    None => WireMember::Dynamic(name),
+                };
+                self.remote_access_wm(r, AccessKind::PutField, wm, vec![val])?;
                 Ok(())
             }
             Value::Null => Err(ExecError::NullPointer(format!(
@@ -2212,7 +2335,8 @@ impl<'p> Interp<'p> {
                         } else {
                             AccessKind::InvokeRet
                         };
-                        self.remote_access(remote, k, &callee.name, args)
+                        let wm = WireMember::Method(self.layout.selector(target), &callee.name);
+                        self.remote_access_wm(remote, k, wm, args)
                     }
                     Some(c) => {
                         // Dynamic dispatch through the selector-indexed vtable: no
@@ -2220,7 +2344,7 @@ impl<'p> Interp<'p> {
                         let resolved = match kind {
                             InvokeKind::Special => target,
                             _ => self.layout.resolve_virtual(c, target).ok_or_else(|| {
-                                ExecError::UnknownMethod(program.method(target).name.clone())
+                                ExecError::UnknownMethod(self.layout.method_name(target).clone())
                             })?,
                         };
                         self.invoke(resolved, args)
@@ -2240,7 +2364,8 @@ impl<'p> Interp<'p> {
                 } else {
                     AccessKind::InvokeRet
                 };
-                self.remote_access(r, k, &callee.name, args)
+                let wm = WireMember::Method(self.layout.selector(target), &callee.name);
+                self.remote_access_wm(r, k, wm, args)
             }
             other => Err(ExecError::Unsupported(format!(
                 "method call on non-reference {other:?}"
@@ -2270,9 +2395,9 @@ impl<'p> Interp<'p> {
                 let (target, kind, member, call_args) = self.parse_dep_access(&receiver, &args)?;
                 self.remote_access(target, kind, &member, call_args)
             }
-            other => Err(ExecError::UnknownMethod(format!(
-                "rt/DependentObject.{other}"
-            ))),
+            other => Err(ExecError::UnknownMethod(
+                format!("rt/DependentObject.{other}").into(),
+            )),
         }
     }
 
@@ -2436,10 +2561,9 @@ impl<'p> Interp<'p> {
             }
             return Ok(r);
         }
-        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let data = crate::wire::encode_new(class_name, &wire_args);
+        let (data, charged) = self.encode_new_frame(home, class_name, &args);
         self.counters.remote_requests += 1;
-        let resp = self.round_trip(home, data)?;
+        let resp = self.round_trip(home, data, charged)?;
         match self.unmarshal(resp) {
             Value::Ref(r) => Ok(r),
             other => Err(ExecError::RemoteFailure(format!(
@@ -2456,6 +2580,24 @@ impl<'p> Interp<'p> {
         member: &str,
         args: Vec<Value>,
     ) -> Result<Value, ExecError> {
+        let wm = if kind.has_member() {
+            WireMember::Dynamic(member)
+        } else {
+            WireMember::None
+        };
+        self.remote_access_wm(target, kind, wm, args)
+    }
+
+    /// [`Self::remote_access`] with a pre-resolved member id when one is known —
+    /// the id lets the frame travel slot-addressed (v2) instead of carrying the
+    /// member name.
+    fn remote_access_wm(
+        &mut self,
+        target: ObjRef,
+        kind: AccessKind,
+        member: WireMember<'_>,
+        args: Vec<Value>,
+    ) -> Result<Value, ExecError> {
         let (node, id) = match target {
             ObjRef::Remote { node, id } => (node, id),
             ObjRef::Local(_) => {
@@ -2467,11 +2609,91 @@ impl<'p> Interp<'p> {
         if self.dist.is_none() {
             return Err(ExecError::NotDistributed);
         }
-        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let data = crate::wire::encode_dependence(id, kind, member, &wire_args);
+        let (data, charged) = self.encode_dependence_frame(node, id, kind, member, &args);
         self.counters.remote_requests += 1;
-        let resp = self.round_trip(node, data)?;
+        let resp = self.round_trip(node, data, charged)?;
         Ok(self.unmarshal(resp))
+    }
+
+    /// Marshals `args` and encodes one `DEPENDENCE` frame into a pooled buffer:
+    /// slot-addressed v2 (prefixed by the one-time fingerprint hello on this
+    /// link) when the member id is known and the frame fits, v1 strings
+    /// otherwise. Returns the frame plus the v1-equivalent size the virtual
+    /// clock is charged — the wire format is a transport detail, so committed
+    /// timings must not move with it.
+    fn encode_dependence_frame(
+        &mut self,
+        node: usize,
+        id: u64,
+        kind: AccessKind,
+        member: WireMember<'_>,
+        args: &[Value],
+    ) -> (Bytes, usize) {
+        let mut wire_args = std::mem::take(&mut self.wire_out);
+        wire_args.clear();
+        for a in args {
+            let w = self.marshal(a);
+            wire_args.push(w);
+        }
+        let name = member.name();
+        let charged = crate::wire::charged_dependence_size(name.len(), &wire_args);
+        let fp = self.layout.fingerprint();
+        let dist = self.dist.as_mut().expect("dist state attached");
+        let buf = dist.endpoint.take_buf();
+        let member_id = if kind.has_member() {
+            member.id()
+        } else {
+            Some(0)
+        };
+        let data = match member_id {
+            Some(m) if crate::wire::dep_fits_v2(id, &wire_args) => {
+                let hello = if dist.hello_sent[node] {
+                    None
+                } else {
+                    dist.hello_sent[node] = true;
+                    Some(fp)
+                };
+                crate::wire::encode_dependence_v2(buf, hello, id, kind, m, &wire_args)
+            }
+            _ => crate::wire::encode_dependence_in(buf, id, kind, name, &wire_args),
+        };
+        self.wire_out = wire_args;
+        (data, charged)
+    }
+
+    /// The `NEW` counterpart of [`Self::encode_dependence_frame`]: class-id v2
+    /// when the class is known to the shared tables, string v1 otherwise.
+    fn encode_new_frame(
+        &mut self,
+        home: usize,
+        class_name: &str,
+        args: &[Value],
+    ) -> (Bytes, usize) {
+        let mut wire_args = std::mem::take(&mut self.wire_out);
+        wire_args.clear();
+        for a in args {
+            let w = self.marshal(a);
+            wire_args.push(w);
+        }
+        let charged = crate::wire::charged_new_size(class_name.len(), &wire_args);
+        let class = self.program.class_by_name(class_name);
+        let fp = self.layout.fingerprint();
+        let dist = self.dist.as_mut().expect("dist state attached");
+        let buf = dist.endpoint.take_buf();
+        let data = match class {
+            Some(c) if crate::wire::new_fits_v2(&wire_args) => {
+                let hello = if dist.hello_sent[home] {
+                    None
+                } else {
+                    dist.hello_sent[home] = true;
+                    Some(fp)
+                };
+                crate::wire::encode_new_v2(buf, hello, c.0, &wire_args)
+            }
+            _ => crate::wire::encode_new_in(buf, class_name, &wire_args),
+        };
+        self.wire_out = wire_args;
+        (data, charged)
     }
 
     /// Sends a `DEPENDENCE` request without waiting for the answer (cooperative
@@ -2480,7 +2702,7 @@ impl<'p> Interp<'p> {
         &mut self,
         target: ObjRef,
         kind: AccessKind,
-        member: &str,
+        member: WireMember<'_>,
         args: Vec<Value>,
     ) -> Result<u64, ExecError> {
         let (node, id) = match target {
@@ -2494,12 +2716,13 @@ impl<'p> Interp<'p> {
         if self.dist.is_none() {
             return Err(ExecError::NotDistributed);
         }
-        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let data = crate::wire::encode_dependence(id, kind, member, &wire_args);
+        let (data, charged) = self.encode_dependence_frame(node, id, kind, member, &args);
         self.counters.remote_requests += 1;
         let clock = self.clock_us;
         let dist = self.dist.as_mut().unwrap();
-        let (clock, req_id) = dist.endpoint.send_request(node, data, clock);
+        let (clock, req_id) = dist
+            .endpoint
+            .send_request_charged(node, data, clock, charged);
         self.clock_us = clock;
         Ok(req_id)
     }
@@ -2515,12 +2738,13 @@ impl<'p> Interp<'p> {
         if self.dist.is_none() {
             return Err(ExecError::NotDistributed);
         }
-        let wire_args: Vec<WireValue> = args.iter().map(|a| self.marshal(a)).collect();
-        let data = crate::wire::encode_new(class_name, &wire_args);
+        let (data, charged) = self.encode_new_frame(home, class_name, &args);
         self.counters.remote_requests += 1;
         let clock = self.clock_us;
         let dist = self.dist.as_mut().unwrap();
-        let (clock, req_id) = dist.endpoint.send_request(home, data, clock);
+        let (clock, req_id) = dist
+            .endpoint
+            .send_request_charged(home, data, clock, charged);
         self.clock_us = clock;
         Ok(req_id)
     }
@@ -2529,11 +2753,16 @@ impl<'p> Interp<'p> {
     /// arrive in the meantime (the re-entrant Message Exchange behaviour). This is
     /// the thread-per-node wait: it blocks the OS thread on this node's mailbox.
     /// Cooperative nodes never call it — their machine parks instead.
-    fn round_trip(&mut self, to: usize, data: Bytes) -> Result<WireValue, ExecError> {
+    fn round_trip(
+        &mut self,
+        to: usize,
+        data: Bytes,
+        charged: usize,
+    ) -> Result<WireValue, ExecError> {
         let req_id = {
             let clock = self.clock_us;
             let dist = self.dist.as_mut().unwrap();
-            let (clock, req_id) = dist.endpoint.send_request(to, data, clock);
+            let (clock, req_id) = dist.endpoint.send_request_charged(to, data, clock, charged);
             self.clock_us = clock;
             req_id
         };
@@ -2566,9 +2795,15 @@ impl<'p> Interp<'p> {
                         pkt.req_id
                     )));
                 }
-                match Response::decode(pkt.data) {
-                    Response::Value(v) => Ok(Some(v)),
-                    Response::Error(e) => Err(ExecError::RemoteFailure(e)),
+                let mut data = pkt.data;
+                let decoded = Response::decode(&mut data);
+                if let Some(d) = self.dist.as_mut() {
+                    d.endpoint.reclaim(data);
+                }
+                match decoded {
+                    Ok(Response::Value(v)) => Ok(Some(v)),
+                    Ok(Response::Error(e)) => Err(ExecError::RemoteFailure(e)),
+                    Err(e) => Err(ExecError::Wire(e)),
                 }
             }
             PacketKind::Request => {
@@ -2583,19 +2818,21 @@ impl<'p> Interp<'p> {
     /// modelled cost. The caller has already advanced the clock to the packet's
     /// arrival time.
     fn serve_request(&mut self, from: usize, req_id: u64, data: Bytes) {
-        let req = Request::decode(data);
-        if matches!(req, Request::Shutdown) {
-            if let Some(d) = self.dist.as_mut() {
-                d.shutdown = true;
-            }
-            return;
-        }
-        let resp = self.handle_request(req);
-        let clock = self.clock_us;
-        let dist = self.dist.as_mut().unwrap();
-        self.clock_us = dist
-            .endpoint
-            .send_response(from, req_id, resp.encode(), clock);
+        let result = match self.accept_frame(from, data) {
+            Ok(None) => return, // shutdown noted
+            Ok(Some(Accepted::Value(v))) => Ok(v),
+            Ok(Some(Accepted::Run {
+                mut task,
+                reply_override,
+            })) => match self.run_task(&mut task) {
+                TaskOutcome::Done(r) => r.map(|v| reply_override.unwrap_or(v)),
+                TaskOutcome::Parked { .. } => Err(ExecError::Unsupported(
+                    "computation suspended outside the cooperative scheduler".into(),
+                )),
+            },
+            Err(e) => Err(e),
+        };
+        self.send_reply(from, req_id, result);
     }
 
     /// Non-blocking receive for the cooperative scheduler; advances the virtual clock
@@ -2613,23 +2850,16 @@ impl<'p> Interp<'p> {
     /// runs — re-entrantly with any continuation this node already has parked, which
     /// is exactly what makes cyclic placements schedulable on one thread.
     pub fn accept_request(&mut self, from: usize, req_id: u64, data: Bytes) -> ServeOutcome {
-        let req = Request::decode(data);
-        if matches!(req, Request::Shutdown) {
-            if let Some(d) = self.dist.as_mut() {
-                d.shutdown = true;
-            }
-            return ServeOutcome::Handled;
-        }
-        self.counters.requests_served += 1;
-        match self.accept_inner(req) {
-            Ok(Accepted::Value(v)) => {
+        match self.accept_frame(from, data) {
+            Ok(None) => ServeOutcome::Handled, // shutdown noted
+            Ok(Some(Accepted::Value(v))) => {
                 self.send_reply(from, req_id, Ok(v));
                 ServeOutcome::Handled
             }
-            Ok(Accepted::Run {
+            Ok(Some(Accepted::Run {
                 task,
                 reply_override,
-            }) => ServeOutcome::Spawned {
+            })) => ServeOutcome::Spawned {
                 task,
                 reply_override,
             },
@@ -2637,6 +2867,125 @@ impl<'p> Interp<'p> {
                 self.send_reply(from, req_id, Err(e));
                 ServeOutcome::Handled
             }
+        }
+    }
+
+    /// Decodes and classifies one incoming request frame, shared by both serve
+    /// paths: strips and verifies the fingerprint hello, routes slot-addressed
+    /// (v2) frames through the id-based dispatchers — never dispatching a slot
+    /// from an unverified peer — and everything else through the v1 string
+    /// decoder. Returns `Ok(None)` for `Shutdown` (the flag is set; no reply is
+    /// owed).
+    fn accept_frame(
+        &mut self,
+        from: usize,
+        mut data: Bytes,
+    ) -> Result<Option<Accepted>, ExecError> {
+        let hello = crate::wire::split_hello(&mut data)?;
+        self.verify_hello(from, hello)?;
+        let tag = crate::wire::peek_tag(&data)?;
+        if crate::wire::is_slot_addressed(tag) {
+            let verified = self
+                .dist
+                .as_ref()
+                .map(|d| d.peer_ok.get(from).copied().unwrap_or(false))
+                .unwrap_or(false);
+            if !verified {
+                return Err(ExecError::Wire(WireError::UnverifiedSlotFrame));
+            }
+            return self.accept_slot_frame(data).map(Some);
+        }
+        let req = Request::decode(data)?;
+        if matches!(req, Request::Shutdown) {
+            if let Some(d) = self.dist.as_mut() {
+                d.shutdown = true;
+            }
+            return Ok(None);
+        }
+        self.counters.requests_served += 1;
+        self.accept_inner(req).map(Some)
+    }
+
+    /// Checks a received hello envelope against this node's layout fingerprint.
+    /// A match unlocks slot-addressed dispatch from `from`; a mismatch is a hard
+    /// typed error (the peer's dense ids mean something else entirely).
+    fn verify_hello(&mut self, from: usize, hello: Option<u64>) -> Result<(), ExecError> {
+        let Some(theirs) = hello else { return Ok(()) };
+        let ours = self.layout.fingerprint();
+        if theirs != ours {
+            return Err(ExecError::Wire(WireError::FingerprintMismatch {
+                ours,
+                theirs,
+            }));
+        }
+        if let Some(d) = self.dist.as_mut() {
+            if let Some(slot) = d.peer_ok.get_mut(from) {
+                *slot = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a slot-addressed frame — head, then the value list into a recycled
+    /// scratch vector — returns its buffer to the link pool, and dispatches by
+    /// dense id. The steady-state decode performs no per-message allocation and
+    /// no string comparison.
+    fn accept_slot_frame(&mut self, mut data: Bytes) -> Result<Accepted, ExecError> {
+        enum Head {
+            New {
+                class: u32,
+            },
+            Dep {
+                target: u64,
+                kind: AccessKind,
+                member: u32,
+            },
+        }
+        let tag = crate::wire::peek_tag(&data)?;
+        let mut vals = std::mem::take(&mut self.wire_vals);
+        vals.clear();
+        let decoded = if tag == crate::wire::TAG_NEW_V2 {
+            crate::wire::decode_new_v2_head(&mut data)
+                .map(|h| (Head::New { class: h.class }, h.argc))
+        } else {
+            crate::wire::decode_dep_v2_head(&mut data).map(|h| {
+                (
+                    Head::Dep {
+                        target: h.target,
+                        kind: h.kind,
+                        member: h.member,
+                    },
+                    h.argc,
+                )
+            })
+        }
+        .and_then(|(head, argc)| {
+            crate::wire::decode_values_into(&mut data, argc, &mut vals).map(|_| head)
+        });
+        if let Some(d) = self.dist.as_mut() {
+            d.endpoint.reclaim(data);
+        }
+        let head = match decoded {
+            Ok(h) => h,
+            Err(e) => {
+                self.wire_vals = vals;
+                return Err(ExecError::Wire(e));
+            }
+        };
+        let mut args: Vec<Value> = Vec::with_capacity(vals.len());
+        for w in vals.drain(..) {
+            let v = self.unmarshal(w);
+            args.push(v);
+        }
+        self.wire_vals = vals;
+        self.counters.requests_served += 1;
+        match head {
+            Head::New { class } => self.accept_new_by_id(class, args),
+            Head::Dep {
+                target,
+                kind,
+                member,
+            } => self.accept_dep_by_slot(target, kind, member, args),
         }
     }
 
@@ -2654,25 +3003,20 @@ impl<'p> Interp<'p> {
                     .class_by_name(&class_name)
                     .ok_or_else(|| ExecError::Unsupported(format!("unknown class {class_name}")))?;
                 let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
-                let r = self.new_instance(class);
-                match self.program.find_method(class, "<init>") {
-                    Some(ctor) if !self.layout.ops(ctor).ops.is_empty() => {
-                        // Serving pushes a frame that stays live while the task runs
-                        // (or parks), so unbounded cross-node recursion shows up as
-                        // live-frame growth here — guard it like any other call.
-                        if self.live_frames >= self.max_depth {
-                            return Err(ExecError::StackOverflow);
-                        }
-                        let mut full = vec![Value::Ref(r)];
-                        full.extend(args);
-                        let task = self.task_for(ctor, full).expect("constructor has a body");
-                        Ok(Accepted::Run {
-                            task,
-                            reply_override: Some(Value::Ref(r)),
-                        })
-                    }
-                    _ => Ok(Accepted::Value(Value::Ref(r))),
-                }
+                self.accept_new(class, args)
+            }
+            Request::NewById { class, args } => {
+                let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
+                self.accept_new_by_id(class, args)
+            }
+            Request::DependenceById {
+                target,
+                kind,
+                member,
+                args,
+            } => {
+                let args: Vec<Value> = args.into_iter().map(|a| self.unmarshal(a)).collect();
+                self.accept_dep_by_slot(target, kind, member, args)
             }
             Request::Dependence {
                 target,
@@ -2716,7 +3060,7 @@ impl<'p> Interp<'p> {
                         let m = self
                             .program
                             .resolve_method(class, &member)
-                            .ok_or_else(|| ExecError::UnknownMethod(member.clone()))?;
+                            .ok_or_else(|| ExecError::UnknownMethod(member.as_str().into()))?;
                         // See the `New` arm: served frames stay in the live-frame
                         // count across parks, so this is where cross-node recursion
                         // is bounded.
@@ -2739,6 +3083,117 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// The shared `NEW` service behind both wire formats: instantiate, and when a
+    /// constructor with a body exists return it as a task (replying with the
+    /// fresh reference either way).
+    fn accept_new(&mut self, class: ClassId, args: Vec<Value>) -> Result<Accepted, ExecError> {
+        let r = self.new_instance(class);
+        match self.program.find_method(class, "<init>") {
+            Some(ctor) if !self.layout.ops(ctor).ops.is_empty() => {
+                // Serving pushes a frame that stays live while the task runs
+                // (or parks), so unbounded cross-node recursion shows up as
+                // live-frame growth here — guard it like any other call.
+                if self.live_frames >= self.max_depth {
+                    return Err(ExecError::StackOverflow);
+                }
+                let mut full = vec![Value::Ref(r)];
+                full.extend(args);
+                let task = self.task_for(ctor, full).expect("constructor has a body");
+                Ok(Accepted::Run {
+                    task,
+                    reply_override: Some(Value::Ref(r)),
+                })
+            }
+            _ => Ok(Accepted::Value(Value::Ref(r))),
+        }
+    }
+
+    /// [`Self::accept_new`] from a wire-carried dense class id, range-checked
+    /// against the shared tables.
+    fn accept_new_by_id(&mut self, class: u32, args: Vec<Value>) -> Result<Accepted, ExecError> {
+        if (class as usize) >= self.layout.classes.len() {
+            return Err(ExecError::RemoteFailure(format!("bad class id {class}")));
+        }
+        self.accept_new(ClassId(class), args)
+    }
+
+    /// The slot-addressed `DEPENDENCE` service: the dense-id twin of the string
+    /// arm in [`Self::accept_inner`], with identical out-of-range semantics —
+    /// an unknown field slot reads as null and drops the write, exactly like an
+    /// unknown member name; invokes resolve through the selector-indexed vtable,
+    /// which agrees with name-based resolution by construction.
+    fn accept_dep_by_slot(
+        &mut self,
+        target: u64,
+        kind: AccessKind,
+        member: u32,
+        args: Vec<Value>,
+    ) -> Result<Accepted, ExecError> {
+        let heap_idx = {
+            let dist = self.dist.as_ref().ok_or(ExecError::NotDistributed)?;
+            *dist
+                .exports
+                .get(target as usize)
+                .ok_or_else(|| ExecError::RemoteFailure(format!("bad export id {target}")))?
+        };
+        let receiver = Value::Ref(ObjRef::Local(heap_idx));
+        match kind {
+            AccessKind::GetField => match &self.heap[heap_idx as usize] {
+                HeapObject::Object { fields, .. } => Ok(Accepted::Value(
+                    fields.get(member as usize).cloned().unwrap_or(Value::Null),
+                )),
+                _ => Err(ExecError::Unsupported("field read on array".into())),
+            },
+            AccessKind::PutField => {
+                let v = args.into_iter().next().unwrap_or(Value::Null);
+                match &mut self.heap[heap_idx as usize] {
+                    HeapObject::Object { fields, .. } => {
+                        if let Some(cell) = fields.get_mut(member as usize) {
+                            *cell = v;
+                        }
+                        Ok(Accepted::Value(Value::Null))
+                    }
+                    _ => Err(ExecError::Unsupported("field write on array".into())),
+                }
+            }
+            AccessKind::GetElement => {
+                let idx = args.into_iter().next().unwrap_or(Value::Int(0));
+                self.array_load(receiver, idx).map(Accepted::Value)
+            }
+            AccessKind::PutElement => {
+                let mut it = args.into_iter();
+                let idx = it.next().unwrap_or(Value::Int(0));
+                let val = it.next().unwrap_or(Value::Null);
+                self.array_store(receiver, idx, val)?;
+                Ok(Accepted::Value(Value::Null))
+            }
+            AccessKind::ArrayLength => self.array_length(receiver).map(Accepted::Value),
+            AccessKind::InvokeVoid | AccessKind::InvokeRet => {
+                let class = self.heap[heap_idx as usize]
+                    .class()
+                    .ok_or_else(|| ExecError::Unsupported("invoke on array".into()))?;
+                let m = self.layout.resolve_selector(class, member).ok_or_else(|| {
+                    ExecError::UnknownMethod(format!("selector #{member}").into())
+                })?;
+                // See `accept_new`: served frames stay in the live-frame count
+                // across parks, so this is where cross-node recursion is bounded.
+                if self.live_frames >= self.max_depth {
+                    return Err(ExecError::StackOverflow);
+                }
+                let mut full = vec![receiver];
+                full.extend(args);
+                match self.task_for(m, full) {
+                    Some(task) => Ok(Accepted::Run {
+                        task,
+                        reply_override: None,
+                    }),
+                    // Abstract / intrinsic methods behave as no-ops.
+                    None => Ok(Accepted::Value(Value::Null)),
+                }
+            }
+        }
+    }
+
     /// Sends the response for request `req_id` back to `to`, marshalling the result
     /// (errors travel as `Response::Error`, exactly like the synchronous serve path).
     pub fn send_reply(&mut self, to: usize, req_id: u64, result: Result<Value, ExecError>) {
@@ -2748,9 +3203,9 @@ impl<'p> Interp<'p> {
         };
         let clock = self.clock_us;
         let dist = self.dist.as_mut().expect("reply requires dist state");
-        self.clock_us = dist
-            .endpoint
-            .send_response(to, req_id, resp.encode(), clock);
+        let buf = dist.endpoint.take_buf();
+        let data = crate::wire::encode_response_in(buf, &resp);
+        self.clock_us = dist.endpoint.send_response(to, req_id, data, clock);
     }
 
     /// Handles one incoming request (the body of the Message Exchange service).

@@ -7,7 +7,7 @@
 //! Virtual clocks are carried on the packets so causality is preserved (a receiver can
 //! never observe a message before it was sent).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -433,9 +433,15 @@ pub type ReadyKey = (u32, u32);
 /// inline scheduler pops from it without contention. In serving mode one queue is
 /// shared by *many* per-request worlds, so continuations from different requests
 /// interleave freely on the same pool.
+///
+/// Every entry carries a packet **count**: a plain [`ReadyQueue::push`] enqueues
+/// count 1 (one entry per packet, as always), while a coalescing sender that
+/// accumulated several packets for one destination before the scheduler woke
+/// publishes them as a single counted entry via [`ReadyQueue::push_counted`] —
+/// one pop then delivers the whole batch.
 #[derive(Default)]
 pub struct ReadyQueue {
-    queue: Mutex<VecDeque<ReadyKey>>,
+    queue: Mutex<VecDeque<(ReadyKey, u32)>>,
     ready: Condvar,
     /// Threads currently blocked in [`ReadyQueue::wait_for_ready`]. Pushes only
     /// notify when this is non-zero: a condvar notify is a futex syscall, and the
@@ -445,10 +451,20 @@ pub struct ReadyQueue {
 }
 
 impl ReadyQueue {
-    /// Enqueues `key` as having a deliverable packet and wakes one waiter, if any.
+    /// Enqueues `key` as having one deliverable packet and wakes one waiter, if any.
     pub fn push(&self, key: ReadyKey) {
+        self.push_counted(key, 1);
+    }
+
+    /// Enqueues `key` carrying `count` deliverable packets as one entry (a
+    /// coalescing sender accumulated that many sends before the scheduler woke).
+    /// A zero count is ignored.
+    pub fn push_counted(&self, key: ReadyKey, count: u32) {
+        if count == 0 {
+            return;
+        }
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(key);
+        q.push_back((key, count));
         drop(q);
         // Waiters register under the queue lock before blocking, so this load after
         // the unlock cannot miss one: either the waiter saw our entry, or it
@@ -458,23 +474,23 @@ impl ReadyQueue {
         }
     }
 
-    /// Pops the oldest ready key, if any.
-    pub fn pop(&self) -> Option<ReadyKey> {
+    /// Pops the oldest ready entry `(key, packet count)`, if any.
+    pub fn pop(&self) -> Option<(ReadyKey, u32)> {
         self.queue
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop_front()
     }
 
-    /// Pops up to `n` ready keys in one lock acquisition (used by pool workers to
-    /// refill their local run queues in a batch).
-    pub fn pop_batch(&self, n: usize) -> Vec<ReadyKey> {
+    /// Pops up to `n` ready entries in one lock acquisition (used by pool workers
+    /// to refill their local run queues in a batch).
+    pub fn pop_batch(&self, n: usize) -> Vec<(ReadyKey, u32)> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         let take = n.min(q.len());
         q.drain(..take).collect()
     }
 
-    /// Number of queued entries (an upper bound on deliverable packets).
+    /// Number of queued entries (each may carry several packets when coalesced).
     pub fn len(&self) -> usize {
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
@@ -602,6 +618,10 @@ impl MpiWorld {
                 .faults
                 .as_ref()
                 .map(|state| EndpointFaults::new(Arc::clone(state), n)),
+            pool: Vec::new(),
+            pool_enabled: true,
+            coalesce: false,
+            pending_keys: Vec::new(),
         }
     }
 }
@@ -674,7 +694,22 @@ pub struct MpiEndpoint {
     /// Fault-injection machinery, present only when the world has a [`FaultPlan`] —
     /// the disabled hot path pays a single `is_some` branch per send and receive.
     faults: Option<EndpointFaults>,
+    /// Recycled encode buffers ([`MpiEndpoint::take_buf`] / [`MpiEndpoint::reclaim`]):
+    /// the steady-state wire path reuses one allocation per in-flight message.
+    pool: Vec<BytesMut>,
+    /// When cleared, [`MpiEndpoint::take_buf`] always allocates and
+    /// [`MpiEndpoint::reclaim`] always drops — the A/B control proving the pool
+    /// is invisible to everything the execution reports.
+    pool_enabled: bool,
+    /// When set, ready-key publications accumulate per destination and are released
+    /// as counted batches by [`MpiEndpoint::flush_coalesced`].
+    coalesce: bool,
+    /// Accumulated `(key, count)` publications awaiting a flush.
+    pending_keys: Vec<(ReadyKey, u32)>,
 }
+
+/// Upper bound on recycled encode buffers kept per endpoint.
+const BUF_POOL_CAP: usize = 32;
 
 impl MpiEndpoint {
     /// Sends `data` to `to`. `clock_us` is the sender's current virtual time; the
@@ -687,15 +722,52 @@ impl MpiEndpoint {
     /// Sends a request stamped with a fresh correlation id; returns the updated clock
     /// and the id the matching response will echo.
     pub fn send_request(&mut self, to: usize, data: Bytes, clock_us: f64) -> (f64, u64) {
+        let charged = data.len();
+        self.send_request_charged(to, data, clock_us, charged)
+    }
+
+    /// Like [`MpiEndpoint::send_request`], but charges the cost model for
+    /// `charged_len` bytes instead of the physical frame length. The slot-addressed
+    /// v2 wire path uses this to keep virtual time identical to the v1 encoding it
+    /// replaces while physically moving fewer bytes.
+    pub fn send_request_charged(
+        &mut self,
+        to: usize,
+        data: Bytes,
+        clock_us: f64,
+        charged_len: usize,
+    ) -> (f64, u64) {
         self.next_req_id += 1;
         let id = self.next_req_id;
-        let clock = self.send_with_id(to, PacketKind::Request, id, data, clock_us);
+        let clock =
+            self.send_with_id_charged(to, PacketKind::Request, id, data, clock_us, charged_len);
         (clock, id)
     }
 
     /// Sends the response for request `req_id` back to `to`.
     pub fn send_response(&mut self, to: usize, req_id: u64, data: Bytes, clock_us: f64) -> f64 {
-        self.send_with_id(to, PacketKind::Response, req_id, data, clock_us)
+        let charged = data.len();
+        self.send_response_charged(to, req_id, data, clock_us, charged)
+    }
+
+    /// Charged-length variant of [`MpiEndpoint::send_response`] (see
+    /// [`MpiEndpoint::send_request_charged`]).
+    pub fn send_response_charged(
+        &mut self,
+        to: usize,
+        req_id: u64,
+        data: Bytes,
+        clock_us: f64,
+        charged_len: usize,
+    ) -> f64 {
+        self.send_with_id_charged(
+            to,
+            PacketKind::Response,
+            req_id,
+            data,
+            clock_us,
+            charged_len,
+        )
     }
 
     fn send_with_id(
@@ -706,9 +778,24 @@ impl MpiEndpoint {
         data: Bytes,
         clock_us: f64,
     ) -> f64 {
-        let transfer = self.config.transfer_time_us(data.len());
+        let charged = data.len();
+        self.send_with_id_charged(to, kind, req_id, data, clock_us, charged)
+    }
+
+    fn send_with_id_charged(
+        &mut self,
+        to: usize,
+        kind: PacketKind,
+        req_id: u64,
+        data: Bytes,
+        clock_us: f64,
+        charged_len: usize,
+    ) -> f64 {
+        let transfer = self.config.transfer_time_us(charged_len);
         let arrival = clock_us + transfer;
         self.messages_sent += 1;
+        // Traffic counters record *physical* bytes; only the virtual-time charge
+        // uses `charged_len`.
         self.bytes_sent += data.len() as u64;
         // Correlated traffic goes through the fault layer when a plan is attached;
         // `req_id == 0` control messages (shutdown broadcasts) are exempt so the
@@ -730,10 +817,79 @@ impl MpiEndpoint {
         let _ = self.senders[to].send(pkt);
         // The sender knows the destination: mark the rank ready so event-driven
         // schedulers deliver in O(1) per packet (no mailbox sweep).
-        if self.track_ready {
-            self.ready.push((self.root, to as u32));
-        }
+        self.mark_ready(to);
         clock_us + self.config.latency_us * 0.1
+    }
+
+    /// Pops a recycled encode buffer, or allocates one. Pair with
+    /// [`MpiEndpoint::reclaim`] on the matching decoded `Bytes` to keep the
+    /// steady-state wire path allocation-free.
+    pub fn take_buf(&mut self) -> BytesMut {
+        if !self.pool_enabled {
+            return BytesMut::with_capacity(64);
+        }
+        self.pool
+            .pop()
+            .unwrap_or_else(|| BytesMut::with_capacity(64))
+    }
+
+    /// Returns a spent frame's storage to the pool when this handle is its sole
+    /// owner. Fault-plan duplicates clone the buffer, so shared storage simply
+    /// fails the refcount check and is dropped — correctness never depends on a
+    /// reclaim succeeding.
+    pub fn reclaim(&mut self, data: Bytes) {
+        if self.pool_enabled && self.pool.len() < BUF_POOL_CAP {
+            if let Ok(buf) = data.try_into_mut() {
+                self.pool.push(buf);
+            }
+        }
+    }
+
+    /// Turns buffer recycling on or off; turning it off releases the pooled
+    /// storage. Pure wall-clock optimisation — virtual times, traffic counters
+    /// and checksums must be identical either way (the parity suites pin this).
+    pub fn set_buffer_pool(&mut self, on: bool) {
+        if !on {
+            self.pool.clear();
+        }
+        self.pool_enabled = on;
+    }
+
+    /// Turns per-link ready-key coalescing on or off; turning it off releases
+    /// anything accumulated. Only the cooperative schedulers enable this — they
+    /// flush explicitly after every delivery slice, whereas a blocking receiver
+    /// would wait forever on keys a sender is still holding back.
+    pub fn set_coalescing(&mut self, on: bool) {
+        if !on {
+            self.flush_coalesced();
+        }
+        self.coalesce = on;
+    }
+
+    /// Publishes every accumulated `(key, count)` pair as one counted ready-queue
+    /// entry each. No-op when nothing has accumulated.
+    pub fn flush_coalesced(&mut self) {
+        for (key, count) in self.pending_keys.drain(..) {
+            self.ready.push_counted(key, count);
+        }
+    }
+
+    /// Records one deliverable packet for `to`: published immediately when
+    /// coalescing is off, else accumulated for the next flush.
+    fn mark_ready(&mut self, to: usize) {
+        if !self.track_ready {
+            return;
+        }
+        let key = (self.root, to as u32);
+        if self.coalesce {
+            if let Some(entry) = self.pending_keys.iter_mut().find(|(k, _)| *k == key) {
+                entry.1 += 1;
+            } else {
+                self.pending_keys.push((key, 1));
+            }
+        } else {
+            self.ready.push(key);
+        }
     }
 
     /// The fault-layer send path: sequences the packet, then rolls kill, drop/retry,
@@ -791,9 +947,7 @@ impl MpiEndpoint {
                 // Wake the destination anyway: an event-driven scheduler pops the
                 // key, finds nothing, quiesces, and the delivery deadline turns the
                 // recorded loss into a typed error instead of a hang.
-                if self.track_ready {
-                    self.ready.push((self.root, to as u32));
-                }
+                self.mark_ready(to);
                 return ret;
             }
         }
@@ -811,9 +965,7 @@ impl MpiEndpoint {
                 kind,
                 reason: LossReason::Dropped,
             });
-            if self.track_ready {
-                self.ready.push((self.root, to as u32));
-            }
+            self.mark_ready(to);
             return ret;
         }
 
@@ -844,9 +996,7 @@ impl MpiEndpoint {
                         kind,
                         reason: LossReason::Dropped,
                     });
-                    if self.track_ready {
-                        self.ready.push((self.root, to as u32));
-                    }
+                    self.mark_ready(to);
                     return ret;
                 }
             }
@@ -873,14 +1023,10 @@ impl MpiEndpoint {
             let _ = self.senders[to].send(pkt.clone());
             // One ready-queue entry per *physical* packet keeps the pop-one
             // deliver-one invariant; the receiver's window suppresses the copy.
-            if self.track_ready {
-                self.ready.push((self.root, to as u32));
-            }
+            self.mark_ready(to);
         }
         let _ = self.senders[to].send(pkt);
-        if self.track_ready {
-            self.ready.push((self.root, to as u32));
-        }
+        self.mark_ready(to);
         ret
     }
 
@@ -1052,10 +1198,9 @@ impl MpiEndpoint {
                     f.pending.push_back(next);
                     released += 1;
                 }
-                if self.track_ready {
-                    for _ in 0..released {
-                        self.ready.push((self.root, self.rank as u32));
-                    }
+                let me = self.rank;
+                for _ in 0..released {
+                    self.mark_ready(me);
                 }
                 self.messages_received += 1;
                 self.bytes_received += p.data.len() as u64;
@@ -1090,10 +1235,9 @@ impl MpiEndpoint {
                 }
             }
         }
-        if self.track_ready {
-            for _ in 0..released {
-                self.ready.push((self.root, self.rank as u32));
-            }
+        let me = self.rank;
+        for _ in 0..released {
+            self.mark_ready(me);
         }
         released
     }
@@ -1190,8 +1334,8 @@ mod tests {
         a.send(1, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
         a.send(2, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
         assert_eq!(ready.len(), 3, "one entry per packet");
-        assert_eq!(ready.pop(), Some((0, 2)));
-        assert_eq!(ready.pop_batch(8), vec![(0, 1), (0, 2)]);
+        assert_eq!(ready.pop(), Some(((0, 2), 1)));
+        assert_eq!(ready.pop_batch(8), vec![((0, 1), 1), ((0, 2), 1)]);
         assert_eq!(ready.pop(), None);
     }
 
@@ -1201,7 +1345,7 @@ mod tests {
         assert!(!ready.wait_for_ready(Duration::from_millis(5)));
         ready.push((0, 7));
         assert!(ready.wait_for_ready(Duration::from_millis(5)));
-        assert_eq!(ready.pop(), Some((0, 7)));
+        assert_eq!(ready.pop(), Some(((0, 7), 1)));
     }
 
     #[test]
@@ -1214,13 +1358,86 @@ mod tests {
         a3.send(1, PacketKind::Request, Bytes::from_static(b"x"), 0.0);
         a9.send(1, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
         a3.send(1, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
-        assert_eq!(shared.pop(), Some((3, 1)), "keys interleave on one queue");
-        assert_eq!(shared.pop(), Some((9, 1)));
-        assert_eq!(shared.pop(), Some((3, 1)));
+        assert_eq!(
+            shared.pop(),
+            Some(((3, 1), 1)),
+            "keys interleave on one queue"
+        );
+        assert_eq!(shared.pop(), Some(((9, 1), 1)));
+        assert_eq!(shared.pop(), Some(((3, 1), 1)));
         // Channels stay per-world: w9's node 1 sees only its own packet.
         let mut b9 = w9.take_endpoint(1);
         assert_eq!(&b9.recv().data[..], b"y");
         assert!(b9.try_recv().is_none());
+    }
+
+    #[test]
+    fn coalescing_batches_ready_keys_per_destination() {
+        let mut world = MpiWorld::new(3, NetworkConfig::uniform(3));
+        let ready = world.ready_queue();
+        let mut a = world.take_endpoint(0);
+        a.set_coalescing(true);
+        a.send(1, PacketKind::Request, Bytes::from_static(b"x"), 0.0);
+        a.send(2, PacketKind::Request, Bytes::from_static(b"y"), 0.0);
+        a.send(1, PacketKind::Request, Bytes::from_static(b"z"), 0.0);
+        assert!(ready.is_empty(), "keys held back until the flush");
+        a.flush_coalesced();
+        assert_eq!(ready.pop(), Some(((0, 1), 2)), "two packets, one entry");
+        assert_eq!(ready.pop(), Some(((0, 2), 1)));
+        assert_eq!(ready.pop(), None);
+        // Turning coalescing off releases anything still pending.
+        a.send(1, PacketKind::Request, Bytes::from_static(b"w"), 0.0);
+        a.set_coalescing(false);
+        assert_eq!(ready.pop(), Some(((0, 1), 1)));
+    }
+
+    #[test]
+    fn coalescing_leaves_clocks_and_counters_untouched() {
+        let run = |coalesce: bool| {
+            let mut world = MpiWorld::new(2, NetworkConfig::paper_testbed());
+            let mut a = world.take_endpoint(0);
+            a.set_coalescing(coalesce);
+            let (c1, id1) = a.send_request(1, Bytes::from_static(b"abc"), 5.0);
+            let (c2, id2) = a.send_request(1, Bytes::from_static(b"defg"), c1);
+            a.flush_coalesced();
+            (c1, id1, c2, id2, a.messages_sent, a.bytes_sent)
+        };
+        assert_eq!(run(false), run(true), "coalescing is a transport detail");
+    }
+
+    #[test]
+    fn buffer_pool_recycles_sole_owner_frames() {
+        use bytes::BufMut;
+        let mut world = MpiWorld::new(1, NetworkConfig::uniform(1));
+        let mut a = world.take_endpoint(0);
+        let mut buf = a.take_buf();
+        let cap = buf.capacity();
+        buf.put_slice(b"frame");
+        a.reclaim(buf.freeze());
+        let again = a.take_buf();
+        assert!(again.is_empty(), "reclaimed buffer comes back cleared");
+        assert!(again.capacity() >= cap, "its allocation survives the cycle");
+        // A shared frame (e.g. a fault-plan duplicate) fails the refcount check
+        // and is simply not pooled.
+        let shared = Bytes::from(vec![1, 2, 3]);
+        let _alias = shared.clone();
+        a.reclaim(shared);
+        assert!(a.pool.is_empty(), "shared storage is not pooled");
+    }
+
+    #[test]
+    fn charged_sends_split_virtual_cost_from_physical_bytes() {
+        let mut world = MpiWorld::new(2, NetworkConfig::paper_testbed());
+        let mut a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        // Physically 4 bytes, charged as if 100: arrival reflects the charge,
+        // traffic counters reflect the wire.
+        a.send_request_charged(1, Bytes::from_static(b"tiny"), 0.0, 100);
+        let pkt = b.recv();
+        let want = a.config.transfer_time_us(100);
+        assert!((pkt.arrival_time_us - want).abs() < 1e-9);
+        assert_eq!(a.bytes_sent, 4);
+        assert_eq!(b.bytes_received, 4);
     }
 
     #[test]

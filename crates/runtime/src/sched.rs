@@ -100,9 +100,20 @@ impl CoopNode<'_> {
 
     /// Drives `task` until it parks or completes. Completions either finish the run
     /// (the returned root result) or send the response for the request being served.
+    /// Every slice ends by flushing coalesced ready keys: the sends it performed are
+    /// published before control returns to the scheduler.
     fn run(&mut self, mut task: CoopTask) -> Option<Result<Value, ExecError>> {
         let outcome = self.interp.run_task(&mut task.cont);
-        self.settle(task, outcome)
+        let res = self.settle(task, outcome);
+        self.flush_ready();
+        res
+    }
+
+    /// Publishes any ready keys this node's endpoint accumulated while coalescing.
+    fn flush_ready(&mut self) {
+        if let Some(d) = self.interp.dist.as_mut() {
+            d.endpoint.flush_coalesced();
+        }
     }
 
     fn settle(&mut self, task: CoopTask, outcome: TaskOutcome) -> Option<Result<Value, ExecError>> {
@@ -129,9 +140,26 @@ impl CoopNode<'_> {
     /// Delivers the oldest packet in this node's mailbox, if any: a request spawns
     /// (or answers) a serving task, a response resumes the parked continuation.
     /// Returns the root result when the root computation completes. The ready queue
-    /// holds exactly one entry per packet, so each popped entry delivers exactly one
-    /// packet — the hot path never pays a trailing empty mailbox probe.
+    /// holds one entry per packet (or a counted entry per coalesced batch), so each
+    /// popped entry delivers its packets without a trailing empty mailbox probe.
     pub(crate) fn deliver_one(&mut self) -> Option<Result<Value, ExecError>> {
+        let res = self.deliver_one_inner();
+        self.flush_ready();
+        res
+    }
+
+    /// Delivers up to `count` packets (a coalesced ready-queue entry covers
+    /// several), stopping early on a root result or a dry mailbox.
+    pub(crate) fn deliver_many(&mut self, count: u32) -> Option<Result<Value, ExecError>> {
+        for _ in 0..count {
+            if let Some(res) = self.deliver_one() {
+                return Some(res);
+            }
+        }
+        None
+    }
+
+    fn deliver_one_inner(&mut self) -> Option<Result<Value, ExecError>> {
         let pkt = self.interp.poll_packet()?;
         match pkt.kind {
             PacketKind::Request => {
@@ -153,9 +181,20 @@ impl CoopNode<'_> {
             PacketKind::Response => {
                 // The response for a parked continuation: resume it.
                 let mut task = self.unpark(pkt.req_id)?;
-                let resp = match Response::decode(pkt.data) {
-                    Response::Value(v) => Ok(v),
-                    Response::Error(e) => Err(e),
+                let mut data = pkt.data;
+                let decoded = Response::decode(&mut data);
+                // The frame is fully read: recycle its storage through the pool.
+                if let Some(d) = self.interp.dist.as_mut() {
+                    d.endpoint.reclaim(data);
+                }
+                let resp = match decoded {
+                    Ok(Response::Value(v)) => Ok(v),
+                    Ok(Response::Error(e)) => Err(e),
+                    Err(e) => {
+                        // A corrupt response frame dooms the computation typed,
+                        // like any other transport fault.
+                        return self.settle(task, TaskOutcome::Done(Err(ExecError::Wire(e))));
+                    }
                 };
                 let outcome = self.interp.resume_task(&mut task.cont, resp);
                 self.settle(task, outcome)
@@ -203,6 +242,10 @@ pub(crate) fn recover_or_diagnose(mut nodes: Vec<&mut CoopNode<'_>>) -> Recovery
     for node in nodes.iter_mut() {
         if let Some(d) = node.interp.dist.as_mut() {
             released += d.endpoint.repair_gaps();
+            // The repair publishes the released packets' ready keys through the
+            // coalescing accumulator, and quiescence means no delivery slice is
+            // coming to flush it — flush here or the repair is invisible.
+            d.endpoint.flush_coalesced();
         }
     }
     if released > 0 {
@@ -229,13 +272,21 @@ fn build_nodes<'p>(
     programs: &'p [Program],
     mpi: &mut MpiService,
     mut profilers: Vec<Option<NodeProfiler>>,
+    no_coalesce: bool,
+    no_buffer_pool: bool,
 ) -> Vec<CoopNode<'p>> {
     programs
         .iter()
         .enumerate()
         .map(|(rank, program)| {
-            let mut interp =
-                Interp::new(program).with_dist(DistState::new(mpi.endpoint(rank)).with_coop());
+            let mut dist = DistState::new(mpi.endpoint(rank)).with_coop();
+            if no_coalesce {
+                dist.endpoint.set_coalescing(false);
+            }
+            if no_buffer_pool {
+                dist.endpoint.set_buffer_pool(false);
+            }
+            let mut interp = Interp::new(program).with_dist(dist);
             if let Some(p) = profilers.get_mut(rank).and_then(Option::take) {
                 interp = interp.with_profiler(p.sink, p.sample_interval);
             }
@@ -337,7 +388,13 @@ pub(crate) fn run_inline(
         config.faults.clone(),
     );
     let ready = mpi.ready_queue();
-    let mut nodes = build_nodes(programs, &mut mpi, profilers);
+    let mut nodes = build_nodes(
+        programs,
+        &mut mpi,
+        profilers,
+        config.no_coalesce,
+        config.no_buffer_pool,
+    );
 
     let mut root_result = seed_root(&mut nodes[0]);
 
@@ -350,7 +407,7 @@ pub(crate) fn run_inline(
     // run with a typed error (lost packet, dead node, or a stall diagnosis).
     while root_result.is_none() {
         match ready.pop() {
-            Some((_root, rank)) => root_result = nodes[rank as usize].deliver_one(),
+            Some(((_root, rank), count)) => root_result = nodes[rank as usize].deliver_many(count),
             None => match recover_or_diagnose(nodes.iter_mut().collect()) {
                 Recovery::Repaired => {}
                 Recovery::Fail(e) => root_result = Some(Err(e)),
@@ -368,8 +425,8 @@ struct PoolShared<'s, 'p> {
     nodes: &'s [Mutex<CoopNode<'p>>],
     /// The global injector: the transport's ready queue.
     ready: &'s ReadyQueue,
-    /// Per-worker local run queues of ready keys (stolen from the back).
-    locals: Vec<Mutex<VecDeque<ReadyKey>>>,
+    /// Per-worker local run queues of counted ready entries (stolen from the back).
+    locals: Vec<Mutex<VecDeque<(ReadyKey, u32)>>>,
     /// The root computation's result, set exactly once.
     root: Mutex<Option<Result<Value, ExecError>>>,
     /// Set once `root` is; checked by every worker iteration.
@@ -447,11 +504,11 @@ fn pool_worker(shared: &PoolShared<'_, '_>, id: usize) {
             }
         }
         match key {
-            Some((_root, r)) => {
+            Some(((_root, r), count)) => {
                 let completed = shared.nodes[r as usize]
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
-                    .deliver_one();
+                    .deliver_many(count);
                 // Finish and bump the delivery epoch before going inactive so the
                 // stall detector below can never race a completed root or mistake
                 // this delivery for quiescence.
@@ -522,7 +579,13 @@ pub(crate) fn run_pool(
         config.faults.clone(),
     );
     let ready = mpi.ready_queue();
-    let mut plain_nodes = build_nodes(programs, &mut mpi, profilers);
+    let mut plain_nodes = build_nodes(
+        programs,
+        &mut mpi,
+        profilers,
+        config.no_coalesce,
+        config.no_buffer_pool,
+    );
 
     // Seed the root on the calling thread before any worker runs.
     let root_seed = seed_root(&mut plain_nodes[0]);

@@ -518,7 +518,7 @@ fn serve_worker(shared: &ServeShared<'_>) {
         shared.active.fetch_add(1, Ordering::SeqCst);
         shared.try_admit();
         match shared.ready.pop() {
-            Some((root, rank)) => {
+            Some(((root, rank), count)) => {
                 let live = shared
                     .live
                     .lock()
@@ -532,7 +532,7 @@ fn serve_worker(shared: &ServeShared<'_>) {
                     let completed = live.nodes[rank as usize]
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
-                        .deliver_one();
+                        .deliver_many(count);
                     if let Some(res) = completed {
                         shared.complete(root, &live, res);
                     }

@@ -5,6 +5,38 @@
 //! `DEPENDENCE` (data/method dependences). This module defines exactly those requests,
 //! the responses, and a compact hand-rolled binary encoding built on the `bytes` crate
 //! so that the byte counts fed into the network cost model are real.
+//!
+//! # Protocol versions
+//!
+//! **v1** frames address members by *name*: `NEW` carries the class name, `DEPENDENCE`
+//! the method/field name. They remain fully supported — they are the fallback for
+//! dynamically computed names (the proxy protocol's `Value::Str` members) and for
+//! anything a compact frame cannot represent.
+//!
+//! **v2** frames address members by the dense ids every node already agrees on
+//! through its [`ProgramLayout`](autodist_ir::layout::ProgramLayout): `NEW` carries
+//! the class id, `DEPENDENCE` a field slot or method selector. What licenses this is
+//! the layout **fingerprint** — a stable hash of the program's shape tables. The
+//! first v2 frame on a link travels inside a one-time *hello* envelope carrying the
+//! sender's fingerprint; the receiver verifies it against its own layout before
+//! honouring any slot-addressed frame, so version skew yields a typed
+//! [`WireError::FingerprintMismatch`], never a wrong-slot dispatch.
+//!
+//! Frame tags: `0` NEW v1 · `1` DEPENDENCE v1 · `2` shutdown · `3` NEW v2 ·
+//! `5` hello envelope (fingerprint + inner frame) · `0x40 | kind` DEPENDENCE v2.
+//! v2 head fields (class id, target, slot/selector) are LEB128 varints — dense
+//! ids are almost always below 128, so the typical head field is a single byte.
+//!
+//! All decode paths are total: corrupt bytes surface as a typed [`WireError`]
+//! (truncation, bad tags, invalid UTF-8), not a panic or silent mangling.
+//!
+//! # Virtual-time charging
+//!
+//! The network cost model keeps charging the **v1-equivalent** byte size of every
+//! message (`charged_new_size`/`charged_dependence_size`), while the transport counts
+//! the *physical* encoded bytes. That decouples the wire optimisation from the
+//! simulation: committed virtual-time baselines stay byte-identical while the real
+//! bytes on the link drop.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -54,7 +86,98 @@ impl AccessKind {
             _ => return None,
         })
     }
+
+    /// Whether a v2 frame of this kind carries a member word (slot or selector).
+    /// Array accesses don't: the kind alone determines the operation.
+    pub fn has_member(self) -> bool {
+        matches!(
+            self,
+            AccessKind::InvokeVoid
+                | AccessKind::InvokeRet
+                | AccessKind::GetField
+                | AccessKind::PutField
+        )
+    }
 }
+
+/// A typed decode failure: corrupt bytes, a version-skewed peer, or a slot-addressed
+/// frame from a link that never presented a matching fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a field could be read.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// Unknown value tag.
+    BadValueTag(u8),
+    /// Unknown request frame tag.
+    BadRequestTag(u8),
+    /// Unknown response frame tag.
+    BadResponseTag(u8),
+    /// Unknown access kind in a `DEPENDENCE` frame.
+    BadAccessKind(u8),
+    /// A wire string was not valid UTF-8.
+    BadUtf8 {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// The peer's hello carried a different layout fingerprint: its dense ids do not
+    /// mean what ours mean, so no slot-addressed frame from it may be honoured.
+    FingerprintMismatch {
+        /// Our layout's fingerprint.
+        ours: u64,
+        /// The fingerprint the peer presented.
+        theirs: u64,
+    },
+    /// A slot-addressed (v2) frame arrived on a link that never completed the
+    /// fingerprint hello.
+    UnverifiedSlotFrame,
+    /// A varint field ran past its maximum width (corrupt frame).
+    VarintOverflow {
+        /// What was being read.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated {
+                what,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated frame reading {what}: needed {needed} bytes, {remaining} left"
+            ),
+            WireError::BadValueTag(t) => write!(f, "corrupt wire value tag {t}"),
+            WireError::BadRequestTag(t) => write!(f, "corrupt request tag {t}"),
+            WireError::BadResponseTag(t) => write!(f, "corrupt response tag {t}"),
+            WireError::BadAccessKind(t) => write!(f, "corrupt access kind {t}"),
+            WireError::BadUtf8 { what } => write!(f, "invalid UTF-8 in wire {what}"),
+            WireError::FingerprintMismatch { ours, theirs } => write!(
+                f,
+                "layout fingerprint mismatch: ours {ours:#018x}, peer sent {theirs:#018x}"
+            ),
+            WireError::UnverifiedSlotFrame => {
+                write!(
+                    f,
+                    "slot-addressed frame on a link without a verified fingerprint"
+                )
+            }
+            WireError::VarintOverflow { what } => {
+                write!(f, "corrupt varint reading {what}: overlong encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// A marshalled value. Local references are converted to `Remote` before encoding (the
 /// sender exports the object and sends its id), so the wire never carries heap indices.
@@ -82,15 +205,15 @@ pub enum WireValue {
 /// A request sent to a node's Message Exchange service.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// `NEW`: instantiate `class_name` on the receiving node with the given constructor
-    /// arguments; the response carries the remote reference.
+    /// `NEW` (v1): instantiate `class_name` on the receiving node with the given
+    /// constructor arguments; the response carries the remote reference.
     New {
         /// Class to instantiate.
         class_name: String,
         /// Constructor arguments.
         args: Vec<WireValue>,
     },
-    /// `DEPENDENCE`: perform an access on a previously exported object.
+    /// `DEPENDENCE` (v1): perform an access on a previously exported object.
     Dependence {
         /// Export id of the target object on the receiving node.
         target: u64,
@@ -98,6 +221,27 @@ pub enum Request {
         kind: AccessKind,
         /// Method or field name (element index for array accesses travels in `args`).
         member: String,
+        /// Arguments / the value to store.
+        args: Vec<WireValue>,
+    },
+    /// `NEW` (v2): instantiate by dense class id. Only valid between peers that
+    /// agreed on a layout fingerprint.
+    NewById {
+        /// Dense class id in the shared layout.
+        class: u32,
+        /// Constructor arguments.
+        args: Vec<WireValue>,
+    },
+    /// `DEPENDENCE` (v2): access by field slot / method selector. Only valid between
+    /// peers that agreed on a layout fingerprint.
+    DependenceById {
+        /// Export id of the target object on the receiving node.
+        target: u64,
+        /// What to do.
+        kind: AccessKind,
+        /// Field slot (`GetField`/`PutField`) or method selector (`Invoke*`);
+        /// 0 and unused for array accesses.
+        member: u32,
         /// Arguments / the value to store.
         args: Vec<WireValue>,
     },
@@ -114,15 +258,60 @@ pub enum Response {
     Error(String),
 }
 
+const TAG_NEW: u8 = 0;
+const TAG_DEP: u8 = 1;
+const TAG_SHUTDOWN: u8 = 2;
+pub(crate) const TAG_NEW_V2: u8 = 3;
+const TAG_HELLO: u8 = 5;
+/// v2 `DEPENDENCE` tags pack the access kind into the frame tag: `0x40 | kind`.
+const TAG_DEP_V2_BASE: u8 = 0x40;
+
+/// `true` for frame tags that dispatch by dense id and therefore require a verified
+/// fingerprint on the receiving link.
+pub fn is_slot_addressed(tag: u8) -> bool {
+    tag == TAG_NEW_V2 || (tag & 0xf8) == TAG_DEP_V2_BASE
+}
+
+fn need(buf: &Bytes, n: usize, what: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated {
+            what,
+            needed: n,
+            remaining: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn rd_u8(buf: &mut Bytes, what: &'static str) -> Result<u8, WireError> {
+    need(buf, 1, what)?;
+    Ok(buf.get_u8())
+}
+
+fn rd_u32(buf: &mut Bytes, what: &'static str) -> Result<u32, WireError> {
+    need(buf, 4, what)?;
+    Ok(buf.get_u32())
+}
+
+fn rd_u64(buf: &mut Bytes, what: &'static str) -> Result<u64, WireError> {
+    need(buf, 8, what)?;
+    Ok(buf.get_u64())
+}
+
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> String {
-    let len = buf.get_u32() as usize;
+fn get_string(buf: &mut Bytes, what: &'static str) -> Result<String, WireError> {
+    let len = rd_u32(buf, what)? as usize;
+    need(buf, len, what)?;
     let b = buf.split_to(len);
-    String::from_utf8_lossy(&b).into_owned()
+    match std::str::from_utf8(&b) {
+        Ok(s) => Ok(s.to_owned()),
+        Err(_) => Err(WireError::BadUtf8 { what }),
+    }
 }
 
 fn put_value(buf: &mut BytesMut, v: &WireValue) {
@@ -152,19 +341,25 @@ fn put_value(buf: &mut BytesMut, v: &WireValue) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> WireValue {
-    match buf.get_u8() {
+fn get_value(buf: &mut Bytes) -> Result<WireValue, WireError> {
+    Ok(match rd_u8(buf, "value tag")? {
         0 => WireValue::Null,
-        1 => WireValue::Int(buf.get_i64()),
-        2 => WireValue::Float(buf.get_f64()),
-        3 => WireValue::Bool(buf.get_u8() != 0),
-        4 => WireValue::Str(get_string(buf)),
+        1 => {
+            need(buf, 8, "int value")?;
+            WireValue::Int(buf.get_i64())
+        }
+        2 => {
+            need(buf, 8, "float value")?;
+            WireValue::Float(buf.get_f64())
+        }
+        3 => WireValue::Bool(rd_u8(buf, "bool value")? != 0),
+        4 => WireValue::Str(get_string(buf, "string value")?),
         5 => WireValue::Remote {
-            node: buf.get_u32(),
-            id: buf.get_u64(),
+            node: rd_u32(buf, "remote node")?,
+            id: rd_u64(buf, "remote id")?,
         },
-        t => panic!("corrupt wire value tag {t}"),
-    }
+        t => return Err(WireError::BadValueTag(t)),
+    })
 }
 
 fn put_values(buf: &mut BytesMut, vs: &[WireValue]) {
@@ -174,25 +369,103 @@ fn put_values(buf: &mut BytesMut, vs: &[WireValue]) {
     }
 }
 
-fn get_values(buf: &mut Bytes) -> Vec<WireValue> {
-    let n = buf.get_u32() as usize;
-    (0..n).map(|_| get_value(buf)).collect()
+fn get_values(buf: &mut Bytes) -> Result<Vec<WireValue>, WireError> {
+    let n = rd_u32(buf, "value count")? as usize;
+    let mut out = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        out.push(get_value(buf)?);
+    }
+    Ok(out)
 }
+
+/// Decodes exactly `argc` values into a caller-owned scratch vector (cleared first).
+/// This is the allocation-free receive path: the scratch's capacity is reused across
+/// messages.
+pub fn decode_values_into(
+    buf: &mut Bytes,
+    argc: usize,
+    out: &mut Vec<WireValue>,
+) -> Result<(), WireError> {
+    out.clear();
+    for _ in 0..argc {
+        out.push(get_value(buf)?);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// v1-equivalent sizes: the virtual-time charge
+// ---------------------------------------------------------------------------
+
+/// Exact encoded size of one value (identical in v1 and v2 frames).
+pub fn value_wire_size(v: &WireValue) -> usize {
+    match v {
+        WireValue::Null => 1,
+        WireValue::Int(_) | WireValue::Float(_) => 9,
+        WireValue::Bool(_) => 2,
+        WireValue::Str(s) => 5 + s.len(),
+        WireValue::Remote { .. } => 13,
+    }
+}
+
+/// Exact encoded size of a value list (count word + values).
+pub fn values_wire_size(vs: &[WireValue]) -> usize {
+    4 + vs.iter().map(value_wire_size).sum::<usize>()
+}
+
+/// Exact v1 encoded size of a `NEW` — what the cost model charges regardless of the
+/// frame version actually sent.
+pub fn charged_new_size(class_name_len: usize, args: &[WireValue]) -> usize {
+    1 + 4 + class_name_len + values_wire_size(args)
+}
+
+/// Exact v1 encoded size of a `DEPENDENCE` — the cost-model charge.
+pub fn charged_dependence_size(member_len: usize, args: &[WireValue]) -> usize {
+    1 + 8 + 1 + 4 + member_len + values_wire_size(args)
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------------
 
 /// Encodes a `NEW` request without materialising a [`Request`] (the runtime's send
 /// path encodes straight from borrowed data; one buffer allocation, no string clone).
 pub fn encode_new(class_name: &str, args: &[WireValue]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + class_name.len() + values_size_hint(args));
-    buf.put_u8(0);
+    encode_new_in(
+        BytesMut::with_capacity(16 + class_name.len() + values_wire_size(args)),
+        class_name,
+        args,
+    )
+}
+
+/// Encodes a `DEPENDENCE` request without materialising a [`Request`].
+pub fn encode_dependence(target: u64, kind: AccessKind, member: &str, args: &[WireValue]) -> Bytes {
+    encode_dependence_in(
+        BytesMut::with_capacity(24 + member.len() + values_wire_size(args)),
+        target,
+        kind,
+        member,
+        args,
+    )
+}
+
+/// v1 `NEW` into a caller-provided (pooled) buffer.
+pub fn encode_new_in(mut buf: BytesMut, class_name: &str, args: &[WireValue]) -> Bytes {
+    buf.put_u8(TAG_NEW);
     put_string(&mut buf, class_name);
     put_values(&mut buf, args);
     buf.freeze()
 }
 
-/// Encodes a `DEPENDENCE` request without materialising a [`Request`].
-pub fn encode_dependence(target: u64, kind: AccessKind, member: &str, args: &[WireValue]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(24 + member.len() + values_size_hint(args));
-    buf.put_u8(1);
+/// v1 `DEPENDENCE` into a caller-provided (pooled) buffer.
+pub fn encode_dependence_in(
+    mut buf: BytesMut,
+    target: u64,
+    kind: AccessKind,
+    member: &str,
+    args: &[WireValue],
+) -> Bytes {
+    buf.put_u8(TAG_DEP);
     buf.put_u64(target);
     buf.put_u8(kind.tag());
     put_string(&mut buf, member);
@@ -200,19 +473,250 @@ pub fn encode_dependence(target: u64, kind: AccessKind, member: &str, args: &[Wi
     buf.freeze()
 }
 
-/// A close upper bound on the encoded size of a value list.
-fn values_size_hint(vs: &[WireValue]) -> usize {
-    4 + vs
-        .iter()
-        .map(|v| match v {
-            WireValue::Str(s) => 5 + s.len(),
-            _ => 13,
-        })
-        .sum::<usize>()
+/// `true` when a `NEW` is representable as a v2 frame (arg count fits the compact
+/// count byte).
+pub fn new_fits_v2(args: &[WireValue]) -> bool {
+    args.len() <= 0xff
+}
+
+/// `true` when a `DEPENDENCE` is representable as a v2 frame.
+pub fn dep_fits_v2(target: u64, args: &[WireValue]) -> bool {
+    target <= u64::from(u32::MAX) && args.len() <= 0xff
+}
+
+/// LEB128-encodes a `u32`. Dense ids — class ids, field slots, selectors — and
+/// export counters are almost always tiny, so the common v2 head field is one
+/// byte instead of four.
+fn put_vu32(buf: &mut BytesMut, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 `u32`; an encoding past 5 bytes is a typed corruption error.
+fn rd_vu32(buf: &mut Bytes, what: &'static str) -> Result<u32, WireError> {
+    let mut v = 0u32;
+    for shift in (0..35).step_by(7) {
+        let byte = rd_u8(buf, what)?;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError::VarintOverflow { what })
+}
+
+fn put_hello(buf: &mut BytesMut, hello: Option<u64>) {
+    if let Some(fp) = hello {
+        buf.put_u8(TAG_HELLO);
+        buf.put_u64(fp);
+    }
+}
+
+/// v2 `NEW` (class addressed by dense id) into a caller-provided buffer, optionally
+/// wrapped in a one-time hello envelope carrying the sender's layout fingerprint.
+/// Caller must have checked [`new_fits_v2`].
+pub fn encode_new_v2(
+    mut buf: BytesMut,
+    hello: Option<u64>,
+    class: u32,
+    args: &[WireValue],
+) -> Bytes {
+    debug_assert!(new_fits_v2(args));
+    put_hello(&mut buf, hello);
+    buf.put_u8(TAG_NEW_V2);
+    put_vu32(&mut buf, class);
+    buf.put_u8(args.len() as u8);
+    for v in args {
+        put_value(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// v2 `DEPENDENCE` (member addressed by field slot / method selector) into a
+/// caller-provided buffer, optionally wrapped in the hello envelope. Caller must have
+/// checked [`dep_fits_v2`]. Array-access kinds omit the member word entirely.
+pub fn encode_dependence_v2(
+    mut buf: BytesMut,
+    hello: Option<u64>,
+    target: u64,
+    kind: AccessKind,
+    member: u32,
+    args: &[WireValue],
+) -> Bytes {
+    debug_assert!(dep_fits_v2(target, args));
+    put_hello(&mut buf, hello);
+    buf.put_u8(TAG_DEP_V2_BASE | kind.tag());
+    put_vu32(&mut buf, target as u32);
+    if kind.has_member() {
+        put_vu32(&mut buf, member);
+    }
+    buf.put_u8(args.len() as u8);
+    for v in args {
+        put_value(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Encodes a [`Response`] into a caller-provided (pooled) buffer.
+pub fn encode_response_in(mut buf: BytesMut, resp: &Response) -> Bytes {
+    match resp {
+        Response::Value(v) => {
+            buf.put_u8(0);
+            put_value(&mut buf, v);
+        }
+        Response::Error(e) => {
+            buf.put_u8(1);
+            put_string(&mut buf, e);
+        }
+    }
+    buf.freeze()
+}
+
+// ---------------------------------------------------------------------------
+// Decoders
+// ---------------------------------------------------------------------------
+
+/// Decoded header of a v2 `DEPENDENCE` frame; `argc` values follow in the buffer
+/// (read them with [`decode_values_into`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepV2Head {
+    /// Export id of the target object.
+    pub target: u64,
+    /// What to do.
+    pub kind: AccessKind,
+    /// Field slot or method selector (0 and unused for array kinds).
+    pub member: u32,
+    /// Number of argument values following the header.
+    pub argc: usize,
+}
+
+/// Decoded header of a v2 `NEW` frame; `argc` constructor args follow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NewV2Head {
+    /// Dense class id to instantiate.
+    pub class: u32,
+    /// Number of constructor arguments following the header.
+    pub argc: usize,
+}
+
+/// Peeks the frame tag without consuming it.
+pub fn peek_tag(buf: &Bytes) -> Result<u8, WireError> {
+    match buf.first() {
+        Some(&t) => Ok(t),
+        None => Err(WireError::Truncated {
+            what: "frame tag",
+            needed: 1,
+            remaining: 0,
+        }),
+    }
+}
+
+/// Consumes the hello envelope header if the frame starts with one, returning the
+/// peer's layout fingerprint. The inner frame remains in `buf`.
+pub fn split_hello(buf: &mut Bytes) -> Result<Option<u64>, WireError> {
+    if peek_tag(buf)? != TAG_HELLO {
+        return Ok(None);
+    }
+    let _ = buf.get_u8();
+    Ok(Some(rd_u64(buf, "hello fingerprint")?))
+}
+
+/// Decodes a v2 `DEPENDENCE` header (tag through arg count), leaving the argument
+/// values in `buf`. The hot receive path: no allocation, no string in sight.
+pub fn decode_dep_v2_head(buf: &mut Bytes) -> Result<DepV2Head, WireError> {
+    let tag = rd_u8(buf, "frame tag")?;
+    let kind = AccessKind::from_tag(i64::from(tag & !TAG_DEP_V2_BASE))
+        .filter(|_| tag & TAG_DEP_V2_BASE == TAG_DEP_V2_BASE)
+        .ok_or(WireError::BadAccessKind(tag))?;
+    let target = u64::from(rd_vu32(buf, "dependence target")?);
+    let member = if kind.has_member() {
+        rd_vu32(buf, "dependence member")?
+    } else {
+        0
+    };
+    let argc = rd_u8(buf, "arg count")? as usize;
+    Ok(DepV2Head {
+        target,
+        kind,
+        member,
+        argc,
+    })
+}
+
+/// Decodes a v2 `NEW` header, leaving the constructor args in `buf`.
+pub fn decode_new_v2_head(buf: &mut Bytes) -> Result<NewV2Head, WireError> {
+    let tag = rd_u8(buf, "frame tag")?;
+    if tag != TAG_NEW_V2 {
+        return Err(WireError::BadRequestTag(tag));
+    }
+    let class = rd_vu32(buf, "class id")?;
+    let argc = rd_u8(buf, "arg count")? as usize;
+    Ok(NewV2Head { class, argc })
+}
+
+/// Decodes a whole request frame, surfacing the hello fingerprint when present.
+/// Runtime receive paths use this so they can verify the fingerprint *before*
+/// honouring slot-addressed frames.
+pub fn decode_request(mut bytes: Bytes) -> Result<(Option<u64>, Request), WireError> {
+    let hello = split_hello(&mut bytes)?;
+    let tag = peek_tag(&bytes)?;
+    let req = match tag {
+        TAG_NEW => {
+            let _ = bytes.get_u8();
+            Request::New {
+                class_name: get_string(&mut bytes, "class name")?,
+                args: get_values(&mut bytes)?,
+            }
+        }
+        TAG_DEP => {
+            let _ = bytes.get_u8();
+            Request::Dependence {
+                target: rd_u64(&mut bytes, "dependence target")?,
+                kind: {
+                    let k = rd_u8(&mut bytes, "access kind")?;
+                    AccessKind::from_tag(i64::from(k)).ok_or(WireError::BadAccessKind(k))?
+                },
+                member: get_string(&mut bytes, "member name")?,
+                args: get_values(&mut bytes)?,
+            }
+        }
+        TAG_SHUTDOWN => Request::Shutdown,
+        TAG_NEW_V2 => {
+            let head = decode_new_v2_head(&mut bytes)?;
+            let mut args = Vec::with_capacity(head.argc);
+            decode_values_into(&mut bytes, head.argc, &mut args)?;
+            Request::NewById {
+                class: head.class,
+                args,
+            }
+        }
+        t if is_slot_addressed(t) => {
+            let head = decode_dep_v2_head(&mut bytes)?;
+            let mut args = Vec::with_capacity(head.argc);
+            decode_values_into(&mut bytes, head.argc, &mut args)?;
+            Request::DependenceById {
+                target: head.target,
+                kind: head.kind,
+                member: head.member,
+                args,
+            }
+        }
+        t => return Err(WireError::BadRequestTag(t)),
+    };
+    Ok((hello, req))
 }
 
 impl Request {
-    /// Encodes the request into the streamed format.
+    /// Encodes the request into the streamed format. The id-addressed variants
+    /// require [`new_fits_v2`]/[`dep_fits_v2`] (the runtime send path checks and
+    /// falls back to v1 otherwise).
     pub fn encode(&self) -> Bytes {
         match self {
             Request::New { class_name, args } => encode_new(class_name, args),
@@ -222,60 +726,68 @@ impl Request {
                 member,
                 args,
             } => encode_dependence(*target, *kind, member, args),
+            Request::NewById { class, args } => {
+                assert!(new_fits_v2(args), "NEW not v2-representable");
+                encode_new_v2(
+                    BytesMut::with_capacity(8 + values_wire_size(args)),
+                    None,
+                    *class,
+                    args,
+                )
+            }
+            Request::DependenceById {
+                target,
+                kind,
+                member,
+                args,
+            } => {
+                assert!(
+                    dep_fits_v2(*target, args),
+                    "DEPENDENCE not v2-representable"
+                );
+                encode_dependence_v2(
+                    BytesMut::with_capacity(12 + values_wire_size(args)),
+                    None,
+                    *target,
+                    *kind,
+                    *member,
+                    args,
+                )
+            }
             Request::Shutdown => {
                 let mut buf = BytesMut::with_capacity(1);
-                buf.put_u8(2);
+                buf.put_u8(TAG_SHUTDOWN);
                 buf.freeze()
             }
         }
     }
 
-    /// Decodes a request from bytes.
-    pub fn decode(mut bytes: Bytes) -> Request {
-        match bytes.get_u8() {
-            0 => Request::New {
-                class_name: get_string(&mut bytes),
-                args: get_values(&mut bytes),
-            },
-            1 => Request::Dependence {
-                target: bytes.get_u64(),
-                kind: AccessKind::from_tag(bytes.get_u8() as i64).expect("valid kind"),
-                member: get_string(&mut bytes),
-                args: get_values(&mut bytes),
-            },
-            2 => Request::Shutdown,
-            t => panic!("corrupt request tag {t}"),
-        }
+    /// Decodes a request from bytes, discarding any hello header. Receive paths that
+    /// enforce fingerprint verification use [`decode_request`] instead.
+    pub fn decode(bytes: Bytes) -> Result<Request, WireError> {
+        decode_request(bytes).map(|(_, req)| req)
     }
 }
 
 impl Response {
     /// Encodes the response.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(match self {
+        let buf = BytesMut::with_capacity(match self {
             Response::Value(WireValue::Str(s)) => 6 + s.len(),
             Response::Value(_) => 16,
             Response::Error(e) => 6 + e.len(),
         });
-        match self {
-            Response::Value(v) => {
-                buf.put_u8(0);
-                put_value(&mut buf, v);
-            }
-            Response::Error(e) => {
-                buf.put_u8(1);
-                put_string(&mut buf, e);
-            }
-        }
-        buf.freeze()
+        encode_response_in(buf, self)
     }
 
-    /// Decodes a response.
-    pub fn decode(mut bytes: Bytes) -> Response {
-        match bytes.get_u8() {
-            0 => Response::Value(get_value(&mut bytes)),
-            1 => Response::Error(get_string(&mut bytes)),
-            t => panic!("corrupt response tag {t}"),
+    /// Decodes a response. Takes the buffer by `&mut` so the caller keeps ownership
+    /// of the spent [`Bytes`] and can reclaim its storage into the endpoint's buffer
+    /// pool afterwards.
+    pub fn decode(bytes: &mut Bytes) -> Result<Response, WireError> {
+        match rd_u8(bytes, "response tag")? {
+            0 => Ok(Response::Value(get_value(bytes)?)),
+            1 => Ok(Response::Error(get_string(bytes, "error message")?)),
+            t => Err(WireError::BadResponseTag(t)),
         }
     }
 }
@@ -421,7 +933,46 @@ mod tests {
         ];
         for r in reqs {
             let enc = r.encode();
-            assert_eq!(Request::decode(enc), r);
+            assert_eq!(Request::decode(enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn v2_requests_round_trip() {
+        let reqs = vec![
+            Request::NewById {
+                class: 3,
+                args: vec![WireValue::Int(9), WireValue::Remote { node: 2, id: 7 }],
+            },
+            Request::DependenceById {
+                target: 12,
+                kind: AccessKind::InvokeRet,
+                member: 4,
+                args: vec![WireValue::Int(100)],
+            },
+            Request::DependenceById {
+                target: 0,
+                kind: AccessKind::PutField,
+                member: 2,
+                args: vec![WireValue::Float(1.25)],
+            },
+            // Array kinds carry no member word.
+            Request::DependenceById {
+                target: 5,
+                kind: AccessKind::GetElement,
+                member: 0,
+                args: vec![WireValue::Int(3)],
+            },
+            Request::DependenceById {
+                target: 5,
+                kind: AccessKind::ArrayLength,
+                member: 0,
+                args: vec![],
+            },
+        ];
+        for r in reqs {
+            let enc = r.encode();
+            assert_eq!(Request::decode(enc).unwrap(), r);
         }
     }
 
@@ -432,7 +983,8 @@ mod tests {
             Response::Value(WireValue::Null),
             Response::Error("no such method".to_string()),
         ] {
-            assert_eq!(Response::decode(r.encode()), r);
+            let mut enc = r.encode();
+            assert_eq!(Response::decode(&mut enc).unwrap(), r);
         }
     }
 
@@ -466,12 +1018,159 @@ mod tests {
     }
 
     #[test]
+    fn v2_encoding_is_smaller_than_v1() {
+        // The v1 "bounce" invoke: tag + target(8) + kind + len(4)+6 + argc(4) + int(9).
+        let v1 = Request::Dependence {
+            target: 1,
+            kind: AccessKind::InvokeRet,
+            member: "bounce".to_string(),
+            args: vec![WireValue::Int(5)],
+        };
+        assert_eq!(v1.encode().len(), 33);
+        // v2: tag + target varint(1) + selector varint(1) + argc(1) + int(9).
+        let v2 = Request::DependenceById {
+            target: 1,
+            kind: AccessKind::InvokeRet,
+            member: 9,
+            args: vec![WireValue::Int(5)],
+        };
+        assert_eq!(v2.encode().len(), 13);
+        // Field read: 25 bytes v1 (above) vs tag + target(1) + slot(1) + argc(1).
+        let field = Request::DependenceById {
+            target: 1,
+            kind: AccessKind::GetField,
+            member: 0,
+            args: vec![],
+        };
+        assert_eq!(field.encode().len(), 4);
+        // Array read drops the member word: tag + target(1) + argc(1) + index(9).
+        let elem = Request::DependenceById {
+            target: 1,
+            kind: AccessKind::GetElement,
+            member: 0,
+            args: vec![WireValue::Int(2)],
+        };
+        assert_eq!(elem.encode().len(), 12);
+        // Wide ids widen gracefully: a five-byte varint per maxed-out field.
+        let wide = Request::DependenceById {
+            target: u64::from(u32::MAX),
+            kind: AccessKind::InvokeRet,
+            member: u32::MAX,
+            args: vec![],
+        };
+        assert_eq!(wide.encode().len(), 12);
+    }
+
+    #[test]
+    fn hello_envelope_carries_the_fingerprint_once() {
+        let args = [WireValue::Int(5)];
+        let enc = encode_dependence_v2(
+            BytesMut::new(),
+            Some(0xfeed_f00d_dead_beef),
+            7,
+            AccessKind::InvokeRet,
+            3,
+            &args,
+        );
+        let (hello, req) = decode_request(enc).unwrap();
+        assert_eq!(hello, Some(0xfeed_f00d_dead_beef));
+        assert_eq!(
+            req,
+            Request::DependenceById {
+                target: 7,
+                kind: AccessKind::InvokeRet,
+                member: 3,
+                args: args.to_vec(),
+            }
+        );
+        // Without the envelope the same frame decodes with no fingerprint.
+        let bare = encode_dependence_v2(BytesMut::new(), None, 7, AccessKind::InvokeRet, 3, &args);
+        let (hello, _) = decode_request(bare).unwrap();
+        assert_eq!(hello, None);
+    }
+
+    #[test]
+    fn charged_sizes_match_v1_encodings_exactly() {
+        let arg_sets: Vec<Vec<WireValue>> = vec![
+            vec![],
+            vec![WireValue::Int(1), WireValue::Null, WireValue::Bool(true)],
+            vec![
+                WireValue::Str("héllo".to_string()),
+                WireValue::Float(2.0),
+                WireValue::Remote { node: 3, id: 9 },
+            ],
+        ];
+        for args in &arg_sets {
+            assert_eq!(
+                charged_new_size("Account".len(), args),
+                encode_new("Account", args).len()
+            );
+            assert_eq!(
+                charged_dependence_size("getSavings".len(), args),
+                encode_dependence(42, AccessKind::InvokeRet, "getSavings", args).len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_fail_typed_not_panicking() {
+        // Bad request tag.
+        assert_eq!(
+            Request::decode(Bytes::from(vec![99u8])),
+            Err(WireError::BadRequestTag(99))
+        );
+        // Bad value tag inside a NEW arg list.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0);
+        put_string(&mut buf, "A");
+        buf.put_u32(1);
+        buf.put_u8(9); // no such value tag
+        assert_eq!(
+            Request::decode(buf.freeze()),
+            Err(WireError::BadValueTag(9))
+        );
+        // Truncated mid-header.
+        let enc = encode_dependence(7, AccessKind::GetField, "f", &[]);
+        let cut = {
+            let mut b = enc;
+            b.split_to(6)
+        };
+        assert!(matches!(
+            Request::decode(cut),
+            Err(WireError::Truncated { .. })
+        ));
+        // Bad response tag.
+        assert_eq!(
+            Response::decode(&mut Bytes::from(vec![7u8])),
+            Err(WireError::BadResponseTag(7))
+        );
+        // Empty frame.
+        assert!(matches!(
+            Request::decode(Bytes::new()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error_not_lossy_mangling() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0); // NEW v1
+        buf.put_u32(2);
+        buf.put_slice(&[0xff, 0xfe]); // invalid UTF-8 class name
+        buf.put_u32(0);
+        assert_eq!(
+            Request::decode(buf.freeze()),
+            Err(WireError::BadUtf8 { what: "class name" })
+        );
+    }
+
+    #[test]
     fn unicode_strings_survive() {
         let r = Request::New {
             class_name: "Bank".to_string(),
             args: vec![WireValue::Str("Mérchants € 銀行".to_string())],
         };
-        assert_eq!(Request::decode(r.encode()), r);
+        assert_eq!(Request::decode(r.encode()).unwrap(), r);
     }
 
     #[test]

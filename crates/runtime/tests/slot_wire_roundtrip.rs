@@ -67,7 +67,7 @@ proptest! {
                 };
                 let decoded = Request::decode(req.encode());
                 let member = match decoded {
-                    Request::Dependence { member, .. } => member,
+                    Ok(Request::Dependence { member, .. }) => member,
                     other => panic!("wrong request decoded: {other:?}"),
                 };
                 prop_assert_eq!(

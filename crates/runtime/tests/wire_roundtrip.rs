@@ -1,8 +1,14 @@
 //! Property tests for the streamed wire format. The distributed-vs-centralized
 //! checksum equivalence tests depend silently on wire fidelity: every request and
-//! response must survive serialize → deserialize byte-exactly.
+//! response must survive serialize → deserialize byte-exactly — in both the v1
+//! string framing and the slot-addressed v2 framing, and a v2 frame must decode
+//! to the id-based request its v1 twin would have dispatched to the same slot.
 
-use autodist_runtime::wire::{AccessKind, Request, Response, WireValue};
+use autodist_runtime::wire::{
+    charged_dependence_size, charged_new_size, decode_request, dep_fits_v2, encode_dependence_v2,
+    encode_new_v2, new_fits_v2, AccessKind, Request, Response, WireValue,
+};
+use bytes::BytesMut;
 use proptest::prelude::*;
 
 fn arb_access_kind() -> impl Strategy<Value = AccessKind> {
@@ -36,7 +42,7 @@ proptest! {
         args in prop::collection::vec(arb_wire_value(), 0..8),
     ) {
         let req = Request::New { class_name, args };
-        prop_assert_eq!(Request::decode(req.encode()), req);
+        prop_assert_eq!(Request::decode(req.encode()), Ok(req));
     }
 
     /// `DEPENDENCE` requests round-trip for every access kind.
@@ -48,16 +54,99 @@ proptest! {
         args in prop::collection::vec(arb_wire_value(), 0..8),
     ) {
         let req = Request::Dependence { target, kind, member, args };
-        prop_assert_eq!(Request::decode(req.encode()), req);
+        prop_assert_eq!(Request::decode(req.encode()), Ok(req));
+    }
+
+    /// Slot-addressed v2 requests round-trip for every access kind, with and
+    /// without the fingerprint hello envelope — and the v2 frame is never larger
+    /// than the charged (v1-equivalent) size of the same logical message.
+    #[test]
+    fn v2_dependence_requests_round_trip(
+        target in any::<u32>(),
+        kind in arb_access_kind(),
+        member in any::<u32>(),
+        args in prop::collection::vec(arb_wire_value(), 0..8),
+        has_hello in any::<bool>(),
+        hello_fp in any::<u64>(),
+    ) {
+        let target = u64::from(target);
+        let hello = if has_hello { Some(hello_fp) } else { None };
+        prop_assert!(dep_fits_v2(target, &args), "these shapes always fit v2");
+        let data = encode_dependence_v2(BytesMut::new(), hello, target, kind, member, &args);
+        let hello_len = if hello.is_some() { 9 } else { 0 };
+        prop_assert!(
+            data.len() - hello_len <= charged_dependence_size(0, &args),
+            "v2 frame larger than the empty-name v1 frame"
+        );
+        let (seen_hello, req) = decode_request(data).expect("v2 frame decodes");
+        prop_assert_eq!(seen_hello, hello);
+        let expect_member = if kind.has_member() { member } else { 0 };
+        prop_assert_eq!(
+            req,
+            Request::DependenceById { target, kind, member: expect_member, args: args.clone() }
+        );
+    }
+
+    /// Slot-addressed v2 `NEW` requests round-trip, and stay under the charged
+    /// size of any v1 `NEW` naming a real class (names are non-empty).
+    #[test]
+    fn v2_new_requests_round_trip(
+        class in any::<u32>(),
+        args in prop::collection::vec(arb_wire_value(), 0..8),
+        has_hello in any::<bool>(),
+        hello_fp in any::<u64>(),
+    ) {
+        let hello = if has_hello { Some(hello_fp) } else { None };
+        prop_assert!(new_fits_v2(&args), "these shapes always fit v2");
+        let data = encode_new_v2(BytesMut::new(), hello, class, &args);
+        let hello_len = if hello.is_some() { 9 } else { 0 };
+        prop_assert!(data.len() - hello_len <= charged_new_size(1, &args));
+        let (seen_hello, req) = decode_request(data).expect("v2 frame decodes");
+        prop_assert_eq!(seen_hello, hello);
+        prop_assert_eq!(req, Request::NewById { class, args: args.clone() });
+    }
+
+    /// v1 ↔ v2 semantic equivalence: for the same logical message the two
+    /// framings decode to requests carrying the same target, kind, and argument
+    /// vector — only the member addressing differs (name vs dense id).
+    #[test]
+    fn v1_and_v2_framings_agree_on_payload(
+        target in any::<u32>(),
+        kind in arb_access_kind(),
+        member_name in "[a-z][A-Za-z0-9]{0,12}",
+        member_id in any::<u32>(),
+        args in prop::collection::vec(arb_wire_value(), 0..6),
+    ) {
+        let target = u64::from(target);
+        let v1 = Request::Dependence {
+            target,
+            kind,
+            member: member_name,
+            args: args.clone(),
+        };
+        let v1_back = Request::decode(v1.encode()).expect("v1 decodes");
+        let data = encode_dependence_v2(BytesMut::new(), None, target, kind, member_id, &args);
+        let v2_back = Request::decode(data).expect("v2 decodes");
+        match (v1_back, v2_back) {
+            (
+                Request::Dependence { target: t1, kind: k1, args: a1, .. },
+                Request::DependenceById { target: t2, kind: k2, args: a2, .. },
+            ) => {
+                prop_assert_eq!(t1, t2);
+                prop_assert_eq!(k1, k2);
+                prop_assert_eq!(a1, a2);
+            }
+            other => prop_assert!(false, "unexpected decode pair: {other:?}"),
+        }
     }
 
     /// Responses round-trip for values and errors alike.
     #[test]
     fn responses_round_trip(v in arb_wire_value(), error in "[ -~]{0,64}") {
         let ok = Response::Value(v);
-        prop_assert_eq!(Response::decode(ok.encode()), ok);
+        prop_assert_eq!(Response::decode(&mut ok.encode()), Ok(ok));
         let err = Response::Error(error);
-        prop_assert_eq!(Response::decode(err.encode()), err);
+        prop_assert_eq!(Response::decode(&mut err.encode()), Ok(err));
     }
 
     /// Encoding is deterministic: the same request always produces the same bytes
@@ -76,12 +165,33 @@ proptest! {
         };
         prop_assert_eq!(&req.encode()[..], &req.encode()[..]);
     }
+
+    /// Truncating a v2 frame anywhere yields a typed error, never a panic and
+    /// never a silently wrong request (frames carry their arg count up front, so
+    /// no strict prefix can decode as a complete message).
+    #[test]
+    fn truncated_v2_frames_fail_typed(
+        target in any::<u32>(),
+        kind in arb_access_kind(),
+        member in any::<u32>(),
+        args in prop::collection::vec(arb_wire_value(), 0..4),
+        cut in any::<u16>(),
+    ) {
+        let mut data = encode_new_v2(BytesMut::new(), Some(7), member, &args);
+        let cut_at = cut as usize % data.len();
+        prop_assert!(decode_request(data.split_to(cut_at)).is_err());
+        let mut data = encode_dependence_v2(
+            BytesMut::new(), None, u64::from(target), kind, member, &args,
+        );
+        let cut_at = cut as usize % data.len();
+        prop_assert!(decode_request(data.split_to(cut_at)).is_err());
+    }
 }
 
 #[test]
 fn shutdown_round_trips() {
     assert_eq!(
         Request::decode(Request::Shutdown.encode()),
-        Request::Shutdown
+        Ok(Request::Shutdown)
     );
 }

@@ -211,6 +211,69 @@ fn full_reordering_is_repaired_to_byte_identity() {
     }
 }
 
+/// The transport's wall-clock optimisations are invisible under chaos. With
+/// ready-key coalescing and/or the encode-buffer pool disabled, full
+/// reordering, full duplication, and a lossy retried link all heal to reports
+/// byte-identical to the same faulted run with both optimisations on — the
+/// sequence window and gap repair operate per *logical* message, so batching
+/// deliveries cannot change what heals or when it is charged.
+#[test]
+fn transport_toggles_heal_chaos_identically() {
+    // Only the cooperative schedulers coalesce (the blocking thread-per-node
+    // path would wait on keys a sender is still holding back).
+    let coop = [Schedule::Inline, Schedule::Pool { threads: 2 }];
+    let chaos: [(&str, FaultPlan); 3] = [
+        (
+            "reorder",
+            fast_polls(FaultPlan::quiet(13).with_reorder(1.0)),
+        ),
+        (
+            "duplicate",
+            fast_polls(FaultPlan::quiet(7).with_duplicate(1.0)),
+        ),
+        (
+            "lossy",
+            FaultPlan {
+                max_retries: 64,
+                ..FaultPlan::quiet(3).with_drop(0.2)
+            },
+        ),
+    ];
+    for (name, plan) in plans() {
+        for schedule in coop {
+            for (fault_name, fault) in &chaos {
+                let base_config = ClusterConfig {
+                    faults: Some(fault.clone()),
+                    schedule,
+                    ..ClusterConfig::paper_testbed()
+                };
+                let baseline = plan.execute(&base_config);
+                assert!(
+                    baseline.is_ok(),
+                    "{name}/{fault_name} under {schedule:?}: {:?}",
+                    baseline.error
+                );
+                for (no_coalesce, no_buffer_pool) in [(true, false), (false, true), (true, true)] {
+                    let run = plan.execute(&ClusterConfig {
+                        no_coalesce,
+                        no_buffer_pool,
+                        ..base_config.clone()
+                    });
+                    assert_byte_identical(
+                        &format!(
+                            "{name}/{fault_name} no_coalesce={no_coalesce} \
+                             no_buffer_pool={no_buffer_pool}"
+                        ),
+                        schedule,
+                        &baseline,
+                        &run,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Injected link delay slows the virtual clock but cannot change the answer.
 #[test]
 fn injected_delay_shifts_clocks_but_not_checksums() {
@@ -328,7 +391,7 @@ proptest! {
         let cluster = ClusterConfig {
             network: NetworkConfig::paper_testbed(),
             schedule: Schedule::Inline,
-            faults: None,
+            ..Default::default()
         };
         let clean = run_distributed(&copies, &cluster);
         prop_assert!(clean.is_ok(), "{:?}", clean.error);

@@ -52,7 +52,7 @@ fn run_pinned(
         &ClusterConfig {
             network,
             schedule,
-            faults: None,
+            ..Default::default()
         },
     )
 }

@@ -6,6 +6,14 @@
 //! [`Buf`]/[`BufMut`] traits with big-endian integer accessors. Semantics match the
 //! real crate for this subset, so swapping the real dependency back in is a
 //! manifest-only change.
+//!
+//! Two properties matter to the runtime's pooled wire path and are guaranteed here
+//! as in the real crate:
+//! - [`BytesMut::freeze`] does not copy or reallocate — the builder's storage
+//!   becomes the [`Bytes`] storage.
+//! - [`Bytes::try_into_mut`] recovers the storage for reuse when the buffer is the
+//!   sole owner (refcount 1), so a send/receive loop can recycle one allocation
+//!   indefinitely.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -60,6 +68,22 @@ impl Bytes {
         };
         self.start += at;
         head
+    }
+
+    /// Recovers the underlying storage as a [`BytesMut`] when this handle is the
+    /// sole owner of the allocation (no live clones or splits). The recovered
+    /// builder is cleared but keeps its capacity — this is the reclaim half of the
+    /// allocation-recycling loop. Returns `Err(self)` unchanged when shared.
+    pub fn try_into_mut(mut self) -> Result<BytesMut, Bytes> {
+        if Arc::get_mut(&mut self.data).is_some() {
+            let mut data = self.data;
+            Arc::get_mut(&mut data)
+                .expect("sole owner checked above")
+                .clear();
+            Ok(BytesMut { data })
+        } else {
+            Err(self)
+        }
     }
 
     fn take(&mut self, n: usize) -> &[u8] {
@@ -133,9 +157,11 @@ fn fmt_escaped(bytes: &[u8], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Resul
 }
 
 /// A growable byte buffer; freeze it into [`Bytes`] once built.
-#[derive(Clone, Default)]
+///
+/// Storage lives behind a uniquely-held `Arc` so [`BytesMut::freeze`] hands the
+/// allocation to the resulting [`Bytes`] without copying.
 pub struct BytesMut {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
@@ -147,8 +173,12 @@ impl BytesMut {
     /// An empty builder with `cap` bytes reserved.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: Arc::new(Vec::with_capacity(cap)),
         }
+    }
+
+    fn vec(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.data).expect("BytesMut storage is uniquely owned")
     }
 
     /// Bytes written so far.
@@ -161,9 +191,42 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    /// Discards the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.vec().clear();
+    }
+
+    /// Reserved capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`] without copying:
+    /// the builder's storage becomes the buffer's storage.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+        let end = self.data.len();
+        Bytes {
+            data: self.data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut {
+            data: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        // Deep copy: builders never share storage (uniqueness backs `vec()`).
+        BytesMut {
+            data: Arc::new(self.data.as_ref().clone()),
+        }
     }
 }
 
@@ -184,28 +247,34 @@ impl std::fmt::Debug for BytesMut {
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
-    /// Consumes and returns the next `n` bytes.
-    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+    /// Consumes the next `n` bytes and returns them as a borrowed slice —
+    /// no allocation.
+    fn take_slice(&mut self, n: usize) -> &[u8];
+
+    /// Consumes and returns the next `n` bytes as an owned vector.
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        self.take_slice(n).to_vec()
+    }
 
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
-        self.copy_bytes(1)[0]
+        self.take_slice(1)[0]
     }
     /// Reads a big-endian `u32`.
     fn get_u32(&mut self) -> u32 {
-        u32::from_be_bytes(self.copy_bytes(4).try_into().unwrap())
+        u32::from_be_bytes(self.take_slice(4).try_into().unwrap())
     }
     /// Reads a big-endian `u64`.
     fn get_u64(&mut self) -> u64 {
-        u64::from_be_bytes(self.copy_bytes(8).try_into().unwrap())
+        u64::from_be_bytes(self.take_slice(8).try_into().unwrap())
     }
     /// Reads a big-endian `i64`.
     fn get_i64(&mut self) -> i64 {
-        i64::from_be_bytes(self.copy_bytes(8).try_into().unwrap())
+        i64::from_be_bytes(self.take_slice(8).try_into().unwrap())
     }
     /// Reads a big-endian `f64`.
     fn get_f64(&mut self) -> f64 {
-        f64::from_be_bytes(self.copy_bytes(8).try_into().unwrap())
+        f64::from_be_bytes(self.take_slice(8).try_into().unwrap())
     }
 }
 
@@ -213,8 +282,8 @@ impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
     }
-    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
-        self.take(n).to_vec()
+    fn take_slice(&mut self, n: usize) -> &[u8] {
+        self.take(n)
     }
 }
 
@@ -247,7 +316,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
+        self.vec().extend_from_slice(src);
     }
 }
 
@@ -292,5 +361,27 @@ mod tests {
     fn debug_escapes_non_printables() {
         let b = Bytes::from(vec![b'a', 0x00, b'"']);
         assert_eq!(format!("{b:?}"), "b\"a\\x00\\x22\"");
+    }
+
+    #[test]
+    fn freeze_does_not_copy_and_reclaim_recovers_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u64(9);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        // Sole owner: reclaim succeeds, capacity survives, contents cleared.
+        let recycled = frozen.try_into_mut().expect("sole owner reclaims");
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() >= 64);
+    }
+
+    #[test]
+    fn shared_bytes_refuse_reclaim() {
+        let frozen = Bytes::from(vec![1, 2, 3]);
+        let alias = frozen.clone();
+        let back = frozen
+            .try_into_mut()
+            .expect_err("shared buffer stays Bytes");
+        assert_eq!(&back[..], &alias[..]);
     }
 }
